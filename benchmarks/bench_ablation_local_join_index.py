@@ -1,0 +1,84 @@
+"""Ablation: local join indices (the Section 5 future-work hybrid).
+
+The paper conjectures that join indices scoped to subtrees of a shared
+generalization tree mix strategy II's cheap maintenance with strategy
+III's cheap lookups.  The bench measures exactly that against the same
+tree with a *global* pair index:
+
+* maintenance (insert one object): local checks its partition + filtered
+  cross-partition candidates; global checks all N objects;
+* full self-join: both read their stored pairs (same order of work).
+"""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.join.local_join_index import LocalJoinIndex
+from repro.predicates.theta import WithinDistance
+from repro.storage.costs import CostMeter
+from repro.storage.record import RecordId
+from repro.trees.balanced import BalancedKTree
+
+THETA = WithinDistance(25.0)
+K, N = 5, 4  # 781 nodes
+
+
+@pytest.fixture(scope="module")
+def tree():
+    t = BalancedKTree(K, N, universe=Rect(0, 0, 1000, 1000))
+    t.assign_tids([RecordId(0, i) for i in range(t.node_count())])
+    return t
+
+
+@pytest.fixture(scope="module")
+def built_local(tree):
+    lji = LocalJoinIndex(tree, THETA, partition_height=1)
+    lji.build()
+    return lji
+
+
+def global_maintenance_cost(tree) -> int:
+    """What a global join index pays per insert: one check per object."""
+    return tree.node_count()
+
+
+def test_build(benchmark, tree):
+    def build():
+        lji = LocalJoinIndex(tree, THETA, partition_height=1)
+        lji.build()
+        return lji
+
+    lji = benchmark(build)
+    assert len(lji) > 0
+
+
+def test_local_insert_cheaper(benchmark, tree, built_local):
+    region = Rect(10, 10, 20, 20)
+
+    counter = {"i": 0}
+
+    def insert_once():
+        meter = CostMeter()
+        counter["i"] += 1
+        built_local.insert(
+            RecordId(7, counter["i"]), region, partition=0, meter=meter
+        )
+        return meter
+
+    meter = benchmark.pedantic(insert_once, rounds=5, iterations=1)
+    global_cost = global_maintenance_cost(tree)
+    print(f"\nlocal maintenance: {meter.update_computations} comparisons "
+          f"+ {meter.theta_filter_evals} partition filters "
+          f"(global index: {global_cost} comparisons)")
+    assert meter.update_computations + meter.theta_filter_evals < global_cost / 2
+
+
+def test_self_join_complete(benchmark, tree, built_local):
+    result = benchmark(built_local.self_join)
+    # Spot-check completeness against brute force on a sample.
+    nodes = list(tree.bfs_nodes())[:60]
+    got = {frozenset(p) for p in result.pair_set()}
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            if THETA(a.region, b.region):
+                assert frozenset((a.tid, b.tid)) in got

@@ -1,0 +1,81 @@
+"""Ablation: the Theta-filter's pruning power (Table 1's entire point).
+
+Algorithm SELECT with the real Table 1 filter versus a degenerate
+always-true filter (which disables pruning and degrades the traversal to
+a full-tree walk with exact checks everywhere).  Matches are identical;
+the evaluation counts quantify what the filter buys.
+"""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.join.select import spatial_select
+from repro.predicates.big_theta import BigThetaOperator
+from repro.predicates.theta import WithinDistance
+from repro.storage.costs import CostMeter
+from repro.workloads.assembly import build_balanced_assembly
+
+QUERY = Rect(50, 50, 90, 90)
+THETA = WithinDistance(40.0)
+
+
+class AlwaysTrueFilter(BigThetaOperator):
+    """The no-pruning baseline: every node 'might' contain a match."""
+
+    name = "always_true"
+
+    def evaluate(self, o1, o2) -> bool:
+        return True
+
+
+@pytest.fixture(scope="module")
+def assembly():
+    return build_balanced_assembly(6, 4)  # 1555 nodes
+
+
+def test_with_table1_filter(benchmark, assembly):
+    def run():
+        meter = CostMeter()
+        res = spatial_select(assembly.tree, QUERY, THETA, meter=meter)
+        return res, meter
+
+    res, meter = benchmark(run)
+    print(f"\nTable 1 filter: {meter.theta_filter_evals} filter evals, "
+          f"{meter.theta_exact_evals} exact evals, {len(res.tids)} matches")
+
+
+def test_without_filter(benchmark, assembly):
+    def run():
+        meter = CostMeter()
+        res = spatial_select(
+            assembly.tree, QUERY, THETA,
+            meter=meter, big_theta=AlwaysTrueFilter(),
+        )
+        return res, meter
+
+    res, meter = benchmark(run)
+    print(f"\nno filter: {meter.theta_filter_evals} filter evals, "
+          f"{meter.theta_exact_evals} exact evals, {len(res.tids)} matches")
+
+
+def test_pruning_factor(benchmark, assembly):
+    def run_both():
+        filtered_meter = CostMeter()
+        filtered = spatial_select(
+            assembly.tree, QUERY, THETA, meter=filtered_meter
+        )
+        unfiltered_meter = CostMeter()
+        unfiltered = spatial_select(
+            assembly.tree, QUERY, THETA,
+            meter=unfiltered_meter, big_theta=AlwaysTrueFilter(),
+        )
+        return filtered, filtered_meter, unfiltered, unfiltered_meter
+
+    filtered, fm, unfiltered, um = benchmark(run_both)
+    assert set(filtered.tids) == set(unfiltered.tids)
+    # Without pruning every node is examined.
+    assert um.theta_filter_evals == assembly.tree.node_count()
+    factor = um.predicate_evaluations / fm.predicate_evaluations
+    print(f"\npruning factor: {factor:.1f}x "
+          f"({fm.predicate_evaluations} vs {um.predicate_evaluations} evals)")
+    assert factor > 3.0

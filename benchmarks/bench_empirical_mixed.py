@@ -1,0 +1,67 @@
+"""Empirical twin of the Section 5 conclusion: updates kill the join index.
+
+The analytical version lives in ``bench_mixed_workload.py``; here the
+same experiment runs against real structures.  A workload of ``Q``
+tree-join-sized queries is interleaved with ``U`` insertions; the join
+index answers queries almost for free but pays a full partner-relation
+scan per insertion, while the R-tree pays a few node accesses.  The
+measured totals must flip exactly as the paper predicts.
+"""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.join.join_index import JoinIndex
+from repro.join.tree_join import tree_join
+from repro.predicates.theta import WithinDistance
+from repro.storage.costs import CostMeter
+from repro.workloads.assembly import build_indexed_relation
+
+THETA = WithinDistance(8.0)  # selective: the join index's home turf
+N = 500
+
+
+@pytest.fixture()
+def world():
+    ir_r = build_indexed_relation(N, seed=1201, max_extent=10.0)
+    ir_s = build_indexed_relation(N, seed=1202, max_extent=10.0)
+    ji = JoinIndex.precompute(ir_r.relation, ir_s.relation, "shape", "shape", THETA)
+    return ir_r, ir_s, ji
+
+
+def run_mix(world, queries: int, updates: int) -> dict[str, float]:
+    """Total measured cost of the mix under each strategy."""
+    ir_r, ir_s, ji = world
+
+    tree_meter = CostMeter()
+    index_meter = CostMeter()
+
+    for _ in range(queries):
+        tree_join(ir_r.tree, ir_s.tree, THETA, meter=tree_meter)
+        ji.join(meter=index_meter)
+
+    for i in range(updates):
+        x = 10.0 + 1.7 * i
+        rect = Rect(x, x, x + 5.0, x + 5.0)
+        # Tree strategy: relation insert maintains the R-tree; charge the
+        # node examinations as update computations (k/2 per level).
+        t = ir_r.relation.insert([10_000 + i, rect])
+        tree_meter.record_update(
+            (ir_r.tree.max_entries // 2) * max(1, ir_r.tree.height())
+        )
+        # Join-index strategy: the full partner check.
+        ji.insert_r(t, meter=index_meter)
+
+    return {"tree": tree_meter.total(), "join-index": index_meter.total()}
+
+
+def test_query_only_mix_prefers_index(benchmark, world):
+    totals = benchmark.pedantic(run_mix, args=(world, 10, 0), rounds=1, iterations=1)
+    print(f"\n10 queries, 0 updates: {totals}")
+    assert totals["join-index"] < totals["tree"]
+
+
+def test_update_heavy_mix_prefers_tree(benchmark, world):
+    totals = benchmark.pedantic(run_mix, args=(world, 10, 40), rounds=1, iterations=1)
+    print(f"\n10 queries, 40 updates: {totals}")
+    assert totals["tree"] < totals["join-index"]

@@ -1,0 +1,51 @@
+"""Figure 7: the match probabilities rho(o1, o2) per distribution.
+
+The paper plots rho for o1 fixed at the leftmost leaf.  We regenerate the
+same series: for every height of the partner object (UNIFORM / NO-LOC)
+and every LCA depth (HI-LOC), the match probability at p = 0.5.
+"""
+
+from repro.costmodel.distributions import HiLoc, NoLoc, Uniform
+from repro.costmodel.parameters import PAPER_PARAMETERS
+
+
+def compute_series():
+    params = PAPER_PARAMETERS.with_p(0.5)
+    uniform = Uniform(params)
+    noloc = NoLoc(params)
+    hiloc = HiLoc(params)
+    n = params.n
+    rows = []
+    for j in range(n + 1):
+        rows.append(
+            {
+                "partner_height": j,
+                "uniform": uniform.rho(n, j),
+                "no_loc": noloc.rho(n, j),
+                # o1 is a leaf (height n): LCA at height l -> d1 = n - l.
+                "hi_loc_lca_at": hiloc.rho_from_lca(n - j, n - j),
+            }
+        )
+    return rows
+
+
+def test_figure7_series(benchmark):
+    rows = benchmark(compute_series)
+
+    print("\nFigure 7: rho(o1, o2) with o1 the leftmost leaf, p = 0.5")
+    header = f"{'j':>3} {'UNIFORM':>10} {'NO-LOC':>10} {'HI-LOC (LCA depth n-j)':>24}"
+    print(header)
+    for r in rows:
+        print(
+            f"{r['partner_height']:>3} {r['uniform']:>10.4f} "
+            f"{r['no_loc']:>10.6f} {r['hi_loc_lca_at']:>24.6f}"
+        )
+
+    # Shape: (a) UNIFORM flat; (b) NO-LOC decreasing in min height;
+    # (c) HI-LOC increasing toward close relatives (shallow LCA distance).
+    assert len({round(r["uniform"], 12) for r in rows}) == 1
+    noloc_vals = [r["no_loc"] for r in rows]
+    assert all(a >= b for a, b in zip(noloc_vals, noloc_vals[1:]))
+    hiloc_vals = [r["hi_loc_lca_at"] for r in rows]
+    assert all(a <= b for a, b in zip(hiloc_vals, hiloc_vals[1:]))
+    assert hiloc_vals[-1] == 1.0  # ancestors/descendants certain

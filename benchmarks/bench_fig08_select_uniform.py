@@ -1,0 +1,29 @@
+"""Figure 8: SELECT cost vs selectivity, UNIFORM distribution.
+
+Paper findings reproduced and asserted:
+* join index (C_III) almost identical to the unclustered tree (C_IIa);
+* clustering (C_IIb) cuts search cost by up to an order of magnitude;
+* the exhaustive search (C_I) is never competitive.
+"""
+
+from benchmarks.conftest import print_study
+from repro.costmodel.sweep import selection_study
+
+
+def test_figure8(benchmark, select_ps):
+    study = benchmark(selection_study, "uniform", select_ps)
+    print_study(study)
+
+    for idx, p in enumerate(study.p_values):
+        best_other = min(study.series[s][idx] for s in ("C_IIa", "C_IIb", "C_III"))
+        assert study.series["C_I"][idx] >= best_other
+        if p <= 0.3:
+            ratio = study.series["C_III"][idx] / study.series["C_IIa"][idx]
+            assert 0.2 <= ratio <= 5.0
+
+    best_gain = max(
+        study.series["C_IIa"][i] / study.series["C_IIb"][i]
+        for i in range(len(study.p_values))
+    )
+    print(f"max clustered-vs-unclustered gain: {best_gain:.1f}x")
+    assert best_gain >= 8.0

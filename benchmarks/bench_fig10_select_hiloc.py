@@ -1,0 +1,22 @@
+"""Figure 10: SELECT cost vs selectivity, HI-LOC distribution.
+
+Paper finding reproduced and asserted: the join index performs
+consistently *between* the unclustered and the clustered generalization
+tree; the nested loop is never competitive.
+"""
+
+from benchmarks.conftest import print_study
+from repro.costmodel.sweep import selection_study
+
+
+def test_figure10(benchmark, select_ps):
+    study = benchmark(selection_study, "hi-loc", select_ps)
+    print_study(study)
+
+    for idx, p in enumerate(study.p_values):
+        if p > 0.3:
+            continue  # saturation corner
+        c3 = study.series["C_III"][idx]
+        assert study.series["C_IIb"][idx] * 0.5 <= c3 <= study.series["C_IIa"][idx] * 2.0
+        best = min(study.series[s][idx] for s in ("C_IIa", "C_IIb", "C_III"))
+        assert study.series["C_I"][idx] >= best

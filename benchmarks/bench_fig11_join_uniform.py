@@ -1,0 +1,28 @@
+"""Figure 11: JOIN cost vs selectivity, UNIFORM distribution.
+
+Paper findings reproduced and asserted:
+* the join index wins at sufficiently low selectivity;
+* the crossover against the trees falls at a very low p (paper: ~1e-9;
+  our reconstruction places it within the 1e-10 .. 1e-7 decade band);
+* the clustered/unclustered difference is negligible;
+* the nested loop is never competitive outside the p -> 1 corner.
+"""
+
+from benchmarks.conftest import print_study
+from repro.costmodel.sweep import join_study
+
+
+def test_figure11(benchmark, join_ps):
+    study = benchmark(join_study, "uniform", join_ps)
+    crossover = study.crossover("D_III", "D_IIb")
+    print_study(study, f"join-index / clustered-tree crossover: p = {crossover:.0e}")
+
+    assert study.winner_at(1e-12) == "D_III"
+    assert crossover is not None and 1e-10 <= crossover <= 1e-7
+
+    for idx, p in enumerate(study.p_values):
+        ratio = study.series["D_IIa"][idx] / study.series["D_IIb"][idx]
+        assert 0.3 <= ratio <= 3.0  # negligible IIa/IIb difference
+        if p <= 1e-2:
+            best = min(study.series[s][idx] for s in ("D_IIa", "D_IIb", "D_III"))
+            assert study.series["D_I"][idx] >= best

@@ -1,0 +1,23 @@
+"""Figure 13: JOIN cost vs selectivity, HI-LOC distribution.
+
+Paper finding reproduced and asserted: "for HI-LOC there is a tie between
+all three strategies for any reasonable join selectivity" -- the three
+non-exhaustive strategies stay within a small constant factor of each
+other, far below the nested loop.
+"""
+
+from benchmarks.conftest import print_study
+from repro.costmodel.sweep import join_study
+
+
+def test_figure13(benchmark, join_ps):
+    study = benchmark(join_study, "hi-loc", join_ps)
+    print_study(study)
+
+    for idx, p in enumerate(study.p_values):
+        if p > 1e-2:
+            continue
+        values = [study.series[s][idx] for s in ("D_IIa", "D_IIb", "D_III")]
+        spread = max(values) / min(values)
+        assert spread < 4.0, (p, spread)
+        assert study.series["D_I"][idx] > 10 * max(values)

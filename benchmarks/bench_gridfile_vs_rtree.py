@@ -1,0 +1,106 @@
+"""Grid file vs R-tree as the index behind index-supported joins.
+
+Section 2.2 cites Rotem's grid-file joins as the precedent for
+index-supported spatial joins and then develops the tree-based
+alternative.  This bench puts the two access methods side by side on the
+same point workload: selection and join, measured in predicate
+evaluations and page reads.  Both must return identical results.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.gridfile import GridFile, grid_join, grid_select
+from repro.join.select import spatial_select
+from repro.join.tree_join import tree_join
+from repro.predicates.theta import WithinDistance
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+from repro.storage.record import RecordId
+from repro.trees.packing import str_pack
+
+UNIVERSE = Rect(0, 0, 1000, 1000)
+COUNT = 1200
+THETA = WithinDistance(30.0)
+
+
+def make_points(seed: int) -> list[Point]:
+    rng = random.Random(seed)
+    return [
+        Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(COUNT)
+    ]
+
+
+@pytest.fixture(scope="module")
+def indexes():
+    pts_r = make_points(701)
+    pts_s = make_points(702)
+
+    def grid_of(pts):
+        pool = BufferPool(SimulatedDisk(), 4000, CostMeter())
+        g = GridFile(pool, UNIVERSE, bucket_capacity=10)
+        for i, p in enumerate(pts):
+            g.insert(p, RecordId(0, i))
+        return g
+
+    def rtree_of(pts):
+        return str_pack([(p, RecordId(0, i)) for i, p in enumerate(pts)], 10)
+
+    return pts_r, pts_s, grid_of(pts_r), grid_of(pts_s), rtree_of(pts_r), rtree_of(pts_s)
+
+
+def test_select_gridfile(benchmark, indexes):
+    _, _, grid_r, _, _, _ = indexes
+    q = Point(500, 500)
+    meter = CostMeter()
+    res = benchmark(grid_select, grid_r, q, THETA, meter=meter)
+    print(f"\ngrid select: {len(res.tids)} matches, "
+          f"{meter.predicate_evaluations} evals")
+
+
+def test_select_rtree(benchmark, indexes):
+    _, _, _, _, tree_r, _ = indexes
+    q = Point(500, 500)
+    meter = CostMeter()
+    res = benchmark(spatial_select, tree_r, q, THETA, meter=meter)
+    print(f"\nr-tree select: {len(res.tids)} matches, "
+          f"{meter.predicate_evaluations} evals")
+
+
+def test_join_gridfile(benchmark, indexes):
+    _, _, grid_r, grid_s, _, _ = indexes
+    res = benchmark.pedantic(
+        grid_join, args=(grid_r, grid_s, THETA), rounds=1, iterations=1
+    )
+    assert len(res.pair_set()) > 0
+
+
+def test_join_rtree(benchmark, indexes):
+    _, _, _, _, tree_r, tree_s = indexes
+    res = benchmark.pedantic(
+        tree_join, args=(tree_r, tree_s, THETA), rounds=1, iterations=1
+    )
+    assert len(res.pair_set()) > 0
+
+
+def test_methods_agree(benchmark, indexes):
+    pts_r, pts_s, grid_r, grid_s, tree_r, tree_s = indexes
+
+    def run_both():
+        return grid_join(grid_r, grid_s, THETA), tree_join(tree_r, tree_s, THETA)
+
+    g, t = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert g.pair_set() == t.pair_set()
+
+    # Both prune the cross product heavily.
+    full = COUNT * COUNT
+    g_evals = g.stats["theta_exact_evals"]
+    t_evals = t.stats["theta_exact_evals"]
+    print(f"\nexact evals -- grid: {g_evals:.0f}, r-tree: {t_evals:.0f}, "
+          f"cross product: {full}")
+    assert g_evals < full / 4
+    assert t_evals < full / 4

@@ -1,0 +1,58 @@
+"""The paper's conclusion as numbers: update/query mixes per strategy.
+
+Section 5's summary -- join indices win only at very low update ratios,
+generalization trees are the best overall strategy otherwise -- is
+reproduced by sweeping the update fraction and locating the break-even
+point for each distribution.
+"""
+
+from repro.costmodel.mixed import break_even_update_ratio, mixed_workload_costs
+from repro.costmodel.parameters import PAPER_PARAMETERS
+
+CONFIGS = [
+    ("uniform", 1e-10),
+    ("no-loc", 1e-7),
+    ("hi-loc", 1e-6),
+]
+
+
+def test_break_even_ratios(benchmark):
+    def compute():
+        return {
+            dist: break_even_update_ratio(dist, PAPER_PARAMETERS.with_p(p))
+            for dist, p in CONFIGS
+        }
+
+    ratios = benchmark(compute)
+    print("\nbreak-even update fraction (join index vs clustered tree):")
+    for (dist, p), u in zip(CONFIGS, ratios.values()):
+        text = f"{u:.2e}" if u is not None else "never wins"
+        print(f"  {dist:8s} (p={p:.0e}): {text}")
+
+    # UNIFORM / NO-LOC at favorable selectivity: the index survives only
+    # vanishingly small update rates -- "update ratios ... very low".
+    assert ratios["uniform"] is not None and ratios["uniform"] < 1e-3
+    assert ratios["no-loc"] is not None and ratios["no-loc"] < 1e-3
+
+
+def test_mix_sweep_table(benchmark):
+    params = PAPER_PARAMETERS.with_p(1e-10)
+
+    def compute():
+        fractions = [0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1]
+        return [
+            (u, mixed_workload_costs(u, "uniform", params)) for u in fractions
+        ]
+
+    rows = benchmark(compute)
+    print("\nper-operation cost vs update fraction (UNIFORM, p=1e-10):")
+    print(f"{'u':>8} {'I':>12} {'IIa':>12} {'IIb':>12} {'III':>12}  winner")
+    for u, costs in rows:
+        winner = min(costs, key=lambda k: costs[k])
+        print(
+            f"{u:>8.0e} {costs['I']:>12.3e} {costs['IIa']:>12.3e} "
+            f"{costs['IIb']:>12.3e} {costs['III']:>12.3e}  {winner}"
+        )
+    # The winner flips from III to a tree strategy as updates grow.
+    assert min(rows[0][1], key=lambda k: rows[0][1][k]) == "III"
+    assert min(rows[-1][1], key=lambda k: rows[-1][1][k]) in ("IIa", "IIb")

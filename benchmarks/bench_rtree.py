@@ -1,0 +1,68 @@
+"""R-tree (Figure 2) microbenchmarks: build, search, delete.
+
+Not a paper figure by itself, but the R-tree is the paper's canonical
+generalization tree; these benches keep its performance honest and the
+structural invariants checked at scale.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.storage.record import RecordId
+from repro.trees.rtree import RTree
+
+COUNT = 2000
+
+
+@pytest.fixture(scope="module")
+def rects():
+    rng = random.Random(401)
+    out = []
+    for _ in range(COUNT):
+        x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        out.append(Rect(x, y, x + rng.uniform(0, 20), y + rng.uniform(0, 20)))
+    return out
+
+
+@pytest.fixture(scope="module")
+def built_tree(rects):
+    tree = RTree(max_entries=10)
+    for i, r in enumerate(rects):
+        tree.insert(r, RecordId(0, i))
+    return tree
+
+
+def test_build(benchmark, rects):
+    def build():
+        tree = RTree(max_entries=10)
+        for i, r in enumerate(rects):
+            tree.insert(r, RecordId(0, i))
+        return tree
+
+    tree = benchmark(build)
+    tree.check_invariants()
+    assert len(tree) == COUNT
+
+
+def test_search(benchmark, built_tree, rects):
+    query = Rect(300, 300, 380, 380)
+
+    result = benchmark(built_tree.search_tids, query)
+    want = {i for i, r in enumerate(rects) if r.intersects(query)}
+    assert {t.slot for t in result} == want
+
+
+def test_delete_half(benchmark, rects):
+    def build_and_delete():
+        tree = RTree(max_entries=10)
+        for i, r in enumerate(rects):
+            tree.insert(r, RecordId(0, i))
+        for i in range(0, COUNT, 2):
+            tree.delete(rects[i], RecordId(0, i))
+        return tree
+
+    tree = benchmark(build_and_delete)
+    tree.check_invariants()
+    assert len(tree) == COUNT // 2

@@ -1,0 +1,44 @@
+"""Section 5 follow-up: exact crossover points and their sensitivity.
+
+The paper closes asking for "the exact crossover points where join
+indices become more efficient than generalization trees and vice versa".
+This bench computes them by bisection for each distribution and maps how
+they move with the branching factor k, the memory size M and the index
+page capacity z.
+"""
+
+from repro.costmodel.sensitivity import crossover_sensitivity, join_crossover
+
+
+def test_exact_crossovers(benchmark):
+    def compute():
+        return {
+            dist: join_crossover(dist) for dist in ("uniform", "no-loc", "hi-loc")
+        }
+
+    crossovers = benchmark(compute)
+    print("\nexact D_III / D_IIb crossovers (bisection):")
+    for dist, p in crossovers.items():
+        print(f"  {dist:8s}: p = {p:.3e}" if p else f"  {dist:8s}: none in range")
+    assert crossovers["uniform"] is not None
+    assert 1e-10 <= crossovers["uniform"] <= 1e-8  # paper: ~1e-9
+
+
+def test_crossover_sensitivity_table(benchmark):
+    def compute():
+        return {
+            "k": crossover_sensitivity("uniform", "k", [5, 10, 20, 40]),
+            "z": crossover_sensitivity("uniform", "z", [10, 100, 1000]),
+            "big_m": crossover_sensitivity("uniform", "big_m", [400, 4000, 40000]),
+        }
+
+    tables = benchmark(compute)
+    print("\ncrossover sensitivity (UNIFORM, D_III vs D_IIb):")
+    for parameter, rows in tables.items():
+        cells = ", ".join(
+            f"{v}: {p:.1e}" if p is not None else f"{v}: -" for v, p in rows
+        )
+        print(f"  {parameter:6s} -> {cells}")
+
+    z_rows = dict(tables["z"])
+    assert z_rows[1000] > z_rows[10]  # cheaper index paging -> later crossover

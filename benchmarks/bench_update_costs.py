@@ -1,0 +1,51 @@
+"""Section 4.2: update (insertion) costs per strategy.
+
+The paper discusses these alongside Figures 8-13: join-index maintenance
+is "almost prohibitively high" while the two tree layouts cost the same
+order of magnitude.  Reproduced from the U_* formulas *and* measured
+empirically against the real structures.
+"""
+
+from repro.costmodel.parameters import PAPER_PARAMETERS
+from repro.costmodel.sweep import update_study
+from repro.geometry import Rect
+from repro.join.join_index import JoinIndex
+from repro.predicates.theta import WithinDistance
+from repro.storage.costs import CostMeter
+from repro.workloads.assembly import build_indexed_relation
+
+
+def test_update_costs_analytical(benchmark):
+    costs = benchmark(update_study, PAPER_PARAMETERS)
+    print("\nanalytical insertion costs (Table 3 parameters):")
+    for name, value in costs.items():
+        print(f"  {name:6s} = {value:16.1f}")
+    assert costs["U_I"] == 0.0
+    assert costs["U_IIb"] < costs["U_IIa"]
+    assert costs["U_III"] > 1000 * costs["U_IIa"]
+
+
+def test_update_costs_empirical(benchmark):
+    """Measured maintenance: R-tree insert vs join-index insert."""
+    theta = WithinDistance(40.0)
+    ir_r = build_indexed_relation(600, seed=201)
+    ir_s = build_indexed_relation(600, seed=202)
+    ji = JoinIndex.precompute(
+        ir_r.relation, ir_s.relation, "shape", "shape", theta
+    )
+
+    def one_insert_cycle():
+        tree_meter = CostMeter()
+        # R-tree maintenance: measured as predicate/update work during insert.
+        t = ir_r.relation.insert([10_000, Rect(1, 1, 5, 5)])
+        ji_meter = CostMeter()
+        ji.insert_r(t, meter=ji_meter)
+        return tree_meter, ji_meter
+
+    _, ji_meter = benchmark.pedantic(one_insert_cycle, rounds=5, iterations=1)
+    print(f"\njoin-index maintenance per insert: "
+          f"{ji_meter.update_computations} comparisons, "
+          f"{int(ji_meter.page_reads)} page reads "
+          f"(= scan of the full partner relation, the U_III effect)")
+    assert ji_meter.update_computations == len(ir_s.relation)
+    assert ji_meter.page_reads == ir_s.relation.num_pages

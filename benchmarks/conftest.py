@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure/table of the paper's evaluation has one ``bench_*`` module.
+Each module (a) times the computation that regenerates the artifact via
+pytest-benchmark and (b) prints the reproduced rows/series, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces both the timing table and the paper's numbers.  Shape assertions
+(who wins, where crossovers fall) are embedded so regressions in the
+reproduction fail the bench run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel.sweep import StudyResult, log_space
+
+#: Sweep axes used by all figure benches (both axes are log in the paper).
+SELECT_PS = log_space(1e-6, 1.0, 25)
+JOIN_PS = log_space(1e-12, 1.0, 25)
+
+
+def print_study(study: StudyResult, extra: str = "") -> None:
+    print()
+    print(study.format_table())
+    if extra:
+        print(extra)
+
+
+@pytest.fixture(scope="session")
+def select_ps():
+    return SELECT_PS
+
+
+@pytest.fixture(scope="session")
+def join_ps():
+    return JOIN_PS

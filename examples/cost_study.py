@@ -1,0 +1,41 @@
+"""Regenerate the paper's comparative study (Figures 8-13) as tables.
+
+Evaluates the Section 4 cost formulas with the exact Table 3 parameters,
+sweeping the join selectivity p on a log axis, and prints one table per
+figure plus the update costs and detected crossovers.
+
+Run:  python examples/cost_study.py
+"""
+
+from repro.costmodel import join_study, selection_study, update_study
+from repro.costmodel.sweep import log_space
+
+
+def main() -> None:
+    print("update costs per insertion (Section 4.2, Table 3 parameters)")
+    for name, value in update_study().items():
+        print(f"  {name:6s} = {value:14.1f}")
+    print()
+
+    select_ps = log_space(1e-6, 1.0, 13)
+    for figure, dist in ((8, "uniform"), (9, "no-loc"), (10, "hi-loc")):
+        study = selection_study(dist, select_ps)
+        print(f"--- Figure {figure} ---")
+        print(study.format_table())
+        print()
+
+    join_ps = log_space(1e-12, 1.0, 13)
+    for figure, dist in ((11, "uniform"), (12, "no-loc"), (13, "hi-loc")):
+        study = join_study(dist, join_ps)
+        print(f"--- Figure {figure} ---")
+        print(study.format_table())
+        crossover = study.crossover("D_III", "D_IIb")
+        if crossover is not None:
+            print(f"join index / clustered tree crossover near p = {crossover:.0e}")
+        print(f"winner at p=1e-12: {study.winner_at(1e-12)}, "
+              f"at p=1e-3: {study.winner_at(1e-3)}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""repro -- a reproduction of *Efficient Computation of Spatial Joins*
+(Oliver Guenther, ICDE 1993).
+
+The package implements the paper end to end, from scratch:
+
+* the **geometry kernel** and the **theta / Theta operator pairs** of
+  Table 1 (:mod:`repro.geometry`, :mod:`repro.predicates`);
+* a **simulated storage engine** -- pages, LRU buffer pool, heap and
+  BFS-clustered files -- that counts cost in the paper's units
+  (:mod:`repro.storage`);
+* a minimal **extended-relational layer** (:mod:`repro.relational`) and a
+  paged **B+-tree** (:mod:`repro.btree`);
+* **generalization trees**: Guttman R-trees, cartographic hierarchies and
+  balanced model trees (:mod:`repro.trees`);
+* every **join strategy** the paper studies -- Algorithms SELECT and
+  JOIN, nested loop, index-supported join, Valduriez join indices,
+  Orenstein's z-order sort-merge, and the Section 5 local-join-index
+  extension (:mod:`repro.join`);
+* the full **analytical cost model** of Section 4 with the UNIFORM,
+  NO-LOC and HI-LOC distributions and the sweeps behind Figures 8-13
+  (:mod:`repro.costmodel`);
+* **synthetic workloads** (:mod:`repro.workloads`) and the high-level
+  **query executor / strategy comparison** API (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro import WithinDistance, SpatialQueryExecutor
+    from repro.workloads import make_lakes_and_houses
+
+    scenario = make_lakes_and_houses(n_houses=1000, n_lakes=50)
+    executor = SpatialQueryExecutor()
+    result = executor.join(
+        scenario.houses, "hlocation", scenario.lakes, "larea",
+        WithinDistance(100.0), strategy="tree",
+    )
+    print(len(result), "house-lake pairs;", result.stats)
+"""
+
+from repro.errors import ReproError
+from repro.geometry import Point, Rect, Polygon, PolyLine, Segment
+from repro.predicates import (
+    Adjacent,
+    ContainedIn,
+    DistanceBetween,
+    DirectionOf,
+    Includes,
+    NorthwestOf,
+    Overlaps,
+    ReachableWithin,
+    ThetaOperator,
+    WithinDistance,
+    theta_filter,
+)
+from repro.relational import Column, ColumnType, Relation, Schema
+from repro.storage import BufferPool, CostMeter, SimulatedDisk
+from repro.trees import BalancedKTree, CartoTree, GeneralizationTree, RTree
+from repro.join import (
+    JoinIndex,
+    JoinResult,
+    LocalJoinIndex,
+    SelectResult,
+    naive_sortmerge_join,
+    nested_loop_join,
+    spatial_select,
+    tree_join,
+    zorder_merge_join,
+)
+from repro.core import SpatialQueryExecutor, StrategyComparison
+from repro.costmodel import PAPER_PARAMETERS, ModelParameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "Point",
+    "Rect",
+    "Polygon",
+    "PolyLine",
+    "Segment",
+    "ThetaOperator",
+    "WithinDistance",
+    "Adjacent",
+    "Overlaps",
+    "Includes",
+    "ContainedIn",
+    "NorthwestOf",
+    "DirectionOf",
+    "ReachableWithin",
+    "DistanceBetween",
+    "theta_filter",
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Relation",
+    "SimulatedDisk",
+    "BufferPool",
+    "CostMeter",
+    "GeneralizationTree",
+    "RTree",
+    "CartoTree",
+    "BalancedKTree",
+    "spatial_select",
+    "tree_join",
+    "nested_loop_join",
+    "zorder_merge_join",
+    "naive_sortmerge_join",
+    "JoinIndex",
+    "LocalJoinIndex",
+    "JoinResult",
+    "SelectResult",
+    "SpatialQueryExecutor",
+    "StrategyComparison",
+    "ModelParameters",
+    "PAPER_PARAMETERS",
+    "__version__",
+]

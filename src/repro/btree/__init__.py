@@ -1,0 +1,13 @@
+"""B+-tree substrate.
+
+Assumption S4 of the cost model: "Join indices are implemented using
+B+-trees."  Table 3 gives the index parameters -- ``z = 100`` entries per
+page and height ``d = 4``.  This subpackage provides a from-scratch,
+*paged* B+-tree: every node lives on one simulated disk page and all node
+traffic flows through the buffer pool, so searching it costs exactly the
+``d`` page accesses the model charges (roots pinned in memory excepted).
+"""
+
+from repro.btree.tree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,49 @@
+"""B+-tree nodes, stored one per simulated disk page.
+
+A node is the single record of its page; the page's declared record size
+equals the page capacity, so page-count arithmetic degenerates to node
+count -- matching the model, which charges one I/O per node visited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(slots=True)
+class BTreeNode:
+    """One B+-tree node.
+
+    Interior nodes hold ``len(keys) + 1`` child page ids with the usual
+    separator invariant: subtree ``children[i]`` holds keys strictly less
+    than ``keys[i]`` (and at least ``keys[i-1]``).  Leaves hold parallel
+    ``keys`` / ``values`` lists plus a singly linked leaf chain for range
+    scans.
+    """
+
+    page_id: int
+    is_leaf: bool
+    keys: list[Any] = field(default_factory=list)
+    #: Interior: child page ids.  Unused in leaves.
+    children: list[int] = field(default_factory=list)
+    #: Leaves: one value per key.  Unused in interior nodes.
+    values: list[Any] = field(default_factory=list)
+    #: Leaves: page id of the next leaf, or -1 at the right edge.
+    next_leaf: int = -1
+
+    def is_overfull(self, order: int) -> bool:
+        """True if the node exceeds ``order`` keys and must split."""
+        return len(self.keys) > order
+
+    def is_underfull(self, order: int) -> bool:
+        """True if a non-root node has fewer than ``floor(order/2)`` keys.
+
+        The floor (not ceiling) bound is required for interior splits: an
+        overfull interior node has ``order + 1`` keys, one of which moves
+        up, leaving ``order // 2`` for the smaller half.
+        """
+        return len(self.keys) < order // 2
+
+    def min_keys(self, order: int) -> int:
+        return order // 2

@@ -1,0 +1,499 @@
+"""A paged B+-tree with insert, delete, point and range search.
+
+Design notes
+------------
+* **Order** ``z``: a node holds at most ``z`` keys (Table 3's "capacity of
+  a B+-tree page, in number of index entries"); non-root nodes hold at
+  least ``ceil(z/2)``.
+* **Paging**: every node occupies one page of the simulated disk and is
+  read/written through the buffer pool, so the meter observes exactly the
+  node accesses.  The root is pinned, mirroring the paper's "root ...
+  locked in main memory" assumption.
+* **Duplicates**: multiple equal keys are allowed (a join index maps one
+  tuple id to many matching ids); ``search`` returns all values for a key.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from repro.errors import BTreeError
+from repro.btree.node import BTreeNode
+from repro.storage.buffer import BufferPool
+
+
+def _balanced_chunks(seq: list, size: int, min_size: int) -> list[list]:
+    """Split ``seq`` into chunks of ``size``, rebalancing a short tail.
+
+    A trailing chunk below ``min_size`` is merged with its predecessor and
+    the pair split evenly (both halves stay within node bounds because
+    ``min_size <= size``); a single short chunk is the root case and is
+    returned as-is.
+    """
+    chunks = [seq[i : i + size] for i in range(0, len(seq), size)]
+    if len(chunks) >= 2 and len(chunks[-1]) < min_size:
+        combined = chunks[-2] + chunks[-1]
+        chunks.pop()
+        if len(combined) >= 2 * min_size:
+            half = len(combined) // 2
+            chunks[-1] = combined[:half]
+            chunks.append(combined[half:])
+        else:
+            # 2*min_size - 1 <= order: a single legal node absorbs the tail.
+            chunks[-1] = combined
+    return chunks
+
+
+class BPlusTree:
+    """B+-tree keyed by any totally ordered key type."""
+
+    def __init__(self, buffer_pool: BufferPool, order: int = 100) -> None:
+        if order < 2:
+            raise BTreeError(f"B+-tree order must be at least 2, got {order}")
+        self.buffer_pool = buffer_pool
+        self.order = order
+        self._size = 0
+        root = self._new_node(is_leaf=True)
+        self._root_id = root.page_id
+        self.buffer_pool.pin(self._root_id)
+
+    # ------------------------------------------------------------------
+    # Node paging helpers
+    # ------------------------------------------------------------------
+
+    def _new_node(self, is_leaf: bool) -> BTreeNode:
+        page = self.buffer_pool.new_page()
+        node = BTreeNode(page_id=page.page_id, is_leaf=is_leaf)
+        page.insert(node, page.capacity)
+        return node
+
+    def _load(self, page_id: int) -> BTreeNode:
+        page = self.buffer_pool.fetch(page_id)
+        node = page.get(0)
+        if not isinstance(node, BTreeNode):
+            raise BTreeError(f"page {page_id} does not hold a B+-tree node")
+        return node
+
+    def _store(self, node: BTreeNode) -> None:
+        self.buffer_pool.fetch(node.page_id)
+        self.buffer_pool.mark_dirty(node.page_id)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _find_leaf(
+        self, key: Any, for_insert: bool = False
+    ) -> tuple[BTreeNode, list[BTreeNode]]:
+        """Descend to a leaf for ``key``; returns (leaf, path of parents).
+
+        For searches the descent takes the *leftmost* candidate subtree
+        (``bisect_left``) so duplicates spanning several leaves are all
+        reachable via the leaf chain; inserts go right of existing equal
+        separators (``bisect_right``), the cheaper append position.
+        """
+        path: list[BTreeNode] = []
+        node = self._load(self._root_id)
+        while not node.is_leaf:
+            path.append(node)
+            if for_insert:
+                idx = bisect.bisect_right(node.keys, key)
+            else:
+                idx = bisect.bisect_left(node.keys, key)
+            node = self._load(node.children[idx])
+        return node, path
+
+    def search(self, key: Any) -> list[Any]:
+        """All values stored under ``key`` (empty list if absent)."""
+        leaf, _ = self._find_leaf(key)
+        out: list[Any] = []
+        current: BTreeNode | None = leaf
+        # Walk the leaf chain until a key greater than the target appears.
+        while current is not None:
+            i = bisect.bisect_left(current.keys, key)
+            while i < len(current.keys) and current.keys[i] == key:
+                out.append(current.values[i])
+                i += 1
+            if i < len(current.keys):
+                break  # saw a key beyond the target: no duplicates remain
+            current = (
+                self._load(current.next_leaf) if current.next_leaf != -1 else None
+            )
+        return out
+
+    def contains(self, key: Any) -> bool:
+        """True if at least one entry with ``key`` exists."""
+        return bool(self.search(key))
+
+    def range_scan(self, lo: Any = None, hi: Any = None) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs with ``lo <= key <= hi``, in order.
+
+        ``None`` bounds are open.  Walks the leaf chain, so the cost is
+        proportional to the leaves touched.
+        """
+        if lo is not None:
+            leaf, _ = self._find_leaf(lo)
+        else:
+            node = self._load(self._root_id)
+            while not node.is_leaf:
+                node = self._load(node.children[0])
+            leaf = node
+        while leaf is not None:
+            for k, v in zip(leaf.keys, leaf.values):
+                if lo is not None and k < lo:
+                    continue
+                if hi is not None and k > hi:
+                    return
+                yield k, v
+            leaf = self._load(leaf.next_leaf) if leaf.next_leaf != -1 else None
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All entries in key order."""
+        return self.range_scan()
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Add an entry; duplicate keys are kept side by side."""
+        leaf, path = self._find_leaf(key, for_insert=True)
+        i = bisect.bisect_right(leaf.keys, key)
+        leaf.keys.insert(i, key)
+        leaf.values.insert(i, value)
+        self._store(leaf)
+        self._size += 1
+        if leaf.is_overfull(self.order):
+            self._split(leaf, path)
+
+    def _split(self, node: BTreeNode, path: list[BTreeNode]) -> None:
+        mid = len(node.keys) // 2
+        right = self._new_node(is_leaf=node.is_leaf)
+        if node.is_leaf:
+            right.keys = node.keys[mid:]
+            right.values = node.values[mid:]
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            right.next_leaf = node.next_leaf
+            node.next_leaf = right.page_id
+            separator = right.keys[0]
+        else:
+            separator = node.keys[mid]
+            right.keys = node.keys[mid + 1 :]
+            right.children = node.children[mid + 1 :]
+            node.keys = node.keys[:mid]
+            node.children = node.children[: mid + 1]
+        self._store(node)
+        self._store(right)
+
+        if not path:
+            new_root = self._new_node(is_leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [node.page_id, right.page_id]
+            self._store(new_root)
+            self.buffer_pool.unpin(self._root_id)
+            self._root_id = new_root.page_id
+            self.buffer_pool.pin(self._root_id)
+            return
+
+        parent = path[-1]
+        # Insert by the split child's position, not by key search: with
+        # duplicate separators bisect could misalign keys and children.
+        idx = parent.children.index(node.page_id)
+        parent.keys.insert(idx, separator)
+        parent.children.insert(idx + 1, right.page_id)
+        self._store(parent)
+        if parent.is_overfull(self.order):
+            self._split(parent, path[:-1])
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+
+    def remove(self, key: Any, value: Any = None) -> bool:
+        """Remove one entry with ``key`` (and ``value``, if given).
+
+        Returns True if an entry was removed.  Duplicates may span
+        several subtrees, so the descent explores the whole candidate
+        child span (``bisect_left .. bisect_right``) until a removal
+        succeeds; the traversal path enables immediate rebalancing of
+        the affected leaf.
+        """
+        root = self._load(self._root_id)
+        return self._remove_from(root, key, value, [])
+
+    def _remove_from(
+        self, node: BTreeNode, key: Any, value: Any, path: list[BTreeNode]
+    ) -> bool:
+        if node.is_leaf:
+            i = bisect.bisect_left(node.keys, key)
+            while i < len(node.keys) and node.keys[i] == key:
+                if value is None or node.values[i] == value:
+                    node.keys.pop(i)
+                    node.values.pop(i)
+                    self._store(node)
+                    self._size -= 1
+                    self._rebalance_after_delete(node, path)
+                    return True
+                i += 1
+            return False
+        lo = bisect.bisect_left(node.keys, key)
+        hi = bisect.bisect_right(node.keys, key)
+        for idx in range(lo, hi + 1):
+            child = self._load(node.children[idx])
+            if self._remove_from(child, key, value, path + [node]):
+                return True
+        return False
+
+    def _rebalance_after_delete(self, node: BTreeNode, path: list[BTreeNode]) -> None:
+        if not path:
+            # Root leaf: may be empty, that's fine.
+            if not node.is_leaf and len(node.children) == 1:
+                self._collapse_root(node)
+            return
+        if not node.is_underfull(self.order):
+            return
+        parent = path[-1]
+        idx = parent.children.index(node.page_id)
+        # Try borrowing from the left sibling first, then the right.
+        if idx > 0 and self._borrow(parent, idx, from_left=True):
+            return
+        if idx < len(parent.children) - 1 and self._borrow(parent, idx, from_left=False):
+            return
+        # Merge with a sibling.
+        if idx > 0:
+            left = self._load(parent.children[idx - 1])
+            self._merge(parent, idx - 1, left, node)
+        else:
+            right = self._load(parent.children[idx + 1])
+            self._merge(parent, idx, node, right)
+        if path[:-1]:
+            if parent.is_underfull(self.order):
+                self._rebalance_interior(parent, path[:-1])
+        elif len(parent.children) == 1:
+            self._collapse_root(parent)
+
+    def _rebalance_interior(self, node: BTreeNode, path: list[BTreeNode]) -> None:
+        parent = path[-1]
+        idx = parent.children.index(node.page_id)
+        if idx > 0 and self._borrow(parent, idx, from_left=True):
+            return
+        if idx < len(parent.children) - 1 and self._borrow(parent, idx, from_left=False):
+            return
+        if idx > 0:
+            left = self._load(parent.children[idx - 1])
+            self._merge(parent, idx - 1, left, node)
+        else:
+            right = self._load(parent.children[idx + 1])
+            self._merge(parent, idx, node, right)
+        if path[:-1]:
+            if parent.is_underfull(self.order):
+                self._rebalance_interior(parent, path[:-1])
+        elif len(parent.children) == 1:
+            self._collapse_root(parent)
+
+    def _borrow(self, parent: BTreeNode, idx: int, from_left: bool) -> bool:
+        node = self._load(parent.children[idx])
+        sib_idx = idx - 1 if from_left else idx + 1
+        sibling = self._load(parent.children[sib_idx])
+        if len(sibling.keys) <= sibling.min_keys(self.order):
+            return False
+        if node.is_leaf:
+            if from_left:
+                node.keys.insert(0, sibling.keys.pop())
+                node.values.insert(0, sibling.values.pop())
+                parent.keys[idx - 1] = node.keys[0]
+            else:
+                node.keys.append(sibling.keys.pop(0))
+                node.values.append(sibling.values.pop(0))
+                parent.keys[idx] = sibling.keys[0]
+        else:
+            if from_left:
+                node.keys.insert(0, parent.keys[idx - 1])
+                parent.keys[idx - 1] = sibling.keys.pop()
+                node.children.insert(0, sibling.children.pop())
+            else:
+                node.keys.append(parent.keys[idx])
+                parent.keys[idx] = sibling.keys.pop(0)
+                node.children.append(sibling.children.pop(0))
+        self._store(node)
+        self._store(sibling)
+        self._store(parent)
+        return True
+
+    def _merge(self, parent: BTreeNode, left_idx: int, left: BTreeNode, right: BTreeNode) -> None:
+        """Fold ``right`` into ``left``; ``left_idx`` is left's child index."""
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[left_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(left_idx)
+        parent.children.pop(left_idx + 1)
+        self._store(left)
+        self._store(parent)
+
+    def _collapse_root(self, root: BTreeNode) -> None:
+        """Replace an interior root with a single child by that child."""
+        child_id = root.children[0]
+        self.buffer_pool.unpin(self._root_id)
+        self._root_id = child_id
+        self.buffer_pool.pin(self._root_id)
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls,
+        buffer_pool: BufferPool,
+        items: list[tuple[Any, Any]],
+        order: int = 100,
+        fill: float = 1.0,
+    ) -> "BPlusTree":
+        """Build a tree bottom-up from sorted ``(key, value)`` pairs.
+
+        ``fill`` controls how full leaves are packed (1.0 = maximal).
+        Keys must be non-decreasing; raises otherwise.
+        """
+        if not 0.0 < fill <= 1.0:
+            raise BTreeError(f"fill factor must be in (0, 1], got {fill}")
+        tree = cls(buffer_pool, order)
+        if not items:
+            return tree
+        for a, b in zip(items, items[1:]):
+            if b[0] < a[0]:
+                raise BTreeError("bulk_load requires keys in non-decreasing order")
+
+        min_keys = order // 2
+        per_leaf = min(max(int(order * fill), max(min_keys, 1)), order)
+        leaf_chunks = _balanced_chunks(items, per_leaf, max(min_keys, 1))
+        leaves: list[BTreeNode] = []
+        # Reuse the empty root page as the first leaf.
+        first = tree._load(tree._root_id)
+        for chunk in leaf_chunks:
+            node = first if not leaves else tree._new_node(is_leaf=True)
+            node.keys = [k for k, _ in chunk]
+            node.values = [v for _, v in chunk]
+            if leaves:
+                leaves[-1].next_leaf = node.page_id
+                tree._store(leaves[-1])
+            leaves.append(node)
+        for leaf in leaves:
+            tree._store(leaf)
+        tree._size = len(items)
+
+        # Build interior levels until a single node remains.  An interior
+        # node with c children has c - 1 keys, so the child count must be
+        # in [min_keys + 1, order + 1].
+        level = leaves
+        while len(level) > 1:
+            per_node = min(max(int(order * fill), min_keys + 1), order + 1)
+            next_level: list[BTreeNode] = []
+            for chunk in _balanced_chunks(level, per_node, min_keys + 1):
+                node = tree._new_node(is_leaf=False)
+                node.children = [c.page_id for c in chunk]
+                node.keys = [tree._leftmost_key(c) for c in chunk[1:]]
+                tree._store(node)
+                next_level.append(node)
+            level = next_level
+        tree.buffer_pool.unpin(tree._root_id)
+        tree._root_id = level[0].page_id
+        tree.buffer_pool.pin(tree._root_id)
+        return tree
+
+    def _leftmost_key(self, node: BTreeNode) -> Any:
+        while not node.is_leaf:
+            node = self._load(node.children[0])
+        if not node.keys:
+            raise BTreeError("empty leaf encountered while computing separator")
+        return node.keys[0]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the pinned root frame (call before discarding the tree)."""
+        self.buffer_pool.unpin(self._root_id)
+
+    @property
+    def height(self) -> int:
+        """Number of levels (the model's ``d``); a lone leaf has height 1."""
+        h = 1
+        node = self._load(self._root_id)
+        while not node.is_leaf:
+            h += 1
+            node = self._load(node.children[0])
+        return h
+
+    def __len__(self) -> int:
+        return self._size
+
+    def node_count(self) -> int:
+        """Total nodes, by full traversal (test/diagnostic use)."""
+        count = 0
+        stack = [self._root_id]
+        while stack:
+            node = self._load(stack.pop())
+            count += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return count
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants; raises :class:`BTreeError`.
+
+        Checks key ordering within nodes, separator bounds, uniform leaf
+        depth and the leaf-chain ordering.  Intended for tests.
+        """
+        leaf_depths: set[int] = set()
+        self._check_node(self._root_id, None, None, 0, leaf_depths, is_root=True)
+        if len(leaf_depths) > 1:
+            raise BTreeError(f"leaves at multiple depths: {sorted(leaf_depths)}")
+        # Leaf chain must produce globally sorted keys.
+        prev = None
+        for k, _ in self.items():
+            if prev is not None and k < prev:
+                raise BTreeError(f"leaf chain out of order: {k!r} after {prev!r}")
+            prev = k
+
+    def _check_node(
+        self,
+        page_id: int,
+        lo: Any,
+        hi: Any,
+        depth: int,
+        leaf_depths: set[int],
+        is_root: bool = False,
+    ) -> None:
+        node = self._load(page_id)
+        for a, b in zip(node.keys, node.keys[1:]):
+            if b < a:
+                raise BTreeError(f"node {page_id} keys out of order: {node.keys}")
+        for k in node.keys:
+            if lo is not None and k < lo:
+                raise BTreeError(f"node {page_id} key {k!r} below bound {lo!r}")
+            if hi is not None and k > hi:
+                raise BTreeError(f"node {page_id} key {k!r} above bound {hi!r}")
+        if not is_root and node.is_underfull(self.order):
+            kind = "leaf" if node.is_leaf else "interior node"
+            raise BTreeError(f"{kind} {page_id} underfull: {len(node.keys)} keys")
+        if node.is_leaf:
+            leaf_depths.add(depth)
+            if len(node.keys) != len(node.values):
+                raise BTreeError(f"leaf {page_id} keys/values length mismatch")
+            return
+        if len(node.children) != len(node.keys) + 1:
+            raise BTreeError(
+                f"interior node {page_id} has {len(node.children)} children "
+                f"for {len(node.keys)} keys"
+            )
+        bounds = [lo] + list(node.keys) + [hi]
+        for i, child in enumerate(node.children):
+            self._check_node(child, bounds[i], bounds[i + 1], depth + 1, leaf_depths)

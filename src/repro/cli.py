@@ -1,0 +1,117 @@
+"""Command-line interface: regenerate the paper's studies from a shell.
+
+Usage::
+
+    python -m repro figures                 # Figures 8-13 as tables
+    python -m repro figures --figure 11     # one figure
+    python -m repro updates                 # Section 4.2 update costs
+    python -m repro crossovers              # exact crossover points
+    python -m repro demo                    # measured strategy comparison
+
+All output is plain text, suitable for diffing between runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.costmodel.sensitivity import join_crossover
+from repro.costmodel.sweep import join_study, log_space, selection_study, update_study
+
+#: Figure number -> (study kind, distribution).
+FIGURES = {
+    8: ("select", "uniform"),
+    9: ("select", "no-loc"),
+    10: ("select", "hi-loc"),
+    11: ("join", "uniform"),
+    12: ("join", "no-loc"),
+    13: ("join", "hi-loc"),
+}
+
+
+def _figure_table(number: int, points: int) -> str:
+    kind, dist = FIGURES[number]
+    if kind == "select":
+        study = selection_study(dist, log_space(1e-6, 1.0, points))
+    else:
+        study = join_study(dist, log_space(1e-12, 1.0, points))
+    return f"--- Figure {number} ---\n{study.format_table()}"
+
+
+def cmd_figures(args: argparse.Namespace) -> str:
+    numbers = [args.figure] if args.figure else sorted(FIGURES)
+    return "\n\n".join(_figure_table(n, args.points) for n in numbers)
+
+
+def cmd_updates(_args: argparse.Namespace) -> str:
+    lines = ["update costs per insertion (Table 3 parameters)"]
+    for name, value in update_study().items():
+        lines.append(f"  {name:6s} = {value:16.1f}")
+    return "\n".join(lines)
+
+
+def cmd_crossovers(_args: argparse.Namespace) -> str:
+    lines = ["exact D_III / D_IIb crossover selectivities (bisection)"]
+    for dist in ("uniform", "no-loc", "hi-loc"):
+        p = join_crossover(dist)
+        lines.append(
+            f"  {dist:8s}: p = {p:.3e}" if p is not None else f"  {dist:8s}: none"
+        )
+    return "\n".join(lines)
+
+
+def cmd_demo(args: argparse.Namespace) -> str:
+    from repro.core.comparison import StrategyComparison
+    from repro.predicates.theta import WithinDistance
+    from repro.workloads.assembly import build_indexed_relation
+
+    ir_r = build_indexed_relation(args.size, seed=1)
+    ir_s = build_indexed_relation(args.size, seed=2)
+    report = StrategyComparison().compare_join(
+        ir_r.relation, "shape", ir_s.relation, "shape", WithinDistance(30.0)
+    )
+    return report.format_table()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Efficient Computation of Spatial Joins' "
+            "(Guenther, ICDE 1993)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="print Figures 8-13 as tables")
+    figures.add_argument(
+        "--figure", type=int, choices=sorted(FIGURES), default=None,
+        help="print a single figure",
+    )
+    figures.add_argument(
+        "--points", type=int, default=13, help="sweep points per figure"
+    )
+    figures.set_defaults(handler=cmd_figures)
+
+    updates = sub.add_parser("updates", help="Section 4.2 update costs")
+    updates.set_defaults(handler=cmd_updates)
+
+    crossovers = sub.add_parser("crossovers", help="exact crossover points")
+    crossovers.set_defaults(handler=cmd_crossovers)
+
+    demo = sub.add_parser("demo", help="measured strategy comparison")
+    demo.add_argument("--size", type=int, default=400, help="tuples per relation")
+    demo.set_defaults(handler=cmd_demo)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(args.handler(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""High-level public API: plan and execute spatial selections and joins.
+
+This is the layer a downstream user talks to:
+
+* :class:`~repro.core.executor.SpatialQueryExecutor` runs a selection or
+  join with an explicitly chosen strategy or an automatic pick, returning
+  results together with the cost breakdown;
+* :class:`~repro.core.comparison.StrategyComparison` runs *all* applicable
+  strategies on the same inputs and tabulates their measured costs --
+  the empirical counterpart of the paper's comparative study.
+"""
+
+from repro.core.executor import SpatialQueryExecutor
+from repro.core.comparison import StrategyComparison
+from repro.core.optimizer import JoinPlan, executable_strategy, plan_join
+
+__all__ = [
+    "SpatialQueryExecutor",
+    "StrategyComparison",
+    "JoinPlan",
+    "plan_join",
+    "executable_strategy",
+]

@@ -1,0 +1,175 @@
+"""Run every applicable strategy on one query and tabulate costs.
+
+This is the empirical mirror of the paper's comparative study: instead of
+plugging parameters into the Section 4 formulas, the strategies are
+actually executed against the simulated storage and their meters read
+out.  All strategies must of course return the same match set -- the
+comparison raises if they disagree, which doubles as an integration
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import JoinError
+from repro.core.executor import SpatialQueryExecutor
+from repro.join.result import JoinResult, SelectResult
+from repro.predicates.dispatch import SpatialObject
+from repro.predicates.theta import Overlaps, ThetaOperator
+from repro.relational.relation import Relation
+from repro.storage.costs import CostMeter
+
+
+@dataclass(slots=True)
+class ComparisonRow:
+    """One strategy's measured costs."""
+
+    strategy: str
+    matches: int
+    page_reads: int
+    page_writes: int
+    predicate_evals: int
+    update_computations: int
+    total_cost: float
+
+
+@dataclass(slots=True)
+class ComparisonReport:
+    """All strategies' rows plus the agreed-on match count."""
+
+    query: str
+    rows: list[ComparisonRow] = field(default_factory=list)
+
+    def cheapest(self) -> ComparisonRow:
+        if not self.rows:
+            raise JoinError("empty comparison report")
+        return min(self.rows, key=lambda r: r.total_cost)
+
+    def row(self, strategy: str) -> ComparisonRow:
+        for r in self.rows:
+            if r.strategy == strategy:
+                return r
+        raise JoinError(f"no row for strategy {strategy!r}")
+
+    def format_table(self) -> str:
+        header = (
+            f"{'strategy':<18}{'matches':>9}{'reads':>9}{'writes':>9}"
+            f"{'evals':>11}{'updates':>9}{'total':>14}"
+        )
+        lines = [self.query, header, "-" * len(header)]
+        for r in sorted(self.rows, key=lambda r: r.total_cost):
+            lines.append(
+                f"{r.strategy:<18}{r.matches:>9}{r.page_reads:>9}"
+                f"{r.page_writes:>9}{r.predicate_evals:>11}"
+                f"{r.update_computations:>9}{r.total_cost:>14.1f}"
+            )
+        return "\n".join(lines)
+
+
+class StrategyComparison:
+    """Executes a query under every applicable strategy and compares."""
+
+    def __init__(self, memory_pages: int = 4000) -> None:
+        self.executor = SpatialQueryExecutor(memory_pages)
+
+    def compare_select(
+        self,
+        relation: Relation,
+        column: str,
+        query: SpatialObject,
+        theta: ThetaOperator,
+        *,
+        orders: tuple[str, ...] = ("bfs",),
+    ) -> ComparisonReport:
+        """Run scan and (if indexed) tree selection; verify agreement."""
+        report = ComparisonReport(query=f"SELECT {relation.name}.{column} {theta.name}")
+        reference: set | None = None
+
+        def run(strategy: str, order: str = "bfs") -> SelectResult:
+            meter = CostMeter()
+            res = self.executor.select(
+                relation, column, query, theta,
+                strategy=strategy, order=order, meter=meter,
+            )
+            label = strategy if order == "bfs" else f"{strategy}-{order}"
+            report.rows.append(_row_from(label, len(res.tids), res.stats))
+            return res
+
+        scan_res = run("scan")
+        reference = set(scan_res.tids)
+        if relation.has_index_on(column):
+            for order in orders:
+                tree_res = run("tree", order)
+                if set(tree_res.tids) != reference:
+                    raise JoinError(
+                        f"strategy disagreement: tree-{order} found "
+                        f"{len(tree_res.tids)} matches, scan {len(reference)}"
+                    )
+        return report
+
+    def compare_join(
+        self,
+        rel_r: Relation,
+        column_r: str,
+        rel_s: Relation,
+        column_s: str,
+        theta: ThetaOperator,
+        *,
+        include_join_index: bool = True,
+        include_zorder: bool = False,
+    ) -> ComparisonReport:
+        """Run every applicable join strategy; verify agreement."""
+        report = ComparisonReport(
+            query=(
+                f"JOIN {rel_r.name}.{column_r} {theta.name} {rel_s.name}.{column_s}"
+            )
+        )
+
+        def run(strategy: str) -> JoinResult:
+            meter = CostMeter()
+            res = self.executor.join(
+                rel_r, column_r, rel_s, column_s, theta,
+                strategy=strategy, meter=meter,
+            )
+            report.rows.append(_row_from(strategy, len(res.pair_set()), res.stats))
+            return res
+
+        reference = run("scan").pair_set()
+
+        candidates = []
+        if rel_r.has_index_on(column_r) and rel_s.has_index_on(column_s):
+            candidates.append("tree")
+        if rel_r.has_index_on(column_r):
+            candidates.append("index-nl")
+        if include_join_index:
+            if self.executor.join_index_for(rel_r, rel_s, column_r, column_s, theta) is None:
+                self.executor.precompute_join_index(
+                    rel_r, rel_s, column_r, column_s, theta
+                )
+            candidates.append("join-index")
+        if include_zorder and isinstance(theta, Overlaps):
+            candidates.append("zorder")
+
+        for strategy in candidates:
+            res = run(strategy)
+            if res.pair_set() != reference:
+                raise JoinError(
+                    f"strategy disagreement: {strategy} found "
+                    f"{len(res.pair_set())} pairs, scan {len(reference)}"
+                )
+        return report
+
+
+def _row_from(strategy: str, matches: int, stats: dict[str, float]) -> ComparisonRow:
+    return ComparisonRow(
+        strategy=strategy,
+        matches=matches,
+        page_reads=int(stats.get("page_reads", 0)),
+        page_writes=int(stats.get("page_writes", 0)),
+        predicate_evals=int(
+            stats.get("theta_filter_evals", 0) + stats.get("theta_exact_evals", 0)
+        ),
+        update_computations=int(stats.get("update_computations", 0)),
+        total_cost=float(stats.get("total", 0.0)),
+    )

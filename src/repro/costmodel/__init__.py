@@ -1,0 +1,106 @@
+"""The analytical cost model of Section 4.
+
+Everything needed to regenerate the paper's comparative study:
+
+* :func:`~repro.costmodel.yao.yao` -- Yao's expected-page-count function;
+* :mod:`~repro.costmodel.parameters` -- Table 2's parameters with Table 3's
+  values, plus the derived ``N``, ``m`` and ``d``;
+* :mod:`~repro.costmodel.distributions` -- the UNIFORM, NO-LOC and HI-LOC
+  match-probability distributions (Figure 7);
+* :mod:`~repro.costmodel.update_costs` -- ``U_I``, ``U_IIa``, ``U_IIb``,
+  ``U_III`` (Section 4.2);
+* :mod:`~repro.costmodel.selection_costs` -- ``C_I``, ``C_IIa``, ``C_IIb``,
+  ``C_III`` (Section 4.3, Figures 8-10);
+* :mod:`~repro.costmodel.join_costs` -- ``D_I``, ``D_IIa``, ``D_IIb``,
+  ``D_III`` (Section 4.4, Figures 11-13);
+* :mod:`~repro.costmodel.sweep` -- the parameter sweeps that print the
+  figures' series.
+
+Where the source text of the paper is corrupted (the HI-LOC ``pi_ij``
+closed form and parts of ``C_III`` / ``D_III``), the formulas were
+reconstructed from the surrounding derivations and the stated invariants;
+each reconstruction is documented at its definition and in EXPERIMENTS.md.
+"""
+
+from repro.costmodel.yao import yao
+from repro.costmodel.parameters import ModelParameters, PAPER_PARAMETERS
+from repro.costmodel.distributions import (
+    Distribution,
+    HiLoc,
+    NoLoc,
+    Uniform,
+    make_distribution,
+)
+from repro.costmodel.update_costs import (
+    u_join_index,
+    u_nested_loop,
+    u_tree_clustered,
+    u_tree_unclustered,
+)
+from repro.costmodel.selection_costs import (
+    c_join_index,
+    c_nested_loop,
+    c_tree_clustered,
+    c_tree_computation,
+    c_tree_unclustered,
+)
+from repro.costmodel.join_costs import (
+    d_join_index,
+    d_nested_loop,
+    d_tree_clustered,
+    d_tree_computation,
+    d_tree_unclustered,
+)
+from repro.costmodel.sweep import (
+    join_study,
+    selection_study,
+    update_study,
+)
+from repro.costmodel.sensitivity import (
+    crossover_sensitivity,
+    join_crossover,
+    selection_crossover,
+)
+from repro.costmodel.mixed import break_even_update_ratio, mixed_workload_costs
+from repro.costmodel.estimation import (
+    estimate_join_selectivity,
+    estimate_selection_selectivity,
+)
+from repro.costmodel.fitting import fit_distribution, measure_pi_table
+
+__all__ = [
+    "yao",
+    "ModelParameters",
+    "PAPER_PARAMETERS",
+    "Distribution",
+    "Uniform",
+    "NoLoc",
+    "HiLoc",
+    "make_distribution",
+    "u_nested_loop",
+    "u_tree_unclustered",
+    "u_tree_clustered",
+    "u_join_index",
+    "c_nested_loop",
+    "c_tree_computation",
+    "c_tree_unclustered",
+    "c_tree_clustered",
+    "c_join_index",
+    "d_nested_loop",
+    "d_tree_computation",
+    "d_tree_unclustered",
+    "d_tree_clustered",
+    "d_join_index",
+    "selection_study",
+    "join_study",
+    "update_study",
+    "join_crossover",
+    "selection_crossover",
+    "crossover_sensitivity",
+    "mixed_workload_costs",
+    "break_even_update_ratio",
+    "estimate_join_selectivity",
+    "estimate_selection_selectivity",
+    "measure_pi_table",
+    "fit_distribution",
+]

@@ -1,0 +1,193 @@
+"""Match-probability distributions (Section 4.1, Figure 7).
+
+A distribution supplies, for join selectivity ``p``:
+
+* ``rho(o1, o2)`` -- probability two specific objects Theta-match, as a
+  function of their tree positions;
+* ``sigma(i)`` -- the match probability of two *siblings* at height ``i``;
+* ``pi(i, j)`` -- the match probability of two random objects at heights
+  ``i`` and ``j`` in their respective trees.
+
+The three distributions of the paper:
+
+UNIFORM
+    ``rho = sigma = pi = p``: matching is independent of position, a
+    model for operators like ``to the Northwest of``.
+
+NO-LOC
+    ``pi(i, j) = p^max(min(i, j), 1)``: higher (larger) objects are more
+    likely to match, still no locality; models band operators like
+    ``between 50 and 100 kilometers from``.
+
+HI-LOC
+    Full locality within one tree: ``rho = p^min(d1, d2)`` where ``d1``
+    and ``d2`` are the height distances of the two objects from their
+    lowest common ancestor.  Ancestor/descendant pairs match for certain
+    (one distance is 0) and siblings match with probability ``p``
+    (``sigma(i) = p``), the two invariants the paper states.  Averaging
+    over the nodes at heights ``i`` and ``j`` of a full k-ary tree gives
+
+        pi(i, j) = [1 + sum_{t=1}^{min(i,j)} (k-1) k^(t-1) p^t] / k^min(i,j)
+
+    (the printed formula in the available copy of the paper is corrupted;
+    this closed form is re-derived from the rho definition -- see
+    EXPERIMENTS.md -- and reproduces both invariants: ``pi(0, j) = 1``
+    and the sibling probability ``p``.)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import CostModelError
+from repro.costmodel.parameters import ModelParameters
+
+
+class Distribution(ABC):
+    """A match-probability model bound to a parameter set."""
+
+    name: str = "distribution"
+
+    def __init__(self, params: ModelParameters) -> None:
+        self.params = params
+
+    @abstractmethod
+    def pi(self, i: int, j: int) -> float:
+        """Match probability of random objects at heights ``i`` and ``j``.
+
+        Heights may be -1 by the paper's technical convention
+        ``pi(0, -1) = pi(-1, 0) = 1`` (used by the join cost formula).
+        """
+
+    def sigma(self, i: int) -> float:
+        """Match probability of two siblings at height ``i``."""
+        return self.pi(i, i)
+
+    def _check_heights(self, i: int, j: int) -> None:
+        if not -1 <= i <= self.params.n or not -1 <= j <= self.params.n:
+            raise CostModelError(
+                f"heights ({i}, {j}) outside [-1, {self.params.n}]"
+            )
+
+
+class Uniform(Distribution):
+    """Constant match probability ``p``."""
+
+    name = "uniform"
+
+    def pi(self, i: int, j: int) -> float:
+        self._check_heights(i, j)
+        if i < 0 or j < 0:
+            return 1.0  # technical convention for the root pair
+        return self.params.p
+
+    def sigma(self, i: int) -> float:
+        return self.params.p
+
+    def rho(self, i1: int, i2: int) -> float:
+        """Figure 7(a): constant ``p`` regardless of position."""
+        return self.params.p
+
+
+class NoLoc(Distribution):
+    """Size-sensitive but locality-free: ``p^max(min(i,j), 1)``."""
+
+    name = "no-loc"
+
+    def pi(self, i: int, j: int) -> float:
+        self._check_heights(i, j)
+        if i < 0 or j < 0:
+            return 1.0
+        return self.params.p ** max(min(i, j), 1)
+
+    def sigma(self, i: int) -> float:
+        return self.params.p ** max(1, i)
+
+    def rho(self, i1: int, i2: int) -> float:
+        """Figure 7(b): depends only on the heights of the two objects."""
+        return self.params.p ** max(min(i1, i2), 1)
+
+
+class HiLoc(Distribution):
+    """Locality within a single tree: ``rho = p^min(d1, d2)``.
+
+    Only meaningful when both objects live in the same generalization
+    tree (self-joins and selections with a stored selector), as the paper
+    notes.
+    """
+
+    name = "hi-loc"
+
+    def rho_from_lca(self, d1: int, d2: int) -> float:
+        """Match probability given distances to the lowest common ancestor."""
+        if d1 < 0 or d2 < 0:
+            raise CostModelError(f"LCA distances must be non-negative: ({d1}, {d2})")
+        return self.params.p ** min(d1, d2)
+
+    def pi(self, i: int, j: int) -> float:
+        self._check_heights(i, j)
+        if i < 0 or j < 0:
+            return 1.0
+        lo = min(i, j)
+        if lo == 0:
+            return 1.0  # the root is an ancestor of everything
+        k = self.params.k
+        p = self.params.p
+        total = 1.0  # t = 0 term: the other object's height-lo ancestor chain
+        for t in range(1, lo + 1):
+            total += (k - 1) * (k ** (t - 1)) * (p**t)
+        return total / (k**lo)
+
+    def sigma(self, i: int) -> float:
+        # Siblings' LCA is their common parent: d1 = d2 = 1.
+        return self.params.p
+
+
+class Tabulated(Distribution):
+    """A distribution backed by externally supplied ``pi`` values.
+
+    Used to close the loop between the empirical and analytical halves of
+    the reproduction: measure match probabilities on real data, tabulate
+    them, and feed the Section 4 formulas the *measured* distribution.
+    ``table[(i, j)]`` gives ``pi(i, j)``; missing symmetric entries fall
+    back to ``table[(j, i)]``.
+    """
+
+    name = "tabulated"
+
+    def __init__(self, params: ModelParameters, table: dict[tuple[int, int], float]) -> None:
+        super().__init__(params)
+        for (i, j), value in table.items():
+            if not 0.0 <= value <= 1.0:
+                raise CostModelError(
+                    f"pi({i}, {j}) = {value} is not a probability"
+                )
+        self.table = dict(table)
+
+    def pi(self, i: int, j: int) -> float:
+        self._check_heights(i, j)
+        if i < 0 or j < 0:
+            return 1.0
+        if (i, j) in self.table:
+            return self.table[(i, j)]
+        if (j, i) in self.table:
+            return self.table[(j, i)]
+        raise CostModelError(f"no tabulated pi({i}, {j})")
+
+
+_DISTRIBUTIONS = {
+    "uniform": Uniform,
+    "no-loc": NoLoc,
+    "hi-loc": HiLoc,
+}
+
+
+def make_distribution(name: str, params: ModelParameters) -> Distribution:
+    """Distribution factory by paper name: uniform / no-loc / hi-loc."""
+    try:
+        cls = _DISTRIBUTIONS[name.lower()]
+    except KeyError:
+        raise CostModelError(
+            f"unknown distribution {name!r}; choose from {sorted(_DISTRIBUTIONS)}"
+        ) from None
+    return cls(params)

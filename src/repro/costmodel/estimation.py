@@ -1,0 +1,109 @@
+"""Join-selectivity estimation by sampling.
+
+The cost model's one data-dependent input is the selectivity ``p`` --
+"the probability that two given objects match" (Section 4.1).  For real
+relations it can be estimated cheaply: draw a random sample of tuple
+pairs, evaluate the predicate exactly, and take the match fraction.  The
+estimator powers the cost-based strategy choice in
+:mod:`repro.core.optimizer`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import CostModelError
+from repro.predicates.theta import ThetaOperator
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True, slots=True)
+class SelectivityEstimate:
+    """A sampled selectivity with its sampling context.
+
+    ``p`` is the match fraction; ``std_error`` the binomial standard
+    error ``sqrt(p(1-p)/n)``.  With zero observed matches ``p`` falls
+    back to the rule-of-three upper bound ``3/n`` so downstream cost
+    formulas never see an impossible hard zero.
+    """
+
+    p: float
+    sample_pairs: int
+    matches: int
+
+    @property
+    def std_error(self) -> float:
+        if self.sample_pairs == 0:
+            return 0.0
+        return math.sqrt(self.p * (1.0 - self.p) / self.sample_pairs)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI, clamped to [0, 1]."""
+        delta = z * self.std_error
+        return (max(0.0, self.p - delta), min(1.0, self.p + delta))
+
+
+def estimate_join_selectivity(
+    rel_r: Relation,
+    column_r: str,
+    rel_s: Relation,
+    column_s: str,
+    theta: ThetaOperator,
+    *,
+    sample_pairs: int = 500,
+    seed: int = 0,
+) -> SelectivityEstimate:
+    """Estimate ``p`` by evaluating theta on random tuple pairs.
+
+    Sampling is with replacement over the cross product; the estimator is
+    unbiased for the true match fraction.  Empty relations yield p = 0.
+    """
+    if sample_pairs < 1:
+        raise CostModelError(f"sample_pairs must be positive, got {sample_pairs}")
+    tuples_r = list(rel_r.scan())
+    tuples_s = list(rel_s.scan())
+    if not tuples_r or not tuples_s:
+        return SelectivityEstimate(p=0.0, sample_pairs=0, matches=0)
+
+    rng = random.Random(seed)
+    matches = 0
+    for _ in range(sample_pairs):
+        r = rng.choice(tuples_r)
+        s = rng.choice(tuples_s)
+        if theta(r[column_r], s[column_s]):
+            matches += 1
+    if matches == 0:
+        # Rule of three: a plausible upper bound instead of hard zero.
+        p = min(1.0, 3.0 / sample_pairs)
+    else:
+        p = matches / sample_pairs
+    return SelectivityEstimate(p=p, sample_pairs=sample_pairs, matches=matches)
+
+
+def estimate_selection_selectivity(
+    relation: Relation,
+    column: str,
+    query,
+    theta: ThetaOperator,
+    *,
+    sample_size: int = 200,
+    seed: int = 0,
+) -> SelectivityEstimate:
+    """Estimate the fraction of tuples matching a fixed selector object."""
+    if sample_size < 1:
+        raise CostModelError(f"sample_size must be positive, got {sample_size}")
+    tuples = list(relation.scan())
+    if not tuples:
+        return SelectivityEstimate(p=0.0, sample_pairs=0, matches=0)
+    rng = random.Random(seed)
+    sample = (
+        tuples if len(tuples) <= sample_size else rng.sample(tuples, sample_size)
+    )
+    matches = sum(1 for t in sample if theta(query, t[column]))
+    if matches == 0:
+        p = min(1.0, 3.0 / len(sample))
+    else:
+        p = matches / len(sample)
+    return SelectivityEstimate(p=p, sample_pairs=len(sample), matches=matches)

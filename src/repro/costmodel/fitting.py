@@ -1,0 +1,123 @@
+"""Fit the paper's distributions to measured match probabilities.
+
+Figure 7 sketches what UNIFORM, NO-LOC and HI-LOC look like; real
+workloads sit somewhere in between.  Given a *measured* table of
+``pi(i, j)`` values (e.g. from
+:meth:`~repro.costmodel.fitting.measure_pi_table`), this module finds,
+for each model distribution, the selectivity ``p`` minimizing the squared
+log-error against the table -- and reports which distribution explains
+the data best.  The winner (and its fitted ``p``) can be fed straight
+into the Section 4 formulas or the cost-based optimizer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CostModelError
+from repro.costmodel.distributions import Distribution, make_distribution
+from repro.costmodel.parameters import ModelParameters
+from repro.predicates.big_theta import BigThetaOperator
+from repro.trees.balanced import BalancedKTree
+
+_FLOOR = 1e-12  # probabilities are compared in log space; clamp zeros
+
+
+def measure_pi_table(
+    tree: BalancedKTree,
+    big_theta: BigThetaOperator,
+    *,
+    max_pairs_per_level: int = 400,
+) -> dict[tuple[int, int], float]:
+    """Measured ``pi(i, j)``: the filter-match fraction between levels.
+
+    For every height pair ``(i, j)`` a systematic sample of node pairs is
+    evaluated (all pairs when small, strided otherwise).  Only the tree's
+    own geometry enters -- this is exactly the quantity the model calls
+    ``pi``.
+    """
+    levels = list(tree.levels())
+    table: dict[tuple[int, int], float] = {}
+    for i, level_i in enumerate(levels):
+        for j, level_j in enumerate(levels):
+            if j < i:
+                continue  # fill symmetric half below
+            total = len(level_i) * len(level_j)
+            stride = max(1, total // max_pairs_per_level)
+            matches = 0
+            sampled = 0
+            index = 0
+            for a in level_i:
+                for b in level_j:
+                    if index % stride == 0:
+                        sampled += 1
+                        if big_theta(a.region, b.region):
+                            matches += 1
+                    index += 1
+            value = matches / sampled if sampled else 0.0
+            table[(i, j)] = value
+            table[(j, i)] = value
+    return table
+
+
+@dataclass(frozen=True, slots=True)
+class DistributionFit:
+    """One distribution's best fit against a measured table."""
+
+    name: str
+    p: float
+    log_error: float
+
+
+def _fit_error(dist: Distribution, table: dict[tuple[int, int], float]) -> float:
+    error = 0.0
+    for (i, j), measured in table.items():
+        predicted = dist.pi(i, j)
+        error += (
+            math.log(max(measured, _FLOOR)) - math.log(max(predicted, _FLOOR))
+        ) ** 2
+    return error / len(table)
+
+
+def fit_distribution(
+    table: dict[tuple[int, int], float],
+    params: ModelParameters,
+    *,
+    p_grid: int = 60,
+) -> list[DistributionFit]:
+    """Best-fit ``p`` for each model distribution, best overall first.
+
+    The fit is a grid search over ``log10 p`` in [-12, 0] (the figures'
+    axis), refined by a golden-section-style narrowing around the best
+    grid point.
+    """
+    if not table:
+        raise CostModelError("cannot fit an empty pi table")
+    fits: list[DistributionFit] = []
+    for name in ("uniform", "no-loc", "hi-loc"):
+
+        def error_at(log_p: float) -> float:
+            p = 10.0**log_p
+            return _fit_error(make_distribution(name, params.with_p(p)), table)
+
+        best_log_p, best_error = 0.0, float("inf")
+        for step in range(p_grid + 1):
+            log_p = -12.0 + 12.0 * step / p_grid
+            err = error_at(log_p)
+            if err < best_error:
+                best_log_p, best_error = log_p, err
+        # Local refinement around the best grid point.
+        width = 12.0 / p_grid
+        for _ in range(20):
+            for candidate in (best_log_p - width / 2, best_log_p + width / 2):
+                if -12.0 <= candidate <= 0.0:
+                    err = error_at(candidate)
+                    if err < best_error:
+                        best_log_p, best_error = candidate, err
+            width /= 2.0
+        fits.append(
+            DistributionFit(name=name, p=10.0**best_log_p, log_error=best_error)
+        )
+    fits.sort(key=lambda f: f.log_error)
+    return fits

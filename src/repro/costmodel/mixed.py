@@ -1,0 +1,119 @@
+"""Mixed update/query workloads: the paper's bottom line, quantified.
+
+Section 5: "join indices are only efficient if update ratios are very
+low and if join selectivities are comparatively low.  Otherwise, the
+generalization tree is the superior approach ... generalization trees
+remain the best overall strategy if update rates are significant."
+
+This module makes that statement precise.  A workload is a stream of
+operations of which a fraction ``u`` are insertions and ``1 - u`` are
+join (or selection) queries; each strategy's expected per-operation cost
+is ``u * U_strategy + (1 - u) * Q_strategy`` from the Section 4 formulas.
+:func:`break_even_update_ratio` finds the ``u`` at which the join index
+stops being worth maintaining.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CostModelError
+from repro.costmodel.distributions import make_distribution
+from repro.costmodel.join_costs import (
+    d_join_index,
+    d_nested_loop,
+    d_tree_clustered,
+    d_tree_unclustered,
+)
+from repro.costmodel.parameters import PAPER_PARAMETERS, ModelParameters
+from repro.costmodel.selection_costs import (
+    c_join_index,
+    c_nested_loop,
+    c_tree_clustered,
+    c_tree_unclustered,
+)
+from repro.costmodel.update_costs import (
+    u_join_index,
+    u_nested_loop,
+    u_tree_clustered,
+    u_tree_unclustered,
+)
+
+#: Strategy -> (update-cost fn over params, query-cost fn over dist).
+_JOIN_MIX = {
+    "I": (u_nested_loop, d_nested_loop),
+    "IIa": (u_tree_unclustered, d_tree_unclustered),
+    "IIb": (u_tree_clustered, d_tree_clustered),
+    "III": (u_join_index, d_join_index),
+}
+
+_SELECT_MIX = {
+    "I": (u_nested_loop, c_nested_loop),
+    "IIa": (u_tree_unclustered, c_tree_unclustered),
+    "IIb": (u_tree_clustered, c_tree_clustered),
+    "III": (u_join_index, c_join_index),
+}
+
+
+def mixed_workload_costs(
+    update_fraction: float,
+    distribution: str,
+    params: ModelParameters = PAPER_PARAMETERS,
+    *,
+    workload: str = "join",
+) -> dict[str, float]:
+    """Expected cost per operation for each strategy under the mix.
+
+    ``workload`` selects the query type: ``"join"`` (Figures 11-13) or
+    ``"select"`` (Figures 8-10).  Note that strategy I pays no update
+    cost at all and strategy III pays by far the most -- exactly the
+    trade-off the mixing exposes.
+    """
+    if not 0.0 <= update_fraction <= 1.0:
+        raise CostModelError(
+            f"update fraction must be in [0, 1], got {update_fraction}"
+        )
+    table = _JOIN_MIX if workload == "join" else _SELECT_MIX
+    if workload not in ("join", "select"):
+        raise CostModelError(f"workload must be 'join' or 'select', got {workload!r}")
+    dist = make_distribution(distribution, params)
+    out: dict[str, float] = {}
+    for name, (update_cost, query_cost) in table.items():
+        u_cost = update_cost(params)
+        # Strategy I queries only need the params; II/III need the dist.
+        q_cost = query_cost(params) if name == "I" else query_cost(dist)
+        out[name] = update_fraction * u_cost + (1.0 - update_fraction) * q_cost
+    return out
+
+
+def break_even_update_ratio(
+    distribution: str,
+    params: ModelParameters = PAPER_PARAMETERS,
+    *,
+    against: str = "IIb",
+    workload: str = "join",
+    iterations: int = 60,
+) -> float | None:
+    """The update fraction above which the join index loses to ``against``.
+
+    Returns None when the join index never wins (or never loses) on
+    ``[0, 1]``.  Because ``U_III >> U_IIx`` the mixed costs are linear in
+    ``u`` with a steeper slope for III, so a single crossing exists
+    whenever III wins at ``u = 0``.
+    """
+
+    def diff(u: float) -> float:
+        costs = mixed_workload_costs(u, distribution, params, workload=workload)
+        return costs["III"] - costs[against]
+
+    lo, hi = 0.0, 1.0
+    d_lo, d_hi = diff(lo), diff(hi)
+    if d_lo >= 0.0:
+        return None  # the join index does not even win a pure-query mix
+    if d_hi <= 0.0:
+        return None  # the join index wins everywhere (degenerate config)
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        if diff(mid) < 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

@@ -1,0 +1,101 @@
+"""Spatial selection costs (Section 4.3, Figures 8-10).
+
+The selector object ``o`` sits at height ``h`` of its own generalization
+tree; the probability it Theta-matches a node at height ``i`` of R's tree
+is ``pi(h, i)``.  A match at height ``i`` schedules all ``k`` children,
+so the expected number of nodes examined at height ``i+1`` is
+``pi(h, i) * k^(i+1)``, and the root is always examined.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.costmodel.distributions import Distribution
+from repro.costmodel.parameters import ModelParameters
+from repro.costmodel.yao import yao
+
+
+def c_nested_loop(params: ModelParameters) -> float:
+    """``C_I``: exhaustive scan -- every tuple checked, every page read.
+
+    ``C_I = N * C_Theta + ceil(N/m) * C_IO``
+    """
+    return params.N * params.c_theta + params.relation_pages * params.c_io
+
+
+def c_tree_computation(dist: Distribution, h: int | None = None) -> float:
+    """``C_II^Theta(h)``: predicate evaluations of Algorithm SELECT.
+
+    ``C_Theta * (1 + sum_{i=0}^{n-1} pi(h, i) * k^(i+1))``
+    """
+    params = dist.params
+    if h is None:
+        h = params.h
+    examined = 1.0
+    for i in range(params.n):
+        examined += dist.pi(h, i) * params.k ** (i + 1)
+    return params.c_theta * examined
+
+
+def c_tree_unclustered(dist: Distribution, h: int | None = None) -> float:
+    """``C_IIa(h)``: computation plus random-page I/O (root stays pinned).
+
+    I/O per level: ``Y(ceil(pi(h,i) * k^(i+1)), ceil(N/m), N)``.
+    """
+    params = dist.params
+    if h is None:
+        h = params.h
+    io = 0.0
+    for i in range(params.n):
+        examined = dist.pi(h, i) * params.k ** (i + 1)
+        io += yao(math.ceil(examined), params.relation_pages, params.N)
+    return c_tree_computation(dist, h) + params.c_io * io
+
+
+def c_tree_clustered(dist: Distribution, h: int | None = None) -> float:
+    """``C_IIb(h)``: computation plus sibling-clustered I/O.
+
+    Each Theta-match at height ``i`` fetches one "record" of ``k``
+    clustered children; the ``k^i`` records of level ``i+1`` occupy
+    ``ceil(k^(i+1)/m)`` pages, so the per-level I/O is
+    ``Y(ceil(pi(h,i) * k^i), ceil(k^(i+1)/m), k^i)``.
+    """
+    params = dist.params
+    if h is None:
+        h = params.h
+    io = 0.0
+    for i in range(params.n):
+        matching_parents = dist.pi(h, i) * params.k**i
+        level_pages = -(-(params.k ** (i + 1)) // params.m)
+        io += yao(math.ceil(matching_parents), level_pages, params.k**i)
+    return c_tree_computation(dist, h) + params.c_io * io
+
+
+def expected_index_entries(dist: Distribution, h: int | None = None) -> float:
+    """Join-index entries relating to the selector:
+    ``sum_{i=0}^{n} pi(h, i) * k^i``."""
+    params = dist.params
+    if h is None:
+        h = params.h
+    return sum(dist.pi(h, i) * params.k**i for i in range(params.n + 1))
+
+
+def c_join_index(dist: Distribution, h: int | None = None) -> float:
+    """``C_III(h)``: index lookup plus tuple retrieval.
+
+    Descend the B+-tree (``d`` levels, root pinned -> ``d - 1`` reads is
+    charged as ``d`` by the paper, which we follow), read the matching
+    index entries (``z`` to a page) and fetch the qualifying tuples from
+    random data pages (Yao).  Virtually no computation is charged:
+
+    ``C_III = C_IO * (d + ceil(E/z) + Y(ceil(E), ceil(N/m), N))``
+    with ``E = sum_i pi(h,i) * k^i``.  (The printed formula is partially
+    corrupted in the available copy; this reading keeps all three terms
+    the surrounding text describes.)
+    """
+    params = dist.params
+    entries = expected_index_entries(dist, h)
+    index_pages = params.d + math.ceil(entries / params.z)
+    data_pages = yao(math.ceil(entries), params.relation_pages, params.N)
+    return params.c_io * (index_pages + data_pages)

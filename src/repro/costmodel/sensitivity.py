@@ -1,0 +1,166 @@
+"""Crossover location and parameter sensitivity (Section 5 future work).
+
+"More research is required to find the exact crossover points where join
+indices become more efficient than generalization trees and vice versa.
+More detailed cost formulas and more comparative studies are required for
+this purpose."  This module provides both:
+
+* :func:`join_crossover` / :func:`selection_crossover` -- bisection on
+  ``log p`` for the exact selectivity where two strategies' costs cross;
+* :func:`crossover_sensitivity` -- how that crossover moves as any model
+  parameter (k, n, M, z, C_IO, ...) varies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Callable
+
+from repro.errors import CostModelError
+from repro.costmodel.distributions import Distribution, make_distribution
+from repro.costmodel.join_costs import (
+    d_join_index,
+    d_nested_loop,
+    d_tree_clustered,
+    d_tree_unclustered,
+)
+from repro.costmodel.parameters import PAPER_PARAMETERS, ModelParameters
+from repro.costmodel.selection_costs import (
+    c_join_index,
+    c_nested_loop,
+    c_tree_clustered,
+    c_tree_unclustered,
+)
+
+_JOIN_COSTS: dict[str, Callable[[Distribution], float]] = {
+    "D_IIa": d_tree_unclustered,
+    "D_IIb": d_tree_clustered,
+    "D_III": d_join_index,
+}
+
+_SELECT_COSTS: dict[str, Callable[[Distribution], float]] = {
+    "C_IIa": c_tree_unclustered,
+    "C_IIb": c_tree_clustered,
+    "C_III": c_join_index,
+}
+
+
+def _cost_at(
+    table: dict[str, Callable[[Distribution], float]],
+    strategy: str,
+    distribution: str,
+    params: ModelParameters,
+    p: float,
+) -> float:
+    if strategy == "D_I":
+        return d_nested_loop(params.with_p(p))
+    if strategy == "C_I":
+        return c_nested_loop(params.with_p(p))
+    try:
+        fn = table[strategy]
+    except KeyError:
+        raise CostModelError(
+            f"unknown strategy {strategy!r}; choose from "
+            f"{sorted(table) + ['D_I' if 'D_IIa' in table else 'C_I']}"
+        ) from None
+    return fn(make_distribution(distribution, params.with_p(p)))
+
+
+def _bisect_crossover(
+    cost_a: Callable[[float], float],
+    cost_b: Callable[[float], float],
+    p_lo: float,
+    p_hi: float,
+    iterations: int = 60,
+) -> float | None:
+    """Selectivity where ``cost_a - cost_b`` changes sign, or None.
+
+    Bisection runs on ``log10 p`` because both figure axes are
+    logarithmic.  The formulas contain ceilings, so the difference is a
+    step function; bisection still converges to a crossing step edge.
+    """
+
+    def diff(log_p: float) -> float:
+        p = 10.0**log_p
+        return cost_a(p) - cost_b(p)
+
+    lo, hi = math.log10(p_lo), math.log10(p_hi)
+    d_lo, d_hi = diff(lo), diff(hi)
+    if d_lo == 0.0:
+        return p_lo
+    if d_hi == 0.0:
+        return p_hi
+    if (d_lo > 0) == (d_hi > 0):
+        return None
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        d_mid = diff(mid)
+        if d_mid == 0.0:
+            return 10.0**mid
+        if (d_mid > 0) == (d_lo > 0):
+            lo, d_lo = mid, d_mid
+        else:
+            hi = mid
+    return 10.0 ** ((lo + hi) / 2.0)
+
+
+def join_crossover(
+    distribution: str,
+    strategy_a: str = "D_III",
+    strategy_b: str = "D_IIb",
+    params: ModelParameters = PAPER_PARAMETERS,
+    p_lo: float = 1e-12,
+    p_hi: float = 1.0,
+) -> float | None:
+    """Exact selectivity where two join strategies' costs cross."""
+    return _bisect_crossover(
+        lambda p: _cost_at(_JOIN_COSTS, strategy_a, distribution, params, p),
+        lambda p: _cost_at(_JOIN_COSTS, strategy_b, distribution, params, p),
+        p_lo,
+        p_hi,
+    )
+
+
+def selection_crossover(
+    distribution: str,
+    strategy_a: str = "C_III",
+    strategy_b: str = "C_IIb",
+    params: ModelParameters = PAPER_PARAMETERS,
+    p_lo: float = 1e-6,
+    p_hi: float = 1.0,
+) -> float | None:
+    """Exact selectivity where two selection strategies' costs cross."""
+    return _bisect_crossover(
+        lambda p: _cost_at(_SELECT_COSTS, strategy_a, distribution, params, p),
+        lambda p: _cost_at(_SELECT_COSTS, strategy_b, distribution, params, p),
+        p_lo,
+        p_hi,
+    )
+
+
+def crossover_sensitivity(
+    distribution: str,
+    parameter: str,
+    values: list,
+    *,
+    base: ModelParameters = PAPER_PARAMETERS,
+    strategy_a: str = "D_III",
+    strategy_b: str = "D_IIb",
+) -> list[tuple[object, float | None]]:
+    """Crossover location as one model parameter varies.
+
+    ``parameter`` is any :class:`ModelParameters` field name (``k``,
+    ``n``, ``big_m``, ``z``, ``c_io``, ...).  Returns ``(value,
+    crossover_p)`` pairs; None means one strategy dominates over the
+    whole sweep range for that configuration.
+    """
+    if parameter not in {f for f in ModelParameters.__dataclass_fields__}:
+        raise CostModelError(f"unknown model parameter {parameter!r}")
+    out: list[tuple[object, float | None]] = []
+    for value in values:
+        params = replace(base, **{parameter: value})
+        out.append(
+            (value, join_crossover(distribution, strategy_a, strategy_b, params))
+        )
+    return out

@@ -1,0 +1,163 @@
+"""Parameter sweeps regenerating the paper's figures.
+
+Each study sweeps the join selectivity ``p`` over a logarithmic axis
+(both figure axes are logarithmic in the paper) and evaluates every
+strategy's cost formula, returning a :class:`StudyResult` that can be
+printed as the rows behind Figures 8-13 or post-processed by the
+benchmark harness (crossover detection, dominance checks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import CostModelError
+from repro.costmodel.distributions import make_distribution
+from repro.costmodel.join_costs import (
+    d_join_index,
+    d_nested_loop,
+    d_tree_clustered,
+    d_tree_unclustered,
+)
+from repro.costmodel.parameters import PAPER_PARAMETERS, ModelParameters
+from repro.costmodel.selection_costs import (
+    c_join_index,
+    c_nested_loop,
+    c_tree_clustered,
+    c_tree_unclustered,
+)
+from repro.costmodel.update_costs import (
+    u_join_index,
+    u_nested_loop,
+    u_tree_clustered,
+    u_tree_unclustered,
+)
+
+
+@dataclass(slots=True)
+class StudyResult:
+    """One figure's data: selectivities and per-strategy cost series."""
+
+    title: str
+    distribution: str
+    p_values: list[float]
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def crossover(self, strategy_a: str, strategy_b: str) -> float | None:
+        """Largest ``p`` below which ``strategy_a`` is cheaper than ``b``.
+
+        Returns the sweep point where the sign of (a - b) changes, or
+        ``None`` if one strategy dominates throughout.
+        """
+        costs_a = self.series[strategy_a]
+        costs_b = self.series[strategy_b]
+        previous_sign = None
+        for p, ca, cb in zip(self.p_values, costs_a, costs_b):
+            sign = ca < cb
+            if previous_sign is not None and sign != previous_sign:
+                return p
+            previous_sign = sign
+        return None
+
+    def winner_at(self, p: float) -> str:
+        """The cheapest strategy at the sweep point closest to ``p``."""
+        idx = min(
+            range(len(self.p_values)),
+            key=lambda i: abs(math.log10(self.p_values[i]) - math.log10(p)),
+        )
+        return min(self.series, key=lambda s: self.series[s][idx])
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """Row-per-p view for table printing."""
+        rows = []
+        for idx, p in enumerate(self.p_values):
+            row: dict[str, float] = {"p": p}
+            for name, costs in self.series.items():
+                row[name] = costs[idx]
+            rows.append(row)
+        return rows
+
+    def format_table(self, width: int = 12) -> str:
+        """Fixed-width text table (the benches print this)."""
+        names = list(self.series)
+        header = "p".ljust(width) + "".join(n.ljust(width) for n in names)
+        lines = [self.title, header, "-" * len(header)]
+        for row in self.as_rows():
+            cells = f"{row['p']:.3e}".ljust(width)
+            cells += "".join(f"{row[n]:.4e}".ljust(width) for n in names)
+            lines.append(cells)
+        return "\n".join(lines)
+
+
+def log_space(lo: float, hi: float, count: int) -> list[float]:
+    """``count`` points logarithmically spaced over ``[lo, hi]``."""
+    if lo <= 0 or hi <= lo:
+        raise CostModelError(f"need 0 < lo < hi, got ({lo}, {hi})")
+    if count < 2:
+        raise CostModelError(f"need at least 2 points, got {count}")
+    step = (math.log10(hi) - math.log10(lo)) / (count - 1)
+    return [10 ** (math.log10(lo) + i * step) for i in range(count)]
+
+
+def selection_study(
+    distribution: str,
+    p_values: list[float] | None = None,
+    params: ModelParameters = PAPER_PARAMETERS,
+    h: int | None = None,
+) -> StudyResult:
+    """Figures 8-10: SELECT cost vs selectivity for one distribution.
+
+    ``h`` defaults to the Table 3 choice ``h = n`` (selector stored in a
+    leaf).
+    """
+    if p_values is None:
+        p_values = log_space(1e-6, 1.0, 25)
+    result = StudyResult(
+        title=f"SELECT, {distribution.upper()} distribution",
+        distribution=distribution,
+        p_values=list(p_values),
+        series={"C_I": [], "C_IIa": [], "C_IIb": [], "C_III": []},
+    )
+    for p in p_values:
+        swept = params.with_p(p)
+        dist = make_distribution(distribution, swept)
+        result.series["C_I"].append(c_nested_loop(swept))
+        result.series["C_IIa"].append(c_tree_unclustered(dist, h))
+        result.series["C_IIb"].append(c_tree_clustered(dist, h))
+        result.series["C_III"].append(c_join_index(dist, h))
+    return result
+
+
+def join_study(
+    distribution: str,
+    p_values: list[float] | None = None,
+    params: ModelParameters = PAPER_PARAMETERS,
+) -> StudyResult:
+    """Figures 11-13: JOIN cost vs selectivity for one distribution."""
+    if p_values is None:
+        p_values = log_space(1e-12, 1.0, 25)
+    result = StudyResult(
+        title=f"JOIN, {distribution.upper()} distribution",
+        distribution=distribution,
+        p_values=list(p_values),
+        series={"D_I": [], "D_IIa": [], "D_IIb": [], "D_III": []},
+    )
+    for p in p_values:
+        swept = params.with_p(p)
+        dist = make_distribution(distribution, swept)
+        result.series["D_I"].append(d_nested_loop(swept))
+        result.series["D_IIa"].append(d_tree_unclustered(dist))
+        result.series["D_IIb"].append(d_tree_clustered(dist))
+        result.series["D_III"].append(d_join_index(dist))
+    return result
+
+
+def update_study(params: ModelParameters = PAPER_PARAMETERS) -> dict[str, float]:
+    """Section 4.2: insertion cost per strategy (distribution-free)."""
+    return {
+        "U_I": u_nested_loop(params),
+        "U_IIa": u_tree_unclustered(params),
+        "U_IIb": u_tree_clustered(params),
+        "U_III": u_join_index(params),
+    }

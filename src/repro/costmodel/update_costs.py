@@ -1,0 +1,59 @@
+"""Update costs (Section 4.2): inserting one tuple under each strategy.
+
+The expected storage height of a new object is
+``(1/N) * sum_{i=1}^{n} i * k^i`` (position proportional to the number of
+objects already at that height); at each height ``k/2`` nodes are
+examined on average.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.parameters import ModelParameters
+from repro.costmodel.yao import yao
+
+
+def expected_insert_height(params: ModelParameters) -> float:
+    """``(1/N) * sum_{i=1}^{n} i * k^i`` -- expected levels descended."""
+    total = sum(i * params.k**i for i in range(1, params.n + 1))
+    return total / params.N
+
+
+def u_nested_loop(params: ModelParameters) -> float:
+    """``U_I = 0``: the nested loop maintains nothing."""
+    return 0.0
+
+
+def u_tree_unclustered(params: ModelParameters) -> float:
+    """``U_IIa``: descend the tree, each level touching ~k/2 random pages.
+
+    ``U_IIa = (k/2 * C_U + Y(ceil(k/2), ceil(N/m), N) * C_IO)
+              * (1/N) * sum i*k^i``
+    """
+    k = params.k
+    per_level = (
+        (k / 2.0) * params.c_update
+        + yao(-(-k // 2), params.relation_pages, params.N) * params.c_io
+    )
+    return per_level * expected_insert_height(params)
+
+
+def u_tree_clustered(params: ModelParameters) -> float:
+    """``U_IIb``: as IIa, but siblings cluster m to a page.
+
+    ``U_IIb = (k/2 * C_U + k/(2m) * C_IO) * (1/N) * sum i*k^i``
+    """
+    k = params.k
+    per_level = (k / 2.0) * params.c_update + (k / (2.0 * params.m)) * params.c_io
+    return per_level * expected_insert_height(params)
+
+
+def u_join_index(params: ModelParameters, t_relations: int | None = None) -> float:
+    """``U_III``: check the new object against every spatially indexed tuple.
+
+    With join indices maintained against ``T`` relations' worth of tuples:
+    ``U_III(T) = T * (C_U + C_IO / m)`` where ``T`` is a tuple count.  The
+    paper's study uses ``T = N`` per partner relation; passing
+    ``t_relations=None`` charges one partner relation of size ``N``.
+    """
+    tuples_checked = params.N if t_relations is None else t_relations * params.N
+    return tuples_checked * (params.c_update + params.c_io / params.m)

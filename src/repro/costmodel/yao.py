@@ -1,0 +1,76 @@
+"""Yao's function [Yao77]: expected pages touched by random record access.
+
+``Y(x, y, z)`` is the expected number of distinct pages read when ``x``
+records are drawn at random (without replacement) from ``z`` records
+stored on ``y`` pages:
+
+    Y(x, y, z) = y * [1 - prod_{i=1}^{x} (z - z/y - i + 1) / (z - i + 1)]
+
+The product is the probability that one particular page contributes none
+of the ``x`` records.  For the paper's sizes (``z`` over a million) the
+literal product is too slow and numerically fragile, so it is evaluated
+in log space through ``lgamma``: the product equals the ratio of falling
+factorials ``(z - z/y)_x / (z)_x``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import CostModelError
+
+
+def yao(x: float, y: float, z: float) -> float:
+    """Expected number of page I/Os for ``x`` random records out of ``z``
+    on ``y`` pages.
+
+    Arguments may be non-integral (the model plugs in expectations).
+    Edge behavior: ``Y(0, ., .) = 0``; drawing at least as many records
+    as fit outside a single page forces every page, so ``Y -> y``.
+    """
+    if y <= 0 or z <= 0:
+        raise CostModelError(f"yao needs positive y and z, got y={y}, z={z}")
+    if x < 0:
+        raise CostModelError(f"yao needs non-negative x, got {x}")
+    if x == 0:
+        return 0.0
+    if x >= z:
+        return float(y)
+    if y == 1:
+        return 1.0
+
+    records_elsewhere = z - z / y  # records not on one particular page
+    if x >= records_elsewhere + 1:
+        # The product's last factor (elsewhere - x + 1) hits zero: the
+        # page is always touched.
+        return float(y)
+
+    # prod_{i=1}^{x} (records_elsewhere - i + 1) / (z - i + 1)
+    #   = Gamma(re + 1) / Gamma(re - x + 1) * Gamma(z - x + 1) / Gamma(z + 1)
+    log_miss = (
+        math.lgamma(records_elsewhere + 1.0)
+        - math.lgamma(records_elsewhere - x + 1.0)
+        + math.lgamma(z - x + 1.0)
+        - math.lgamma(z + 1.0)
+    )
+    miss_probability = math.exp(log_miss)
+    return y * (1.0 - miss_probability)
+
+
+def yao_exact(x: int, y: int, z: int) -> float:
+    """Reference implementation with the literal product (small inputs).
+
+    Used by the test suite to validate the log-space fast path.
+    """
+    if x == 0:
+        return 0.0
+    if x >= z:
+        return float(y)
+    prod = 1.0
+    elsewhere = z - z / y
+    for i in range(1, x + 1):
+        numerator = elsewhere - i + 1
+        if numerator <= 0:
+            return float(y)
+        prod *= numerator / (z - i + 1)
+    return y * (1.0 - prod)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the spatial-joins reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (degenerate polygon, negative radius, ...)."""
+
+
+class PredicateError(ReproError):
+    """A theta/Theta operator was applied to unsupported operand types."""
+
+
+class StorageError(ReproError):
+    """Simulated-disk layer failure (bad page id, record overflow, ...)."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer-pool misuse: over-pinning, eviction of a pinned page, ..."""
+
+
+class RecordError(StorageError):
+    """Record (de)serialization failure or out-of-range record id."""
+
+
+class SchemaError(ReproError):
+    """Relation schema violation (unknown column, wrong value type, ...)."""
+
+
+class RelationError(ReproError):
+    """Relation-level failure (duplicate tuple id, missing index, ...)."""
+
+
+class BTreeError(ReproError):
+    """B+-tree structural error or invalid key operation."""
+
+
+class TreeError(ReproError):
+    """Generalization-tree structural error (containment violation, ...)."""
+
+
+class JoinError(ReproError):
+    """Spatial join execution failure (missing index, bad strategy, ...)."""
+
+
+class CostModelError(ReproError):
+    """Invalid cost-model parameterization (p out of range, n < 1, ...)."""
+
+
+class WorkloadError(ReproError):
+    """Synthetic workload generation failure (inconsistent parameters)."""

@@ -1,0 +1,133 @@
+"""Computational-geometry algorithms: convex hulls and polygon clipping.
+
+Supporting machinery for the more complex spatial objects the paper's
+introduction motivates ("polyhedra or curves of complex shapes"):
+
+* :func:`convex_hull` -- Andrew's monotone chain, O(n log n);
+* :func:`clip_polygon` -- Sutherland-Hodgman clipping of any simple
+  polygon against a convex clip polygon;
+* :func:`intersection_area` -- exact overlap area of a simple polygon
+  with a convex region (via clipping), useful for area-weighted
+  refinements and workload statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+_EPS = 1e-12
+
+
+def convex_hull(points: Sequence[Point]) -> list[Point]:
+    """The convex hull in counter-clockwise order (collinear points
+    dropped).  Returns fewer than 3 points for degenerate input."""
+    unique = sorted(set(points), key=lambda p: (p.x, p.y))
+    if len(unique) <= 2:
+        return unique
+
+    def cross(o: Point, a: Point, b: Point) -> float:
+        return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+    # Exact zero comparison: an epsilon here can misclassify thin-but-real
+    # turns as collinear and drop true hull vertices (the x-order of
+    # near-collinear points need not be their order along the line).
+    lower: list[Point] = []
+    for p in unique:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0.0:
+            lower.pop()
+        lower.append(p)
+    upper: list[Point] = []
+    for p in reversed(unique):
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0.0:
+            upper.pop()
+        upper.append(p)
+    return lower[:-1] + upper[:-1]
+
+
+def hull_polygon(points: Sequence[Point]) -> Polygon:
+    """The convex hull as a :class:`Polygon`; raises for degenerate input."""
+    hull = convex_hull(points)
+    if len(hull) < 3:
+        raise GeometryError(
+            f"convex hull of {len(points)} points is degenerate"
+        )
+    return Polygon(hull)
+
+
+def _ccw_vertices(poly: Polygon) -> list[Point]:
+    verts = list(poly.vertices)
+    area2 = sum(
+        a.x * b.y - b.x * a.y
+        for a, b in zip(verts, verts[1:] + verts[:1])
+    )
+    return verts if area2 > 0 else list(reversed(verts))
+
+
+def clip_polygon(subject: Polygon, clip: Polygon) -> Polygon | None:
+    """Sutherland-Hodgman: ``subject`` clipped to convex ``clip``.
+
+    Returns the clipped polygon, or None when the intersection is empty
+    or degenerate (zero area).  ``clip`` must be convex.
+    """
+    if not clip.is_convex():
+        raise GeometryError("clip polygon must be convex for Sutherland-Hodgman")
+    output = list(subject.vertices)
+    clip_verts = _ccw_vertices(clip)
+
+    for a, b in zip(clip_verts, clip_verts[1:] + clip_verts[:1]):
+        if not output:
+            return None
+        edge_dx = b.x - a.x
+        edge_dy = b.y - a.y
+
+        def inside(p: Point) -> bool:
+            return edge_dx * (p.y - a.y) - edge_dy * (p.x - a.x) >= -_EPS
+
+        def intersect(p: Point, q: Point) -> Point:
+            # Line p->q against the infinite clip edge a->b.
+            dpx, dpy = q.x - p.x, q.y - p.y
+            denom = edge_dx * dpy - edge_dy * dpx
+            if abs(denom) < _EPS:
+                return q  # parallel: endpoints handled by inside()
+            t = (edge_dx * (a.y - p.y) - edge_dy * (a.x - p.x)) / denom
+            return Point(p.x + t * dpx, p.y + t * dpy)
+
+        clipped: list[Point] = []
+        for i, current in enumerate(output):
+            previous = output[i - 1]
+            if inside(current):
+                if not inside(previous):
+                    clipped.append(intersect(previous, current))
+                clipped.append(current)
+            elif inside(previous):
+                clipped.append(intersect(previous, current))
+        output = clipped
+
+    # Drop consecutive duplicates before building the result polygon.
+    cleaned: list[Point] = []
+    for p in output:
+        if not cleaned or p.distance_to(cleaned[-1]) > 1e-9:
+            cleaned.append(p)
+    if len(cleaned) >= 2 and cleaned[0].distance_to(cleaned[-1]) <= 1e-9:
+        cleaned.pop()
+    if len(cleaned) < 3:
+        return None
+    try:
+        return Polygon(cleaned)
+    except GeometryError:
+        return None  # zero-area sliver
+
+
+def intersection_area(subject: Polygon, clip: Polygon | Rect) -> float:
+    """Exact area of ``subject``'s overlap with a convex region."""
+    if isinstance(clip, Rect):
+        if clip.area() <= 0:
+            return 0.0
+        clip = Polygon.from_rect(clip)
+    result = clip_polygon(subject, clip)
+    return result.area() if result is not None else 0.0

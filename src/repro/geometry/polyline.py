@@ -1,0 +1,83 @@
+"""Open polylines -- the "lines" spatial data type of Section 2.2.
+
+Road networks and boundaries in cartographic workloads are polylines; the
+reachability operator ("reachable from o2 in x minutes") buffers them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+
+class PolyLine:
+    """An open chain of line segments through at least two vertices."""
+
+    __slots__ = ("_vertices", "_mbr")
+
+    def __init__(self, vertices: Sequence[Point]) -> None:
+        verts = tuple(vertices)
+        if len(verts) < 2:
+            raise GeometryError(f"a polyline needs at least 2 vertices, got {len(verts)}")
+        self._vertices = verts
+        self._mbr = Rect.from_points(verts)
+
+    @property
+    def vertices(self) -> tuple[Point, ...]:
+        return self._vertices
+
+    def segments(self) -> Iterable[Segment]:
+        """The chain's segments, in order."""
+        for a, b in zip(self._vertices, self._vertices[1:]):
+            yield Segment(a, b)
+
+    def length(self) -> float:
+        """Total arc length."""
+        return sum(s.length() for s in self.segments())
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle."""
+        return self._mbr
+
+    def centerpoint(self) -> Point:
+        """Point halfway along the arc length (a natural 1-D centroid)."""
+        target = self.length() / 2.0
+        walked = 0.0
+        for seg in self.segments():
+            seg_len = seg.length()
+            if walked + seg_len >= target:
+                if seg_len == 0.0:
+                    return seg.start
+                return seg.point_at((target - walked) / seg_len)
+            walked += seg_len
+        return self._vertices[-1]
+
+    def distance_to_point(self, p: Point) -> float:
+        """Distance from ``p`` to the closest point of the chain."""
+        return min(s.distance_to_point(p) for s in self.segments())
+
+    def intersects(self, other: "PolyLine") -> bool:
+        """True if any pair of segments from the two chains intersects."""
+        if not self._mbr.intersects(other._mbr):
+            return False
+        other_segs = list(other.segments())
+        return any(s1.intersects(s2) for s1 in self.segments() for s2 in other_segs)
+
+    def translated(self, dx: float, dy: float) -> "PolyLine":
+        """A new polyline shifted by ``(dx, dy)``."""
+        return PolyLine([v.translated(dx, dy) for v in self._vertices])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PolyLine):
+            return NotImplemented
+        return self._vertices == other._vertices
+
+    def __hash__(self) -> int:
+        return hash(self._vertices)
+
+    def __repr__(self) -> str:
+        return f"PolyLine({len(self._vertices)} vertices, length={self.length():.4g})"

@@ -1,0 +1,134 @@
+"""Line segments with robust orientation-based intersection tests.
+
+Polygon overlap tests (the workhorse of the paper's ``overlaps``
+theta-operator) reduce to segment/segment intersection plus
+point-in-polygon; this module provides the segment half.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+# Tolerance for the collinearity test.  Coordinates in this library are
+# workload-scaled (unit square to a few thousand units), so an absolute
+# epsilon is adequate.
+_EPS = 1e-12
+
+
+def orientation(a: Point, b: Point, c: Point) -> int:
+    """Orientation of the ordered triple ``(a, b, c)``.
+
+    Returns ``+1`` for counter-clockwise, ``-1`` for clockwise and ``0``
+    for (numerically) collinear points.
+    """
+    cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    if cross > _EPS:
+        return 1
+    if cross < -_EPS:
+        return -1
+    return 0
+
+
+def _on_segment(a: Point, b: Point, p: Point) -> bool:
+    """True if collinear point ``p`` lies within the bounding box of ``ab``."""
+    return (
+        min(a.x, b.x) - _EPS <= p.x <= max(a.x, b.x) + _EPS
+        and min(a.y, b.y) - _EPS <= p.y <= max(a.y, b.y) + _EPS
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """Closed line segment between two distinct-or-equal endpoints."""
+
+    start: Point
+    end: Point
+
+    def length(self) -> float:
+        return self.start.distance_to(self.end)
+
+    def midpoint(self) -> Point:
+        return Point((self.start.x + self.end.x) / 2.0, (self.start.y + self.end.y) / 2.0)
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of the segment."""
+        return Rect(
+            min(self.start.x, self.end.x),
+            min(self.start.y, self.end.y),
+            max(self.start.x, self.end.x),
+            max(self.start.y, self.end.y),
+        )
+
+    def centerpoint(self) -> Point:
+        return self.midpoint()
+
+    def contains_point(self, p: Point) -> bool:
+        """True if ``p`` lies on the closed segment."""
+        return orientation(self.start, self.end, p) == 0 and _on_segment(self.start, self.end, p)
+
+    def intersects(self, other: "Segment") -> bool:
+        """True if the closed segments share at least one point.
+
+        Uses the classical orientation test with full handling of the
+        collinear-overlap special cases.
+        """
+        p1, q1 = self.start, self.end
+        p2, q2 = other.start, other.end
+        o1 = orientation(p1, q1, p2)
+        o2 = orientation(p1, q1, q2)
+        o3 = orientation(p2, q2, p1)
+        o4 = orientation(p2, q2, q1)
+
+        if o1 != o2 and o3 != o4:
+            return True
+        if o1 == 0 and _on_segment(p1, q1, p2):
+            return True
+        if o2 == 0 and _on_segment(p1, q1, q2):
+            return True
+        if o3 == 0 and _on_segment(p2, q2, p1):
+            return True
+        if o4 == 0 and _on_segment(p2, q2, q1):
+            return True
+        return False
+
+    def distance_to_point(self, p: Point) -> float:
+        """Distance from ``p`` to the closest point of the segment."""
+        vx = self.end.x - self.start.x
+        vy = self.end.y - self.start.y
+        wx = p.x - self.start.x
+        wy = p.y - self.start.y
+        seg_len_sq = vx * vx + vy * vy
+        if seg_len_sq <= _EPS:
+            return self.start.distance_to(p)
+        t = max(0.0, min(1.0, (wx * vx + wy * vy) / seg_len_sq))
+        closest = Point(self.start.x + t * vx, self.start.y + t * vy)
+        return closest.distance_to(p)
+
+    def distance_to_segment(self, other: "Segment") -> float:
+        """Distance between the closest points of the two segments."""
+        if self.intersects(other):
+            return 0.0
+        return min(
+            self.distance_to_point(other.start),
+            self.distance_to_point(other.end),
+            other.distance_to_point(self.start),
+            other.distance_to_point(self.end),
+        )
+
+    def point_at(self, t: float) -> Point:
+        """Point at parameter ``t`` in [0, 1] along the segment."""
+        if not 0.0 <= t <= 1.0:
+            raise GeometryError(f"segment parameter must be in [0, 1], got {t}")
+        return Point(
+            self.start.x + t * (self.end.x - self.start.x),
+            self.start.y + t * (self.end.y - self.start.y),
+        )
+
+    def is_degenerate(self) -> bool:
+        """True if both endpoints coincide (numerically)."""
+        return self.length() <= math.sqrt(_EPS)

@@ -1,0 +1,215 @@
+"""Peano curve / z-ordering (Figure 1) and quadtree cell decomposition.
+
+The paper discusses z-ordering twice: as the canonical example of why no
+total order preserves spatial proximity (objects ``o32`` and ``o54`` in
+Figure 1 are close in space but far apart on the curve), and as the one
+exception where a sort-merge join works -- Orenstein's strategy for the
+``overlaps`` operator, in which every object is decomposed into z-order
+grid cells and overlapping cell intervals are detected by a merge.
+
+This module provides:
+
+* ``interleave`` / ``deinterleave`` -- bit interleaving between ``(x, y)``
+  grid coordinates and z-values;
+* ``z_value`` -- map a point in a universe rectangle to its z-value at a
+  given resolution;
+* :class:`ZCell` -- a quadtree cell identified by ``(level, prefix)`` whose
+  extent is a contiguous z-value interval;
+* ``decompose_rect`` -- minimal quadtree decomposition of a rectangle into
+  z-cells down to a maximum level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def interleave(x: int, y: int, bits: int) -> int:
+    """Interleave the low ``bits`` bits of grid coordinates into a z-value.
+
+    Bit ``i`` of ``x`` lands at position ``2i`` and bit ``i`` of ``y`` at
+    position ``2i + 1``, so the y-coordinate is the more significant
+    direction (rows of the Figure 1 grid group together).
+    """
+    if bits < 0:
+        raise GeometryError(f"bit count must be non-negative, got {bits}")
+    if x < 0 or y < 0 or x >= (1 << bits) or y >= (1 << bits):
+        raise GeometryError(f"grid coordinates ({x}, {y}) out of range for {bits} bits")
+    z = 0
+    for i in range(bits):
+        z |= ((x >> i) & 1) << (2 * i)
+        z |= ((y >> i) & 1) << (2 * i + 1)
+    return z
+
+
+def deinterleave(z: int, bits: int) -> tuple[int, int]:
+    """Inverse of :func:`interleave`: split a z-value back into ``(x, y)``."""
+    if z < 0 or z >= (1 << (2 * bits)):
+        raise GeometryError(f"z-value {z} out of range for {bits} bits")
+    x = y = 0
+    for i in range(bits):
+        x |= ((z >> (2 * i)) & 1) << i
+        y |= ((z >> (2 * i + 1)) & 1) << i
+    return x, y
+
+
+def z_value(p: Point, universe: Rect, bits: int) -> int:
+    """Z-value of the grid cell containing ``p`` at resolution ``2^bits``.
+
+    The universe rectangle is divided into a ``2^bits x 2^bits`` grid;
+    points on the far edges are clamped into the last cell.
+    """
+    if universe.width <= 0 or universe.height <= 0:
+        raise GeometryError("universe rectangle must have positive area")
+    if not universe.contains_point(p):
+        raise GeometryError(f"point {p} outside universe {universe}")
+    cells = 1 << bits
+    gx = min(int((p.x - universe.xmin) / universe.width * cells), cells - 1)
+    gy = min(int((p.y - universe.ymin) / universe.height * cells), cells - 1)
+    return interleave(gx, gy, bits)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class ZCell:
+    """A quadtree cell: ``prefix`` is the z-value of the cell at ``level``.
+
+    A cell at level L covers the contiguous z-value interval
+    ``[prefix << 2(max-L), (prefix + 1) << 2(max-L) - 1]`` at any finer
+    resolution ``max >= L``.  Cells sort by ``(level, prefix)`` but the
+    merge join orders them by interval start -- see :meth:`interval`.
+    """
+
+    level: int
+    prefix: int
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise GeometryError(f"cell level must be non-negative, got {self.level}")
+        if self.prefix < 0 or self.prefix >= (1 << (2 * self.level)):
+            raise GeometryError(f"prefix {self.prefix} out of range for level {self.level}")
+
+    def interval(self, max_level: int) -> tuple[int, int]:
+        """Closed z-value interval covered by this cell at ``max_level``."""
+        if max_level < self.level:
+            raise GeometryError(
+                f"max_level {max_level} below cell level {self.level}"
+            )
+        shift = 2 * (max_level - self.level)
+        lo = self.prefix << shift
+        hi = ((self.prefix + 1) << shift) - 1
+        return lo, hi
+
+    def contains(self, other: "ZCell") -> bool:
+        """True if ``other`` is this cell or lies inside it (prefix relation)."""
+        if other.level < self.level:
+            return False
+        return (other.prefix >> (2 * (other.level - self.level))) == self.prefix
+
+    def overlaps(self, other: "ZCell") -> bool:
+        """Quadtree cells overlap iff one is an ancestor-or-self of the other."""
+        return self.contains(other) or other.contains(self)
+
+    def children(self) -> Iterator["ZCell"]:
+        """The four sub-cells one level down, in z-order."""
+        for q in range(4):
+            yield ZCell(self.level + 1, (self.prefix << 2) | q)
+
+    def parent(self) -> "ZCell":
+        """The enclosing cell one level up."""
+        if self.level == 0:
+            raise GeometryError("the root cell has no parent")
+        return ZCell(self.level - 1, self.prefix >> 2)
+
+    def extent(self, universe: Rect) -> Rect:
+        """The cell's rectangle within ``universe``."""
+        gx, gy = deinterleave(self.prefix, self.level)
+        cells = 1 << self.level
+        w = universe.width / cells
+        h = universe.height / cells
+        return Rect(
+            universe.xmin + gx * w,
+            universe.ymin + gy * h,
+            universe.xmin + (gx + 1) * w,
+            universe.ymin + (gy + 1) * h,
+        )
+
+
+def _grid_range(
+    lo: float, hi: float, u_lo: float, u_hi: float, cells: int, closed: bool
+) -> tuple[int, int]:
+    """Inclusive index range of grid cells covering ``[lo, hi]``.
+
+    With ``closed=False`` cells are half-open ``[u_lo + i*w, u_lo +
+    (i+1)*w)`` (last cell closed at ``u_hi``): a boundary exactly on an
+    interior seam does not spill into the neighbor, giving minimal
+    decompositions.  With ``closed=True`` cells are closed sets, so a
+    rectangle whose edge lies on a seam also covers the touching
+    neighbor -- the semantics the exact ``overlaps`` predicate uses.
+    """
+    width = (u_hi - u_lo) / cells
+    g_lo = min(int((lo - u_lo) / width), cells - 1)
+    g_hi = min(int((hi - u_lo) / width), cells - 1)
+    on_lo_seam = u_lo + g_lo * width == lo
+    on_hi_seam = u_lo + g_hi * width == hi
+    if closed:
+        if on_lo_seam and g_lo > 0:
+            g_lo -= 1  # the seam line belongs to the left cell too
+    else:
+        if hi > lo and g_hi > g_lo and on_hi_seam:
+            g_hi -= 1  # do not spill into the next cell
+    return g_lo, g_hi
+
+
+def decompose_rect(
+    rect: Rect, universe: Rect, max_level: int, closed: bool = False
+) -> list[ZCell]:
+    """Quadtree decomposition of ``rect`` into z-cells.
+
+    A cell is emitted whole when its index range lies inside the target
+    range; otherwise it is split until ``max_level``.  The result -- the
+    cells Orenstein's strategy stores for the object -- is sorted by
+    z-interval start.  ``closed`` selects boundary semantics (see
+    :func:`_grid_range`): the merge join uses ``closed=True`` so that
+    objects merely touching at a seam still produce candidate pairs.
+    """
+    if max_level < 0:
+        raise GeometryError(f"max_level must be non-negative, got {max_level}")
+    if universe.width <= 0 or universe.height <= 0:
+        raise GeometryError("universe rectangle must have positive area")
+    clipped = rect.intersection(universe)
+    if clipped is None:
+        return []
+
+    cells = 1 << max_level
+    gx_lo, gx_hi = _grid_range(
+        clipped.xmin, clipped.xmax, universe.xmin, universe.xmax, cells, closed
+    )
+    gy_lo, gy_hi = _grid_range(
+        clipped.ymin, clipped.ymax, universe.ymin, universe.ymax, cells, closed
+    )
+
+    out: list[ZCell] = []
+    stack = [ZCell(0, 0)]
+    while stack:
+        cell = stack.pop()
+        # The cell's index range at max_level resolution.
+        cx, cy = deinterleave(cell.prefix, cell.level)
+        span = 1 << (max_level - cell.level)
+        cx_lo, cx_hi = cx * span, (cx + 1) * span - 1
+        cy_lo, cy_hi = cy * span, (cy + 1) * span - 1
+        if cx_hi < gx_lo or cx_lo > gx_hi or cy_hi < gy_lo or cy_lo > gy_hi:
+            continue
+        inside = (
+            gx_lo <= cx_lo and cx_hi <= gx_hi and gy_lo <= cy_lo and cy_hi <= gy_hi
+        )
+        if inside or cell.level >= max_level:
+            out.append(cell)
+        else:
+            stack.extend(cell.children())
+    out.sort(key=lambda c: c.interval(max_level)[0])
+    return out

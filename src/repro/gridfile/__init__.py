@@ -1,0 +1,21 @@
+"""Grid files [Niev84]: the paper's referenced address-computation index.
+
+Section 2.2: "Rotem [Rote91] has demonstrated the potential of this
+approach [index-supported joins] for the case of the grid file [Niev84],
+a spatial access method based on address computation."  This subpackage
+provides that comparison point:
+
+* :class:`~repro.gridfile.gridfile.GridFile` -- a paged grid file over
+  point data: linear scales, a directory of cell -> bucket references,
+  bucket splitting with directory refinement, and the classic two-disk-
+  access guarantee for exact-match searches;
+* :func:`~repro.gridfile.join.grid_join` -- Rotem-style index-supported
+  spatial join: matching cell pairs are enumerated via the Theta-filter
+  on cell regions, then bucket entries are refined with the exact
+  predicate.
+"""
+
+from repro.gridfile.gridfile import GridFile
+from repro.gridfile.join import grid_join, grid_select
+
+__all__ = ["GridFile", "grid_join", "grid_select"]

@@ -1,0 +1,352 @@
+"""A paged grid file for point data.
+
+Structure (after Nievergelt/Hinterberger/Sevcik):
+
+* two **linear scales** -- sorted split coordinates per axis -- divide the
+  universe into a grid of cells;
+* the **directory** maps every cell to a bucket; several cells may share
+  one bucket (bucket regions are unions of adjacent cells);
+* each **bucket** is one disk page holding up to ``capacity`` entries.
+
+Inserting into a full bucket splits it: if more than one directory cell
+points at it, the cells are repartitioned between the old bucket and a
+new one (no directory growth); otherwise the bucket's single cell is
+split by a new scale coordinate along the axis with the larger extent,
+refining the directory.  The directory itself is kept in main memory (the
+classic assumption behind the grid file's two-disk-access guarantee);
+buckets live on simulated pages, so searches charge exactly one page read
+per distinct bucket touched.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from repro.errors import StorageError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.storage.buffer import BufferPool
+from repro.storage.record import RecordId
+
+
+class _Bucket:
+    """One grid-file bucket, stored as the single record of a page."""
+
+    __slots__ = ("page_id", "entries")
+
+    def __init__(self, page_id: int) -> None:
+        self.page_id = page_id
+        self.entries: list[tuple[Point, Any]] = []
+
+
+class GridFile:
+    """A two-dimensional grid file over :class:`Point` keys."""
+
+    def __init__(
+        self,
+        buffer_pool: BufferPool,
+        universe: Rect,
+        bucket_capacity: int = 10,
+    ) -> None:
+        if bucket_capacity < 2:
+            raise StorageError(
+                f"bucket capacity must be at least 2, got {bucket_capacity}"
+            )
+        if universe.width <= 0 or universe.height <= 0:
+            raise StorageError("grid file universe must have positive area")
+        self.buffer_pool = buffer_pool
+        self.universe = universe
+        self.bucket_capacity = bucket_capacity
+        #: Interior split coordinates per axis (universe edges excluded).
+        self._scales: tuple[list[float], list[float]] = ([], [])
+        #: Directory: _directory[i][j] is the bucket of column i, row j.
+        first = self._new_bucket()
+        self._directory: list[list[_Bucket]] = [[first]]
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Bucket paging
+    # ------------------------------------------------------------------
+
+    def _new_bucket(self) -> _Bucket:
+        page = self.buffer_pool.new_page()
+        bucket = _Bucket(page.page_id)
+        page.insert(bucket, page.capacity)
+        return bucket
+
+    def _touch(self, bucket: _Bucket) -> _Bucket:
+        """Fetch the bucket's page (charging I/O through the pool)."""
+        page = self.buffer_pool.fetch(bucket.page_id)
+        return page.get(0)
+
+    def fetch_bucket(self, bucket: _Bucket) -> _Bucket:
+        """Public bucket fetch: reads the bucket's page through the pool.
+
+        Join/selection algorithms use this so the meter observes exactly
+        one page access per bucket whose entries they examine.
+        """
+        return self._touch(bucket)
+
+    def _dirty(self, bucket: _Bucket) -> None:
+        self.buffer_pool.fetch(bucket.page_id)
+        self.buffer_pool.mark_dirty(bucket.page_id)
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+
+    def _cell_of(self, p: Point) -> tuple[int, int]:
+        """Directory coordinates of the cell containing ``p``."""
+        if not self.universe.contains_point(p):
+            raise StorageError(f"point {p} outside grid universe {self.universe}")
+        i = bisect.bisect_right(self._scales[0], p.x)
+        j = bisect.bisect_right(self._scales[1], p.y)
+        return i, j
+
+    def cell_region(self, i: int, j: int) -> Rect:
+        """The rectangle covered by directory cell ``(i, j)``."""
+        xs = [self.universe.xmin] + self._scales[0] + [self.universe.xmax]
+        ys = [self.universe.ymin] + self._scales[1] + [self.universe.ymax]
+        return Rect(xs[i], ys[j], xs[i + 1], ys[j + 1])
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        """Directory dimensions (columns, rows)."""
+        return len(self._scales[0]) + 1, len(self._scales[1]) + 1
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, point: Point, tid: RecordId | Any) -> None:
+        """Add an entry; splits buckets (and scales) as needed."""
+        i, j = self._cell_of(point)
+        bucket = self._touch(self._directory[i][j])
+        bucket.entries.append((point, tid))
+        self._dirty(bucket)
+        self._size += 1
+        while len(bucket.entries) > self.bucket_capacity:
+            if not self._split_bucket(bucket):
+                # All entries coincide at one point: allow overflow.
+                break
+            # After a split, re-locate the bucket that now holds `point`'s
+            # cell; it may still be overfull if the split was skewed.
+            i, j = self._cell_of(point)
+            bucket = self._directory[i][j]
+
+    def _cells_of_bucket(self, bucket: _Bucket) -> list[tuple[int, int]]:
+        cols, rows = self.grid_shape
+        return [
+            (i, j)
+            for i in range(cols)
+            for j in range(rows)
+            if self._directory[i][j] is bucket
+        ]
+
+    def _split_bucket(self, bucket: _Bucket) -> bool:
+        """Split an overfull bucket; returns False if no split is possible."""
+        cells = self._cells_of_bucket(bucket)
+        if len(cells) > 1:
+            return self._split_shared_bucket(bucket, cells)
+        return self._split_single_cell(bucket, cells[0])
+
+    def _split_shared_bucket(
+        self, bucket: _Bucket, cells: list[tuple[int, int]]
+    ) -> bool:
+        """Repartition a bucket shared by several cells (no new scales).
+
+        The cell region is divided along the axis on which the cells
+        spread; half keep the old bucket, half move to a fresh one.
+        """
+        cols = sorted({i for i, _ in cells})
+        rows = sorted({j for _, j in cells})
+        if len(cols) > 1:
+            axis, keys = 0, cols
+        else:
+            axis, keys = 1, rows
+        cut = keys[len(keys) // 2]
+        moved_cells = [
+            (i, j) for (i, j) in cells if (i if axis == 0 else j) >= cut
+        ]
+        new_bucket = self._new_bucket()
+        for i, j in moved_cells:
+            self._directory[i][j] = new_bucket
+        self._redistribute(bucket, new_bucket)
+        return True
+
+    def _split_single_cell(self, bucket: _Bucket, cell: tuple[int, int]) -> bool:
+        """Introduce a new scale coordinate through the cell's region."""
+        if len({(p.x, p.y) for p, _ in bucket.entries}) == 1:
+            return False  # coincident points: no split can separate them
+        region = self.cell_region(*cell)
+        # Split the longer axis at the median of the stored coordinates,
+        # so skewed data still converges.
+        axis = 0 if region.width >= region.height else 1
+        for attempt_axis in (axis, 1 - axis):
+            coords = sorted(
+                (p.x if attempt_axis == 0 else p.y) for p, _ in bucket.entries
+            )
+            median = coords[len(coords) // 2]
+            lo = region.xmin if attempt_axis == 0 else region.ymin
+            hi = region.xmax if attempt_axis == 0 else region.ymax
+            if not lo < median < hi:
+                # Degenerate (all coordinates equal / at the edge): try
+                # the geometric midpoint before giving up on this axis.
+                median = (lo + hi) / 2.0
+                if not lo < median < hi or all(
+                    c == coords[0] for c in coords
+                ) and (coords[0] == lo):
+                    continue
+            self._insert_scale(attempt_axis, median, cell)
+            new_bucket = self._new_bucket()
+            # The split duplicated the directory slice; point the upper
+            # half of the old cell at the new bucket.
+            i, j = cell
+            if attempt_axis == 0:
+                self._directory[i + 1][j] = new_bucket
+            else:
+                self._directory[i][j + 1] = new_bucket
+            self._redistribute(bucket, new_bucket)
+            return True
+        return False
+
+    def _insert_scale(self, axis: int, coordinate: float, cell: tuple[int, int]) -> None:
+        """Add a split coordinate, duplicating the directory slice."""
+        scale = self._scales[axis]
+        pos = bisect.bisect_left(scale, coordinate)
+        scale.insert(pos, coordinate)
+        if axis == 0:
+            # Duplicate column `pos` (the cell being split is at index pos).
+            column = self._directory[pos]
+            self._directory.insert(pos + 1, list(column))
+        else:
+            for column in self._directory:
+                column.insert(pos + 1, column[pos])
+
+    def _redistribute(self, old: _Bucket, new: _Bucket) -> None:
+        """Re-home all entries of ``old`` according to the directory."""
+        entries = old.entries
+        old.entries = []
+        for point, tid in entries:
+            i, j = self._cell_of(point)
+            target = self._directory[i][j]
+            target.entries.append((point, tid))
+        self._dirty(old)
+        self._dirty(new)
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, point: Point, tid: Any = None) -> bool:
+        """Remove one entry at ``point`` (matching ``tid`` if given)."""
+        i, j = self._cell_of(point)
+        bucket = self._touch(self._directory[i][j])
+        for idx, (p, t) in enumerate(bucket.entries):
+            if p == point and (tid is None or t == tid):
+                bucket.entries.pop(idx)
+                self._dirty(bucket)
+                self._size -= 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search_point(self, point: Point) -> list[Any]:
+        """All tids stored exactly at ``point`` -- at most one bucket read
+        (plus the in-memory directory), the grid file's guarantee."""
+        i, j = self._cell_of(point)
+        bucket = self._touch(self._directory[i][j])
+        return [t for p, t in bucket.entries if p == point]
+
+    def search_range(self, rect: Rect) -> list[tuple[Point, Any]]:
+        """All entries with their point inside the (closed) rectangle."""
+        out: list[tuple[Point, Any]] = []
+        for bucket, _cells in self.buckets_overlapping(rect):
+            for p, t in bucket.entries:
+                if rect.contains_point(p):
+                    out.append((p, t))
+        return out
+
+    def buckets_overlapping(self, rect: Rect) -> Iterator[tuple[_Bucket, list[tuple[int, int]]]]:
+        """Distinct buckets whose region intersects ``rect``.
+
+        Each bucket is fetched (charged) once regardless of how many of
+        its cells overlap the range.
+        """
+        clipped = rect.intersection(self.universe)
+        if clipped is None:
+            return
+        i_lo = bisect.bisect_right(self._scales[0], clipped.xmin)
+        i_hi = bisect.bisect_right(self._scales[0], clipped.xmax)
+        j_lo = bisect.bisect_right(self._scales[1], clipped.ymin)
+        j_hi = bisect.bisect_right(self._scales[1], clipped.ymax)
+        seen: set[int] = set()
+        for i in range(i_lo, i_hi + 1):
+            for j in range(j_lo, j_hi + 1):
+                bucket = self._directory[i][j]
+                if bucket.page_id in seen:
+                    continue
+                seen.add(bucket.page_id)
+                yield self._touch(bucket), self._cells_of_bucket(bucket)
+
+    def all_buckets(self) -> Iterator[_Bucket]:
+        """Every distinct bucket, fetched once each."""
+        for bucket in self.all_buckets_metadata():
+            yield self._touch(bucket)
+
+    def all_buckets_metadata(self) -> Iterator[_Bucket]:
+        """Distinct bucket handles *without* fetching their pages.
+
+        The directory (and thus every bucket's region) lives in main
+        memory, so region-level filtering is free; only buckets whose
+        entries are actually needed get fetched.
+        """
+        seen: set[int] = set()
+        for column in self._directory:
+            for bucket in column:
+                if bucket.page_id not in seen:
+                    seen.add(bucket.page_id)
+                    yield bucket
+
+    def bucket_region(self, bucket: _Bucket) -> Rect:
+        """Union of the cell regions mapped to ``bucket``."""
+        cells = self._cells_of_bucket(bucket)
+        return Rect.union_of(self.cell_region(i, j) for i, j in cells)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def bucket_count(self) -> int:
+        return sum(1 for _ in self.all_buckets())
+
+    def check_invariants(self) -> None:
+        """Validate directory/scale/bucket consistency (for tests)."""
+        cols, rows = self.grid_shape
+        if len(self._directory) != cols:
+            raise StorageError("directory column count does not match x-scale")
+        for column in self._directory:
+            if len(column) != rows:
+                raise StorageError("directory row count does not match y-scale")
+        for axis in (0, 1):
+            scale = self._scales[axis]
+            if scale != sorted(scale):
+                raise StorageError(f"scale {axis} out of order: {scale}")
+        total = 0
+        for bucket in self.all_buckets():
+            region = self.bucket_region(bucket)
+            for p, _ in bucket.entries:
+                if not region.contains_point(p):
+                    raise StorageError(
+                        f"entry {p} outside its bucket region {region}"
+                    )
+            total += len(bucket.entries)
+        if total != self._size:
+            raise StorageError(f"size mismatch: counted {total}, recorded {self._size}")

@@ -1,0 +1,111 @@
+"""Derived spatial operators: semijoin, antijoin, and exists-probes.
+
+The paper's introduction motivates joins with queries like "find all
+houses within 10 kilometers from *a* lake" -- strictly read, that is a
+**semijoin**: each house qualifies once, however many lakes are near.
+These operators compute it (and its negation) without materializing the
+full join: each outer tuple probes the inner tree with ``limit=1``, so
+the traversal stops at the first witness.
+"""
+
+from __future__ import annotations
+
+from repro.join.accessor import NodeAccessor
+from repro.join.result import SelectResult
+from repro.join.select import spatial_select
+from repro.predicates.theta import ThetaOperator
+from repro.relational.relation import Relation
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.record import RecordId
+from repro.trees.base import GeneralizationTree
+
+
+def _probe_outer(
+    rel_outer: Relation,
+    column_outer: str,
+    tree_inner: GeneralizationTree,
+    theta: ThetaOperator,
+    *,
+    keep_if_witness: bool,
+    accessor_inner: NodeAccessor | None,
+    meter: CostMeter,
+    memory_pages: int,
+    order: str,
+) -> SelectResult:
+    pool = BufferPool(rel_outer.buffer_pool.disk, memory_pages, meter)
+    big = theta.filter_operator()
+    result = SelectResult(
+        strategy="spatial-semijoin" if keep_if_witness else "spatial-antijoin"
+    )
+    for pid in rel_outer.page_ids:
+        page = pool.fetch(pid)
+        for slot, record in enumerate(page.slots):
+            if record is None:
+                continue
+            probe = spatial_select(
+                tree_inner,
+                record[column_outer],
+                theta,
+                accessor=accessor_inner,
+                meter=meter,
+                order=order,
+                limit=1,
+                big_theta=big,
+            )
+            has_witness = bool(probe.matches)
+            if has_witness == keep_if_witness:
+                result.matches.append((RecordId(pid, slot), record))
+    result.stats = meter.snapshot()
+    return result
+
+
+def spatial_semijoin(
+    rel_outer: Relation,
+    column_outer: str,
+    tree_inner: GeneralizationTree,
+    theta: ThetaOperator,
+    *,
+    accessor_inner: NodeAccessor | None = None,
+    meter: CostMeter | None = None,
+    memory_pages: int = 4000,
+    order: str = "bfs",
+) -> SelectResult:
+    """Outer tuples with **at least one** theta-partner in the inner tree.
+
+    Each qualifying tuple appears exactly once; probes terminate at the
+    first witness (``limit=1``), so highly selective predicates cost far
+    less than the full join.
+    """
+    if meter is None:
+        meter = CostMeter()
+    return _probe_outer(
+        rel_outer, column_outer, tree_inner, theta,
+        keep_if_witness=True, accessor_inner=accessor_inner,
+        meter=meter, memory_pages=memory_pages, order=order,
+    )
+
+
+def spatial_antijoin(
+    rel_outer: Relation,
+    column_outer: str,
+    tree_inner: GeneralizationTree,
+    theta: ThetaOperator,
+    *,
+    accessor_inner: NodeAccessor | None = None,
+    meter: CostMeter | None = None,
+    memory_pages: int = 4000,
+    order: str = "bfs",
+) -> SelectResult:
+    """Outer tuples with **no** theta-partner in the inner tree.
+
+    The complement of :func:`spatial_semijoin`: "houses *not* within 10
+    kilometers from any lake".
+    """
+    if meter is None:
+        meter = CostMeter()
+    return _probe_outer(
+        rel_outer, column_outer, tree_inner, theta,
+        keep_if_witness=False, accessor_inner=accessor_inner,
+        meter=meter, memory_pages=memory_pages, order=order,
+    )

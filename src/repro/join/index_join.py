@@ -1,0 +1,112 @@
+"""Index-supported spatial join: scan one relation, probe the other's tree.
+
+Section 2.1 describes the classical index-supported join (scan S, use the
+index on R for each tuple); Rotem [Rote91] demonstrated it for spatial
+data over grid files.  Here the probe structure is any generalization
+tree: for every tuple of the scanned relation an Algorithm-SELECT probe
+retrieves the matching tuples of the indexed relation.
+"""
+
+from __future__ import annotations
+
+from repro.join.accessor import NodeAccessor
+from repro.join.result import JoinResult
+from repro.join.select import spatial_select
+from repro.predicates.theta import ThetaOperator
+from repro.relational.relation import Relation
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.record import RecordId
+from repro.trees.base import GeneralizationTree
+
+
+def index_nested_loop_join(
+    rel_s: Relation,
+    column_s: str,
+    tree_r: GeneralizationTree,
+    theta: ThetaOperator,
+    *,
+    accessor_r: NodeAccessor | None = None,
+    meter: CostMeter | None = None,
+    memory_pages: int = 4000,
+    order: str = "bfs",
+) -> JoinResult:
+    """Compute ``R join_theta S`` by probing R's tree once per S tuple.
+
+    Matches ``(tid_r, tid_s)`` satisfy ``r.A theta s.B`` -- the probe runs
+    the SELECT traversal in reverse operand order so asymmetric operators
+    keep their meaning.
+    """
+    if meter is None:
+        meter = CostMeter()
+    pool = BufferPool(rel_s.buffer_pool.disk, memory_pages, meter)
+    result = JoinResult(strategy="index-nested-loop")
+    big = theta.filter_operator()
+
+    for pid in rel_s.page_ids:
+        page = pool.fetch(pid)
+        for slot, record in enumerate(page.slots):
+            if record is None:
+                continue
+            s_tid = RecordId(pid, slot)
+            probe = spatial_select(
+                tree_r,
+                record[column_s],
+                theta,
+                accessor=accessor_r,
+                meter=meter,
+                order=order,
+                reverse=True,
+                big_theta=big,
+            )
+            for r_tid in probe.tids:
+                result.pairs.append((r_tid, s_tid))
+
+    result.stats = meter.snapshot()
+    return result
+
+
+def index_nested_loop_join_swapped(
+    rel_r: Relation,
+    column_r: str,
+    tree_s: GeneralizationTree,
+    theta: ThetaOperator,
+    *,
+    accessor_s: NodeAccessor | None = None,
+    meter: CostMeter | None = None,
+    memory_pages: int = 4000,
+    order: str = "bfs",
+) -> JoinResult:
+    """The mirrored plan: scan R, probe S's tree.
+
+    Used when only S's spatial column is indexed.  Matches still satisfy
+    ``r.A theta s.B``: each probe runs SELECT in forward operand order
+    with the scanned R geometry as the selector.
+    """
+    if meter is None:
+        meter = CostMeter()
+    pool = BufferPool(rel_r.buffer_pool.disk, memory_pages, meter)
+    result = JoinResult(strategy="index-nested-loop-swapped")
+    big = theta.filter_operator()
+
+    for pid in rel_r.page_ids:
+        page = pool.fetch(pid)
+        for slot, record in enumerate(page.slots):
+            if record is None:
+                continue
+            r_tid = RecordId(pid, slot)
+            probe = spatial_select(
+                tree_s,
+                record[column_r],
+                theta,
+                accessor=accessor_s,
+                meter=meter,
+                order=order,
+                reverse=False,
+                big_theta=big,
+            )
+            for s_tid in probe.tids:
+                result.pairs.append((r_tid, s_tid))
+
+    result.stats = meter.snapshot()
+    return result

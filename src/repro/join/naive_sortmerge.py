@@ -1,0 +1,73 @@
+"""The naive 1-D sort-merge spatial join -- the strategy the paper rules out.
+
+Section 2.2's central negative result: "there is no total ordering among
+spatial objects that preserves spatial proximity", so sorting both
+relations along any one-dimensional order (here: z-order of object
+centerpoints) and merging with a bounded window **misses matches** for
+operators like ``adjacent``.  The paper demonstrates this with Figure 1's
+grid (the pair (o3, o9) goes undetected).
+
+This implementation exists to *reproduce that failure measurably*: it is
+intentionally the flawed algorithm, returning both its (incomplete) match
+list and the window bookkeeping so tests and benches can quantify the
+missed matches against an exact strategy.  Do not use it for real joins.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.rect import Rect
+from repro.geometry.zorder import z_value
+from repro.join.result import JoinResult
+from repro.predicates.theta import ThetaOperator
+from repro.relational.relation import Relation
+from repro.storage.costs import CostMeter
+
+
+def naive_sortmerge_join(
+    rel_r: Relation,
+    rel_s: Relation,
+    column_r: str,
+    column_s: str,
+    theta: ThetaOperator,
+    *,
+    universe: Rect,
+    bits: int = 10,
+    window: int = 8,
+    meter: CostMeter | None = None,
+) -> JoinResult:
+    """Sort both relations by centerpoint z-value and merge with a window.
+
+    Each R tuple is compared against the ``window`` nearest S tuples in
+    the one-dimensional z-order.  Spatially close pairs that are far
+    apart on the curve fall outside the window and are silently lost --
+    the defect the paper describes.  The result's ``stats`` include
+    ``comparisons`` so completeness/efficiency trade-offs can be plotted.
+    """
+    if meter is None:
+        meter = CostMeter()
+
+    def keyed(relation: Relation, column: str):
+        out = []
+        for t in relation.scan():
+            center = t[column].centerpoint()
+            out.append((z_value(center, universe, bits), t.tid, t[column]))
+        out.sort(key=lambda item: item[0])
+        return out
+
+    sorted_r = keyed(rel_r, column_r)
+    sorted_s = keyed(rel_s, column_s)
+
+    result = JoinResult(strategy="naive-sortmerge")
+    j = 0
+    for z_r, tid_r, geom_r in sorted_r:
+        # Advance the merge frontier to the first S entry near z_r.
+        while j < len(sorted_s) and sorted_s[j][0] < z_r:
+            j += 1
+        lo = max(0, j - window)
+        hi = min(len(sorted_s), j + window)
+        for z_s, tid_s, geom_s in sorted_s[lo:hi]:
+            meter.record_exact_eval()
+            if theta(geom_r, geom_s):
+                result.pairs.append((tid_r, tid_s))
+    result.stats = meter.snapshot()
+    return result

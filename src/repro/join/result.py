@@ -1,0 +1,51 @@
+"""Result containers for selections and joins, with cost snapshots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.storage.record import RecordId
+
+
+@dataclass(slots=True)
+class SelectResult:
+    """Outcome of a spatial selection.
+
+    ``matches`` holds ``(tid, payload)`` pairs -- the payload is whatever
+    the accessor produced (a :class:`~repro.relational.tuples.RelTuple`
+    for relation-backed trees).  ``stats`` is the cost-meter snapshot
+    taken over the operation, in the paper's three cost categories.
+    """
+
+    strategy: str
+    matches: list[tuple[RecordId | None, Any]] = field(default_factory=list)
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def tids(self) -> list[RecordId]:
+        return [t for t, _ in self.matches if t is not None]
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+
+@dataclass(slots=True)
+class JoinResult:
+    """Outcome of a spatial join.
+
+    ``pairs`` holds ``(tid_r, tid_s)`` matches; ``tuples`` optionally the
+    joined payload pairs (populated when an accessor fetched them).
+    """
+
+    strategy: str
+    pairs: list[tuple[RecordId, RecordId]] = field(default_factory=list)
+    tuples: list[tuple[Any, Any]] = field(default_factory=list)
+    stats: dict[str, float] = field(default_factory=dict)
+
+    def pair_set(self) -> set[tuple[RecordId, RecordId]]:
+        """Deduplicated match pairs (z-order merge reports duplicates)."""
+        return set(self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)

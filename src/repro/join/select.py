@@ -1,0 +1,216 @@
+"""Algorithm SELECT (Section 3.2): hierarchical spatial selection.
+
+The algorithm is a Theta-guided traversal: a node is *examined* by
+evaluating ``o Theta a`` on its region; on a pass its children are
+scheduled for the next level and the exact predicate ``o theta a`` decides
+whether the node's tuple joins the result.  The paper presents the
+breadth-first variant (QualNodes lists per height) and notes a
+depth-first variant whose relative efficiency "depends on the physical
+clustering properties of the underlying generalization tree" -- both are
+implemented here and benchmarked against each other.
+
+Operand order: the paper computes selections ``o theta R.A`` with the
+selector on the left.  ``reverse=True`` flips both predicates to
+``R.A theta o``, which Algorithm JOIN's second SELECT pass needs for
+asymmetric operators such as ``to the Northwest of``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import JoinError
+from repro.join.accessor import DirectAccessor, NodeAccessor
+from repro.join.result import SelectResult
+from repro.predicates.big_theta import BigThetaOperator
+from repro.predicates.dispatch import SpatialObject
+from repro.predicates.theta import ThetaOperator
+from repro.storage.costs import CostMeter
+from repro.trees.base import GeneralizationTree
+
+
+def spatial_select(
+    tree: GeneralizationTree,
+    query: SpatialObject,
+    theta: ThetaOperator,
+    *,
+    accessor: NodeAccessor | None = None,
+    meter: CostMeter | None = None,
+    order: str = "bfs",
+    start: Any = None,
+    skip_start: bool = False,
+    reverse: bool = False,
+    big_theta: BigThetaOperator | None = None,
+    limit: int | None = None,
+) -> SelectResult:
+    """Run Algorithm SELECT over a generalization tree.
+
+    Parameters
+    ----------
+    tree:
+        The generalization tree indexing relation ``R``'s spatial column.
+    query:
+        The selector object ``o``.
+    theta:
+        The exact predicate; its Table 1 filter is derived automatically
+        (pass ``big_theta`` to override, e.g. for the filter-ablation
+        benchmark).
+    accessor:
+        How node payloads are fetched; defaults to in-memory access.
+        Every *examined* node is visited, charging its page I/O --
+        matching the model's assumption that tree nodes contain the
+        complete tuples.
+    meter:
+        Cost counters; filter and refinement evaluations are recorded
+        separately (their sum is the paper's single ``C_Theta`` count).
+    order:
+        ``"bfs"`` (the paper's formulation) or ``"dfs"``.
+    start, skip_start:
+        Restrict the traversal to the subtree under ``start`` and
+        optionally do not report ``start`` itself -- Algorithm JOIN's
+        SELECT passes use both.
+    reverse:
+        Evaluate ``node theta query`` instead of ``query theta node``.
+    limit:
+        Stop after this many matches -- existence probes (semijoins) pass
+        ``limit=1`` so a hit terminates the traversal immediately.
+    """
+    if order not in ("bfs", "dfs"):
+        raise JoinError(f"order must be 'bfs' or 'dfs', got {order!r}")
+    if limit is not None and limit < 1:
+        raise JoinError(f"limit must be positive, got {limit}")
+    if accessor is None:
+        accessor = DirectAccessor()
+    if meter is None:
+        meter = CostMeter()
+    if big_theta is None:
+        big_theta = theta.filter_operator()
+
+    result = SelectResult(strategy=f"select-{order}{'-reversed' if reverse else ''}")
+    if tree.is_empty():
+        result.stats = meter.snapshot()
+        return result
+    root = start if start is not None else tree.root()
+
+    def examine(node: Any) -> bool:
+        """Theta-filter a node; on a pass, refine and maybe emit.
+
+        Returns True when the node's children must be scheduled.
+        """
+        region = tree.region(node)
+        tid = tree.tid(node)
+        accessor.visit(tid, node)
+        meter.record_filter_eval()
+        passed = (
+            big_theta(region, query) if reverse else big_theta(query, region)
+        )
+        if not passed:
+            return False
+        if tid is not None or getattr(node, "payload", None) is not None:
+            meter.record_exact_eval()
+            exact = theta(region, query) if reverse else theta(query, region)
+            if exact:
+                result.matches.append((tid, accessor.visit(tid, node)))
+        return True
+
+    def reached_limit() -> bool:
+        return limit is not None and len(result.matches) >= limit
+
+    if order == "bfs":
+        # SELECT1/SELECT2: QualNodes lists per height, processed in order.
+        qual: deque[Any] = deque()
+        if skip_start:
+            # The start node was already examined by the caller; schedule
+            # its children directly.
+            qual.extend(tree.children(root))
+        else:
+            qual.append(root)
+        while qual and not reached_limit():
+            node = qual.popleft()
+            if examine(node):
+                qual.extend(tree.children(node))
+    else:
+        stack: list[Any] = []
+        if skip_start:
+            stack.extend(reversed(tree.children(root)))
+        else:
+            stack.append(root)
+        while stack and not reached_limit():
+            node = stack.pop()
+            if examine(node):
+                stack.extend(reversed(tree.children(node)))
+
+    result.stats = meter.snapshot()
+    return result
+
+
+def select_pass_with_children(
+    tree: GeneralizationTree,
+    query: SpatialObject,
+    theta: ThetaOperator,
+    start: Any,
+    *,
+    accessor: NodeAccessor,
+    meter: CostMeter,
+    reverse: bool,
+    big_theta: BigThetaOperator,
+    order: str = "bfs",
+) -> tuple[SelectResult, list[Any]]:
+    """One JOIN4 SELECT pass: matches below ``start`` plus the qualifying
+    direct children of ``start``.
+
+    The paper notes that "in the course of these two spatial selections
+    one also records" which direct descendants Theta-match -- they seed
+    the next QualPairs level without re-evaluating the filter.
+    """
+    result = spatial_select(
+        tree,
+        query,
+        theta,
+        accessor=accessor,
+        meter=meter,
+        order=order,
+        start=start,
+        skip_start=True,
+        reverse=reverse,
+        big_theta=big_theta,
+    )
+    qualifying_children = []
+    for child in tree.children(start):
+        region = tree.region(child)
+        # Recorded during the pass; evaluating again here would double
+        # count, so this re-check is charge-free by construction.
+        passed = big_theta(region, query) if reverse else big_theta(query, region)
+        if passed:
+            qualifying_children.append(child)
+    return result, qualifying_children
+
+
+def qualifying_children_only(
+    tree: GeneralizationTree,
+    query: SpatialObject,
+    start: Any,
+    *,
+    accessor: NodeAccessor,
+    meter: CostMeter,
+    reverse: bool,
+    big_theta: BigThetaOperator,
+) -> list[Any]:
+    """Theta-filter just the direct children of ``start``.
+
+    Used by Algorithm JOIN when the fixed node of a SELECT pass is a
+    technical entity (e.g. an R-tree interior node): no match can involve
+    it, so the deep descent is skipped, but the next QualPairs level still
+    needs the children's filter results -- each child is visited and its
+    filter evaluation charged, exactly as the full pass would have.
+    """
+    out: list[Any] = []
+    for child in tree.children(start):
+        accessor.visit(tree.tid(child), child)
+        meter.record_filter_eval()
+        region = tree.region(child)
+        passed = big_theta(region, query) if reverse else big_theta(query, region)
+        if passed:
+            out.append(child)
+    return out

@@ -1,0 +1,177 @@
+"""Algorithm JOIN (Section 3.3): general spatial join over two trees.
+
+The synchronized traversal keeps, per height ``j``, the list
+``QualPairs[j]`` of node pairs that may still produce matches.  For a
+pair ``(a, b)`` that passes the Theta-filter, three things happen:
+
+* **JOIN3** -- the exact predicate decides whether the pair itself joins;
+* **JOIN4 / pass 1** -- Algorithm SELECT relates ``a`` to the strict
+  descendants of ``b`` (matches ``a theta b'``);
+* **JOIN4 / pass 2** -- the reverse pass relates the strict descendants
+  of ``a`` to ``b`` (matches ``a' theta b``);
+
+and the Theta-qualifying *direct* children recorded during the two
+passes seed ``QualPairs[j+1]`` as a cross product.  Same-level matches
+thus flow through JOIN3 of later levels, asymmetric-depth matches
+through the SELECT passes -- every matching pair is reported exactly
+once (the cost model's double-counted root comparison is avoided by
+skipping the pass roots).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.join.accessor import DirectAccessor, NodeAccessor
+from repro.join.result import JoinResult
+from repro.join.select import qualifying_children_only, select_pass_with_children
+from repro.predicates.big_theta import BigThetaOperator
+from repro.predicates.theta import ThetaOperator
+from repro.storage.costs import CostMeter
+from repro.storage.record import RecordId
+from repro.trees.base import GeneralizationTree
+
+
+def tree_join(
+    tree_r: GeneralizationTree,
+    tree_s: GeneralizationTree,
+    theta: ThetaOperator,
+    *,
+    accessor_r: NodeAccessor | None = None,
+    accessor_s: NodeAccessor | None = None,
+    meter: CostMeter | None = None,
+    big_theta: BigThetaOperator | None = None,
+    order: str = "bfs",
+    collect_tuples: bool = False,
+) -> JoinResult:
+    """Compute ``R join_theta S`` hierarchically over two generalization trees.
+
+    Matches are ``(tid_r, tid_s)`` pairs of application objects (interior
+    technical nodes never join).  Pass ``collect_tuples=True`` to also
+    fetch and pair the actual payloads through the accessors.
+    """
+    if accessor_r is None:
+        accessor_r = DirectAccessor()
+    if accessor_s is None:
+        accessor_s = DirectAccessor()
+    if meter is None:
+        meter = CostMeter()
+    if big_theta is None:
+        big_theta = theta.filter_operator()
+
+    result = JoinResult(strategy="tree-join")
+    if tree_r.is_empty() or tree_s.is_empty():
+        result.stats = meter.snapshot()
+        return result
+
+    def emit(tid_a: RecordId | None, tid_b: RecordId | None, node_a: Any, node_b: Any) -> None:
+        if tid_a is None or tid_b is None:
+            return
+        result.pairs.append((tid_a, tid_b))
+        if collect_tuples:
+            result.tuples.append(
+                (accessor_r.visit(tid_a, node_a), accessor_s.visit(tid_b, node_b))
+            )
+
+    # JOIN1: initialize with the root pair.
+    qual_pairs: list[tuple[Any, Any]] = [(tree_r.root(), tree_s.root())]
+    max_level = min(tree_r.height(), tree_s.height())
+    level = 0
+
+    while qual_pairs and level <= max_level:
+        next_pairs: list[tuple[Any, Any]] = []
+        for a, b in qual_pairs:
+            region_a = tree_r.region(a)
+            region_b = tree_s.region(b)
+            tid_a = tree_r.tid(a)
+            tid_b = tree_s.tid(b)
+            accessor_r.visit(tid_a, a)
+            accessor_s.visit(tid_b, b)
+
+            # JOIN2: the pair must pass the Theta-filter to be pursued.
+            meter.record_filter_eval()
+            if not big_theta(region_a, region_b):
+                continue
+
+            # JOIN3: exact check on the pair itself.
+            if (tid_a is not None) and (tid_b is not None):
+                meter.record_exact_eval()
+                if theta(region_a, region_b):
+                    emit(tid_a, tid_b, a, b)
+
+            # JOIN4 / pass 1: a against strict descendants of b.  When a
+            # is a technical entity no match can involve it, so only the
+            # direct children of b are filtered (the deep descent would be
+            # pure overhead -- the paper's model never hits this case
+            # because assumption S2 makes every node an application object).
+            if tid_a is not None:
+                pass1, qual_b_children = select_pass_with_children(
+                    tree_s,
+                    region_a,
+                    theta,
+                    b,
+                    accessor=accessor_s,
+                    meter=meter,
+                    reverse=False,
+                    big_theta=big_theta,
+                    order=order,
+                )
+                for tid_b2, payload_b in pass1.matches:
+                    if tid_b2 is not None:
+                        result.pairs.append((tid_a, tid_b2))
+                        if collect_tuples:
+                            result.tuples.append(
+                                (accessor_r.visit(tid_a, a), payload_b)
+                            )
+            else:
+                qual_b_children = qualifying_children_only(
+                    tree_s,
+                    region_a,
+                    b,
+                    accessor=accessor_s,
+                    meter=meter,
+                    reverse=False,
+                    big_theta=big_theta,
+                )
+
+            # JOIN4 / pass 2: strict descendants of a against b.
+            if tid_b is not None:
+                pass2, qual_a_children = select_pass_with_children(
+                    tree_r,
+                    region_b,
+                    theta,
+                    a,
+                    accessor=accessor_r,
+                    meter=meter,
+                    reverse=True,
+                    big_theta=big_theta,
+                    order=order,
+                )
+                for tid_a2, payload_a in pass2.matches:
+                    if tid_a2 is not None:
+                        result.pairs.append((tid_a2, tid_b))
+                        if collect_tuples:
+                            result.tuples.append(
+                                (payload_a, accessor_s.visit(tid_b, b))
+                            )
+            else:
+                qual_a_children = qualifying_children_only(
+                    tree_r,
+                    region_b,
+                    a,
+                    accessor=accessor_r,
+                    meter=meter,
+                    reverse=True,
+                    big_theta=big_theta,
+                )
+
+            # Seed the next level with the qualifying direct descendants.
+            for a2 in qual_a_children:
+                for b2 in qual_b_children:
+                    next_pairs.append((a2, b2))
+
+        qual_pairs = next_pairs
+        level += 1
+
+    result.stats = meter.snapshot()
+    return result

@@ -1,0 +1,54 @@
+"""Spatial predicates: the theta-operators of the paper and their filters.
+
+Section 3.1 pairs every exact spatial predicate ``theta`` with a coarser
+operator ``Theta`` such that for enclosing objects ``o1'`` and ``o2'``,
+``o1' Theta o2'`` holds whenever they *may* have subobjects with
+``o1 theta o2``.  Table 1 lists the pairs; this package implements both
+sides plus the dispatch layer that evaluates predicates across the mixed
+geometry types (Point / Rect / Polygon / PolyLine).
+
+The crucial contract, tested property-based in the suite, is
+**conservativeness**: if ``a theta b`` then ``A Theta B`` for any
+enclosing ``A >= a``, ``B >= b``.  A Theta-miss is therefore a safe prune.
+"""
+
+from repro.predicates.dispatch import (
+    SpatialObject,
+    centerpoint_of,
+    exact_contains,
+    exact_overlaps,
+    min_distance,
+)
+from repro.predicates.theta import (
+    Adjacent,
+    ContainedIn,
+    DistanceBetween,
+    DirectionOf,
+    Includes,
+    NorthwestOf,
+    Overlaps,
+    ReachableWithin,
+    ThetaOperator,
+    WithinDistance,
+)
+from repro.predicates.big_theta import BigThetaOperator, theta_filter
+
+__all__ = [
+    "SpatialObject",
+    "ThetaOperator",
+    "BigThetaOperator",
+    "WithinDistance",
+    "Adjacent",
+    "Overlaps",
+    "Includes",
+    "ContainedIn",
+    "NorthwestOf",
+    "DirectionOf",
+    "ReachableWithin",
+    "DistanceBetween",
+    "theta_filter",
+    "exact_overlaps",
+    "exact_contains",
+    "min_distance",
+    "centerpoint_of",
+]

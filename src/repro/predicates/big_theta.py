@@ -1,0 +1,168 @@
+"""The Theta-filters of Table 1: conservative tests on enclosing objects.
+
+For a generalization-tree traversal, ``o1' Theta o2'`` must be true
+whenever subobjects ``o1 <= o1'`` and ``o2 <= o2'`` with ``o1 theta o2``
+can exist; only then may a traversal prune on a Theta-miss.  All filters
+here evaluate on the operands' minimum bounding rectangles, so they are
+cheap regardless of how complex the actual geometries are.
+
+Mapping (left: theta, right: Theta -- verbatim from Table 1):
+
+========================================  =========================================
+``within distance d`` (centerpoints)      ``within distance d`` (closest points)
+``overlaps``                              ``overlaps``
+``includes``                              ``overlaps``                (Figure 4)
+``contained in``                          ``overlaps``
+``to the Northwest of`` (centerpoints)    overlaps NW tangent quadrant (Figure 5)
+``reachable in x minutes``                overlaps the x-minute buffer
+========================================  =========================================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import PredicateError
+from repro.predicates.dispatch import SpatialObject
+from repro.predicates.theta import (
+    Adjacent,
+    ContainedIn,
+    DirectionOf,
+    DistanceBetween,
+    Includes,
+    NorthwestOf,
+    Overlaps,
+    ReachableWithin,
+    ThetaOperator,
+    WithinDistance,
+)
+
+
+class BigThetaOperator(ABC):
+    """A conservative filter ``o1' Theta o2'`` over enclosing objects."""
+
+    #: Human-readable filter name.
+    name: str = "Theta"
+
+    @abstractmethod
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        """Truth value of the filter on the operands' MBRs."""
+
+    def __call__(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        return self.evaluate(o1, o2)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class MinDistanceFilter(BigThetaOperator):
+    """Closest-point MBR distance at most ``d``.
+
+    Filter for ``within distance d``: any pair of centerpoints within
+    distance ``d`` forces the enclosing MBRs to pass this test, because
+    centerpoints lie inside their objects' MBRs.
+    """
+
+    def __init__(self, d: float) -> None:
+        if d < 0:
+            raise PredicateError(f"distance bound must be non-negative, got {d}")
+        self.d = d
+        self.name = f"mbr_within_distance({d})"
+
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        return o1.mbr().min_distance_to(o2.mbr()) <= self.d
+
+
+class MBRIntersectsFilter(BigThetaOperator):
+    """MBRs share at least one point.
+
+    Filter for ``overlaps``, ``includes`` and ``contained in`` alike:
+    Figure 4 shows why inclusion cannot demand more than overlap of the
+    enclosing objects.
+    """
+
+    name = "mbr_overlaps"
+
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        return o1.mbr().intersects(o2.mbr())
+
+
+class QuadrantOverlapFilter(BigThetaOperator):
+    """``o1'`` overlaps the tangent quadrant of ``o2'`` (Figure 5).
+
+    For direction ``"nw"`` the quadrant is bounded by the right vertical
+    and the lower horizontal tangent on ``o2'``; the other directions use
+    the symmetric tangent pairs.
+    """
+
+    def __init__(self, direction: str = "nw") -> None:
+        if direction not in ("nw", "ne", "sw", "se"):
+            raise PredicateError(f"unknown quadrant direction {direction!r}")
+        self.direction = direction
+        self.name = f"quadrant_overlap({direction})"
+
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        quadrant = o2.mbr().quadrant(self.direction)
+        return o1.mbr().intersects(quadrant)
+
+
+class BufferOverlapFilter(BigThetaOperator):
+    """``o1'`` overlaps the ``radius``-buffer of ``o2'``.
+
+    Filter for the reachability operator: the paper's "x-minute buffer"
+    becomes a rectangle grown by the travel radius.  Equivalent to a
+    closest-point distance test but phrased as the paper phrases it.
+    """
+
+    def __init__(self, radius: float) -> None:
+        if radius < 0:
+            raise PredicateError(f"buffer radius must be non-negative, got {radius}")
+        self.radius = radius
+        self.name = f"buffer_overlap({radius})"
+
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        return o1.mbr().intersects(o2.mbr().buffer(self.radius))
+
+
+class DistanceBandFilter(BigThetaOperator):
+    """Band test for ``between lo and hi from``: the annulus is reachable.
+
+    Passes when some point pair of the MBRs could realize a centerpoint
+    distance in ``[lo, hi]``: the closest MBR points must not already be
+    farther than ``hi`` and the farthest not closer than ``lo``.
+    """
+
+    def __init__(self, lo: float, hi: float) -> None:
+        if lo < 0 or hi < lo:
+            raise PredicateError(f"need 0 <= lo <= hi, got lo={lo}, hi={hi}")
+        self.lo = lo
+        self.hi = hi
+        self.name = f"distance_band({lo}, {hi})"
+
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        r1 = o1.mbr()
+        r2 = o2.mbr()
+        return r1.min_distance_to(r2) <= self.hi and r1.max_distance_to(r2) >= self.lo
+
+
+def theta_filter(theta: ThetaOperator) -> BigThetaOperator:
+    """The Table 1 Theta-filter for a given theta-operator.
+
+    Raises :class:`~repro.errors.PredicateError` for operator types with no
+    registered filter -- callers must not silently fall back to an exact
+    (and thus non-conservative-on-aggregates) test.
+    """
+    if isinstance(theta, WithinDistance):
+        return MinDistanceFilter(theta.d)
+    if isinstance(theta, (Overlaps, Includes, ContainedIn, Adjacent)):
+        # Adjacency implies touching, which implies MBR intersection.
+        return MBRIntersectsFilter()
+    if isinstance(theta, NorthwestOf):
+        return QuadrantOverlapFilter("nw")
+    if isinstance(theta, DirectionOf):
+        return QuadrantOverlapFilter(theta.direction)
+    if isinstance(theta, ReachableWithin):
+        return BufferOverlapFilter(theta.radius)
+    if isinstance(theta, DistanceBetween):
+        return DistanceBandFilter(theta.lo, theta.hi)
+    raise PredicateError(f"no Theta-filter registered for {type(theta).__name__}")

@@ -1,0 +1,220 @@
+"""The exact theta-operators of Table 1.
+
+Each operator is a callable object ``theta(o1, o2) -> bool`` over spatial
+operands; :meth:`ThetaOperator.filter_operator` returns the matching
+conservative Theta-filter (the right-hand column of Table 1).
+
+Operator semantics follow the paper exactly:
+
+* ``within distance d`` is measured **between centerpoints**;
+* ``to the Northwest of`` is measured **between centerpoints**;
+* ``reachable in x minutes`` is modeled as travel at constant speed, i.e.
+  closest-point distance at most ``speed * minutes`` (the paper leaves the
+  travel model abstract and buffers the target object -- our Theta-filter
+  buffers exactly the same way).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import PredicateError
+from repro.predicates.dispatch import (
+    SpatialObject,
+    centerpoint_of,
+    exact_contains,
+    exact_overlaps,
+    min_distance,
+)
+
+_DIRECTIONS = ("nw", "ne", "sw", "se")
+
+
+class ThetaOperator(ABC):
+    """An exact spatial predicate ``o1 theta o2``.
+
+    Subclasses implement :meth:`evaluate`; calling the operator delegates
+    there.  ``name`` identifies the operator in cost reports and traces.
+    """
+
+    #: Human-readable operator name, e.g. ``"overlaps"``.
+    name: str = "theta"
+
+    #: True when ``theta(a, b) == theta(b, a)`` for all operands.
+    symmetric: bool = False
+
+    @abstractmethod
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        """Exact truth value of ``o1 theta o2``."""
+
+    def __call__(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        return self.evaluate(o1, o2)
+
+    def filter_operator(self) -> "BigThetaOperator":  # noqa: F821
+        """The conservative Theta-filter paired with this operator."""
+        from repro.predicates.big_theta import theta_filter
+
+        return theta_filter(self)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class WithinDistance(ThetaOperator):
+    """``o1 within distance d from o2``, measured between centerpoints."""
+
+    symmetric = True
+
+    def __init__(self, d: float) -> None:
+        if d < 0:
+            raise PredicateError(f"distance bound must be non-negative, got {d}")
+        self.d = d
+        self.name = f"within_distance({d})"
+
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        return centerpoint_of(o1).distance_to(centerpoint_of(o2)) <= self.d
+
+
+class Overlaps(ThetaOperator):
+    """``o1 overlaps o2``: the closed regions share at least one point."""
+
+    name = "overlaps"
+    symmetric = True
+
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        return exact_overlaps(o1, o2)
+
+
+class Includes(ThetaOperator):
+    """``o1 includes o2``: o2 lies entirely inside o1 (Figure 4)."""
+
+    name = "includes"
+
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        return exact_contains(o1, o2)
+
+
+class ContainedIn(ThetaOperator):
+    """``o1 contained in o2``: the converse of :class:`Includes`."""
+
+    name = "contained_in"
+
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        return exact_contains(o2, o1)
+
+
+class NorthwestOf(ThetaOperator):
+    """``o1 to the Northwest of o2``, measured between centerpoints.
+
+    Strict semantics: the centerpoint of ``o1`` must be strictly west
+    (smaller x) *and* strictly north (larger y) of the centerpoint of
+    ``o2``.
+    """
+
+    name = "northwest_of"
+
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        return centerpoint_of(o1).is_northwest_of(centerpoint_of(o2))
+
+
+class DirectionOf(ThetaOperator):
+    """Generalized diagonal-direction operator between centerpoints.
+
+    ``direction`` selects the quadrant: ``"nw"`` reproduces
+    :class:`NorthwestOf`; ``"ne"``, ``"sw"`` and ``"se"`` are the symmetric
+    variants needed for full cartographic query support.
+    """
+
+    def __init__(self, direction: str) -> None:
+        if direction not in _DIRECTIONS:
+            raise PredicateError(
+                f"direction must be one of {_DIRECTIONS}, got {direction!r}"
+            )
+        self.direction = direction
+        self.name = f"direction_of({direction})"
+
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        c1 = centerpoint_of(o1)
+        c2 = centerpoint_of(o2)
+        west = c1.x < c2.x
+        north = c1.y > c2.y
+        if self.direction == "nw":
+            return west and north
+        if self.direction == "ne":
+            return (not west and c1.x != c2.x) and north
+        if self.direction == "sw":
+            return west and (not north and c1.y != c2.y)
+        return (not west and c1.x != c2.x) and (not north and c1.y != c2.y)
+
+
+class ReachableWithin(ThetaOperator):
+    """``o1 reachable from o2 in x minutes`` at constant travel speed.
+
+    The exact test is closest-point distance at most ``minutes * speed``.
+    The Theta-filter buffers the enclosing object by the same radius,
+    which is exactly the "x-minute buffer" construction of Table 1.
+    """
+
+    symmetric = True
+
+    def __init__(self, minutes: float, speed: float = 1.0) -> None:
+        if minutes < 0:
+            raise PredicateError(f"minutes must be non-negative, got {minutes}")
+        if speed <= 0:
+            raise PredicateError(f"speed must be positive, got {speed}")
+        self.minutes = minutes
+        self.speed = speed
+        self.name = f"reachable_within({minutes}min @ {speed})"
+
+    @property
+    def radius(self) -> float:
+        """The travel radius ``minutes * speed``."""
+        return self.minutes * self.speed
+
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        return min_distance(o1, o2) <= self.radius
+
+
+class Adjacent(ThetaOperator):
+    """``o1 adjacent o2``: boundaries touch but interiors do not overlap.
+
+    This is the operator of the paper's sort-merge counterexample
+    (Section 2.2, Figure 1): grid cells o3 and o9 are adjacent yet end up
+    far apart in any one-dimensional ordering.  The exact test here is
+    for rectangle-like operands: the closed regions intersect while the
+    interiors do not (the shared part has zero area).
+    """
+
+    name = "adjacent"
+    symmetric = True
+
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        if not exact_overlaps(o1, o2):
+            return False
+        inter = o1.mbr().intersection(o2.mbr())
+        if inter is None:
+            return False
+        # Touching means the overlap degenerates to an edge or a corner.
+        return inter.area() == 0.0
+
+
+class DistanceBetween(ThetaOperator):
+    """``o1 between lo and hi distance from o2`` (centerpoint metric).
+
+    This is the "between 50 and 100 kilometers from" operator the paper
+    uses to motivate the NO-LOC distribution: matches between large
+    objects are more likely because a band annulus is easier to hit.
+    """
+
+    symmetric = True
+
+    def __init__(self, lo: float, hi: float) -> None:
+        if lo < 0 or hi < lo:
+            raise PredicateError(f"need 0 <= lo <= hi, got lo={lo}, hi={hi}")
+        self.lo = lo
+        self.hi = hi
+        self.name = f"distance_between({lo}, {hi})"
+
+    def evaluate(self, o1: SpatialObject, o2: SpatialObject) -> bool:
+        d = centerpoint_of(o1).distance_to(centerpoint_of(o2))
+        return self.lo <= d <= self.hi

@@ -1,0 +1,38 @@
+"""Minimal extended-relational layer (the paper's assumed data model).
+
+Section 2 assumes "a relational data model that is extended by spatial
+data types and operators" (a la POSTGRES / DASDBS).  This subpackage
+provides just the slice of that model the join strategies need:
+
+* :class:`~repro.relational.schema.Schema` with spatial column types;
+* :class:`~repro.relational.tuples.RelTuple` -- immutable tuples with ids;
+* :class:`~repro.relational.relation.Relation` -- a named, schema-checked
+  collection of tuples backed by a simulated heap (or clustered) file,
+  with secondary spatial indices attachable per column.
+
+Selections and projections are provided so the paper's motivating query
+pipelines ("one or more selections before computing the actual join",
+Section 4.5) can be expressed.
+"""
+
+from repro.relational.schema import Column, ColumnType, Schema
+from repro.relational.tuples import RelTuple
+from repro.relational.relation import Relation
+from repro.relational.algebra import (
+    equijoin_into,
+    project_into,
+    select_into,
+    theta_join_into,
+)
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "RelTuple",
+    "Relation",
+    "select_into",
+    "project_into",
+    "equijoin_into",
+    "theta_join_into",
+]

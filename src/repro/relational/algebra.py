@@ -1,0 +1,151 @@
+"""Materializing relational algebra over simulated relations.
+
+Section 2.1 walks through the classical pipeline -- select the New York
+customers, equijoin with orders, project away redundant columns -- and
+Section 4.5 notes that spatial joins, too, typically run on the *results
+of selections* rather than on base relations.  This module provides the
+pieces to express both:
+
+* :func:`select_into` / :func:`project_into` -- materialized selection
+  and projection into fresh relations;
+* :func:`equijoin_into` -- the classical hash equijoin of the customer/
+  order example;
+* :func:`theta_join_into` -- a spatial theta-join (delegating to any
+  strategy of :class:`~repro.core.executor.SpatialQueryExecutor`) whose
+  result is materialized as a relation of concatenated tuples.
+
+All operators write their output through the same buffer pool machinery
+as base relations, so downstream operators and cost meters see ordinary
+relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import RelationError
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+from repro.relational.tuples import RelTuple
+from repro.storage.buffer import BufferPool
+
+
+def _output_relation(name: str, schema: Schema, like: Relation) -> Relation:
+    """A fresh relation sharing the source's disk and page geometry."""
+    return Relation(
+        name,
+        schema,
+        like.buffer_pool,
+        record_size=like.record_size,
+        utilization=like.utilization,
+    )
+
+
+def select_into(
+    relation: Relation,
+    predicate: Callable[[RelTuple], bool],
+    name: str,
+) -> Relation:
+    """Materialize ``sigma_predicate(relation)`` as a new relation."""
+    out = _output_relation(name, relation.schema, relation)
+    for t in relation.scan():
+        if predicate(t):
+            out.insert(t.values)
+    return out
+
+
+def project_into(
+    relation: Relation,
+    columns: Sequence[str],
+    name: str,
+) -> Relation:
+    """Materialize ``pi_columns(relation)`` as a new relation.
+
+    Duplicate rows are kept (bag semantics), matching SQL defaults and
+    keeping tuple identity simple.
+    """
+    schema = relation.schema.project(columns)
+    out = _output_relation(name, schema, relation)
+    for t in relation.scan():
+        out.insert([t[c] for c in columns])
+    return out
+
+
+def _joined_schema(rel_r: Relation, rel_s: Relation) -> Schema:
+    cols: list[Column] = list(rel_r.schema.columns)
+    taken = {c.name for c in cols}
+    for c in rel_s.schema.columns:
+        name = c.name
+        while name in taken:
+            name = f"{name}_2"
+        cols.append(Column(name, c.type))
+        taken.add(name)
+    return Schema(cols)
+
+
+def equijoin_into(
+    rel_r: Relation,
+    column_r: str,
+    rel_s: Relation,
+    column_s: str,
+    name: str,
+) -> Relation:
+    """Classical hash equijoin ``R |x|_{R.a = S.b} S``, materialized.
+
+    The smaller relation is built into an in-memory hash table and the
+    larger one probes it -- the textbook strategy the paper contrasts the
+    spatial case against (hashing works because equality, unlike spatial
+    proximity, survives a 1-D mapping).
+    """
+    if len(rel_r) <= len(rel_s):
+        build_rel, build_col = rel_r, column_r
+        probe_rel, probe_col = rel_s, column_s
+        build_is_r = True
+    else:
+        build_rel, build_col = rel_s, column_s
+        probe_rel, probe_col = rel_r, column_r
+        build_is_r = False
+
+    table: dict[Any, list[RelTuple]] = {}
+    for t in build_rel.scan():
+        table.setdefault(t[build_col], []).append(t)
+
+    schema = _joined_schema(rel_r, rel_s)
+    out = _output_relation(name, schema, rel_r)
+    for probe in probe_rel.scan():
+        for match in table.get(probe[probe_col], ()):
+            r_tuple, s_tuple = (match, probe) if build_is_r else (probe, match)
+            out.insert(r_tuple.values + s_tuple.values)
+    return out
+
+
+def theta_join_into(
+    executor: Any,
+    rel_r: Relation,
+    column_r: str,
+    rel_s: Relation,
+    column_s: str,
+    theta: Any,
+    name: str,
+    *,
+    strategy: str = "auto",
+    meter: Any = None,
+) -> Relation:
+    """Materialize the spatial join ``R |x|_theta S`` as a new relation.
+
+    ``executor`` is a :class:`~repro.core.executor.SpatialQueryExecutor`;
+    any of its strategies may be chosen.  Output tuples concatenate the
+    matching input tuples (clashing column names get a ``_2`` suffix), as
+    in the paper's ``nyorders`` walk-through.
+    """
+    result = executor.join(
+        rel_r, column_r, rel_s, column_s, theta,
+        strategy=strategy, meter=meter,
+    )
+    schema = _joined_schema(rel_r, rel_s)
+    out = _output_relation(name, schema, rel_r)
+    for tid_r, tid_s in result.pairs:
+        r_tuple = rel_r.get(tid_r)
+        s_tuple = rel_s.get(tid_s)
+        out.insert(r_tuple.values + s_tuple.values)
+    return out

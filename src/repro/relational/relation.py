@@ -1,0 +1,220 @@
+"""Relations: schema-checked tuple collections over simulated files.
+
+A relation owns a backing file (heap by default, clustered after
+:meth:`Relation.recluster`), hands out tuple ids, and hosts secondary
+spatial indices -- one generalization tree per indexed spatial column,
+as the paper assumes ("each generalization tree serves as a secondary
+index on a spatial column of exactly one relation", Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import RelationError, SchemaError
+from repro.relational.schema import Schema
+from repro.relational.tuples import RelTuple
+from repro.storage.buffer import BufferPool
+from repro.storage.clustered import ClusteredFile
+from repro.storage.heapfile import HeapFile
+from repro.storage.record import RecordId
+
+#: Default tuple size in bytes (the paper's ``v`` from Table 3).
+DEFAULT_TUPLE_SIZE = 300
+
+
+class Relation:
+    """A named relation backed by a simulated file.
+
+    ``record_size`` and ``utilization`` feed the ``m = floor(s*l / v)``
+    arithmetic of the cost model; with the Table 3 values each page holds
+    five tuples.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        buffer_pool: BufferPool,
+        record_size: int = DEFAULT_TUPLE_SIZE,
+        utilization: float = 0.75,
+    ) -> None:
+        if not name:
+            raise RelationError("relation name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self.buffer_pool = buffer_pool
+        self.record_size = record_size
+        self.utilization = utilization
+        self._file: HeapFile = HeapFile(buffer_pool, record_size, utilization)
+        self._indices: dict[str, Any] = {}
+        self._clustered = False
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> RelTuple:
+        """Validate, store and return the tuple (with its id assigned).
+
+        Secondary indices on this relation are maintained automatically.
+        """
+        t = RelTuple(self.schema, values)
+        t.tid = self._file.append(t)
+        for column, index in self._indices.items():
+            index.insert(t[column], t.tid)
+        return t
+
+    def insert_all(self, rows: Iterable[Sequence[Any]]) -> list[RelTuple]:
+        """Insert many rows; returns the stored tuples in order."""
+        return [self.insert(r) for r in rows]
+
+    def delete(self, tid: RecordId) -> None:
+        """Remove a tuple by id; index entries are removed as well."""
+        t = self.get(tid)
+        self._file.delete(tid)
+        for column, index in self._indices.items():
+            remove = getattr(index, "delete", None) or getattr(index, "remove", None)
+            if remove is not None:
+                remove(t[column], tid)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def get(self, tid: RecordId) -> RelTuple:
+        """Fetch one tuple by id (a page access through the buffer pool)."""
+        record = self._file.get(tid)
+        if not isinstance(record, RelTuple):
+            raise RelationError(f"{tid} does not hold a tuple of {self.name}")
+        return record
+
+    def get_many(self, tids: Sequence[RecordId]) -> list[RelTuple]:
+        """Fetch several tuples, sorting ids to batch same-page accesses."""
+        return self._file.get_many(list(tids))
+
+    def scan(self) -> Iterator[RelTuple]:
+        """Sequential scan in file order."""
+        for _rid, record in self._file.scan():
+            yield record
+
+    def select(self, predicate: Callable[[RelTuple], bool]) -> list[RelTuple]:
+        """Materialized selection via full scan (no index use)."""
+        return [t for t in self.scan() if predicate(t)]
+
+    def project(self, names: Sequence[str]) -> list[RelTuple]:
+        """Materialized projection onto the named columns."""
+        return [t.project(names) for t in self.scan()]
+
+    # ------------------------------------------------------------------
+    # Indexing & clustering
+    # ------------------------------------------------------------------
+
+    def attach_index(self, column: str, index: Any, backfill: bool = True) -> None:
+        """Register a secondary index (e.g. an R-tree) on a spatial column.
+
+        The index must expose ``insert(key, tid)``; existing tuples are
+        back-filled into it unless ``backfill=False`` (for indices built
+        alongside the relation, like explicit cartographic hierarchies).
+        """
+        col = self.schema.column(column)
+        if not col.type.is_spatial:
+            raise SchemaError(
+                f"column {column!r} of {self.name} is not spatial "
+                f"({col.type.value}); generalization trees index spatial columns"
+            )
+        if column in self._indices:
+            raise RelationError(f"{self.name} already has an index on {column!r}")
+        if backfill:
+            for t in self.scan():
+                index.insert(t[column], t.tid)
+        self._indices[column] = index
+
+    def index_on(self, column: str) -> Any:
+        """The secondary index on ``column``; raises if none is attached."""
+        try:
+            return self._indices[column]
+        except KeyError:
+            raise RelationError(
+                f"{self.name} has no index on column {column!r}"
+            ) from None
+
+    def has_index_on(self, column: str) -> bool:
+        return column in self._indices
+
+    def recluster(self, order: Sequence[RecordId]) -> dict[RecordId, RecordId]:
+        """Rebuild the backing file with tuples in the given RID order.
+
+        This realizes strategy IIb's breadth-first clustering: pass the
+        RIDs in BFS order of the generalization tree and the relation's
+        pages become tree-clustered.  Returns the old-RID -> new-RID map;
+        attached indices are rewritten to the new ids.
+        """
+        old_tuples = {rid: rec for rid, rec in self._file.scan()}
+        missing = [rid for rid in order if rid not in old_tuples]
+        if missing:
+            raise RelationError(f"recluster order references unknown RIDs: {missing[:3]}")
+        if len(order) != len(old_tuples):
+            raise RelationError(
+                f"recluster order has {len(order)} RIDs, relation has {len(old_tuples)} tuples"
+            )
+        new_file = ClusteredFile(self.buffer_pool, self.record_size, self.utilization)
+        ordered_tuples = [old_tuples[rid] for rid in order]
+        new_rids = new_file.bulk_load(ordered_tuples)
+        rid_map = dict(zip(order, new_rids))
+        for t, new_rid in zip(ordered_tuples, new_rids):
+            t.tid = new_rid
+        self._file = new_file
+        self._clustered = True
+        for index in self._indices.values():
+            remap = getattr(index, "remap_tids", None)
+            if remap is not None:
+                remap(rid_map)
+        return rid_map
+
+    def reset_buffer(self, memory_pages: int | None = None, meter: Any = None) -> None:
+        """Install a fresh, cold buffer pool over the same disk.
+
+        Benchmarks call this between strategy runs so every run starts
+        with an empty cache; dirty pages are flushed (and their writes
+        charged to the old meter) first.  Structures that captured the
+        old pool (e.g. B+-trees) keep using it -- only this relation's
+        own page traffic moves to the new pool.
+        """
+        from repro.storage.costs import CostMeter
+
+        self.buffer_pool.flush_all()
+        capacity = memory_pages if memory_pages is not None else self.buffer_pool.capacity
+        new_meter = meter if meter is not None else CostMeter()
+        new_pool = BufferPool(self.buffer_pool.disk, capacity, new_meter)
+        self.buffer_pool = new_pool
+        self._file.buffer_pool = new_pool
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def is_clustered(self) -> bool:
+        return self._clustered
+
+    @property
+    def num_pages(self) -> int:
+        """Pages occupied by the relation (the model's ``ceil(N/m)``)."""
+        return self._file.num_pages
+
+    @property
+    def records_per_page(self) -> int:
+        """The model's ``m``."""
+        return self._file.records_per_page
+
+    @property
+    def page_ids(self) -> tuple[int, ...]:
+        """Ids of the pages backing this relation, in file order."""
+        return self._file.page_ids
+
+    def __len__(self) -> int:
+        return len(self._file)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {len(self)} tuples, {self.num_pages} pages)"

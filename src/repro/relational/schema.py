@@ -1,0 +1,158 @@
+"""Schemas with spatial column types.
+
+The paper's running example uses::
+
+    house(hid, hprice, hlocation)   -- hlocation of type POINT
+    lake(lid, name, larea)          -- larea of type POLYGON
+
+A :class:`Schema` validates tuple values against declared column types and
+identifies which columns are spatial (eligible for generalization-tree
+indices and spatial joins).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import SchemaError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.polyline import PolyLine
+from repro.geometry.rect import Rect
+
+
+class ColumnType(enum.Enum):
+    """Supported column types; the last four are spatial."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    POINT = "point"
+    RECT = "rect"
+    POLYGON = "polygon"
+    POLYLINE = "polyline"
+
+    @property
+    def is_spatial(self) -> bool:
+        return self in _SPATIAL_TYPES
+
+    def accepts(self, value: Any) -> bool:
+        """True if ``value`` is a legal instance of this column type."""
+        expected = _PYTHON_TYPES[self]
+        if self is ColumnType.FLOAT:
+            # Ints are acceptable floats, but bools are not numbers here.
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is ColumnType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        return isinstance(value, expected)
+
+
+_SPATIAL_TYPES = frozenset(
+    {ColumnType.POINT, ColumnType.RECT, ColumnType.POLYGON, ColumnType.POLYLINE}
+)
+
+_PYTHON_TYPES: dict[ColumnType, type | tuple[type, ...]] = {
+    ColumnType.INT: int,
+    ColumnType.FLOAT: float,
+    ColumnType.STR: str,
+    ColumnType.POINT: Point,
+    ColumnType.RECT: Rect,
+    ColumnType.POLYGON: Polygon,
+    ColumnType.POLYLINE: PolyLine,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    type: ColumnType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"column name must be an identifier, got {self.name!r}")
+
+
+class Schema:
+    """An ordered set of uniquely named columns."""
+
+    __slots__ = ("_columns", "_index_by_name")
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        cols = tuple(columns)
+        if not cols:
+            raise SchemaError("a schema needs at least one column")
+        names = [c.name for c in cols]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        self._columns = cols
+        self._index_by_name = {c.name: i for i, c in enumerate(cols)}
+
+    @classmethod
+    def of(cls, **name_types: ColumnType) -> "Schema":
+        """Concise constructor: ``Schema.of(hid=ColumnType.INT, ...)``."""
+        return cls([Column(n, t) for n, t in name_types.items()])
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index_by_name
+
+    def index_of(self, name: str) -> int:
+        """Position of a column; raises for unknown names."""
+        try:
+            return self._index_by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; schema has {self.column_names}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self._columns[self.index_of(name)]
+
+    def spatial_columns(self) -> tuple[Column, ...]:
+        """The columns eligible for spatial indices and joins."""
+        return tuple(c for c in self._columns if c.type.is_spatial)
+
+    def validate(self, values: Sequence[Any]) -> tuple[Any, ...]:
+        """Type-check a value sequence against the schema; returns a tuple."""
+        vals = tuple(values)
+        if len(vals) != len(self._columns):
+            raise SchemaError(
+                f"expected {len(self._columns)} values, got {len(vals)}"
+            )
+        for col, val in zip(self._columns, vals):
+            if not col.type.accepts(val):
+                raise SchemaError(
+                    f"column {col.name!r} expects {col.type.value}, "
+                    f"got {type(val).__name__} ({val!r})"
+                )
+        return vals
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Sub-schema with the named columns, in the order given."""
+        return Schema([self.column(n) for n in names])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.type.value}" for c in self._columns)
+        return f"Schema({cols})"

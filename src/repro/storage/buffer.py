@@ -1,0 +1,142 @@
+"""LRU buffer pool: the ``M``-page main memory of the cost model.
+
+Table 3 gives ``M = 4000`` pages of main memory.  Both the nested-loop
+join and the tree join of Section 4.4 rely on a "main memory utilization
+technique" that fills most of memory (``M - 10`` pages) with one operand
+and streams the other; the pool supports that via pinning.
+
+Every miss charges one page read to the meter; hits are free, exactly as
+the analytical model assumes for pages already resident (e.g. the root of
+a generalization tree, which the paper locks in main memory).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import BufferPoolError
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page
+
+
+class BufferPool:
+    """An LRU cache of disk pages with pin support.
+
+    ``capacity`` is the number of page frames (the model's ``M``).  Pinned
+    pages are never evicted; attempting to fetch when every frame is
+    pinned raises, mirroring a real system's buffer-starvation error.
+    """
+
+    def __init__(self, disk: SimulatedDisk, capacity: int, meter: CostMeter | None = None) -> None:
+        if capacity <= 0:
+            raise BufferPoolError(f"buffer capacity must be positive, got {capacity}")
+        self.disk = disk
+        self.capacity = capacity
+        self.meter = meter if meter is not None else CostMeter()
+        self._frames: "OrderedDict[int, Page]" = OrderedDict()
+        self._pin_counts: dict[int, int] = {}
+        self._dirty: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+
+    def fetch(self, page_id: int) -> Page:
+        """Return the page, charging one read on a miss.
+
+        The page becomes the most-recently-used frame.
+        """
+        if page_id in self._frames:
+            self._frames.move_to_end(page_id)
+            self.meter.record_hit()
+            return self._frames[page_id]
+        page = self.disk.read_page(page_id)
+        self._admit(page)
+        self.meter.record_read()
+        return page
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Flag a resident page as modified; it is written back on eviction."""
+        if page_id not in self._frames:
+            raise BufferPoolError(f"page {page_id} is not resident")
+        self._dirty.add(page_id)
+
+    def new_page(self) -> Page:
+        """Allocate a page on disk and admit it dirty (one write is charged
+        when it is eventually evicted or flushed)."""
+        page = self.disk.allocate_page()
+        self._admit(page)
+        self._dirty.add(page.page_id)
+        return page
+
+    def pin(self, page_id: int) -> Page:
+        """Fetch and pin a page so it cannot be evicted."""
+        page = self.fetch(page_id)
+        self._pin_counts[page_id] = self._pin_counts.get(page_id, 0) + 1
+        return page
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin on a page."""
+        count = self._pin_counts.get(page_id, 0)
+        if count <= 0:
+            raise BufferPoolError(f"page {page_id} is not pinned")
+        if count == 1:
+            del self._pin_counts[page_id]
+        else:
+            self._pin_counts[page_id] = count - 1
+
+    def flush_all(self) -> None:
+        """Write back every dirty resident page (charging writes)."""
+        for page_id in sorted(self._dirty):
+            if page_id in self._frames:
+                self.disk.write_page(self._frames[page_id])
+                self.meter.record_write()
+        self._dirty.clear()
+
+    def clear(self) -> None:
+        """Flush and drop all frames (e.g. between benchmark phases)."""
+        self.flush_all()
+        if self._pin_counts:
+            raise BufferPoolError(f"cannot clear pool with pinned pages: {sorted(self._pin_counts)}")
+        self._frames.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def is_resident(self, page_id: int) -> bool:
+        """True if the page currently occupies a frame (no cost)."""
+        return page_id in self._frames
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._frames)
+
+    @property
+    def pinned_count(self) -> int:
+        return len(self._pin_counts)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _admit(self, page: Page) -> None:
+        if page.page_id in self._frames:
+            self._frames.move_to_end(page.page_id)
+            return
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[page.page_id] = page
+
+    def _evict_one(self) -> None:
+        for victim_id in self._frames:
+            if victim_id not in self._pin_counts:
+                break
+        else:
+            raise BufferPoolError("all buffer frames are pinned; cannot evict")
+        page = self._frames.pop(victim_id)
+        if victim_id in self._dirty:
+            self.disk.write_page(page)
+            self.meter.record_write()
+            self._dirty.discard(victim_id)

@@ -1,0 +1,117 @@
+"""Cost accounting in the paper's abstract units.
+
+Table 2 defines three *system performance dependent* parameters:
+
+* ``C_Theta`` -- cost of one Theta-operator (predicate) computation;
+* ``C_IO``    -- cost of one disk I/O (page access);
+* ``C_U``     -- cost of one update computation.
+
+Table 3 fixes them at ``1 / 1000 / 1`` for the comparative study.  The
+:class:`CostMeter` is threaded through the storage layer and the join
+strategies so every empirical run yields the same three counters the
+analytical formulas predict, plus a weighted total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CostModelError
+
+
+@dataclass(frozen=True, slots=True)
+class CostCharges:
+    """Per-event weights for the three abstract cost units."""
+
+    c_theta: float = 1.0
+    c_io: float = 1000.0
+    c_update: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.c_theta < 0 or self.c_io < 0 or self.c_update < 0:
+            raise CostModelError(f"cost charges must be non-negative: {self}")
+
+
+#: The charge vector of Table 3 (C_Theta=1, C_IO=1000, C_U=1).
+PAPER_CHARGES = CostCharges()
+
+
+@dataclass(slots=True)
+class CostMeter:
+    """Mutable event counters for one measured operation.
+
+    The storage layer records page reads/writes and buffer hits; the join
+    strategies record predicate evaluations (split into Theta-filter and
+    exact-theta refinements, which sum to the paper's single ``C_Theta``
+    category) and update computations.
+    """
+
+    page_reads: int = 0
+    page_writes: int = 0
+    buffer_hits: int = 0
+    theta_filter_evals: int = 0
+    theta_exact_evals: int = 0
+    update_computations: int = 0
+    charges: CostCharges = field(default_factory=CostCharges)
+
+    @property
+    def io_operations(self) -> int:
+        """Physical page accesses (reads + writes); buffer hits are free."""
+        return self.page_reads + self.page_writes
+
+    @property
+    def predicate_evaluations(self) -> int:
+        """All predicate computations, filter and refinement combined."""
+        return self.theta_filter_evals + self.theta_exact_evals
+
+    def record_read(self, pages: int = 1) -> None:
+        self.page_reads += pages
+
+    def record_write(self, pages: int = 1) -> None:
+        self.page_writes += pages
+
+    def record_hit(self, pages: int = 1) -> None:
+        self.buffer_hits += pages
+
+    def record_filter_eval(self, count: int = 1) -> None:
+        self.theta_filter_evals += count
+
+    def record_exact_eval(self, count: int = 1) -> None:
+        self.theta_exact_evals += count
+
+    def record_update(self, count: int = 1) -> None:
+        self.update_computations += count
+
+    def total(self) -> float:
+        """Weighted cost in the paper's units.
+
+        ``predicate_evaluations * C_Theta + io_operations * C_IO +
+        update_computations * C_U`` -- directly comparable to the formulas
+        of Sections 4.2-4.4.
+        """
+        return (
+            self.predicate_evaluations * self.charges.c_theta
+            + self.io_operations * self.charges.c_io
+            + self.update_computations * self.charges.c_update
+        )
+
+    def reset(self) -> None:
+        """Zero all counters (charges are kept)."""
+        self.page_reads = 0
+        self.page_writes = 0
+        self.buffer_hits = 0
+        self.theta_filter_evals = 0
+        self.theta_exact_evals = 0
+        self.update_computations = 0
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict view for reports and benchmark output."""
+        return {
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "buffer_hits": self.buffer_hits,
+            "theta_filter_evals": self.theta_filter_evals,
+            "theta_exact_evals": self.theta_exact_evals,
+            "update_computations": self.update_computations,
+            "total": self.total(),
+        }

@@ -1,0 +1,52 @@
+"""The simulated disk: page-granular storage with stable page ids.
+
+The disk itself never charges costs -- all traffic must flow through a
+:class:`~repro.storage.buffer.BufferPool`, which decides whether an access
+is a (free) buffer hit or a (charged) physical I/O.  Keeping the disk
+passive makes the accounting single-sourced.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.storage.page import Page, PAGE_SIZE
+
+
+class SimulatedDisk:
+    """An append-allocated collection of fixed-size pages."""
+
+    def __init__(self, page_size: int = PAGE_SIZE) -> None:
+        if page_size <= 0:
+            raise StorageError(f"page size must be positive, got {page_size}")
+        self.page_size = page_size
+        self._pages: list[Page] = []
+
+    def allocate_page(self) -> Page:
+        """Create a fresh page and return it (already 'on disk')."""
+        page = Page(page_id=len(self._pages), capacity=self.page_size)
+        self._pages.append(page)
+        return page
+
+    def read_page(self, page_id: int) -> Page:
+        """Fetch a page by id; raises for never-allocated ids."""
+        if not 0 <= page_id < len(self._pages):
+            raise StorageError(f"no such page: {page_id}")
+        return self._pages[page_id]
+
+    def write_page(self, page: Page) -> None:
+        """Persist a page object under its id.
+
+        Pages are shared in-memory objects in this simulation, so the write
+        is a consistency check rather than a copy.
+        """
+        if not 0 <= page.page_id < len(self._pages):
+            raise StorageError(f"cannot write unallocated page {page.page_id}")
+        self._pages[page.page_id] = page
+
+    @property
+    def num_pages(self) -> int:
+        """Pages allocated so far."""
+        return len(self._pages)
+
+    def __len__(self) -> int:
+        return len(self._pages)

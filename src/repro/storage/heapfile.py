@@ -1,0 +1,126 @@
+"""Heap files: fixed-size records appended page by page.
+
+A relation with ``N`` tuples of size ``v`` occupies ``ceil(N*v / (s*l))``
+pages (Section 4.1); equivalently each page holds ``m = floor(s*l / v)``
+tuples.  The heap file enforces exactly that layout: a page accepts
+records until ``m`` slots are used, then a new page is allocated.  The
+*order* of records in a heap file is arrival order -- for strategy IIa
+(unclustered generalization tree) this is deliberately uncorrelated with
+tree order, which is what makes the Yao-number analysis applicable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.record import RecordId
+
+
+class HeapFile:
+    """An append-only file of fixed-size records over a buffer pool."""
+
+    def __init__(
+        self,
+        buffer_pool: BufferPool,
+        record_size: int,
+        utilization: float = 0.75,
+    ) -> None:
+        if record_size <= 0:
+            raise StorageError(f"record size must be positive, got {record_size}")
+        if not 0.0 < utilization <= 1.0:
+            raise StorageError(f"utilization must be in (0, 1], got {utilization}")
+        page_size = buffer_pool.disk.page_size
+        records_per_page = math.floor(page_size * utilization / record_size)
+        if records_per_page < 1:
+            raise StorageError(
+                f"record size {record_size} too large for page size {page_size} "
+                f"at utilization {utilization}"
+            )
+        self.buffer_pool = buffer_pool
+        self.record_size = record_size
+        self.utilization = utilization
+        #: The model's ``m``: records stored per page.
+        self.records_per_page = records_per_page
+        self._page_ids: list[int] = []
+        self._page_id_set: set[int] = set()
+        self._record_count = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def append(self, record: Any) -> RecordId:
+        """Store a record, allocating a new page when the current is full."""
+        if self._page_ids:
+            last = self.buffer_pool.fetch(self._page_ids[-1])
+            if last.record_count() < self.records_per_page:
+                slot = last.insert(record, self.record_size)
+                self.buffer_pool.mark_dirty(last.page_id)
+                self._record_count += 1
+                return RecordId(last.page_id, slot)
+        page = self.buffer_pool.new_page()
+        self._page_ids.append(page.page_id)
+        self._page_id_set.add(page.page_id)
+        slot = page.insert(record, self.record_size)
+        self._record_count += 1
+        return RecordId(page.page_id, slot)
+
+    def append_all(self, records: Any) -> list[RecordId]:
+        """Append many records, returning their RIDs in order."""
+        return [self.append(r) for r in records]
+
+    def delete(self, rid: RecordId) -> None:
+        """Tombstone a record (page space is reclaimed, RID stays dead)."""
+        self._check_rid(rid)
+        page = self.buffer_pool.fetch(rid.page_id)
+        page.delete(rid.slot)
+        self.buffer_pool.mark_dirty(rid.page_id)
+        self._record_count -= 1
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def get(self, rid: RecordId) -> Any:
+        """Fetch one record by RID (one page access through the pool)."""
+        self._check_rid(rid)
+        page = self.buffer_pool.fetch(rid.page_id)
+        return page.get(rid.slot)
+
+    def get_many(self, rids: list[RecordId]) -> list[Any]:
+        """Fetch records for sorted-or-not RIDs; sorts to batch page hits."""
+        out: dict[RecordId, Any] = {}
+        for rid in sorted(set(rids)):
+            out[rid] = self.get(rid)
+        return [out[rid] for rid in rids]
+
+    def scan(self) -> Iterator[tuple[RecordId, Any]]:
+        """Full sequential scan: each page is fetched once, in file order."""
+        for page_id in self._page_ids:
+            page = self.buffer_pool.fetch(page_id)
+            for slot, record in enumerate(page.slots):
+                if record is not None:
+                    yield RecordId(page_id, slot), record
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        """Pages allocated to this file."""
+        return len(self._page_ids)
+
+    @property
+    def page_ids(self) -> tuple[int, ...]:
+        return tuple(self._page_ids)
+
+    def __len__(self) -> int:
+        return self._record_count
+
+    def _check_rid(self, rid: RecordId) -> None:
+        if rid.page_id not in self._page_id_set:
+            raise StorageError(f"{rid} does not belong to this file")

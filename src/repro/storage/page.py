@@ -1,0 +1,79 @@
+"""Fixed-size pages of the simulated disk.
+
+Table 3 sets the page size ``s`` to 2000 bytes; with tuple size ``v = 300``
+and utilization ``l = 0.75`` each page holds ``m = floor(s*l / v) = 5``
+tuples.  Pages here carry Python objects plus a *declared* byte size so
+the capacity arithmetic matches the model without real serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import StorageError
+
+#: Default page size in bytes (the paper's ``s``).
+PAGE_SIZE = 2000
+
+
+@dataclass(slots=True)
+class Page:
+    """One disk page: an id, a byte capacity and slotted records.
+
+    Records are appended into slots; a deleted slot is tombstoned with
+    ``None`` so surviving RIDs stay valid.
+    """
+
+    page_id: int
+    capacity: int = PAGE_SIZE
+    used_bytes: int = 0
+    slots: list[Any] = field(default_factory=list)
+    slot_sizes: list[int] = field(default_factory=list)
+
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    def has_room_for(self, size: int) -> bool:
+        """True if a record of ``size`` declared bytes fits on this page."""
+        return size <= self.free_bytes()
+
+    def insert(self, record: Any, size: int) -> int:
+        """Append ``record`` and return its slot number."""
+        if size <= 0:
+            raise StorageError(f"record size must be positive, got {size}")
+        if not self.has_room_for(size):
+            raise StorageError(
+                f"page {self.page_id} full: {self.free_bytes()} bytes free, need {size}"
+            )
+        self.slots.append(record)
+        self.slot_sizes.append(size)
+        self.used_bytes += size
+        return len(self.slots) - 1
+
+    def get(self, slot: int) -> Any:
+        """The record in ``slot``; raises on tombstones and bad slots."""
+        if not 0 <= slot < len(self.slots):
+            raise StorageError(f"page {self.page_id} has no slot {slot}")
+        record = self.slots[slot]
+        if record is None:
+            raise StorageError(f"slot {slot} of page {self.page_id} was deleted")
+        return record
+
+    def delete(self, slot: int) -> None:
+        """Tombstone ``slot``, releasing its declared bytes."""
+        if not 0 <= slot < len(self.slots):
+            raise StorageError(f"page {self.page_id} has no slot {slot}")
+        if self.slots[slot] is None:
+            raise StorageError(f"slot {slot} of page {self.page_id} already deleted")
+        self.used_bytes -= self.slot_sizes[slot]
+        self.slots[slot] = None
+        self.slot_sizes[slot] = 0
+
+    def live_records(self) -> list[Any]:
+        """All non-tombstoned records on the page, in slot order."""
+        return [r for r in self.slots if r is not None]
+
+    def record_count(self) -> int:
+        """Number of live records."""
+        return sum(1 for r in self.slots if r is not None)

@@ -1,0 +1,25 @@
+"""Record identifiers for the simulated files.
+
+A :class:`RecordId` names a record by ``(page_id, slot)`` -- the classic
+RID.  Join indices (Section 2.1, [Vald87]) are two-column relations of
+exactly these identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class RecordId:
+    """Physical address of a record: page number plus slot within the page.
+
+    Ordered lexicographically so RID lists can be sorted to turn random
+    record fetches into (mostly) sequential page fetches.
+    """
+
+    page_id: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"rid({self.page_id}:{self.slot})"

@@ -1,0 +1,171 @@
+"""Balanced k-ary generalization trees (modeling assumption S1).
+
+The cost model of Section 4 assumes "all generalization trees are
+balanced k-ary trees of height n" where *every* node corresponds to an
+application object (assumption S2).  This module builds exactly such
+trees over a recursive spatial subdivision, so the empirical twins of the
+paper's experiments run on the same structure the formulas describe:
+
+* the root covers the whole universe rectangle;
+* each node's region is divided into ``k`` child cells in a near-square
+  grid (children tile the parent -- containment holds by construction);
+* the tree has ``(k^(n+1) - 1) / (k - 1)`` nodes; with Table 3's
+  ``k = 10, n = 6`` that is the paper's ``N = 1,111,111``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator
+
+from repro.errors import TreeError
+from repro.geometry.rect import Rect
+from repro.predicates.dispatch import SpatialObject
+from repro.storage.record import RecordId
+from repro.trees.base import GeneralizationTree
+from repro.trees.node import GTNode
+
+
+def tree_size(k: int, n: int) -> int:
+    """Number of nodes of a full k-ary tree of height ``n`` (root at 0)."""
+    if k == 1:
+        return n + 1
+    return (k ** (n + 1) - 1) // (k - 1)
+
+
+def _grid_shape(k: int) -> tuple[int, int]:
+    """Near-square (cols, rows) factorization with ``cols * rows >= k``."""
+    cols = math.ceil(math.sqrt(k))
+    rows = math.ceil(k / cols)
+    return cols, rows
+
+
+class BalancedKTree(GeneralizationTree):
+    """A full k-ary tree of height ``n`` over a rectangular subdivision.
+
+    Regions are assigned by dividing each parent cell into a
+    ``cols x rows`` grid and taking the first ``k`` cells, so sibling
+    regions are disjoint and children exactly cover (at most) the parent.
+    Every node is an application object; tuple ids are attached via
+    ``assign_tids`` once the backing relation is populated.
+    """
+
+    def __init__(self, k: int, n: int, universe: Rect | None = None) -> None:
+        if k < 1:
+            raise TreeError(f"branching factor must be at least 1, got {k}")
+        if n < 0:
+            raise TreeError(f"height must be non-negative, got {n}")
+        self.k = k
+        self.n = n
+        self.universe = universe if universe is not None else Rect(0.0, 0.0, 1.0, 1.0)
+        self._root = self._build(self.universe, n)
+        self._bfs_cache: list[GTNode] | None = None
+
+    def _build(self, region: Rect, levels_below: int) -> GTNode:
+        node = GTNode(region=region)
+        if levels_below == 0:
+            return node
+        cols, rows = _grid_shape(self.k)
+        cell_w = region.width / cols
+        cell_h = region.height / rows
+        made = 0
+        for r in range(rows):
+            for c in range(cols):
+                if made >= self.k:
+                    break
+                cell = Rect(
+                    region.xmin + c * cell_w,
+                    region.ymin + r * cell_h,
+                    region.xmin + (c + 1) * cell_w,
+                    region.ymin + (r + 1) * cell_h,
+                )
+                node.add_child(self._build(cell, levels_below - 1))
+                made += 1
+        return node
+
+    # ------------------------------------------------------------------
+    # GeneralizationTree protocol
+    # ------------------------------------------------------------------
+
+    def root(self) -> GTNode:
+        return self._root
+
+    def children(self, node: GTNode) -> list[GTNode]:
+        return node.children
+
+    def region(self, node: GTNode) -> SpatialObject:
+        return node.region
+
+    def tid(self, node: GTNode) -> RecordId | None:
+        return node.tid
+
+    def insert(self, obj: SpatialObject, tid: RecordId) -> None:
+        """Balanced model trees are static; the update cost model of
+        Section 4.2 is exercised through :mod:`repro.costmodel` instead."""
+        raise TreeError(
+            "BalancedKTree is a static model structure; build it at the "
+            "desired size instead of inserting"
+        )
+
+    # ------------------------------------------------------------------
+    # Model-experiment helpers
+    # ------------------------------------------------------------------
+
+    def height(self) -> int:
+        return self.n
+
+    def node_count(self) -> int:
+        return tree_size(self.k, self.n)
+
+    def bfs_list(self) -> list[GTNode]:
+        """Materialized BFS order (cached); level ``i`` starts at index
+        ``(k^i - 1) / (k - 1)``."""
+        if self._bfs_cache is None:
+            self._bfs_cache = list(self.bfs_nodes())
+        return self._bfs_cache
+
+    def nodes_at_height(self, i: int) -> list[GTNode]:
+        """All nodes at height ``i`` (the model's ``k^i`` nodes)."""
+        if not 0 <= i <= self.n:
+            raise TreeError(f"height {i} outside [0, {self.n}]")
+        if self.k == 1:
+            return [self.bfs_list()[i]]
+        start = (self.k**i - 1) // (self.k - 1)
+        return self.bfs_list()[start : start + self.k**i]
+
+    def assign_tids(self, tids_in_bfs_order: list[RecordId]) -> None:
+        """Attach tuple ids to all nodes, in BFS order."""
+        nodes = self.bfs_list()
+        if len(tids_in_bfs_order) != len(nodes):
+            raise TreeError(
+                f"need {len(nodes)} tids (one per node), got {len(tids_in_bfs_order)}"
+            )
+        for node, tid in zip(nodes, tids_in_bfs_order):
+            node.tid = tid
+
+    def remap_tids(self, rid_map: dict) -> None:
+        """Rewrite tuple ids after the backing relation was reclustered."""
+        for node in self.bfs_list():
+            if node.tid in rid_map:
+                node.tid = rid_map[node.tid]
+
+    def leftmost_leaf(self) -> GTNode:
+        """The leftmost leaf -- Figure 7's reference object ``o1``."""
+        node = self._root
+        while node.children:
+            node = node.children[0]
+        return node
+
+    def depth_of(self, target: GTNode) -> int:
+        """Depth (= the paper's height index) of a node, by search."""
+        for depth, level in enumerate(self.levels()):
+            if any(n is target for n in level):
+                return depth
+        raise TreeError("node does not belong to this tree")
+
+    def levels(self) -> Iterator[list[GTNode]]:
+        """Yield the node lists level by level, root first."""
+        level = [self._root]
+        while level:
+            yield level
+            level = [c for n in level for c in n.children]

@@ -1,0 +1,127 @@
+"""Application-specific cartographic hierarchies (Figure 3).
+
+The paper's second family of generalization trees: a map divided into
+countries, countries into states, states into cities -- every node an
+application object the user may query for.  The tree is built either
+explicitly (``add_child``) or automatically from a flat object set via
+containment of the objects' geometries (``from_containment``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import TreeError
+from repro.predicates.dispatch import SpatialObject, exact_contains
+from repro.storage.record import RecordId
+from repro.trees.base import GeneralizationTree
+from repro.trees.node import GTNode
+
+
+class CartoTree(GeneralizationTree):
+    """An explicit hierarchy of detail over application objects."""
+
+    def __init__(self, root_region: SpatialObject, root_tid: RecordId | None = None,
+                 root_payload: Any = None) -> None:
+        self._root = GTNode(region=root_region, tid=root_tid, payload=root_payload)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_containment(
+        cls,
+        objects: Sequence[tuple[SpatialObject, RecordId | None]],
+        root_region: SpatialObject,
+    ) -> "CartoTree":
+        """Build the hierarchy implied by geometric containment.
+
+        Each object becomes a child of the *smallest* object that contains
+        it (by exact containment test), or of the root if none does.
+        Objects are processed largest-first so parents exist before their
+        children.  Ties in area are broken deterministically by insertion
+        order.
+        """
+        tree = cls(root_region)
+        ranked = sorted(
+            objects, key=lambda pair: -_area_of(pair[0])
+        )
+        placed: list[GTNode] = []
+        for obj, tid in ranked:
+            parent = tree._root
+            # Find the smallest placed object containing this one.
+            best: GTNode | None = None
+            for candidate in placed:
+                if exact_contains(candidate.region, obj):
+                    if best is None or _area_of(candidate.region) < _area_of(best.region):
+                        best = candidate
+            if best is not None:
+                parent = best
+            node = GTNode(region=obj, tid=tid)
+            parent.add_child(node)
+            placed.append(node)
+        return tree
+
+    def add_child(self, parent: GTNode, region: SpatialObject,
+                  tid: RecordId | None = None, payload: Any = None) -> GTNode:
+        """Attach a new application object under ``parent``.
+
+        The child's MBR must lie inside the parent's MBR (the defining
+        containment invariant); violations raise immediately.
+        """
+        if not parent.region.mbr().contains_rect(region.mbr()):
+            raise TreeError(
+                f"child MBR {region.mbr()} not contained in parent MBR "
+                f"{parent.region.mbr()}"
+            )
+        node = GTNode(region=region, tid=tid, payload=payload)
+        parent.add_child(node)
+        return node
+
+    def insert(self, obj: SpatialObject, tid: RecordId) -> None:
+        """Insert under the deepest existing node that contains ``obj``."""
+        current = self._root
+        if not current.region.mbr().contains_rect(obj.mbr()):
+            raise TreeError(f"object MBR {obj.mbr()} outside the map root")
+        descended = True
+        while descended:
+            descended = False
+            for child in current.children:
+                if child.region.mbr().contains_rect(obj.mbr()) and exact_contains(
+                    child.region, obj
+                ):
+                    current = child
+                    descended = True
+                    break
+        current.add_child(GTNode(region=obj, tid=tid))
+
+    # ------------------------------------------------------------------
+    # GeneralizationTree protocol
+    # ------------------------------------------------------------------
+
+    def root(self) -> GTNode:
+        return self._root
+
+    def children(self, node: GTNode) -> list[GTNode]:
+        return node.children
+
+    def region(self, node: GTNode) -> SpatialObject:
+        return node.region
+
+    def tid(self, node: GTNode) -> RecordId | None:
+        return node.tid
+
+    def remap_tids(self, rid_map: dict) -> None:
+        """Rewrite tuple ids after the backing relation was reclustered."""
+        for node in self.bfs_nodes():
+            if node.tid in rid_map:
+                node.tid = rid_map[node.tid]
+
+
+def _area_of(obj: SpatialObject) -> float:
+    """Comparable size measure: native area if available, else MBR area."""
+    area = getattr(obj, "area", None)
+    if callable(area):
+        return area()
+    return obj.mbr().area()

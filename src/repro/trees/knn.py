@@ -1,0 +1,76 @@
+"""Branch-and-bound k-nearest-neighbor search over R-trees.
+
+Distance-based operators ("within 10 kilometers from", "reachable in x
+minutes") motivate nearest-neighbor access on the same structures the
+joins use.  The classic best-first algorithm: a priority queue ordered by
+minimum possible distance; nodes expand, data entries are emitted in
+distance order until ``k`` are found.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any
+
+from repro.errors import TreeError
+from repro.geometry.point import Point
+from repro.predicates.dispatch import min_distance
+from repro.storage.costs import CostMeter
+from repro.storage.record import RecordId
+from repro.trees.rtree import RTree, RTreeEntry, RTreeNode
+
+
+def nearest_neighbors(
+    tree: RTree,
+    query: Point,
+    k: int = 1,
+    *,
+    meter: CostMeter | None = None,
+) -> list[tuple[float, RecordId]]:
+    """The ``k`` data entries closest to ``query``, nearest first.
+
+    Distances are closest-point distances between the query point and the
+    stored geometry (zero if the point lies inside it).  Ties are broken
+    arbitrarily but deterministically.  Returns fewer than ``k`` results
+    only if the tree holds fewer entries.
+    """
+    if k < 1:
+        raise TreeError(f"k must be at least 1, got {k}")
+    if meter is None:
+        meter = CostMeter()
+    if tree.is_empty():
+        return []
+
+    counter = itertools.count()  # tie-breaker: heap entries stay comparable
+    heap: list[tuple[float, int, Any]] = [(0.0, next(counter), tree._root)]
+    results: list[tuple[float, RecordId]] = []
+
+    while heap and len(results) < k:
+        dist, _, item = heapq.heappop(heap)
+        if isinstance(item, RTreeNode):
+            for entry in item.entries:
+                meter.record_filter_eval()
+                bound = entry.mbr.distance_to_point(query)
+                target: Any = entry if item.is_leaf else entry.child
+                heapq.heappush(heap, (bound, next(counter), target))
+        else:
+            entry: RTreeEntry = item
+            if entry.obj is not None:
+                meter.record_exact_eval()
+                exact = min_distance(query, entry.obj)
+                if exact > dist + 1e-12:
+                    # The MBR bound was optimistic: re-enqueue with the
+                    # exact distance and keep searching.
+                    heapq.heappush(heap, (exact, next(counter), entry))
+                    continue
+                dist = exact
+            if entry.tid is not None:
+                results.append((dist, entry.tid))
+    return results
+
+
+def nearest_neighbor(tree: RTree, query: Point) -> tuple[float, RecordId] | None:
+    """Convenience wrapper: the single nearest entry, or None if empty."""
+    found = nearest_neighbors(tree, query, k=1)
+    return found[0] if found else None

@@ -1,0 +1,76 @@
+"""ASCII rendering of generalization trees (debugging / teaching aid).
+
+Prints the hierarchy the way Figures 2 and 3 draw it: one line per node
+with its region extent, payload marker and child indentation, plus a
+compact per-level summary for large trees.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.trees.base import GeneralizationTree
+
+
+def render_tree(
+    tree: GeneralizationTree,
+    *,
+    max_depth: int | None = None,
+    max_children: int = 8,
+    label: Callable[[Any], str] | None = None,
+) -> str:
+    """A multi-line drawing of the tree.
+
+    ``max_depth`` truncates deep trees; ``max_children`` elides wide
+    sibling lists (an ellipsis line reports how many were hidden);
+    ``label`` customizes the per-node text (default: region MBR extent
+    plus a ``*`` marker for application objects).
+    """
+    if tree.is_empty():
+        return "(empty tree)"
+
+    def default_label(node: Any) -> str:
+        mbr = tree.region(node).mbr()
+        marker = "*" if tree.tid(node) is not None else " "
+        return (
+            f"{marker} [{mbr.xmin:.6g}, {mbr.ymin:.6g}] .. "
+            f"[{mbr.xmax:.6g}, {mbr.ymax:.6g}]"
+        )
+
+    describe = label if label is not None else default_label
+    lines: list[str] = []
+
+    def walk(node: Any, prefix: str, connector: str, depth: int) -> None:
+        lines.append(f"{prefix}{connector}{describe(node)}")
+        if max_depth is not None and depth >= max_depth:
+            children = tree.children(node)
+            if children:
+                lines.append(f"{prefix}    ... {len(children)} children pruned")
+            return
+        children = tree.children(node)
+        shown = children[:max_children]
+        hidden = len(children) - len(shown)
+        child_prefix = prefix + ("    " if connector in ("", "`-- ") else "|   ")
+        for i, child in enumerate(shown):
+            last = i == len(shown) - 1 and hidden == 0
+            walk(child, child_prefix, "`-- " if last else "|-- ", depth + 1)
+        if hidden > 0:
+            lines.append(f"{child_prefix}`-- ... {hidden} more children")
+
+    walk(tree.root(), "", "", 0)
+    return "\n".join(lines)
+
+
+def level_summary(tree: GeneralizationTree) -> str:
+    """One line per level: node count and application-object count."""
+    if tree.is_empty():
+        return "(empty tree)"
+    lines = ["level  nodes  app-objects"]
+    level = [tree.root()]
+    depth = 0
+    while level:
+        app = sum(1 for n in level if tree.tid(n) is not None)
+        lines.append(f"{depth:>5}  {len(level):>5}  {app:>11}")
+        level = [c for n in level for c in tree.children(n)]
+        depth += 1
+    return "\n".join(lines)

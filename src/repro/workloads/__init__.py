@@ -1,0 +1,48 @@
+"""Synthetic workload generators.
+
+The paper evaluates analytically; the empirical twins of its experiments
+need data.  This subpackage generates:
+
+* uniform / clustered point and rectangle sets over a universe
+  (:mod:`~repro.workloads.generators`);
+* the **lakes-and-houses** scenario of query (2) in the introduction
+  (:mod:`~repro.workloads.scenarios`);
+* a synthetic **cartographic map** -- countries subdivided into states
+  into cities, mirroring Figure 3 (:mod:`~repro.workloads.cartography`);
+* relation + tree assemblies at chosen sizes with controlled match
+  selectivity for the empirical strategy comparison
+  (:mod:`~repro.workloads.assembly`).
+"""
+
+from repro.workloads.generators import (
+    WorkloadConfig,
+    clustered_points,
+    clustered_rects,
+    uniform_points,
+    uniform_rects,
+)
+from repro.workloads.scenarios import LakesAndHouses, make_lakes_and_houses
+from repro.workloads.cartography import CartographicMap, make_map
+from repro.workloads.roadnet import RoadNetwork, make_road_network
+from repro.workloads.assembly import (
+    IndexedRelation,
+    build_balanced_assembly,
+    build_indexed_relation,
+)
+
+__all__ = [
+    "WorkloadConfig",
+    "uniform_points",
+    "uniform_rects",
+    "clustered_points",
+    "clustered_rects",
+    "LakesAndHouses",
+    "make_lakes_and_houses",
+    "CartographicMap",
+    "make_map",
+    "RoadNetwork",
+    "make_road_network",
+    "IndexedRelation",
+    "build_indexed_relation",
+    "build_balanced_assembly",
+]

@@ -1,0 +1,119 @@
+"""A synthetic cartographic hierarchy mirroring Figure 3.
+
+The map is recursively subdivided: the world into countries, countries
+into states, states into cities.  Every region is an application object
+stored in one relation (with a ``kind`` column), and the hierarchy
+becomes a :class:`~repro.trees.cartotree.CartoTree` -- the paper's second
+family of generalization trees, where interior nodes matter to the user.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.geometry.rect import Rect
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, ColumnType, Schema
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+from repro.trees.cartotree import CartoTree
+
+MAP_SCHEMA = Schema(
+    [
+        Column("rid", ColumnType.INT),
+        Column("name", ColumnType.STR),
+        Column("kind", ColumnType.STR),
+        Column("region", ColumnType.RECT),
+    ]
+)
+
+_KINDS = ("country", "state", "city")
+
+
+@dataclass(slots=True)
+class CartographicMap:
+    """The assembled map: one relation plus its cartographic tree."""
+
+    regions: Relation
+    tree: CartoTree
+    universe: Rect
+    meter: CostMeter
+
+
+def _subdivide(region: Rect, pieces: int, rng: random.Random) -> list[Rect]:
+    """Split a rectangle into ``pieces`` disjoint tiles with jittered cuts."""
+    cols = max(1, int(pieces**0.5))
+    rows = -(-pieces // cols)
+    xs = [region.xmin]
+    for c in range(1, cols):
+        base = region.xmin + region.width * c / cols
+        xs.append(base + rng.uniform(-0.05, 0.05) * region.width / cols)
+    xs.append(region.xmax)
+    ys = [region.ymin]
+    for r in range(1, rows):
+        base = region.ymin + region.height * r / rows
+        ys.append(base + rng.uniform(-0.05, 0.05) * region.height / rows)
+    ys.append(region.ymax)
+    tiles = []
+    for r in range(rows):
+        for c in range(cols):
+            if len(tiles) >= pieces:
+                break
+            tiles.append(Rect(xs[c], ys[r], xs[c + 1], ys[r + 1]))
+    return tiles
+
+
+def make_map(
+    countries: int = 6,
+    states_per_country: int = 4,
+    cities_per_state: int = 5,
+    universe: Rect = Rect(0.0, 0.0, 1000.0, 1000.0),
+    seed: int = 777,
+    memory_pages: int = 4000,
+) -> CartographicMap:
+    """Build the three-level map and its generalization tree.
+
+    City rectangles are small random boxes inside their state; countries
+    and states tile their parent exactly (disjoint siblings, as is common
+    in the cartographic case the paper describes).
+    """
+    if min(countries, states_per_country, cities_per_state) < 1:
+        raise WorkloadError("all level counts must be at least 1")
+    rng = random.Random(seed)
+    meter = CostMeter()
+    disk = SimulatedDisk()
+    pool = BufferPool(disk, memory_pages, meter)
+    regions = Relation("map_region", MAP_SCHEMA, pool)
+    tree = CartoTree(universe)
+
+    next_id = 0
+
+    def store(name: str, kind: str, rect: Rect):
+        nonlocal next_id
+        t = regions.insert([next_id, name, kind, rect])
+        next_id += 1
+        return t
+
+    for ci, country_rect in enumerate(_subdivide(universe, countries, rng)):
+        c_tuple = store(f"country-{ci}", "country", country_rect)
+        c_node = tree.add_child(tree.root(), country_rect, c_tuple.tid)
+        for si, state_rect in enumerate(
+            _subdivide(country_rect, states_per_country, rng)
+        ):
+            s_tuple = store(f"state-{ci}.{si}", "state", state_rect)
+            s_node = tree.add_child(c_node, state_rect, s_tuple.tid)
+            for gi in range(cities_per_state):
+                w = state_rect.width * rng.uniform(0.05, 0.2)
+                h = state_rect.height * rng.uniform(0.05, 0.2)
+                x = rng.uniform(state_rect.xmin, state_rect.xmax - w)
+                y = rng.uniform(state_rect.ymin, state_rect.ymax - h)
+                city_rect = Rect(x, y, x + w, y + h)
+                g_tuple = store(f"city-{ci}.{si}.{gi}", "city", city_rect)
+                tree.add_child(s_node, city_rect, g_tuple.tid)
+
+    # The tree was built alongside the relation: attach without backfill.
+    regions.attach_index("region", tree, backfill=False)
+    return CartographicMap(regions=regions, tree=tree, universe=universe, meter=meter)

@@ -1,0 +1,129 @@
+"""Low-level generators for points and rectangles.
+
+All generators take an explicit ``random.Random`` seed or instance so
+every experiment in the benchmark harness is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadConfig:
+    """Shared knobs: universe extent and RNG seed."""
+
+    universe: Rect = Rect(0.0, 0.0, 1000.0, 1000.0)
+    seed: int = 12345
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+
+def _resolve_rng(rng: random.Random | int | None) -> random.Random:
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, int):
+        return random.Random(rng)
+    return rng
+
+
+def uniform_points(
+    count: int,
+    universe: Rect,
+    rng: random.Random | int | None = None,
+) -> list[Point]:
+    """``count`` points uniformly distributed over ``universe``."""
+    if count < 0:
+        raise WorkloadError(f"count must be non-negative, got {count}")
+    r = _resolve_rng(rng)
+    return [
+        Point(r.uniform(universe.xmin, universe.xmax), r.uniform(universe.ymin, universe.ymax))
+        for _ in range(count)
+    ]
+
+
+def uniform_rects(
+    count: int,
+    universe: Rect,
+    max_width: float,
+    max_height: float,
+    rng: random.Random | int | None = None,
+) -> list[Rect]:
+    """``count`` rectangles with uniform anchors and uniform sizes.
+
+    Rectangles are clipped to the universe so the containment invariants
+    of universe-rooted trees hold.
+    """
+    if count < 0:
+        raise WorkloadError(f"count must be non-negative, got {count}")
+    if max_width <= 0 or max_height <= 0:
+        raise WorkloadError(
+            f"max_width/max_height must be positive, got {max_width} x {max_height}"
+        )
+    r = _resolve_rng(rng)
+    out: list[Rect] = []
+    for _ in range(count):
+        x = r.uniform(universe.xmin, universe.xmax)
+        y = r.uniform(universe.ymin, universe.ymax)
+        w = r.uniform(0.0, max_width)
+        h = r.uniform(0.0, max_height)
+        out.append(
+            Rect(x, y, min(x + w, universe.xmax), min(y + h, universe.ymax))
+        )
+    return out
+
+
+def clustered_points(
+    count: int,
+    universe: Rect,
+    clusters: int,
+    spread: float,
+    rng: random.Random | int | None = None,
+) -> list[Point]:
+    """Points drawn around ``clusters`` uniformly placed Gaussian centers.
+
+    ``spread`` is the standard deviation of each cluster; samples are
+    clamped into the universe.  Clustered data exercises the locality
+    behavior behind the HI-LOC distribution.
+    """
+    if clusters < 1:
+        raise WorkloadError(f"need at least 1 cluster, got {clusters}")
+    if spread <= 0:
+        raise WorkloadError(f"spread must be positive, got {spread}")
+    r = _resolve_rng(rng)
+    centers = uniform_points(clusters, universe, r)
+    out: list[Point] = []
+    for _ in range(count):
+        c = r.choice(centers)
+        x = min(max(r.gauss(c.x, spread), universe.xmin), universe.xmax)
+        y = min(max(r.gauss(c.y, spread), universe.ymin), universe.ymax)
+        out.append(Point(x, y))
+    return out
+
+
+def clustered_rects(
+    count: int,
+    universe: Rect,
+    clusters: int,
+    spread: float,
+    max_width: float,
+    max_height: float,
+    rng: random.Random | int | None = None,
+) -> list[Rect]:
+    """Rectangles anchored at clustered points (see :func:`clustered_points`)."""
+    r = _resolve_rng(rng)
+    anchors = clustered_points(count, universe, clusters, spread, r)
+    out: list[Rect] = []
+    for a in anchors:
+        w = r.uniform(0.0, max_width)
+        h = r.uniform(0.0, max_height)
+        out.append(
+            Rect(a.x, a.y, min(a.x + w, universe.xmax), min(a.y + h, universe.ymax))
+        )
+    return out

@@ -1,0 +1,124 @@
+"""The lakes-and-houses scenario of the paper's introduction.
+
+Query (2): *Find all houses within 10 kilometers from a lake* over
+
+    house(hid, hprice, hlocation)   -- hlocation : POINT
+    lake(lid, name, larea)          -- larea : POLYGON
+
+This module builds both relations over a shared simulated disk, with the
+lake polygons generated as irregular convex blobs, and wires up R-tree
+secondary indices on the two spatial columns.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, ColumnType, Schema
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+from repro.trees.rtree import RTree
+from repro.workloads.generators import uniform_points
+
+
+HOUSE_SCHEMA = Schema(
+    [
+        Column("hid", ColumnType.INT),
+        Column("hprice", ColumnType.FLOAT),
+        Column("hlocation", ColumnType.POINT),
+    ]
+)
+
+LAKE_SCHEMA = Schema(
+    [
+        Column("lid", ColumnType.INT),
+        Column("name", ColumnType.STR),
+        Column("larea", ColumnType.POLYGON),
+    ]
+)
+
+
+@dataclass(slots=True)
+class LakesAndHouses:
+    """The assembled scenario: relations, indices, shared metering."""
+
+    houses: Relation
+    lakes: Relation
+    house_tree: RTree
+    lake_tree: RTree
+    universe: Rect
+    meter: CostMeter
+
+
+def _lake_polygon(center: Point, radius: float, rng: random.Random, universe: Rect) -> Polygon:
+    """An irregular convex blob: a radius-perturbed regular polygon."""
+    sides = rng.randint(5, 10)
+    verts = []
+    for i in range(sides):
+        angle = 2.0 * math.pi * i / sides
+        rr = radius * rng.uniform(0.55, 1.0)
+        x = min(max(center.x + rr * math.cos(angle), universe.xmin), universe.xmax)
+        y = min(max(center.y + rr * math.sin(angle), universe.ymin), universe.ymax)
+        verts.append(Point(x, y))
+    return Polygon(verts)
+
+
+def make_lakes_and_houses(
+    n_houses: int = 500,
+    n_lakes: int = 40,
+    universe: Rect = Rect(0.0, 0.0, 1000.0, 1000.0),
+    lake_radius: float = 30.0,
+    seed: int = 12345,
+    memory_pages: int = 4000,
+    build_indices: bool = True,
+) -> LakesAndHouses:
+    """Build the scenario at the requested size.
+
+    ``lake_radius`` is the typical lake extent in universe units; house
+    prices are uniform in [50k, 500k] for the example queries.
+    """
+    if n_houses < 0 or n_lakes < 0:
+        raise WorkloadError("counts must be non-negative")
+    rng = random.Random(seed)
+    meter = CostMeter()
+    disk = SimulatedDisk()
+    pool = BufferPool(disk, memory_pages, meter)
+
+    houses = Relation("house", HOUSE_SCHEMA, pool)
+    lakes = Relation("lake", LAKE_SCHEMA, pool)
+
+    for i, p in enumerate(uniform_points(n_houses, universe, rng)):
+        houses.insert([i, rng.uniform(50_000.0, 500_000.0), p])
+
+    margin = lake_radius
+    inner = Rect(
+        universe.xmin + margin,
+        universe.ymin + margin,
+        universe.xmax - margin,
+        universe.ymax - margin,
+    )
+    for i, c in enumerate(uniform_points(n_lakes, inner, rng)):
+        lakes.insert([i, f"lake-{i}", _lake_polygon(c, lake_radius, rng, universe)])
+
+    house_tree = RTree(max_entries=10)
+    lake_tree = RTree(max_entries=10)
+    if build_indices:
+        houses.attach_index("hlocation", house_tree)
+        lakes.attach_index("larea", lake_tree)
+
+    return LakesAndHouses(
+        houses=houses,
+        lakes=lakes,
+        house_tree=house_tree,
+        lake_tree=lake_tree,
+        universe=universe,
+        meter=meter,
+    )

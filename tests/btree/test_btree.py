@@ -1,0 +1,173 @@
+"""Unit tests for the paged B+-tree."""
+
+import random
+
+import pytest
+
+from repro.btree import BPlusTree
+from repro.errors import BTreeError
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture
+def pool():
+    return BufferPool(SimulatedDisk(), capacity=4000, meter=CostMeter())
+
+
+class TestBasics:
+    def test_empty(self, pool):
+        t = BPlusTree(pool, order=4)
+        assert len(t) == 0
+        assert t.search(1) == []
+        assert not t.contains(1)
+        assert list(t.items()) == []
+
+    def test_insert_search(self, pool):
+        t = BPlusTree(pool, order=4)
+        for k in (5, 1, 9, 3):
+            t.insert(k, f"v{k}")
+        assert t.search(9) == ["v9"]
+        assert t.search(2) == []
+        assert t.contains(3)
+
+    def test_order_too_small(self, pool):
+        with pytest.raises(BTreeError):
+            BPlusTree(pool, order=1)
+
+    def test_duplicates_all_returned(self, pool):
+        t = BPlusTree(pool, order=4)
+        for i in range(10):
+            t.insert(7, i)
+        assert sorted(t.search(7)) == list(range(10))
+        t.check_invariants()
+
+    def test_items_sorted(self, pool):
+        t = BPlusTree(pool, order=4)
+        keys = list(range(100))
+        random.Random(1).shuffle(keys)
+        for k in keys:
+            t.insert(k, k)
+        assert [k for k, _ in t.items()] == list(range(100))
+
+    def test_range_scan(self, pool):
+        t = BPlusTree(pool, order=4)
+        for k in range(50):
+            t.insert(k, k * 2)
+        got = list(t.range_scan(10, 15))
+        assert got == [(k, k * 2) for k in range(10, 16)]
+
+    def test_range_scan_open_bounds(self, pool):
+        t = BPlusTree(pool, order=4)
+        for k in range(10):
+            t.insert(k, k)
+        assert len(list(t.range_scan(None, 4))) == 5
+        assert len(list(t.range_scan(7, None))) == 3
+
+
+class TestGrowth:
+    def test_height_grows(self, pool):
+        t = BPlusTree(pool, order=4)
+        assert t.height == 1
+        for k in range(100):
+            t.insert(k, k)
+        assert t.height >= 3
+        t.check_invariants()
+
+    def test_sequential_and_reverse_inserts(self, pool):
+        fwd = BPlusTree(pool, order=6)
+        for k in range(200):
+            fwd.insert(k, k)
+        fwd.check_invariants()
+        rev = BPlusTree(pool, order=6)
+        for k in reversed(range(200)):
+            rev.insert(k, k)
+        rev.check_invariants()
+        assert [k for k, _ in fwd.items()] == [k for k, _ in rev.items()]
+
+
+class TestDelete:
+    def test_remove_specific_value(self, pool):
+        t = BPlusTree(pool, order=4)
+        t.insert(1, "a")
+        t.insert(1, "b")
+        assert t.remove(1, "a")
+        assert t.search(1) == ["b"]
+
+    def test_remove_missing(self, pool):
+        t = BPlusTree(pool, order=4)
+        t.insert(1, "a")
+        assert not t.remove(2)
+        assert not t.remove(1, "z")
+
+    def test_remove_all_then_empty(self, pool):
+        t = BPlusTree(pool, order=4)
+        keys = list(range(60))
+        random.Random(3).shuffle(keys)
+        for k in keys:
+            t.insert(k, k)
+        random.Random(4).shuffle(keys)
+        for k in keys:
+            assert t.remove(k)
+        assert len(t) == 0
+        assert list(t.items()) == []
+
+    def test_interleaved_insert_delete(self, pool):
+        t = BPlusTree(pool, order=4)
+        rng = random.Random(5)
+        shadow: dict[int, int] = {}
+        for step in range(500):
+            k = rng.randrange(80)
+            if k in shadow and rng.random() < 0.5:
+                assert t.remove(k, shadow.pop(k))
+            else:
+                t.insert(k, step)
+                shadow[k] = step
+        t.check_invariants()
+        for k, v in shadow.items():
+            assert v in t.search(k)
+
+
+class TestBulkLoad:
+    def test_matches_incremental(self, pool):
+        items = [(k, k * k) for k in range(500)]
+        bulk = BPlusTree.bulk_load(pool, items, order=10)
+        bulk.check_invariants()
+        assert list(bulk.items()) == items
+        assert len(bulk) == 500
+
+    def test_empty_load(self, pool):
+        t = BPlusTree.bulk_load(pool, [], order=10)
+        assert len(t) == 0
+
+    def test_unsorted_rejected(self, pool):
+        with pytest.raises(BTreeError):
+            BPlusTree.bulk_load(pool, [(2, 0), (1, 0)], order=10)
+
+    def test_fill_factor(self, pool):
+        items = [(k, k) for k in range(100)]
+        packed = BPlusTree.bulk_load(pool, items, order=10, fill=1.0)
+        loose = BPlusTree.bulk_load(pool, items, order=10, fill=0.5)
+        assert loose.node_count() > packed.node_count()
+        loose.check_invariants()
+
+    def test_bad_fill(self, pool):
+        with pytest.raises(BTreeError):
+            BPlusTree.bulk_load(pool, [], order=10, fill=0.0)
+
+
+class TestPagedBehavior:
+    def test_search_io_bounded_by_height(self):
+        meter = CostMeter()
+        pool = BufferPool(SimulatedDisk(), capacity=4000, meter=meter)
+        t = BPlusTree.bulk_load(pool, [(k, k) for k in range(10_000)], order=100)
+        pool.flush_all()
+        # Fresh pool over the same disk: cold search.
+        cold_meter = CostMeter()
+        cold_pool = BufferPool(pool.disk, capacity=4000, meter=cold_meter)
+        t.buffer_pool = cold_pool
+        cold_pool.pin(t._root_id)
+        cold_meter.reset()
+        t.search(5678)
+        assert cold_meter.page_reads <= t.height

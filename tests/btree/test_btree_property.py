@@ -1,0 +1,84 @@
+"""Property-based tests: the B+-tree behaves like a sorted multimap."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BPlusTree
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+
+
+def fresh_tree(order: int = 4) -> BPlusTree:
+    pool = BufferPool(SimulatedDisk(), capacity=4000, meter=CostMeter())
+    return BPlusTree(pool, order=order)
+
+
+keys = st.integers(min_value=0, max_value=200)
+
+
+@given(st.lists(keys, max_size=300), st.integers(min_value=3, max_value=12))
+def test_insert_matches_sorted_reference(key_list, order):
+    t = fresh_tree(order)
+    for i, k in enumerate(key_list):
+        t.insert(k, i)
+    t.check_invariants()
+    assert [k for k, _ in t.items()] == sorted(key_list)
+    assert len(t) == len(key_list)
+
+
+@given(st.lists(keys, max_size=200))
+def test_search_finds_exactly_inserted_values(key_list):
+    t = fresh_tree(5)
+    reference: dict[int, list[int]] = {}
+    for i, k in enumerate(key_list):
+        t.insert(k, i)
+        reference.setdefault(k, []).append(i)
+    for k in set(key_list):
+        assert sorted(t.search(k)) == sorted(reference[k])
+    missing = set(range(201)) - set(key_list)
+    for k in list(missing)[:10]:
+        assert t.search(k) == []
+
+
+@given(
+    st.lists(st.tuples(keys, st.booleans()), max_size=300),
+    st.integers(min_value=3, max_value=8),
+)
+def test_mixed_operations_match_multiset(ops, order):
+    """Insert/remove stream vs a reference multiset."""
+    t = fresh_tree(order)
+    reference: dict[int, int] = {}
+    for step, (k, is_delete) in enumerate(ops):
+        if is_delete and reference.get(k, 0) > 0:
+            assert t.remove(k)
+            reference[k] -= 1
+        else:
+            t.insert(k, step)
+            reference[k] = reference.get(k, 0) + 1
+    t.check_invariants()
+    for k, count in reference.items():
+        assert len(t.search(k)) == count
+
+
+@given(st.lists(keys, min_size=1, max_size=200), keys, keys)
+def test_range_scan_matches_filter(key_list, a, b):
+    lo, hi = min(a, b), max(a, b)
+    t = fresh_tree(6)
+    for i, k in enumerate(key_list):
+        t.insert(k, i)
+    got = [k for k, _ in t.range_scan(lo, hi)]
+    assert got == sorted(k for k in key_list if lo <= k <= hi)
+
+
+@given(st.lists(keys, max_size=300, unique=True))
+@settings(max_examples=30)
+def test_bulk_load_equals_incremental(key_list):
+    items = sorted((k, k * 3) for k in key_list)
+    pool = BufferPool(SimulatedDisk(), capacity=4000, meter=CostMeter())
+    bulk = BPlusTree.bulk_load(pool, items, order=6)
+    bulk.check_invariants()
+    incremental = fresh_tree(6)
+    for k, v in items:
+        incremental.insert(k, v)
+    assert list(bulk.items()) == list(incremental.items())

@@ -1,0 +1,128 @@
+"""Tests for the high-level query executor."""
+
+import pytest
+
+from repro.core.executor import SpatialQueryExecutor
+from repro.errors import JoinError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.predicates.theta import NorthwestOf, Overlaps, WithinDistance
+from repro.storage.costs import CostMeter
+
+from tests.join.conftest import (
+    brute_force_pairs,
+    make_rect_relation,
+    rtree_over,
+)
+
+
+@pytest.fixture
+def executor():
+    return SpatialQueryExecutor(memory_pages=200)
+
+
+@pytest.fixture
+def indexed_pair():
+    rel_r = make_rect_relation("r", 80, seed=101)
+    rel_s = make_rect_relation("s", 70, seed=102)
+    rtree_over(rel_r, "shape")
+    rtree_over(rel_s, "shape")
+    return rel_r, rel_s
+
+
+class TestSelect:
+    def test_scan_vs_tree_agree(self, executor, indexed_pair):
+        rel_r, _ = indexed_pair
+        q = Rect(20, 20, 50, 50)
+        scan = executor.select(rel_r, "shape", q, Overlaps(), strategy="scan")
+        tree = executor.select(rel_r, "shape", q, Overlaps(), strategy="tree")
+        assert set(scan.tids) == set(tree.tids)
+
+    def test_auto_picks_tree_when_indexed(self, executor, indexed_pair):
+        rel_r, _ = indexed_pair
+        res = executor.select(rel_r, "shape", Point(10, 10), WithinDistance(30))
+        assert res.strategy.startswith("select-")
+
+    def test_auto_falls_back_to_scan(self, executor):
+        rel = make_rect_relation("bare", 30, seed=103)
+        res = executor.select(rel, "shape", Point(10, 10), WithinDistance(30))
+        assert res.strategy == "nested-loop-select"
+
+    def test_unknown_strategy(self, executor, indexed_pair):
+        rel_r, _ = indexed_pair
+        with pytest.raises(JoinError):
+            executor.select(rel_r, "shape", Point(0, 0), Overlaps(), strategy="magic")
+
+
+class TestJoinStrategies:
+    @pytest.mark.parametrize("strategy", ["scan", "tree", "index-nl"])
+    def test_agree_with_brute_force(self, executor, indexed_pair, strategy):
+        rel_r, rel_s = indexed_pair
+        theta = Overlaps()
+        res = executor.join(rel_r, "shape", rel_s, "shape", theta, strategy=strategy)
+        assert res.pair_set() == brute_force_pairs(rel_r, "shape", rel_s, "shape", theta)
+
+    def test_join_index_requires_registration(self, executor, indexed_pair):
+        rel_r, rel_s = indexed_pair
+        with pytest.raises(JoinError):
+            executor.join(
+                rel_r, "shape", rel_s, "shape", Overlaps(), strategy="join-index"
+            )
+
+    def test_join_index_roundtrip(self, executor, indexed_pair):
+        rel_r, rel_s = indexed_pair
+        theta = WithinDistance(15.0)
+        executor.precompute_join_index(rel_r, rel_s, "shape", "shape", theta)
+        res = executor.join(rel_r, "shape", rel_s, "shape", theta, strategy="join-index")
+        assert res.pair_set() == brute_force_pairs(rel_r, "shape", rel_s, "shape", theta)
+
+    def test_zorder_overlaps_only(self, executor, indexed_pair):
+        rel_r, rel_s = indexed_pair
+        with pytest.raises(JoinError):
+            executor.join(
+                rel_r, "shape", rel_s, "shape", WithinDistance(5), strategy="zorder"
+            )
+        res = executor.join(rel_r, "shape", rel_s, "shape", Overlaps(), strategy="zorder")
+        assert res.pair_set() == brute_force_pairs(
+            rel_r, "shape", rel_s, "shape", Overlaps()
+        )
+
+    def test_swapped_index_join(self, executor):
+        rel_r = make_rect_relation("r", 40, seed=104)
+        rel_s = make_rect_relation("s", 40, seed=105)
+        rtree_over(rel_s, "shape")  # only S indexed
+        theta = NorthwestOf()
+        res = executor.join(rel_r, "shape", rel_s, "shape", theta)  # auto
+        assert res.strategy == "index-nested-loop-swapped"
+        assert res.pair_set() == brute_force_pairs(rel_r, "shape", rel_s, "shape", theta)
+
+
+class TestAutoPick:
+    def test_join_index_preferred(self, executor, indexed_pair):
+        rel_r, rel_s = indexed_pair
+        theta = Overlaps()
+        executor.precompute_join_index(rel_r, rel_s, "shape", "shape", theta)
+        res = executor.join(rel_r, "shape", rel_s, "shape", theta)
+        assert res.strategy == "join-index"
+
+    def test_tree_when_both_indexed(self, executor, indexed_pair):
+        rel_r, rel_s = indexed_pair
+        res = executor.join(rel_r, "shape", rel_s, "shape", Overlaps())
+        assert res.strategy == "tree-join"
+
+    def test_scan_when_nothing_available(self, executor):
+        rel_r = make_rect_relation("r", 20, seed=106)
+        rel_s = make_rect_relation("s", 20, seed=107)
+        res = executor.join(rel_r, "shape", rel_s, "shape", Overlaps())
+        assert res.strategy == "nested-loop"
+
+    def test_meter_threading(self, executor, indexed_pair):
+        rel_r, rel_s = indexed_pair
+        meter = CostMeter()
+        executor.join(rel_r, "shape", rel_s, "shape", Overlaps(), meter=meter)
+        assert meter.predicate_evaluations > 0
+        assert meter.page_reads > 0
+
+    def test_memory_pages_validated(self):
+        with pytest.raises(JoinError):
+            SpatialQueryExecutor(memory_pages=5)

@@ -1,0 +1,140 @@
+"""Tests for the UNIFORM / NO-LOC / HI-LOC distributions (Figure 7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.costmodel.distributions import HiLoc, NoLoc, Uniform, make_distribution
+from repro.costmodel.parameters import ModelParameters
+from repro.errors import CostModelError
+
+
+def params(p: float, k: int = 10, n: int = 6) -> ModelParameters:
+    return ModelParameters(n=n, k=k, p=p, h=n)
+
+
+class TestFactory:
+    def test_names(self):
+        for name, cls in (("uniform", Uniform), ("no-loc", NoLoc), ("hi-loc", HiLoc)):
+            assert isinstance(make_distribution(name, params(0.1)), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_distribution("UNIFORM", params(0.1)), Uniform)
+
+    def test_unknown(self):
+        with pytest.raises(CostModelError):
+            make_distribution("zipf", params(0.1))
+
+
+class TestUniform:
+    def test_constant(self):
+        d = Uniform(params(0.3))
+        for i in range(7):
+            for j in range(7):
+                assert d.pi(i, j) == 0.3
+        assert d.sigma(4) == 0.3
+
+    def test_root_convention(self):
+        d = Uniform(params(0.3))
+        assert d.pi(0, -1) == 1.0
+        assert d.pi(-1, 0) == 1.0
+
+
+class TestNoLoc:
+    def test_exponent_is_min_height_clamped(self):
+        p = 0.1
+        d = NoLoc(params(p))
+        assert d.pi(0, 5) == pytest.approx(p)        # max(min, 1) = 1
+        assert d.pi(1, 1) == pytest.approx(p)
+        assert d.pi(3, 5) == pytest.approx(p**3)
+        assert d.pi(6, 6) == pytest.approx(p**6)
+
+    def test_sigma(self):
+        d = NoLoc(params(0.2))
+        assert d.sigma(0) == pytest.approx(0.2)
+        assert d.sigma(4) == pytest.approx(0.2**4)
+
+    def test_larger_objects_more_likely(self):
+        """The motivating property: matches between higher (larger)
+        objects are more likely."""
+        d = NoLoc(params(0.3))
+        assert d.pi(1, 1) > d.pi(3, 3) > d.pi(6, 6)
+
+
+class TestHiLoc:
+    def test_ancestors_match_for_certain(self):
+        d = HiLoc(params(0.1))
+        # One object at the root: it is an ancestor of everything.
+        for j in range(7):
+            assert d.pi(0, j) == 1.0
+        assert d.rho_from_lca(0, 5) == 1.0
+        assert d.rho_from_lca(3, 0) == 1.0
+
+    def test_siblings_probability_p(self):
+        d = HiLoc(params(0.37))
+        assert d.sigma(3) == pytest.approx(0.37)
+        assert d.rho_from_lca(1, 1) == pytest.approx(0.37)
+
+    def test_locality_decay(self):
+        d = HiLoc(params(0.2))
+        assert d.rho_from_lca(1, 1) > d.rho_from_lca(2, 2) > d.rho_from_lca(4, 5)
+
+    def test_pi_closed_form_matches_enumeration(self):
+        """Validate the reconstructed closed form by direct enumeration
+        over an actual k-ary tree."""
+        k, n, p = 3, 4, 0.25
+        d = HiLoc(params(p, k=k, n=n))
+        # Enumerate pairs (o1 fixed leftmost at height i, o2 over height j);
+        # by symmetry the average over o2 equals pi(i, j).
+        for i in range(n + 1):
+            for j in range(n + 1):
+                total = 0.0
+                # o1's ancestor path: positions 0 at each level.
+                for idx in range(k**j):
+                    # LCA height of leftmost node at height i and node idx
+                    # at height j: deepest common prefix of their paths.
+                    path2 = []
+                    v = idx
+                    for _ in range(j):
+                        path2.append(v % k)
+                        v //= k
+                    path2 = list(reversed(path2))
+                    lca = 0
+                    for step in range(min(i, j)):
+                        if path2[step] == 0:
+                            lca += 1
+                        else:
+                            break
+                    d1 = i - lca
+                    d2 = j - lca
+                    total += p ** min(d1, d2)
+                assert d.pi(i, j) == pytest.approx(total / k**j, rel=1e-9), (i, j)
+
+    def test_pi_bounds(self):
+        d = HiLoc(params(0.05))
+        for i in range(7):
+            for j in range(7):
+                assert 0.0 < d.pi(i, j) <= 1.0
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=6),
+    st.sampled_from(["uniform", "no-loc", "hi-loc"]),
+)
+def test_all_pis_are_probabilities(p, i, j, name):
+    d = make_distribution(name, params(p))
+    value = d.pi(i, j)
+    assert 0.0 <= value <= 1.0
+
+
+@given(
+    st.floats(min_value=0.001, max_value=1.0),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=6),
+    st.sampled_from(["uniform", "no-loc", "hi-loc"]),
+)
+def test_pi_symmetric(p, i, j, name):
+    d = make_distribution(name, params(p))
+    assert d.pi(i, j) == pytest.approx(d.pi(j, i))

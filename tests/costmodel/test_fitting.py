@@ -1,0 +1,79 @@
+"""Tests for distribution measurement and fitting."""
+
+import pytest
+
+from repro.costmodel.distributions import make_distribution
+from repro.costmodel.fitting import (
+    DistributionFit,
+    fit_distribution,
+    measure_pi_table,
+)
+from repro.costmodel.parameters import ModelParameters
+from repro.errors import CostModelError
+from repro.geometry.rect import Rect
+from repro.predicates.big_theta import MinDistanceFilter
+from repro.trees.balanced import BalancedKTree
+
+
+def params_for(k: int, n: int, p: float = 0.1) -> ModelParameters:
+    return ModelParameters(n=n, k=k, p=p, h=n)
+
+
+class TestMeasurePiTable:
+    def test_table_is_symmetric_and_probabilistic(self):
+        tree = BalancedKTree(3, 3, universe=Rect(0, 0, 100, 100))
+        table = measure_pi_table(tree, MinDistanceFilter(20.0))
+        for (i, j), value in table.items():
+            assert 0.0 <= value <= 1.0
+            assert table[(j, i)] == value
+
+    def test_root_row_matches_everything(self):
+        """Every node is within distance 0 of the root's region (it is
+        contained in it), so pi(0, j) = 1 for a distance filter."""
+        tree = BalancedKTree(3, 3, universe=Rect(0, 0, 100, 100))
+        table = measure_pi_table(tree, MinDistanceFilter(0.0))
+        for j in range(4):
+            assert table[(0, j)] == 1.0
+
+    def test_locality_pattern(self):
+        """A tight distance filter over a spatial subdivision produces
+        HI-LOC-like behavior: deep-level pairs rarely match."""
+        tree = BalancedKTree(4, 3, universe=Rect(0, 0, 1000, 1000))
+        table = measure_pi_table(tree, MinDistanceFilter(10.0))
+        assert table[(3, 3)] < table[(1, 1)] <= 1.0
+
+
+class TestFitDistribution:
+    @pytest.mark.parametrize("generator", ["uniform", "no-loc", "hi-loc"])
+    def test_recovers_generating_distribution(self, generator):
+        """Fitting a table synthesized from a known distribution must
+        rank that distribution first and recover its p."""
+        params = params_for(k=4, n=4, p=0.03)
+        source = make_distribution(generator, params)
+        table = {
+            (i, j): source.pi(i, j)
+            for i in range(params.n + 1)
+            for j in range(params.n + 1)
+        }
+        fits = fit_distribution(table, params)
+        assert fits[0].name == generator
+        assert fits[0].log_error == pytest.approx(0.0, abs=1e-3)
+        assert fits[0].p == pytest.approx(0.03, rel=0.05)
+
+    def test_measured_spatial_table_prefers_hiloc(self):
+        """Real spatial locality (distance filter over a subdivision)
+        should look more like HI-LOC than UNIFORM."""
+        tree = BalancedKTree(4, 3, universe=Rect(0, 0, 1000, 1000))
+        table = measure_pi_table(tree, MinDistanceFilter(15.0))
+        fits = fit_distribution(table, params_for(k=4, n=3))
+        by_name = {f.name: f for f in fits}
+        assert by_name["hi-loc"].log_error < by_name["uniform"].log_error
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(CostModelError):
+            fit_distribution({}, params_for(3, 3))
+
+    def test_fit_record_fields(self):
+        fits = fit_distribution({(0, 0): 1.0, (1, 1): 0.5}, params_for(3, 3))
+        assert all(isinstance(f, DistributionFit) for f in fits)
+        assert all(0 < f.p <= 1.0 for f in fits)

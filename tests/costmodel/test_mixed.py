@@ -1,0 +1,75 @@
+"""Tests for the mixed update/query workload analysis."""
+
+import pytest
+
+from repro.costmodel.mixed import break_even_update_ratio, mixed_workload_costs
+from repro.costmodel.parameters import PAPER_PARAMETERS
+from repro.errors import CostModelError
+
+
+class TestMixedCosts:
+    def test_pure_query_matches_join_costs(self):
+        params = PAPER_PARAMETERS.with_p(1e-8)
+        costs = mixed_workload_costs(0.0, "uniform", params)
+        from repro.costmodel.distributions import make_distribution
+        from repro.costmodel.join_costs import d_tree_clustered
+
+        dist = make_distribution("uniform", params)
+        assert costs["IIb"] == pytest.approx(d_tree_clustered(dist))
+
+    def test_pure_update_matches_update_costs(self):
+        params = PAPER_PARAMETERS.with_p(1e-8)
+        costs = mixed_workload_costs(1.0, "uniform", params)
+        from repro.costmodel.update_costs import u_join_index, u_nested_loop
+
+        assert costs["III"] == pytest.approx(u_join_index(params))
+        assert costs["I"] == pytest.approx(u_nested_loop(params))
+
+    def test_linear_in_update_fraction(self):
+        params = PAPER_PARAMETERS.with_p(1e-8)
+        c0 = mixed_workload_costs(0.0, "uniform", params)["III"]
+        c5 = mixed_workload_costs(0.5, "uniform", params)["III"]
+        c1 = mixed_workload_costs(1.0, "uniform", params)["III"]
+        assert c5 == pytest.approx((c0 + c1) / 2.0)
+
+    def test_select_workload_supported(self):
+        costs = mixed_workload_costs(0.1, "uniform", PAPER_PARAMETERS, workload="select")
+        assert set(costs) == {"I", "IIa", "IIb", "III"}
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            mixed_workload_costs(1.5, "uniform")
+        with pytest.raises(CostModelError):
+            mixed_workload_costs(0.1, "uniform", workload="delete")
+
+
+class TestBreakEven:
+    def test_paper_conclusion_quantified(self):
+        """'Join indices are only efficient if update ratios are very
+        low': at a selectivity where III wins pure queries, the
+        break-even update fraction is far below 1%."""
+        params = PAPER_PARAMETERS.with_p(1e-10)
+        u = break_even_update_ratio("uniform", params)
+        assert u is not None
+        assert u < 0.01
+
+    def test_break_even_is_a_true_crossing(self):
+        params = PAPER_PARAMETERS.with_p(1e-10)
+        u = break_even_update_ratio("uniform", params)
+        below = mixed_workload_costs(u * 0.5, "uniform", params)
+        above = mixed_workload_costs(min(1.0, u * 2.0), "uniform", params)
+        assert below["III"] <= below["IIb"]
+        assert above["III"] >= above["IIb"]
+
+    def test_none_when_index_never_wins(self):
+        # High selectivity: the join index loses even the pure-query mix.
+        params = PAPER_PARAMETERS.with_p(1e-2)
+        assert break_even_update_ratio("uniform", params) is None
+
+    def test_trees_beat_index_when_updates_significant(self):
+        """The summary sentence: 'generalization trees remain the best
+        overall strategy if update rates are significant.'"""
+        params = PAPER_PARAMETERS.with_p(1e-10)
+        costs = mixed_workload_costs(0.05, "uniform", params)  # 5% updates
+        assert min(costs["IIa"], costs["IIb"]) < costs["III"]
+        assert min(costs["IIa"], costs["IIb"]) < costs["I"]

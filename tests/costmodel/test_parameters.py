@@ -1,0 +1,66 @@
+"""Tests for the Table 2/3 parameter machinery."""
+
+import pytest
+
+from repro.costmodel.parameters import PAPER_PARAMETERS, ModelParameters
+from repro.errors import CostModelError
+
+
+class TestPaperValues:
+    def test_table3(self):
+        p = PAPER_PARAMETERS
+        assert p.n == 6
+        assert p.k == 10
+        assert p.v == 300
+        assert p.l == 0.75
+        assert p.h == 6
+        assert p.s == 2000
+        assert p.z == 100
+        assert p.big_m == 4000
+        assert p.c_theta == 1.0
+        assert p.c_io == 1000.0
+        assert p.c_update == 1.0
+
+    def test_derived_match_table3(self):
+        p = PAPER_PARAMETERS
+        assert p.N == 1_111_111
+        assert p.m == 5
+        assert p.d == 4
+
+    def test_relation_pages(self):
+        assert PAPER_PARAMETERS.relation_pages == -(-1_111_111 // 5)
+
+    def test_nodes_at(self):
+        assert PAPER_PARAMETERS.nodes_at(0) == 1
+        assert PAPER_PARAMETERS.nodes_at(6) == 10**6
+        with pytest.raises(CostModelError):
+            PAPER_PARAMETERS.nodes_at(7)
+
+
+class TestValidation:
+    def test_p_range(self):
+        with pytest.raises(CostModelError):
+            ModelParameters(p=1.5)
+        with pytest.raises(CostModelError):
+            ModelParameters(p=-0.1)
+
+    def test_h_range(self):
+        with pytest.raises(CostModelError):
+            ModelParameters(n=3, h=4)
+
+    def test_tuple_must_fit_page(self):
+        with pytest.raises(CostModelError):
+            ModelParameters(v=5000)
+
+    def test_memory_must_exceed_reserve(self):
+        with pytest.raises(CostModelError):
+            ModelParameters(big_m=10)
+
+
+class TestWithP:
+    def test_copies_everything_else(self):
+        p2 = PAPER_PARAMETERS.with_p(0.5)
+        assert p2.p == 0.5
+        assert p2.n == PAPER_PARAMETERS.n
+        assert p2.N == PAPER_PARAMETERS.N
+        assert PAPER_PARAMETERS.p != 0.5  # original untouched

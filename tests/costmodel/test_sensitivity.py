@@ -1,0 +1,77 @@
+"""Tests for crossover bisection and parameter sensitivity."""
+
+import pytest
+
+from repro.costmodel.distributions import make_distribution
+from repro.costmodel.join_costs import d_join_index, d_tree_clustered
+from repro.costmodel.parameters import PAPER_PARAMETERS
+from repro.costmodel.sensitivity import (
+    crossover_sensitivity,
+    join_crossover,
+    selection_crossover,
+)
+from repro.errors import CostModelError
+
+
+class TestJoinCrossover:
+    def test_uniform_matches_paper_decade(self):
+        """The paper places the UNIFORM crossover at ~1e-9."""
+        p = join_crossover("uniform")
+        assert p is not None
+        assert 1e-10 <= p <= 1e-8
+
+    def test_crossover_is_a_sign_change(self):
+        p = join_crossover("uniform")
+        below = PAPER_PARAMETERS.with_p(p / 10)
+        above = PAPER_PARAMETERS.with_p(min(p * 10, 1.0))
+        d_below = make_distribution("uniform", below)
+        d_above = make_distribution("uniform", above)
+        assert d_join_index(d_below) <= d_tree_clustered(d_below)
+        assert d_join_index(d_above) >= d_tree_clustered(d_above)
+
+    def test_noloc_crossover_exists(self):
+        p = join_crossover("no-loc")
+        assert p is not None
+        assert p <= 1e-3
+
+    def test_none_when_dominated(self):
+        # Nested loop never crosses the clustered tree at low p range.
+        assert join_crossover("uniform", "D_I", "D_IIb", p_hi=1e-4) is None
+
+    def test_unknown_strategy(self):
+        with pytest.raises(CostModelError):
+            join_crossover("uniform", "D_XX", "D_IIb")
+
+
+class TestSelectionCrossover:
+    def test_runs_and_bounds(self):
+        p = selection_crossover("uniform", "C_III", "C_IIa")
+        # C_III tracks C_IIa closely; a crossover may or may not exist,
+        # but if it does it must lie inside the sweep range.
+        if p is not None:
+            assert 1e-6 <= p <= 1.0
+
+    def test_nested_loop_vs_tree(self):
+        # The exhaustive scan only becomes comparable near p = 1.
+        p = selection_crossover("uniform", "C_I", "C_IIb")
+        if p is not None:
+            assert p > 0.1
+
+
+class TestSensitivity:
+    def test_crossover_moves_with_branching_factor(self):
+        rows = crossover_sensitivity("uniform", "k", [5, 10, 20])
+        assert len(rows) == 3
+        for _value, p in rows:
+            assert p is None or 0 < p < 1
+
+    def test_crossover_vs_index_page_capacity(self):
+        """A larger z makes the join index cheaper to page in, pushing
+        the crossover toward higher selectivities."""
+        rows = dict(crossover_sensitivity("uniform", "z", [10, 100, 1000]))
+        assert rows[10] is not None and rows[1000] is not None
+        assert rows[1000] > rows[10]
+
+    def test_unknown_parameter(self):
+        with pytest.raises(CostModelError):
+            crossover_sensitivity("uniform", "qq", [1])

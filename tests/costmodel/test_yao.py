@@ -1,0 +1,94 @@
+"""Tests for Yao's function."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.costmodel.yao import yao, yao_exact
+from repro.errors import CostModelError
+
+
+class TestEdgeCases:
+    def test_zero_records(self):
+        assert yao(0, 10, 100) == 0.0
+
+    def test_all_records(self):
+        assert yao(100, 10, 100) == 10.0
+
+    def test_more_than_all(self):
+        assert yao(150, 10, 100) == 10.0
+
+    def test_single_page(self):
+        assert yao(1, 1, 100) == 1.0
+
+    def test_one_record(self):
+        # One random record touches exactly one page.
+        assert yao(1, 20, 100) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            yao(1, 0, 100)
+        with pytest.raises(CostModelError):
+            yao(-1, 10, 100)
+
+
+class TestAgainstExact:
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=400),
+    )
+    def test_log_space_matches_literal_product(self, x, y, z):
+        if x > z:
+            x = z
+        assert yao(x, y, z) == pytest.approx(yao_exact(x, y, z), rel=1e-9, abs=1e-9)
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize(
+        "x,y,z",
+        [(10, 20, 100), (50, 20, 100), (3, 50, 500), (200, 40, 400)],
+    )
+    def test_monte_carlo(self, x, y, z):
+        """Yao's closed form matches direct simulation of random record
+        draws within sampling error."""
+        import random
+
+        rng = random.Random(x * 1000 + y)
+        per_page = z // y
+        trials = 400
+        total = 0
+        for _ in range(trials):
+            records = rng.sample(range(z), x)
+            total += len({r // per_page for r in records})
+        simulated = total / trials
+        assert yao(x, y, z) == pytest.approx(simulated, rel=0.05)
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=2, max_value=100),
+    )
+    def test_bounded_by_min_of_x_and_y(self, x, y):
+        z = 1000
+        result = yao(x, y, z)
+        assert 0.0 <= result <= min(x, y) + 1e-9
+
+    @given(st.integers(min_value=2, max_value=100))
+    def test_monotone_in_x(self, y):
+        z = 1000
+        previous = 0.0
+        for x in range(0, 200, 10):
+            current = yao(x, y, z)
+            assert current >= previous - 1e-9
+            previous = current
+
+    def test_paper_scale_inputs(self):
+        """The Table 3 scale must evaluate quickly and sanely."""
+        n_pages = 222_223  # ceil(N/m)
+        n = 1_111_111
+        few = yao(10, n_pages, n)
+        assert few == pytest.approx(10.0, rel=1e-3)
+        many = yao(1_000_000, n_pages, n)
+        assert 0.9 * n_pages <= many <= n_pages

@@ -1,0 +1,158 @@
+"""Tests for convex hull and polygon clipping."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.algorithms import (
+    clip_polygon,
+    convex_hull,
+    hull_polygon,
+    intersection_area,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestConvexHull:
+    def test_square_with_interior_points(self):
+        pts = [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4),
+               Point(2, 2), Point(1, 3)]
+        hull = convex_hull(pts)
+        assert set(hull) == {Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)}
+
+    def test_collinear_dropped(self):
+        pts = [Point(0, 0), Point(1, 0), Point(2, 0), Point(2, 2)]
+        hull = convex_hull(pts)
+        assert Point(1, 0) not in hull
+        assert len(hull) == 3
+
+    def test_degenerate(self):
+        assert convex_hull([Point(1, 1)]) == [Point(1, 1)]
+        assert len(convex_hull([Point(0, 0), Point(1, 1)])) == 2
+
+    def test_all_collinear(self):
+        pts = [Point(i, i) for i in range(5)]
+        assert len(convex_hull(pts)) == 2
+
+    def test_hull_polygon_degenerate_raises(self):
+        with pytest.raises(GeometryError):
+            hull_polygon([Point(0, 0), Point(1, 1)])
+
+    @given(st.lists(points, min_size=3, max_size=60))
+    @settings(max_examples=40)
+    def test_hull_contains_all_points(self, pts):
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return
+        try:
+            poly = Polygon(hull)
+        except GeometryError:
+            return  # exactly collinear input: no hull polygon exists
+        assert poly.is_convex()
+        for p in pts:
+            assert poly.contains_point(p) or poly.mbr().buffer(1e-6).contains_point(p)
+
+    @given(st.lists(points, min_size=3, max_size=40))
+    @settings(max_examples=40)
+    def test_hull_idempotent(self, pts):
+        once = convex_hull(pts)
+        twice = convex_hull(once)
+        assert set(once) == set(twice)
+
+
+class TestClipping:
+    def test_half_overlapping_squares(self):
+        subject = Polygon.from_rect(Rect(0, 0, 4, 4))
+        clip = Polygon.from_rect(Rect(2, 0, 6, 4))
+        out = clip_polygon(subject, clip)
+        assert out is not None
+        assert out.area() == pytest.approx(8.0)
+
+    def test_subject_inside_clip(self):
+        subject = Polygon.from_rect(Rect(1, 1, 2, 2))
+        clip = Polygon.from_rect(Rect(0, 0, 10, 10))
+        out = clip_polygon(subject, clip)
+        assert out is not None
+        assert out.area() == pytest.approx(1.0)
+
+    def test_disjoint_returns_none(self):
+        subject = Polygon.from_rect(Rect(0, 0, 1, 1))
+        clip = Polygon.from_rect(Rect(5, 5, 6, 6))
+        assert clip_polygon(subject, clip) is None
+
+    def test_touching_edge_returns_none(self):
+        subject = Polygon.from_rect(Rect(0, 0, 1, 1))
+        clip = Polygon.from_rect(Rect(1, 0, 2, 1))
+        assert clip_polygon(subject, clip) is None  # zero-area sliver
+
+    def test_triangle_clipped_by_square(self):
+        triangle = Polygon([Point(0, 0), Point(6, 0), Point(0, 6)])
+        clip = Polygon.from_rect(Rect(0, 0, 4, 4))
+        out = clip_polygon(triangle, clip)
+        assert out is not None
+        # The hypotenuse x+y=6 cuts the square at (2,4) and (4,2): the
+        # square loses a 2x2/2 corner triangle.
+        assert out.area() == pytest.approx(16.0 - 2.0)
+
+    def test_concave_clip_rejected(self):
+        concave = Polygon(
+            [Point(0, 0), Point(4, 0), Point(4, 4), Point(2, 1), Point(0, 4)]
+        )
+        with pytest.raises(GeometryError):
+            clip_polygon(Polygon.from_rect(Rect(0, 0, 1, 1)), concave)
+
+    def test_clockwise_clip_handled(self):
+        subject = Polygon.from_rect(Rect(0, 0, 4, 4))
+        clip_cw = Polygon([Point(2, 0), Point(2, 4), Point(6, 4), Point(6, 0)])
+        out = clip_polygon(subject, clip_cw)
+        assert out is not None
+        assert out.area() == pytest.approx(8.0)
+
+
+class TestIntersectionArea:
+    def test_with_rect(self):
+        poly = Polygon.from_rect(Rect(0, 0, 4, 4))
+        assert intersection_area(poly, Rect(2, 2, 6, 6)) == pytest.approx(4.0)
+
+    def test_zero_when_disjoint(self):
+        poly = Polygon.from_rect(Rect(0, 0, 1, 1))
+        assert intersection_area(poly, Rect(3, 3, 4, 4)) == 0.0
+
+    def test_degenerate_rect(self):
+        poly = Polygon.from_rect(Rect(0, 0, 1, 1))
+        assert intersection_area(poly, Rect(0, 0, 0, 1)) == 0.0
+
+    def test_regular_polygon_in_box(self):
+        hexagon = Polygon.regular(Point(0, 0), 2, 6)
+        # A box covering everything: area equals the hexagon's own.
+        assert intersection_area(hexagon, Rect(-5, -5, 5, 5)) == pytest.approx(
+            hexagon.area()
+        )
+
+    @given(
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40)
+    def test_area_bounded_by_both(self, x, y, size):
+        subject = Polygon.regular(Point(0, 0), 5, 8)
+        clip = Rect(x, y, x + size, y + size)
+        area = intersection_area(subject, clip)
+        assert -1e-9 <= area <= min(subject.area(), clip.area()) + 1e-6
+
+    def test_consistent_with_overlap_predicate(self):
+        a = Polygon.from_rect(Rect(0, 0, 3, 3))
+        for dx in (0.0, 1.0, 2.9, 3.0, 4.0):
+            b = Rect(dx, 0, dx + 2, 2)
+            area = intersection_area(a, b)
+            if area > 1e-9:
+                assert a.intersects_rect(b)

@@ -1,0 +1,97 @@
+"""Tests for the Hilbert curve and the any-ordering-fails claim."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.hilbert import (
+    hilbert_coords,
+    hilbert_index,
+    hilbert_value,
+    worst_adjacent_gap,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.zorder import interleave
+
+
+class TestEncoding:
+    def test_order_one_curve(self):
+        # The four cells of the 2x2 grid in curve order.
+        positions = {
+            (0, 0): 0,
+            (0, 1): 1,
+            (1, 1): 2,
+            (1, 0): 3,
+        }
+        for (x, y), d in positions.items():
+            assert hilbert_index(x, y, 1) == d
+
+    def test_bijection_small_grid(self):
+        seen = set()
+        for x in range(8):
+            for y in range(8):
+                d = hilbert_index(x, y, 3)
+                assert 0 <= d < 64
+                seen.add(d)
+        assert len(seen) == 64
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_roundtrip(self, x, y):
+        d = hilbert_index(x, y, 8)
+        assert hilbert_coords(d, 8) == (x, y)
+
+    def test_out_of_range(self):
+        with pytest.raises(GeometryError):
+            hilbert_index(4, 0, 2)
+        with pytest.raises(GeometryError):
+            hilbert_coords(64, 3)
+
+    def test_consecutive_positions_are_grid_neighbors(self):
+        """The Hilbert curve's defining property: successive cells share
+        an edge."""
+        for d in range(63):
+            x1, y1 = hilbert_coords(d, 3)
+            x2, y2 = hilbert_coords(d + 1, 3)
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+
+class TestValue:
+    def test_point_mapping(self):
+        universe = Rect(0, 0, 16, 16)
+        assert hilbert_value(Point(0.5, 0.5), universe, 4) == hilbert_index(0, 0, 4)
+        assert hilbert_value(Point(16, 16), universe, 4) == hilbert_index(15, 15, 4)
+
+    def test_outside_raises(self):
+        with pytest.raises(GeometryError):
+            hilbert_value(Point(20, 0), Rect(0, 0, 16, 16), 4)
+
+
+class TestNoOrderingPreservesProximity:
+    """The paper: 'Similar examples can be constructed for any other
+    spatial ordering.'  Quantified for both curves."""
+
+    def test_hilbert_also_has_large_adjacent_gaps(self):
+        gap, _a, _b = worst_adjacent_gap(5, hilbert_index)
+        # 32x32 grid: some edge-adjacent pair is far apart on the curve.
+        assert gap > 32
+
+    def test_hilbert_clusters_better_but_no_proximity_guarantee(self):
+        """Hilbert fragments range windows less than z-order (the Moon
+        clustering result), yet its worst adjacent-cell gap is still
+        unbounded -- switching curves does not void the paper's
+        argument."""
+        from repro.geometry.hilbert import average_window_runs
+
+        z_runs = average_window_runs(5, interleave, width=4)
+        h_runs = average_window_runs(5, hilbert_index, width=4)
+        assert h_runs < z_runs
+        h_worst, *_ = worst_adjacent_gap(5, hilbert_index)
+        assert h_worst > 32  # still no proximity guarantee
+
+    def test_gap_grows_with_resolution(self):
+        """The counterexamples get worse, not better, at finer grids --
+        no resolution rescues a 1-D ordering."""
+        gaps = [worst_adjacent_gap(bits, hilbert_index)[0] for bits in (3, 4, 5)]
+        assert gaps[0] < gaps[1] < gaps[2]

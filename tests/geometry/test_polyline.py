@@ -1,0 +1,60 @@
+"""Unit tests for open polylines."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.polyline import PolyLine
+from repro.geometry.rect import Rect
+
+
+def l_shape() -> PolyLine:
+    return PolyLine([Point(0, 0), Point(4, 0), Point(4, 3)])
+
+
+class TestConstruction:
+    def test_needs_two_vertices(self):
+        with pytest.raises(GeometryError):
+            PolyLine([Point(0, 0)])
+
+    def test_equality_and_hash(self):
+        assert l_shape() == l_shape()
+        assert hash(l_shape()) == hash(l_shape())
+
+
+class TestMeasures:
+    def test_length(self):
+        assert l_shape().length() == pytest.approx(7.0)
+
+    def test_mbr(self):
+        assert l_shape().mbr() == Rect(0, 0, 4, 3)
+
+    def test_centerpoint_on_chain(self):
+        # Halfway along 7 units of arc is 3.5 units in: (3.5, 0).
+        c = l_shape().centerpoint()
+        assert c.x == pytest.approx(3.5)
+        assert c.y == pytest.approx(0.0)
+
+    def test_segments_in_order(self):
+        segs = list(l_shape().segments())
+        assert len(segs) == 2
+        assert segs[0].start == Point(0, 0)
+        assert segs[1].end == Point(4, 3)
+
+
+class TestPredicates:
+    def test_distance_to_point(self):
+        assert l_shape().distance_to_point(Point(2, 2)) == pytest.approx(2.0)
+
+    def test_intersects_crossing(self):
+        other = PolyLine([Point(2, -1), Point(2, 1)])
+        assert l_shape().intersects(other)
+
+    def test_intersects_disjoint(self):
+        other = PolyLine([Point(10, 10), Point(11, 11)])
+        assert not l_shape().intersects(other)
+
+    def test_translated(self):
+        moved = l_shape().translated(1, 1)
+        assert moved.vertices[0] == Point(1, 1)
+        assert moved.length() == pytest.approx(7.0)

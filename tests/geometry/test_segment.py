@@ -1,0 +1,123 @@
+"""Unit tests for segment intersection and distances."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment, orientation
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def segments(draw):
+    return Segment(
+        Point(draw(coords), draw(coords)), Point(draw(coords), draw(coords))
+    )
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, -1)) == -1
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+
+class TestIntersection:
+    def test_proper_crossing(self):
+        a = Segment(Point(0, 0), Point(2, 2))
+        b = Segment(Point(0, 2), Point(2, 0))
+        assert a.intersects(b)
+
+    def test_shared_endpoint(self):
+        a = Segment(Point(0, 0), Point(1, 1))
+        b = Segment(Point(1, 1), Point(2, 0))
+        assert a.intersects(b)
+
+    def test_collinear_overlap(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(1, 0), Point(3, 0))
+        assert a.intersects(b)
+
+    def test_collinear_disjoint(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(2, 0), Point(3, 0))
+        assert not a.intersects(b)
+
+    def test_parallel_disjoint(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(0, 1), Point(1, 1))
+        assert not a.intersects(b)
+
+    def test_t_junction(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(1, -1), Point(1, 0))
+        assert a.intersects(b)
+
+    def test_near_miss(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(1, 0.001), Point(1, 1))
+        assert not a.intersects(b)
+
+    @given(segments(), segments())
+    def test_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(segments())
+    def test_self_intersects(self, s):
+        assert s.intersects(s)
+
+
+class TestDistances:
+    def test_point_on_segment(self):
+        s = Segment(Point(0, 0), Point(2, 0))
+        assert s.distance_to_point(Point(1, 0)) == pytest.approx(0.0)
+
+    def test_point_perpendicular(self):
+        s = Segment(Point(0, 0), Point(2, 0))
+        assert s.distance_to_point(Point(1, 3)) == pytest.approx(3.0)
+
+    def test_point_beyond_endpoint(self):
+        s = Segment(Point(0, 0), Point(2, 0))
+        assert s.distance_to_point(Point(5, 4)) == pytest.approx(5.0)
+
+    def test_segment_distance_zero_when_crossing(self):
+        a = Segment(Point(0, 0), Point(2, 2))
+        b = Segment(Point(0, 2), Point(2, 0))
+        assert a.distance_to_segment(b) == 0.0
+
+    def test_segment_distance_parallel(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(0, 3), Point(2, 3))
+        assert a.distance_to_segment(b) == pytest.approx(3.0)
+
+    @given(segments(), segments())
+    def test_segment_distance_symmetric(self, a, b):
+        assert a.distance_to_segment(b) == pytest.approx(b.distance_to_segment(a))
+
+
+class TestMisc:
+    def test_midpoint_and_length(self):
+        s = Segment(Point(0, 0), Point(4, 0))
+        assert s.midpoint() == Point(2, 0)
+        assert s.length() == 4.0
+
+    def test_mbr(self):
+        s = Segment(Point(2, 5), Point(0, 1))
+        assert s.mbr().as_tuple() == (0, 1, 2, 5)
+
+    def test_point_at(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.point_at(0.3) == Point(3, 0)
+        with pytest.raises(GeometryError):
+            s.point_at(1.5)
+
+    def test_degenerate(self):
+        assert Segment(Point(1, 1), Point(1, 1)).is_degenerate()
+        assert not Segment(Point(0, 0), Point(1, 1)).is_degenerate()

@@ -1,0 +1,139 @@
+"""Tests for the Peano/z-order machinery (Figure 1 and Orenstein merge)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.zorder import ZCell, decompose_rect, deinterleave, interleave, z_value
+
+UNIVERSE = Rect(0, 0, 16, 16)
+
+
+class TestInterleave:
+    def test_known_values(self):
+        # Bit interleaving with y the more significant direction.
+        assert interleave(0, 0, 2) == 0
+        assert interleave(1, 0, 2) == 1
+        assert interleave(0, 1, 2) == 2
+        assert interleave(1, 1, 2) == 3
+        assert interleave(2, 0, 2) == 4
+
+    def test_out_of_range(self):
+        with pytest.raises(GeometryError):
+            interleave(4, 0, 2)
+        with pytest.raises(GeometryError):
+            interleave(-1, 0, 2)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_roundtrip(self, x, y):
+        z = interleave(x, y, 8)
+        assert deinterleave(z, 8) == (x, y)
+
+    @given(st.integers(0, 65535))
+    def test_roundtrip_reverse(self, z):
+        x, y = deinterleave(z, 8)
+        assert interleave(x, y, 8) == z
+
+
+class TestZValue:
+    def test_origin_cell(self):
+        assert z_value(Point(0.1, 0.1), UNIVERSE, 4) == 0
+
+    def test_far_corner_clamped(self):
+        # The universe's max corner lands in the last cell, not out of range.
+        assert z_value(Point(16, 16), UNIVERSE, 4) == interleave(15, 15, 4)
+
+    def test_outside_raises(self):
+        with pytest.raises(GeometryError):
+            z_value(Point(17, 0), UNIVERSE, 4)
+
+    def test_proximity_not_preserved(self):
+        """The paper's key point: spatially close cells can be far apart
+        on the curve (Figure 1's o32 vs o54 situation)."""
+        # Neighbors across the middle seam of the grid.
+        left = z_value(Point(7.9, 7.9), UNIVERSE, 4)
+        right = z_value(Point(8.1, 8.1), UNIVERSE, 4)
+        assert abs(left - right) > 100  # adjacent in space, distant in z
+
+
+class TestZCell:
+    def test_interval_nesting(self):
+        parent = ZCell(1, 2)
+        children = list(parent.children())
+        assert len(children) == 4
+        plo, phi = parent.interval(5)
+        for c in children:
+            clo, chi = c.interval(5)
+            assert plo <= clo <= chi <= phi
+
+    def test_contains(self):
+        root = ZCell(0, 0)
+        deep = ZCell(3, 37)
+        assert root.contains(deep)
+        assert not deep.contains(root)
+        assert deep.contains(deep)
+
+    def test_overlaps_is_ancestry(self):
+        a = ZCell(1, 0)
+        b = ZCell(2, 1)  # child of a
+        c = ZCell(2, 4)  # child of sibling
+        assert a.overlaps(b)
+        assert not b.overlaps(c)
+
+    def test_parent(self):
+        assert ZCell(2, 13).parent() == ZCell(1, 3)
+        with pytest.raises(GeometryError):
+            ZCell(0, 0).parent()
+
+    def test_extent_tiles_universe(self):
+        cells = list(ZCell(0, 0).children())
+        total = sum(c.extent(UNIVERSE).area() for c in cells)
+        assert total == pytest.approx(UNIVERSE.area())
+
+    def test_bad_prefix(self):
+        with pytest.raises(GeometryError):
+            ZCell(1, 4)
+
+
+class TestDecomposition:
+    def test_full_universe_is_root(self):
+        cells = decompose_rect(UNIVERSE, UNIVERSE, 4)
+        assert cells == [ZCell(0, 0)]
+
+    def test_quadrant_is_single_cell(self):
+        cells = decompose_rect(Rect(0, 0, 8, 8), UNIVERSE, 4)
+        assert cells == [ZCell(1, 0)]
+
+    def test_disjoint_rect_empty(self):
+        assert decompose_rect(Rect(20, 20, 30, 30), UNIVERSE, 4) == []
+
+    def test_cells_cover_rect(self):
+        rect = Rect(3, 3, 11, 6)
+        cells = decompose_rect(rect, UNIVERSE, 4)
+        # Every point sampled inside the rect falls in some cell.
+        for px in (3.1, 5.0, 10.9):
+            for py in (3.1, 4.5, 5.9):
+                assert any(
+                    c.extent(UNIVERSE).contains_point(Point(px, py)) for c in cells
+                )
+
+    def test_cells_sorted_by_interval_start(self):
+        cells = decompose_rect(Rect(1, 1, 14, 14), UNIVERSE, 3)
+        starts = [c.interval(3)[0] for c in cells]
+        assert starts == sorted(starts)
+
+    def test_max_level_bounds_granularity(self):
+        coarse = decompose_rect(Rect(1, 1, 3, 3), UNIVERSE, 2)
+        fine = decompose_rect(Rect(1, 1, 3, 3), UNIVERSE, 4)
+        assert max(c.level for c in coarse) <= 2
+        assert len(fine) >= len(coarse)
+
+    def test_overlapping_rects_share_cell_ancestry(self):
+        """Decompositions of overlapping rects must contain at least one
+        ancestor-related cell pair -- the invariant the merge join uses."""
+        a = decompose_rect(Rect(2, 2, 6, 6), UNIVERSE, 4)
+        b = decompose_rect(Rect(5, 5, 9, 9), UNIVERSE, 4)
+        assert any(ca.overlaps(cb) for ca in a for cb in b)

@@ -1,0 +1,148 @@
+"""Unit and randomized tests for the grid file."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.gridfile import GridFile
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+
+UNIVERSE = Rect(0, 0, 100, 100)
+
+
+def fresh_grid(capacity: int = 6) -> tuple[GridFile, CostMeter]:
+    meter = CostMeter()
+    pool = BufferPool(SimulatedDisk(), capacity=4000, meter=meter)
+    return GridFile(pool, UNIVERSE, bucket_capacity=capacity), meter
+
+
+def random_points(count: int, seed: int) -> list[Point]:
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(count)]
+
+
+class TestBasics:
+    def test_empty(self):
+        grid, _ = fresh_grid()
+        assert len(grid) == 0
+        assert grid.search_point(Point(1, 1)) == []
+        assert grid.grid_shape == (1, 1)
+
+    def test_insert_and_point_search(self):
+        grid, _ = fresh_grid()
+        grid.insert(Point(10, 10), "a")
+        grid.insert(Point(10, 10), "b")
+        grid.insert(Point(20, 20), "c")
+        assert sorted(grid.search_point(Point(10, 10))) == ["a", "b"]
+        assert grid.search_point(Point(5, 5)) == []
+
+    def test_out_of_universe_rejected(self):
+        grid, _ = fresh_grid()
+        with pytest.raises(StorageError):
+            grid.insert(Point(200, 0), "x")
+
+    def test_capacity_validation(self):
+        pool = BufferPool(SimulatedDisk(), 100, CostMeter())
+        with pytest.raises(StorageError):
+            GridFile(pool, UNIVERSE, bucket_capacity=1)
+
+    def test_delete(self):
+        grid, _ = fresh_grid()
+        grid.insert(Point(10, 10), "a")
+        assert grid.delete(Point(10, 10), "a")
+        assert not grid.delete(Point(10, 10), "a")
+        assert len(grid) == 0
+
+
+class TestSplitting:
+    def test_splits_grow_directory(self):
+        grid, _ = fresh_grid(capacity=4)
+        for p in random_points(100, seed=1):
+            grid.insert(p, p)
+        grid.check_invariants()
+        cols, rows = grid.grid_shape
+        assert cols > 1 and rows > 1
+        assert grid.bucket_count() > 1
+
+    def test_bucket_occupancy_bounded(self):
+        grid, _ = fresh_grid(capacity=5)
+        for p in random_points(200, seed=2):
+            grid.insert(p, p)
+        for bucket in grid.all_buckets():
+            assert len(bucket.entries) <= 5
+
+    def test_coincident_points_overflow_gracefully(self):
+        grid, _ = fresh_grid(capacity=3)
+        for i in range(10):
+            grid.insert(Point(50, 50), i)
+        grid.check_invariants()
+        assert sorted(grid.search_point(Point(50, 50))) == list(range(10))
+
+    def test_skewed_data(self):
+        grid, _ = fresh_grid(capacity=4)
+        rng = random.Random(3)
+        for i in range(150):
+            grid.insert(Point(rng.uniform(0, 1), rng.uniform(99, 100)), i)
+        grid.check_invariants()
+        found = grid.search_range(Rect(0, 99, 1, 100))
+        assert len(found) == 150
+
+
+class TestRangeSearch:
+    def test_matches_brute_force(self):
+        grid, _ = fresh_grid(capacity=6)
+        pts = random_points(300, seed=4)
+        for i, p in enumerate(pts):
+            grid.insert(p, i)
+        for rect in (Rect(10, 10, 40, 40), Rect(0, 0, 100, 100), Rect(95, 95, 99, 99)):
+            got = {t for _, t in grid.search_range(rect)}
+            want = {i for i, p in enumerate(pts) if rect.contains_point(p)}
+            assert got == want
+
+    def test_disjoint_range_empty(self):
+        grid, _ = fresh_grid()
+        grid.insert(Point(1, 1), "a")
+        assert grid.search_range(Rect(200, 200, 300, 300)) == []
+
+
+class TestAccessGuarantee:
+    def test_point_search_single_bucket_read(self):
+        grid, meter = fresh_grid(capacity=4)
+        for p in random_points(200, seed=5):
+            grid.insert(p, p)
+        grid.buffer_pool.clear()
+        meter.reset()
+        grid.search_point(Point(50, 50))
+        # The grid file's hallmark: one bucket page per exact-match search
+        # (the directory is in main memory).
+        assert meter.page_reads == 1
+
+    def test_range_reads_each_bucket_once(self):
+        grid, meter = fresh_grid(capacity=4)
+        for p in random_points(200, seed=6):
+            grid.insert(p, p)
+        grid.buffer_pool.clear()
+        meter.reset()
+        grid.search_range(Rect(0, 0, 100, 100))
+        assert meter.page_reads == grid.bucket_count()
+
+
+@given(st.lists(st.tuples(st.integers(0, 99), st.integers(0, 99)), max_size=150),
+       st.integers(min_value=2, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_randomized_inserts_preserve_invariants(coords, capacity):
+    grid, _ = fresh_grid(capacity=capacity)
+    for idx, (x, y) in enumerate(coords):
+        grid.insert(Point(float(x), float(y)), idx)
+    grid.check_invariants()
+    assert len(grid) == len(coords)
+    # Every inserted entry is findable.
+    for idx, (x, y) in enumerate(coords):
+        assert idx in grid.search_point(Point(float(x), float(y)))

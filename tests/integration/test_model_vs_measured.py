@@ -1,0 +1,113 @@
+"""The bridge test: analytical predictions vs measured execution.
+
+The strongest claim a reproduction of a cost-model paper can make is
+that its *formulas predict its own engine*.  Here we realize the model's
+world exactly (balanced k-ary tree, every node an application object,
+unclustered vs BFS-clustered pages), measure per-level match
+probabilities for a concrete selector, feed them to the Section 4.3
+formulas through a tabulated distribution, and compare the predicted
+predicate counts and page I/Os against the meters of a real run.
+"""
+
+import math
+
+import pytest
+
+from repro.costmodel.distributions import Tabulated
+from repro.costmodel.parameters import ModelParameters
+from repro.costmodel.selection_costs import (
+    c_tree_clustered,
+    c_tree_computation,
+    c_tree_unclustered,
+)
+from repro.geometry.rect import Rect
+from repro.join.accessor import RelationAccessor
+from repro.join.select import spatial_select
+from repro.predicates.theta import WithinDistance
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.workloads.assembly import build_balanced_assembly
+
+K, N_HEIGHT = 5, 4
+QUERY = Rect(180, 180, 260, 260)
+THETA = WithinDistance(150.0)
+
+
+@pytest.fixture(scope="module")
+def world():
+    unclustered = build_balanced_assembly(K, N_HEIGHT, clustered=False)
+    clustered = build_balanced_assembly(K, N_HEIGHT, clustered=True)
+
+    # Measure the per-level filter (Theta) match probabilities directly.
+    big = THETA.filter_operator()
+    table: dict[tuple[int, int], float] = {}
+    for level_index, level in enumerate(unclustered.tree.levels()):
+        hits = sum(1 for node in level if big(QUERY, node.region))
+        # The selector plays the role of the height-h object; only the
+        # row pi(h, i) matters for the selection formulas.
+        for h in range(N_HEIGHT + 1):
+            table[(h, level_index)] = hits / len(level)
+
+    params = ModelParameters(
+        n=N_HEIGHT,
+        k=K,
+        p=0.5,  # unused: the tabulated pi overrides it
+        v=unclustered.relation.record_size,
+        l=unclustered.relation.utilization,
+        h=N_HEIGHT,
+        s=unclustered.relation.buffer_pool.disk.page_size,
+    )
+    dist = Tabulated(params, table)
+    return unclustered, clustered, dist, params
+
+
+def run_select(assembly):
+    meter = CostMeter()
+    pool = BufferPool(assembly.relation.buffer_pool.disk, 4000, meter)
+    spatial_select(
+        assembly.tree,
+        QUERY,
+        THETA,
+        accessor=RelationAccessor(assembly.relation, pool),
+        meter=meter,
+    )
+    return meter
+
+
+class TestPredicateCountPrediction:
+    def test_examined_nodes_match_formula(self, world):
+        """C_II^Theta counts expected filter evaluations; the engine's
+        meter must agree exactly in expectation terms (the measured pi
+        *is* the realized fraction, so the match is deterministic)."""
+        unclustered, _, dist, params = world
+        predicted = c_tree_computation(dist) / params.c_theta
+        meter = run_select(unclustered)
+        assert meter.theta_filter_evals == pytest.approx(predicted, rel=1e-9)
+
+
+class TestIoPrediction:
+    def test_unclustered_io_within_factor_two(self, world):
+        unclustered, _, dist, params = world
+        predicted_io = (c_tree_unclustered(dist) - c_tree_computation(dist)) / params.c_io
+        measured = run_select(unclustered).page_reads
+        assert predicted_io > 0
+        assert measured / predicted_io == pytest.approx(1.0, abs=0.65), (
+            measured,
+            predicted_io,
+        )
+
+    def test_clustered_io_within_factor_two(self, world):
+        _, clustered, dist, params = world
+        predicted_io = (c_tree_clustered(dist) - c_tree_computation(dist)) / params.c_io
+        measured = run_select(clustered).page_reads
+        assert predicted_io > 0
+        assert measured / predicted_io == pytest.approx(1.0, abs=0.65), (
+            measured,
+            predicted_io,
+        )
+
+    def test_model_preserves_layout_ordering(self, world):
+        """The formulas and the engine must agree on who wins."""
+        unclustered, clustered, dist, _ = world
+        assert c_tree_clustered(dist) <= c_tree_unclustered(dist)
+        assert run_select(clustered).page_reads <= run_select(unclustered).page_reads

@@ -1,0 +1,51 @@
+"""Tests for the tuple-materializing paths of the join strategies."""
+
+import pytest
+
+from repro.join.join_index import JoinIndex
+from repro.join.tree_join import tree_join
+from repro.join.accessor import RelationAccessor
+from repro.predicates.theta import Overlaps
+
+from tests.join.conftest import make_rect_relation, rtree_over
+
+
+@pytest.fixture
+def setup():
+    rel_r = make_rect_relation("r", 60, seed=93)
+    rel_s = make_rect_relation("s", 60, seed=94)
+    tree_r = rtree_over(rel_r, "shape")
+    tree_s = rtree_over(rel_s, "shape")
+    return rel_r, rel_s, tree_r, tree_s
+
+
+class TestTreeJoinCollect:
+    def test_tuples_parallel_to_pairs(self, setup):
+        rel_r, rel_s, tree_r, tree_s = setup
+        res = tree_join(
+            tree_r, tree_s, Overlaps(),
+            accessor_r=RelationAccessor(rel_r),
+            accessor_s=RelationAccessor(rel_s),
+            collect_tuples=True,
+        )
+        assert len(res.tuples) == len(res.pairs)
+        for (tid_r, tid_s), (t_r, t_s) in zip(res.pairs, res.tuples):
+            assert t_r.tid == tid_r
+            assert t_s.tid == tid_s
+            assert Overlaps()(t_r["shape"], t_s["shape"])
+
+    def test_default_skips_materialization(self, setup):
+        _, _, tree_r, tree_s = setup
+        res = tree_join(tree_r, tree_s, Overlaps())
+        assert res.tuples == []
+
+
+class TestJoinIndexCollect:
+    def test_materialized_join(self, setup):
+        rel_r, rel_s, *_ = setup
+        ji = JoinIndex.precompute(rel_r, rel_s, "shape", "shape", Overlaps())
+        res = ji.join(collect_tuples=True)
+        assert len(res.tuples) == len(res.pairs)
+        for (tid_r, tid_s), (t_r, t_s) in zip(res.pairs, res.tuples):
+            assert t_r.tid == tid_r
+            assert t_s.tid == tid_s

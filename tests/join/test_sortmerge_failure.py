@@ -1,0 +1,133 @@
+"""Reproduction of Section 2.2's negative result: sort-merge loses matches.
+
+The paper's Figure 1 argument, made executable: adjacent grid cells can
+be arbitrarily far apart in z-order, so a windowed 1-D merge misses their
+match while an exact strategy finds it.
+"""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.zorder import z_value
+from repro.join.naive_sortmerge import naive_sortmerge_join
+from repro.join.nested_loop import nested_loop_join
+from repro.predicates.theta import Adjacent, Overlaps
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, ColumnType, Schema
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+
+UNIVERSE = Rect(0, 0, 8, 8)
+SCHEMA = Schema([Column("oid", ColumnType.INT), Column("cell", ColumnType.RECT)])
+
+
+def grid_cell(gx: int, gy: int) -> Rect:
+    """One unit cell of the Figure 1 style 8x8 grid."""
+    return Rect(float(gx), float(gy), float(gx + 1), float(gy + 1))
+
+
+def relation_of(cells, name: str) -> Relation:
+    pool = BufferPool(SimulatedDisk(), 4000, CostMeter())
+    rel = Relation(name, SCHEMA, pool)
+    for i, c in enumerate(cells):
+        rel.insert([i, c])
+    return rel
+
+
+class TestAdjacentOperator:
+    def test_edge_adjacency(self):
+        assert Adjacent()(grid_cell(0, 0), grid_cell(1, 0))
+        assert Adjacent()(grid_cell(0, 0), grid_cell(0, 1))
+
+    def test_corner_adjacency(self):
+        assert Adjacent()(grid_cell(0, 0), grid_cell(1, 1))
+
+    def test_overlap_is_not_adjacency(self):
+        assert not Adjacent()(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3))
+
+    def test_disjoint_is_not_adjacency(self):
+        assert not Adjacent()(grid_cell(0, 0), grid_cell(3, 3))
+
+    def test_filter_is_conservative(self):
+        big = Adjacent().filter_operator()
+        a, b = grid_cell(2, 2), grid_cell(3, 2)
+        assert Adjacent()(a, b)
+        assert big(a.buffer(0.5), b.buffer(0.5))
+
+
+class TestZOrderProximityGap:
+    def test_adjacent_cells_far_apart_on_curve(self):
+        """The o3/o9 situation: neighbors across a major quadrant seam
+        have a large z-distance."""
+        left = z_value(Point(3.5, 3.5), UNIVERSE, 3)
+        right = z_value(Point(4.5, 4.5), UNIVERSE, 3)
+        assert Adjacent()(grid_cell(3, 3), grid_cell(4, 4))
+        assert abs(left - right) >= 16
+
+
+class TestSortMergeLosesMatches:
+    @pytest.fixture
+    def seam_workload(self):
+        """Cells hugging the central seam of the grid: adjacency matches
+        abound, but z-order scatters the two sides."""
+        r_cells = [grid_cell(3, gy) for gy in range(8)]   # column x=3
+        s_cells = [grid_cell(4, gy) for gy in range(8)]   # column x=4
+        return relation_of(r_cells, "r"), relation_of(s_cells, "s")
+
+    def test_misses_matches_with_bounded_window(self, seam_workload):
+        rel_r, rel_s = seam_workload
+        theta = Adjacent()
+        exact = nested_loop_join(
+            rel_r, rel_s, "cell", "cell", theta, memory_pages=50
+        )
+        merged = naive_sortmerge_join(
+            rel_r, rel_s, "cell", "cell", theta,
+            universe=UNIVERSE, bits=3, window=3,
+        )
+        assert merged.pair_set() <= exact.pair_set()
+        missed = exact.pair_set() - merged.pair_set()
+        assert missed, "the naive sort-merge should lose seam matches"
+
+    def test_found_pairs_are_real(self, seam_workload):
+        """Incomplete, but never wrong: every reported pair satisfies theta."""
+        rel_r, rel_s = seam_workload
+        theta = Adjacent()
+        merged = naive_sortmerge_join(
+            rel_r, rel_s, "cell", "cell", theta,
+            universe=UNIVERSE, bits=3, window=3,
+        )
+        for tid_r, tid_s in merged.pair_set():
+            assert theta(rel_r.get(tid_r)["cell"], rel_s.get(tid_s)["cell"])
+
+    def test_completeness_needs_degenerate_window(self, seam_workload):
+        """Only a window spanning the whole relation recovers all matches
+        -- at which point the 'merge' is the nested loop in disguise."""
+        rel_r, rel_s = seam_workload
+        theta = Adjacent()
+        exact = nested_loop_join(
+            rel_r, rel_s, "cell", "cell", theta, memory_pages=50
+        )
+        meter = CostMeter()
+        full_window = naive_sortmerge_join(
+            rel_r, rel_s, "cell", "cell", theta,
+            universe=UNIVERSE, bits=3, window=len(rel_s), meter=meter,
+        )
+        assert full_window.pair_set() == exact.pair_set()
+        assert meter.theta_exact_evals >= len(rel_r) * len(rel_s) / 2
+
+    def test_overlaps_still_works_via_proper_zorder_merge(self, seam_workload):
+        """Contrast: the paper's one sanctioned sort-merge (Orenstein, for
+        ``overlaps``) is complete -- but it relies on cell decomposition,
+        not on a bounded merge window."""
+        from repro.join.zorder_merge import zorder_merge_join
+
+        rel_r, rel_s = seam_workload
+        exact = nested_loop_join(
+            rel_r, rel_s, "cell", "cell", Overlaps(), memory_pages=50
+        )
+        z = zorder_merge_join(
+            rel_r, rel_s, "cell", "cell", universe=UNIVERSE, max_level=3
+        )
+        assert z.pair_set() == exact.pair_set()

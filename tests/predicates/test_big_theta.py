@@ -1,0 +1,102 @@
+"""Unit tests for the Theta-filters (right column of Table 1)."""
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.predicates.big_theta import (
+    BufferOverlapFilter,
+    DistanceBandFilter,
+    MBRIntersectsFilter,
+    MinDistanceFilter,
+    QuadrantOverlapFilter,
+    theta_filter,
+)
+from repro.predicates.theta import (
+    ContainedIn,
+    DirectionOf,
+    DistanceBetween,
+    Includes,
+    NorthwestOf,
+    Overlaps,
+    ReachableWithin,
+    ThetaOperator,
+    WithinDistance,
+)
+
+
+class TestFactory:
+    def test_table1_mapping(self):
+        assert isinstance(theta_filter(WithinDistance(5)), MinDistanceFilter)
+        assert isinstance(theta_filter(Overlaps()), MBRIntersectsFilter)
+        assert isinstance(theta_filter(Includes()), MBRIntersectsFilter)
+        assert isinstance(theta_filter(ContainedIn()), MBRIntersectsFilter)
+        assert isinstance(theta_filter(NorthwestOf()), QuadrantOverlapFilter)
+        assert isinstance(theta_filter(ReachableWithin(5)), BufferOverlapFilter)
+        assert isinstance(theta_filter(DistanceBetween(1, 2)), DistanceBandFilter)
+
+    def test_direction_filter_carries_direction(self):
+        f = theta_filter(DirectionOf("se"))
+        assert isinstance(f, QuadrantOverlapFilter)
+        assert f.direction == "se"
+
+    def test_unknown_operator_raises(self):
+        class Exotic(ThetaOperator):
+            def evaluate(self, o1, o2):
+                return False
+
+        with pytest.raises(PredicateError):
+            theta_filter(Exotic())
+
+
+class TestMinDistanceFilter:
+    def test_closest_point_semantics(self):
+        # Closest MBR points 2 apart; d=2 passes, d=1.9 fails.
+        a = Rect(0, 0, 1, 1)
+        b = Rect(3, 0, 4, 1)
+        assert MinDistanceFilter(2.0)(a, b)
+        assert not MinDistanceFilter(1.9)(a, b)
+
+    def test_overlap_is_distance_zero(self):
+        assert MinDistanceFilter(0.0)(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3))
+
+
+class TestQuadrantFilter:
+    def test_figure5_construction(self):
+        target = Rect(5, 5, 10, 10)
+        # An object far to the NW overlaps the quadrant.
+        assert QuadrantOverlapFilter("nw")(Rect(0, 12, 2, 14), target)
+        # An object strictly SE of the right/lower tangents does not.
+        assert not QuadrantOverlapFilter("nw")(Rect(12, 0, 14, 4), target)
+
+    def test_overlapping_objects_pass(self):
+        # Subobjects could still be NW-related when the MBRs overlap.
+        target = Rect(5, 5, 10, 10)
+        assert QuadrantOverlapFilter("nw")(Rect(4, 4, 11, 11), target)
+
+
+class TestBufferFilter:
+    def test_radius_zero_is_intersection(self):
+        f = BufferOverlapFilter(0.0)
+        assert f(Rect(0, 0, 1, 1), Rect(1, 1, 2, 2))
+        assert not f(Rect(0, 0, 1, 1), Rect(2, 2, 3, 3))
+
+    def test_buffer_reaches(self):
+        f = BufferOverlapFilter(5.0)
+        assert f(Rect(0, 0, 1, 1), Rect(5, 0, 6, 1))
+
+
+class TestDistanceBandFilter:
+    def test_too_far_fails(self):
+        f = DistanceBandFilter(0, 2)
+        assert not f(Rect(0, 0, 1, 1), Rect(10, 0, 11, 1))
+
+    def test_too_close_fails(self):
+        # Identical degenerate rects: max distance 0 < lo.
+        f = DistanceBandFilter(5, 10)
+        assert not f(Rect(0, 0, 0, 0), Rect(0, 0, 0, 0))
+
+    def test_band_reachable_passes(self):
+        f = DistanceBandFilter(2, 4)
+        assert f(Rect(0, 0, 1, 1), Rect(3, 0, 4, 1))

@@ -1,0 +1,105 @@
+"""Tests for the cross-type dispatch layer."""
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.polyline import PolyLine
+from repro.geometry.rect import Rect
+from repro.predicates.dispatch import (
+    exact_contains,
+    exact_overlaps,
+    min_distance,
+)
+
+
+class TestOverlapDispatch:
+    def test_point_point(self):
+        assert exact_overlaps(Point(1, 1), Point(1, 1))
+        assert not exact_overlaps(Point(1, 1), Point(1, 2))
+
+    def test_point_rect(self):
+        assert exact_overlaps(Point(1, 1), Rect(0, 0, 2, 2))
+        assert exact_overlaps(Rect(0, 0, 2, 2), Point(1, 1))
+
+    def test_point_polygon(self):
+        poly = Polygon.regular(Point(0, 0), 2, 6)
+        assert exact_overlaps(Point(0, 0), poly)
+
+    def test_point_polyline(self):
+        line = PolyLine([Point(0, 0), Point(4, 0)])
+        assert exact_overlaps(Point(2, 0), line)
+        assert not exact_overlaps(Point(2, 1), line)
+
+    def test_rect_polyline(self):
+        line = PolyLine([Point(-1, 0.5), Point(5, 0.5)])
+        assert exact_overlaps(Rect(0, 0, 1, 1), line)
+        assert exact_overlaps(line, Rect(0, 0, 1, 1))
+
+    def test_polyline_crossing_rect_without_vertices_inside(self):
+        line = PolyLine([Point(-5, 0.5), Point(5, 0.5)])
+        assert exact_overlaps(Rect(0, 0, 1, 1), line)
+
+    def test_polygon_polyline(self):
+        poly = Polygon.from_rect(Rect(0, 0, 4, 4))
+        crossing = PolyLine([Point(-1, 2), Point(5, 2)])
+        inside = PolyLine([Point(1, 1), Point(2, 2)])
+        outside = PolyLine([Point(10, 10), Point(11, 11)])
+        assert exact_overlaps(poly, crossing)
+        assert exact_overlaps(poly, inside)
+        assert not exact_overlaps(poly, outside)
+
+    def test_polyline_polyline(self):
+        a = PolyLine([Point(0, 0), Point(4, 4)])
+        b = PolyLine([Point(0, 4), Point(4, 0)])
+        assert exact_overlaps(a, b)
+
+
+class TestContainsDispatch:
+    def test_rect_contains_polygon(self):
+        poly = Polygon.regular(Point(5, 5), 2, 6)
+        assert exact_contains(Rect(0, 0, 10, 10), poly)
+        assert not exact_contains(Rect(0, 0, 6, 6), Polygon.regular(Point(5, 5), 2, 6))
+
+    def test_polygon_contains_rect(self):
+        poly = Polygon.from_rect(Rect(0, 0, 10, 10))
+        assert exact_contains(poly, Rect(1, 1, 2, 2))
+
+    def test_point_contains_only_itself(self):
+        assert exact_contains(Point(1, 1), Point(1, 1))
+        assert not exact_contains(Point(1, 1), Point(2, 2))
+        assert not exact_contains(Point(1, 1), Rect(1, 1, 1, 1.1))
+
+    def test_polyline_contains_point_on_it(self):
+        line = PolyLine([Point(0, 0), Point(4, 0)])
+        assert exact_contains(line, Point(2, 0))
+        assert not exact_contains(line, Point(2, 1))
+
+    def test_polyline_contains_subchain(self):
+        line = PolyLine([Point(0, 0), Point(4, 0)])
+        sub = PolyLine([Point(1, 0), Point(3, 0)])
+        assert exact_contains(line, sub)
+        assert not exact_contains(sub, line)
+
+
+class TestDistanceDispatch:
+    def test_zero_on_overlap(self):
+        assert min_distance(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)) == 0.0
+
+    def test_point_to_polygon(self):
+        poly = Polygon.from_rect(Rect(0, 0, 2, 2))
+        assert min_distance(Point(5, 1), poly) == pytest.approx(3.0)
+
+    def test_rect_to_rect(self):
+        assert min_distance(Rect(0, 0, 1, 1), Rect(4, 0, 5, 1)) == pytest.approx(3.0)
+
+    def test_polygon_to_polygon(self):
+        a = Polygon.from_rect(Rect(0, 0, 1, 1))
+        b = Polygon.from_rect(Rect(4, 0, 5, 1))
+        assert min_distance(a, b) == pytest.approx(3.0)
+
+    def test_symmetric(self):
+        a = Polygon.regular(Point(0, 0), 1, 5)
+        b = Rect(5, 5, 6, 6)
+        assert min_distance(a, b) == pytest.approx(min_distance(b, a))

@@ -1,0 +1,111 @@
+"""The central Table 1 contract, property-tested.
+
+Section 3.1: for objects ``o1' >= o1`` and ``o2' >= o2`` (containment),
+``o1 theta o2`` must imply ``o1' Theta o2'`` -- otherwise a traversal
+pruning on a Theta-miss would lose matches.  We generate random objects,
+random containing rectangles, and check the implication for every
+operator pair of Table 1.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.predicates.theta import (
+    ContainedIn,
+    DirectionOf,
+    DistanceBetween,
+    Includes,
+    NorthwestOf,
+    Overlaps,
+    ReachableWithin,
+    WithinDistance,
+)
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+sizes = st.floats(min_value=0.0, max_value=30.0, allow_nan=False)
+pads = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def rect_objects(draw):
+    x = draw(coords)
+    y = draw(coords)
+    return Rect(x, y, x + draw(sizes), y + draw(sizes))
+
+
+@st.composite
+def point_objects(draw):
+    return Point(draw(coords), draw(coords))
+
+
+@st.composite
+def polygon_objects(draw):
+    cx = draw(coords)
+    cy = draw(coords)
+    radius = draw(st.floats(min_value=0.5, max_value=15))
+    sides = draw(st.integers(min_value=3, max_value=8))
+    return Polygon.regular(Point(cx, cy), radius, sides)
+
+
+spatial_objects = st.one_of(rect_objects(), point_objects(), polygon_objects())
+
+
+@st.composite
+def object_with_container(draw):
+    """An object plus an enclosing rectangle (a possible tree-node region)."""
+    obj = draw(spatial_objects)
+    mbr = obj.mbr()
+    container = Rect(
+        mbr.xmin - draw(pads),
+        mbr.ymin - draw(pads),
+        mbr.xmax + draw(pads),
+        mbr.ymax + draw(pads),
+    )
+    return obj, container
+
+
+THETAS = [
+    WithinDistance(20.0),
+    Overlaps(),
+    Includes(),
+    ContainedIn(),
+    NorthwestOf(),
+    DirectionOf("ne"),
+    DirectionOf("sw"),
+    DirectionOf("se"),
+    ReachableWithin(minutes=7.0, speed=2.0),
+    DistanceBetween(5.0, 40.0),
+]
+
+
+@given(object_with_container(), object_with_container())
+def test_theta_filters_are_conservative(pair1, pair2):
+    """theta(o1, o2) implies Theta(container1, container2), all operators."""
+    o1, c1 = pair1
+    o2, c2 = pair2
+    for theta in THETAS:
+        if theta(o1, o2):
+            big = theta.filter_operator()
+            assert big(c1, c2), (
+                f"{theta.name}: match between contained objects but filter "
+                f"{big.name} rejected the containers"
+            )
+
+
+@given(object_with_container(), object_with_container())
+def test_theta_match_implies_filter_match_on_objects_themselves(pair1, pair2):
+    """Each object is its own subobject: theta(o1,o2) -> Theta(o1,o2)."""
+    o1, _ = pair1
+    o2, _ = pair2
+    for theta in THETAS:
+        if theta(o1, o2):
+            assert theta.filter_operator()(o1, o2), theta.name
+
+
+@given(rect_objects(), rect_objects())
+def test_overlap_filter_is_exact_for_rects(a, b):
+    """For rectangles the overlaps filter equals the exact test."""
+    assert Overlaps()(a, b) == Overlaps().filter_operator()(a, b)

@@ -1,0 +1,141 @@
+"""Unit tests for the exact theta-operators of Table 1."""
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.predicates.theta import (
+    ContainedIn,
+    DirectionOf,
+    DistanceBetween,
+    Includes,
+    NorthwestOf,
+    Overlaps,
+    ReachableWithin,
+    WithinDistance,
+)
+
+
+class TestWithinDistance:
+    def test_centerpoint_semantics(self):
+        # Rect centers 10 apart; closest edges only 2 apart.
+        a = Rect(0, 0, 4, 4)   # center (2, 2)
+        b = Rect(8, 0, 16, 4)  # center (12, 2)
+        assert not WithinDistance(9.9)(a, b)
+        assert WithinDistance(10.0)(a, b)
+
+    def test_points(self):
+        assert WithinDistance(5.0)(Point(0, 0), Point(3, 4))
+        assert not WithinDistance(4.9)(Point(0, 0), Point(3, 4))
+
+    def test_rejects_negative(self):
+        with pytest.raises(PredicateError):
+            WithinDistance(-1.0)
+
+    def test_symmetric_flag(self):
+        assert WithinDistance(1.0).symmetric
+
+
+class TestOverlaps:
+    def test_point_in_polygon(self):
+        lake = Polygon.regular(Point(5, 5), 3, 8)
+        assert Overlaps()(Point(5, 5), lake)
+        assert not Overlaps()(Point(50, 50), lake)
+
+    def test_rect_rect(self):
+        assert Overlaps()(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3))
+
+    def test_polygon_polygon_disjoint(self):
+        a = Polygon.regular(Point(0, 0), 1, 6)
+        b = Polygon.regular(Point(10, 0), 1, 6)
+        assert not Overlaps()(a, b)
+
+
+class TestIncludesContains:
+    def test_includes(self):
+        outer = Rect(0, 0, 10, 10)
+        inner = Rect(2, 2, 3, 3)
+        assert Includes()(outer, inner)
+        assert not Includes()(inner, outer)
+
+    def test_contained_in_is_converse(self):
+        outer = Rect(0, 0, 10, 10)
+        inner = Rect(2, 2, 3, 3)
+        assert ContainedIn()(inner, outer)
+        assert not ContainedIn()(outer, inner)
+
+    def test_polygon_includes_point(self):
+        poly = Polygon.regular(Point(0, 0), 5, 8)
+        assert Includes()(poly, Point(0, 0))
+        assert not Includes()(poly, Point(10, 10))
+
+
+class TestDirections:
+    def test_northwest(self):
+        assert NorthwestOf()(Point(0, 10), Point(5, 5))
+        assert not NorthwestOf()(Point(10, 10), Point(5, 5))
+
+    def test_northwest_uses_centerpoints(self):
+        # Rects overlap, but centers are strictly NW-related.
+        a = Rect(0, 4, 4, 10)  # center (2, 7)
+        b = Rect(2, 0, 8, 6)   # center (5, 3)
+        assert NorthwestOf()(a, b)
+
+    def test_direction_of_quadrants(self):
+        c = Point(5, 5)
+        assert DirectionOf("ne")(Point(9, 9), c)
+        assert DirectionOf("sw")(Point(1, 1), c)
+        assert DirectionOf("se")(Point(9, 1), c)
+        assert not DirectionOf("ne")(Point(1, 1), c)
+
+    def test_direction_nw_matches_northwest(self):
+        for p in (Point(0, 9), Point(9, 0), Point(3, 3)):
+            assert DirectionOf("nw")(p, Point(5, 5)) == NorthwestOf()(p, Point(5, 5))
+
+    def test_bad_direction(self):
+        with pytest.raises(PredicateError):
+            DirectionOf("north")
+
+
+class TestReachability:
+    def test_radius(self):
+        op = ReachableWithin(minutes=10, speed=2.0)
+        assert op.radius == 20.0
+        assert op(Point(0, 0), Point(20, 0))
+        assert not op(Point(0, 0), Point(20.1, 0))
+
+    def test_closest_point_semantics(self):
+        # Rect edge within reach although centers are far apart.
+        op = ReachableWithin(minutes=5, speed=1.0)
+        assert op(Rect(0, 0, 10, 1), Point(14, 0.5))
+
+    def test_validation(self):
+        with pytest.raises(PredicateError):
+            ReachableWithin(-1)
+        with pytest.raises(PredicateError):
+            ReachableWithin(1, speed=0)
+
+
+class TestDistanceBetween:
+    def test_band(self):
+        op = DistanceBetween(3, 5)
+        assert op(Point(0, 0), Point(4, 0))
+        assert not op(Point(0, 0), Point(2, 0))
+        assert not op(Point(0, 0), Point(6, 0))
+
+    def test_validation(self):
+        with pytest.raises(PredicateError):
+            DistanceBetween(5, 3)
+        with pytest.raises(PredicateError):
+            DistanceBetween(-1, 3)
+
+
+class TestProtocol:
+    def test_repr_includes_name(self):
+        assert "overlaps" in repr(Overlaps())
+
+    def test_filter_operator_roundtrip(self):
+        f = WithinDistance(3.0).filter_operator()
+        assert "3.0" in f.name

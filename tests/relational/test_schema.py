@@ -1,0 +1,94 @@
+"""Unit tests for schemas and column typing."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.relational.schema import Column, ColumnType, Schema
+
+
+def house_schema() -> Schema:
+    return Schema(
+        [
+            Column("hid", ColumnType.INT),
+            Column("hprice", ColumnType.FLOAT),
+            Column("hlocation", ColumnType.POINT),
+        ]
+    )
+
+
+class TestColumnType:
+    def test_spatial_flags(self):
+        assert ColumnType.POINT.is_spatial
+        assert ColumnType.POLYGON.is_spatial
+        assert ColumnType.RECT.is_spatial
+        assert ColumnType.POLYLINE.is_spatial
+        assert not ColumnType.INT.is_spatial
+        assert not ColumnType.STR.is_spatial
+
+    def test_accepts_basic(self):
+        assert ColumnType.INT.accepts(5)
+        assert not ColumnType.INT.accepts(5.0)
+        assert not ColumnType.INT.accepts(True)  # bools are not ints here
+        assert ColumnType.FLOAT.accepts(5)       # ints are valid floats
+        assert ColumnType.FLOAT.accepts(5.5)
+        assert ColumnType.STR.accepts("x")
+
+    def test_accepts_spatial(self):
+        assert ColumnType.POINT.accepts(Point(0, 0))
+        assert not ColumnType.POINT.accepts(Rect(0, 0, 1, 1))
+        assert ColumnType.POLYGON.accepts(Polygon.from_rect(Rect(0, 0, 1, 1)))
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", ColumnType.INT), Column("a", ColumnType.STR)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_bad_column_name(self):
+        with pytest.raises(SchemaError):
+            Column("not a name", ColumnType.INT)
+
+    def test_index_of(self):
+        s = house_schema()
+        assert s.index_of("hprice") == 1
+        with pytest.raises(SchemaError):
+            s.index_of("missing")
+
+    def test_contains(self):
+        s = house_schema()
+        assert "hid" in s
+        assert "nope" not in s
+
+    def test_spatial_columns(self):
+        cols = house_schema().spatial_columns()
+        assert [c.name for c in cols] == ["hlocation"]
+
+    def test_validate_success(self):
+        vals = house_schema().validate([1, 99.5, Point(0, 0)])
+        assert vals == (1, 99.5, Point(0, 0))
+
+    def test_validate_arity(self):
+        with pytest.raises(SchemaError):
+            house_schema().validate([1, 99.5])
+
+    def test_validate_type(self):
+        with pytest.raises(SchemaError):
+            house_schema().validate([1, 99.5, Rect(0, 0, 1, 1)])
+
+    def test_project(self):
+        sub = house_schema().project(["hlocation", "hid"])
+        assert sub.column_names == ("hlocation", "hid")
+
+    def test_of_constructor(self):
+        s = Schema.of(a=ColumnType.INT, b=ColumnType.POINT)
+        assert s.column_names == ("a", "b")
+
+    def test_equality(self):
+        assert house_schema() == house_schema()

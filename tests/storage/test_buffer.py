@@ -1,0 +1,117 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture
+def setup():
+    meter = CostMeter()
+    disk = SimulatedDisk()
+    pool = BufferPool(disk, capacity=3, meter=meter)
+    return disk, pool, meter
+
+
+class TestFetchAccounting:
+    def test_miss_then_hit(self, setup):
+        disk, pool, meter = setup
+        pid = disk.allocate_page().page_id
+        pool.fetch(pid)
+        assert meter.page_reads == 1
+        pool.fetch(pid)
+        assert meter.page_reads == 1
+        assert meter.buffer_hits == 1
+
+    def test_lru_eviction_order(self, setup):
+        disk, pool, meter = setup
+        pids = [disk.allocate_page().page_id for _ in range(4)]
+        for pid in pids[:3]:
+            pool.fetch(pid)
+        pool.fetch(pids[0])         # refresh 0: LRU victim is now 1
+        pool.fetch(pids[3])         # evicts 1
+        assert pool.is_resident(pids[0])
+        assert not pool.is_resident(pids[1])
+
+    def test_capacity_respected(self, setup):
+        disk, pool, _ = setup
+        for _ in range(10):
+            pool.fetch(disk.allocate_page().page_id)
+        assert pool.resident_count <= 3
+
+    def test_new_page_is_dirty(self, setup):
+        disk, pool, meter = setup
+        pool.new_page()
+        pool.flush_all()
+        assert meter.page_writes == 1
+
+
+class TestDirtyWriteback:
+    def test_eviction_writes_dirty_page(self, setup):
+        disk, pool, meter = setup
+        pids = [disk.allocate_page().page_id for _ in range(4)]
+        pool.fetch(pids[0])
+        pool.mark_dirty(pids[0])
+        for pid in pids[1:]:
+            pool.fetch(pid)  # evicts dirty page 0
+        assert meter.page_writes == 1
+
+    def test_clean_eviction_free(self, setup):
+        disk, pool, meter = setup
+        for _ in range(5):
+            pool.fetch(disk.allocate_page().page_id)
+        assert meter.page_writes == 0
+
+    def test_mark_dirty_requires_residency(self, setup):
+        disk, pool, _ = setup
+        pid = disk.allocate_page().page_id
+        with pytest.raises(BufferPoolError):
+            pool.mark_dirty(pid)
+
+
+class TestPinning:
+    def test_pinned_pages_survive(self, setup):
+        disk, pool, _ = setup
+        pinned = disk.allocate_page().page_id
+        pool.pin(pinned)
+        for _ in range(6):
+            pool.fetch(disk.allocate_page().page_id)
+        assert pool.is_resident(pinned)
+
+    def test_all_pinned_raises(self, setup):
+        disk, pool, _ = setup
+        for _ in range(3):
+            pool.pin(disk.allocate_page().page_id)
+        with pytest.raises(BufferPoolError):
+            pool.fetch(disk.allocate_page().page_id)
+
+    def test_unpin_underflow(self, setup):
+        disk, pool, _ = setup
+        pid = disk.allocate_page().page_id
+        with pytest.raises(BufferPoolError):
+            pool.unpin(pid)
+
+    def test_nested_pins(self, setup):
+        disk, pool, _ = setup
+        pid = disk.allocate_page().page_id
+        pool.pin(pid)
+        pool.pin(pid)
+        pool.unpin(pid)
+        assert pool.pinned_count == 1
+        pool.unpin(pid)
+        assert pool.pinned_count == 0
+
+    def test_clear_with_pins_raises(self, setup):
+        disk, pool, _ = setup
+        pool.pin(disk.allocate_page().page_id)
+        with pytest.raises(BufferPoolError):
+            pool.clear()
+
+
+class TestValidation:
+    def test_zero_capacity(self):
+        with pytest.raises(BufferPoolError):
+            BufferPool(SimulatedDisk(), capacity=0)

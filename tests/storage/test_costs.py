@@ -1,0 +1,52 @@
+"""Unit tests for cost charges and the meter."""
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.storage.costs import PAPER_CHARGES, CostCharges, CostMeter
+
+
+class TestCharges:
+    def test_paper_values(self):
+        assert PAPER_CHARGES.c_theta == 1.0
+        assert PAPER_CHARGES.c_io == 1000.0
+        assert PAPER_CHARGES.c_update == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(CostModelError):
+            CostCharges(c_io=-1)
+
+
+class TestMeter:
+    def test_weighted_total(self):
+        m = CostMeter()
+        m.record_read(3)
+        m.record_write(1)
+        m.record_filter_eval(10)
+        m.record_exact_eval(5)
+        m.record_update(7)
+        assert m.io_operations == 4
+        assert m.predicate_evaluations == 15
+        assert m.total() == 4 * 1000.0 + 15 * 1.0 + 7 * 1.0
+
+    def test_buffer_hits_are_free(self):
+        m = CostMeter()
+        m.record_hit(100)
+        assert m.total() == 0.0
+        assert m.buffer_hits == 100
+
+    def test_reset_keeps_charges(self):
+        m = CostMeter(charges=CostCharges(c_io=5))
+        m.record_read()
+        m.reset()
+        assert m.total() == 0.0
+        m.record_read()
+        assert m.total() == 5.0
+
+    def test_snapshot_keys(self):
+        snap = CostMeter().snapshot()
+        assert set(snap) == {
+            "page_reads", "page_writes", "buffer_hits",
+            "theta_filter_evals", "theta_exact_evals",
+            "update_computations", "total",
+        }

@@ -1,0 +1,105 @@
+"""Unit tests for heap files and BFS-clustered files."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.clustered import ClusteredFile
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heapfile import HeapFile
+from repro.storage.record import RecordId
+
+
+@pytest.fixture
+def pool():
+    return BufferPool(SimulatedDisk(), capacity=4000, meter=CostMeter())
+
+
+class TestHeapFile:
+    def test_paper_records_per_page(self, pool):
+        # s=2000, l=0.75, v=300  ->  m=5 (Table 3).
+        hf = HeapFile(pool, record_size=300, utilization=0.75)
+        assert hf.records_per_page == 5
+
+    def test_append_fills_pages(self, pool):
+        hf = HeapFile(pool, record_size=300)
+        rids = hf.append_all(range(12))
+        assert hf.num_pages == 3
+        assert rids[0].page_id == rids[4].page_id
+        assert rids[5].page_id != rids[4].page_id
+
+    def test_get_roundtrip(self, pool):
+        hf = HeapFile(pool, record_size=300)
+        rid = hf.append("hello")
+        assert hf.get(rid) == "hello"
+
+    def test_get_foreign_rid_rejected(self, pool):
+        hf1 = HeapFile(pool, record_size=300)
+        hf2 = HeapFile(pool, record_size=300)
+        rid = hf1.append("x")
+        hf2.append("y")
+        with pytest.raises(StorageError):
+            hf2.get(RecordId(rid.page_id, rid.slot))
+
+    def test_scan_in_order(self, pool):
+        hf = HeapFile(pool, record_size=300)
+        hf.append_all(range(7))
+        assert [rec for _, rec in hf.scan()] == list(range(7))
+
+    def test_delete(self, pool):
+        hf = HeapFile(pool, record_size=300)
+        rids = hf.append_all(range(5))
+        hf.delete(rids[2])
+        assert len(hf) == 4
+        assert [rec for _, rec in hf.scan()] == [0, 1, 3, 4]
+
+    def test_get_many_batches_pages(self, pool):
+        hf = HeapFile(pool, record_size=300)
+        rids = hf.append_all(range(20))
+        got = hf.get_many([rids[19], rids[0], rids[7]])
+        assert got == [19, 0, 7]
+
+    def test_record_too_large(self, pool):
+        with pytest.raises(StorageError):
+            HeapFile(pool, record_size=3000)
+
+    def test_bad_utilization(self, pool):
+        with pytest.raises(StorageError):
+            HeapFile(pool, record_size=300, utilization=0.0)
+
+
+class TestClusteredFile:
+    def test_bulk_load_order_preserved(self, pool):
+        cf = ClusteredFile(pool, record_size=300)
+        rids = cf.bulk_load([f"r{i}" for i in range(11)])
+        # Monotone rids: record i on page i // 5.
+        for i, rid in enumerate(rids):
+            assert rid.slot == i % 5
+        assert [rec for _, rec in cf.scan()] == [f"r{i}" for i in range(11)]
+
+    def test_frozen_after_load(self, pool):
+        cf = ClusteredFile(pool, record_size=300)
+        cf.bulk_load(["a"])
+        with pytest.raises(StorageError):
+            cf.append("b")
+        with pytest.raises(StorageError):
+            cf.bulk_load(["c"])
+
+    def test_cluster_runs_group_by_page(self, pool):
+        cf = ClusteredFile(pool, record_size=300)
+        rids = cf.bulk_load(range(15))
+        runs = list(cf.cluster_runs([rids[0], rids[1], rids[6], rids[14]]))
+        assert len(runs) == 3  # pages 0, 1, 2
+        assert [len(r) for r in runs] == [2, 1, 1]
+
+    def test_clustered_scan_io(self):
+        """Fetching k consecutive records costs ceil(k/m) page reads."""
+        meter = CostMeter()
+        pool = BufferPool(SimulatedDisk(), capacity=4000, meter=meter)
+        cf = ClusteredFile(pool, record_size=300)
+        rids = cf.bulk_load(range(50))
+        pool.clear()
+        meter.reset()
+        cf.get_many(rids[10:20])  # 10 consecutive records, m=5
+        assert meter.page_reads == 2

@@ -1,0 +1,86 @@
+"""Unit tests for pages and the simulated disk."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import PAGE_SIZE, Page
+
+
+class TestPage:
+    def test_capacity_accounting(self):
+        p = Page(page_id=0, capacity=1000)
+        p.insert("a", 300)
+        p.insert("b", 300)
+        assert p.free_bytes() == 400
+        assert p.has_room_for(400)
+        assert not p.has_room_for(401)
+
+    def test_overflow_rejected(self):
+        p = Page(page_id=0, capacity=100)
+        with pytest.raises(StorageError):
+            p.insert("big", 200)
+
+    def test_zero_size_rejected(self):
+        p = Page(page_id=0)
+        with pytest.raises(StorageError):
+            p.insert("x", 0)
+
+    def test_get_and_delete(self):
+        p = Page(page_id=0)
+        slot = p.insert("record", 100)
+        assert p.get(slot) == "record"
+        p.delete(slot)
+        with pytest.raises(StorageError):
+            p.get(slot)
+        with pytest.raises(StorageError):
+            p.delete(slot)
+
+    def test_delete_releases_space(self):
+        p = Page(page_id=0, capacity=300)
+        s = p.insert("a", 300)
+        p.delete(s)
+        p.insert("b", 300)  # fits again
+
+    def test_rids_stable_after_delete(self):
+        p = Page(page_id=0)
+        s0 = p.insert("a", 10)
+        s1 = p.insert("b", 10)
+        p.delete(s0)
+        assert p.get(s1) == "b"
+        assert p.record_count() == 1
+        assert p.live_records() == ["b"]
+
+    def test_bad_slot(self):
+        with pytest.raises(StorageError):
+            Page(page_id=0).get(0)
+
+    def test_default_page_size_matches_paper(self):
+        assert PAGE_SIZE == 2000
+
+
+class TestDisk:
+    def test_allocate_sequential_ids(self):
+        d = SimulatedDisk()
+        assert [d.allocate_page().page_id for _ in range(3)] == [0, 1, 2]
+        assert d.num_pages == 3
+
+    def test_read_unknown_page(self):
+        with pytest.raises(StorageError):
+            SimulatedDisk().read_page(0)
+
+    def test_write_roundtrip(self):
+        d = SimulatedDisk()
+        p = d.allocate_page()
+        p.insert("x", 10)
+        d.write_page(p)
+        assert d.read_page(p.page_id).get(0) == "x"
+
+    def test_write_unallocated_rejected(self):
+        d = SimulatedDisk()
+        with pytest.raises(StorageError):
+            d.write_page(Page(page_id=99))
+
+    def test_bad_page_size(self):
+        with pytest.raises(StorageError):
+            SimulatedDisk(page_size=0)

@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--figure", "3"])
+
+
+class TestCommands:
+    def test_figures_all(self, capsys):
+        assert main(["figures", "--points", "5"]) == 0
+        out = capsys.readouterr().out
+        for n in (8, 9, 10, 11, 12, 13):
+            assert f"Figure {n}" in out
+        assert "C_IIb" in out and "D_III" in out
+
+    def test_single_figure(self, capsys):
+        assert main(["figures", "--figure", "11", "--points", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "Figure 12" not in out
+
+    def test_updates(self, capsys):
+        assert main(["updates"]) == 0
+        out = capsys.readouterr().out
+        assert "U_III" in out and "U_IIb" in out
+
+    def test_crossovers(self, capsys):
+        assert main(["crossovers"]) == 0
+        out = capsys.readouterr().out
+        assert "uniform" in out and "p = " in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--size", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out and "join-index" in out

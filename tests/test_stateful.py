@@ -1,0 +1,114 @@
+"""Stateful property testing: the indexed relation as a state machine.
+
+Hypothesis drives a random interleaving of inserts, deletes, range
+selections and nearest-neighbor queries against a relation with an
+R-tree secondary index, checking every answer against a plain shadow
+dictionary.  This exercises the maintenance paths (R-tree condense/
+reinsert, page tombstones) far more aggressively than example-based
+tests.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.join.select import spatial_select
+from repro.predicates.theta import Overlaps
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, ColumnType, Schema
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+from repro.trees.knn import nearest_neighbors
+from repro.trees.rtree import RTree
+
+SCHEMA = Schema([Column("oid", ColumnType.INT), Column("shape", ColumnType.RECT)])
+
+coords = st.floats(min_value=0, max_value=100, allow_nan=False)
+sizes = st.floats(min_value=0, max_value=15, allow_nan=False)
+
+
+class IndexedRelationMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        pool = BufferPool(SimulatedDisk(), capacity=4000, meter=CostMeter())
+        self.relation = Relation("objects", SCHEMA, pool)
+        self.tree = RTree(max_entries=4)
+        self.relation.attach_index("shape", self.tree)
+        self.shadow: dict[int, Rect] = {}
+        self.tids: dict[int, object] = {}
+        self.next_oid = 0
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    @rule(x=coords, y=coords, w=sizes, h=sizes)
+    def insert(self, x, y, w, h):
+        rect = Rect(x, y, x + w, y + h)
+        t = self.relation.insert([self.next_oid, rect])
+        self.shadow[self.next_oid] = rect
+        self.tids[self.next_oid] = t.tid
+        self.next_oid += 1
+
+    @precondition(lambda self: self.shadow)
+    @rule(data=st.data())
+    def delete(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.shadow)))
+        self.relation.delete(self.tids[oid])
+        del self.shadow[oid]
+        del self.tids[oid]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @rule(x=coords, y=coords, w=sizes, h=sizes)
+    def range_query(self, x, y, w, h):
+        query = Rect(x, y, x + w, y + h)
+        res = spatial_select(self.tree, query, Overlaps())
+        got = {self.relation.get(tid)["oid"] for tid in res.tids}
+        want = {oid for oid, r in self.shadow.items() if r.intersects(query)}
+        assert got == want
+
+    @precondition(lambda self: self.shadow)
+    @rule(x=coords, y=coords, k=st.integers(min_value=1, max_value=4))
+    def nearest_query(self, x, y, k):
+        q = Point(x, y)
+        found = nearest_neighbors(self.tree, q, k=k)
+        got = [round(d, 9) for d, _ in found]
+        want = sorted(
+            round(r.distance_to_point(q), 9) for r in self.shadow.values()
+        )[: min(k, len(self.shadow))]
+        assert got == want
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def sizes_agree(self):
+        if not hasattr(self, "relation"):
+            return
+        assert len(self.relation) == len(self.shadow)
+        assert len(self.tree) == len(self.shadow)
+
+    @invariant()
+    def tree_is_structurally_sound(self):
+        if not hasattr(self, "tree"):
+            return
+        self.tree.check_invariants()
+
+
+IndexedRelationTest = IndexedRelationMachine.TestCase
+IndexedRelationTest.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

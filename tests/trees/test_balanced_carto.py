@@ -1,0 +1,131 @@
+"""Unit tests for balanced k-ary trees and cartographic hierarchies."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.geometry.rect import Rect
+from repro.storage.record import RecordId
+from repro.trees.balanced import BalancedKTree, tree_size
+from repro.trees.cartotree import CartoTree
+
+
+class TestTreeSize:
+    def test_paper_size(self):
+        # Table 3: k=10, n=6 gives N = 1,111,111.
+        assert tree_size(10, 6) == 1_111_111
+
+    def test_small_cases(self):
+        assert tree_size(2, 0) == 1
+        assert tree_size(2, 2) == 7
+        assert tree_size(3, 2) == 13
+        assert tree_size(1, 4) == 5
+
+
+class TestBalancedKTree:
+    def test_structure(self):
+        t = BalancedKTree(k=3, n=3)
+        assert t.height() == 3
+        assert t.node_count() == tree_size(3, 3) == 40
+        assert t.leaf_count() == 27
+        t.validate()
+
+    def test_levels(self):
+        t = BalancedKTree(k=4, n=2)
+        levels = list(t.levels())
+        assert [len(lv) for lv in levels] == [1, 4, 16]
+
+    def test_nodes_at_height(self):
+        t = BalancedKTree(k=3, n=3)
+        assert len(t.nodes_at_height(0)) == 1
+        assert len(t.nodes_at_height(2)) == 9
+        with pytest.raises(TreeError):
+            t.nodes_at_height(4)
+
+    def test_children_tile_parent(self):
+        t = BalancedKTree(k=4, n=2, universe=Rect(0, 0, 100, 100))
+        root = t.root()
+        total = sum(c.region.area() for c in root.children)
+        assert total == pytest.approx(root.region.area())
+
+    def test_siblings_disjoint_interiors(self):
+        t = BalancedKTree(k=4, n=1, universe=Rect(0, 0, 10, 10))
+        kids = t.root().children
+        for i, a in enumerate(kids):
+            for b in kids[i + 1 :]:
+                overlap = a.region.intersection(b.region)
+                assert overlap is None or overlap.area() == 0.0
+
+    def test_assign_tids(self):
+        t = BalancedKTree(k=2, n=2)
+        tids = [RecordId(0, i) for i in range(7)]
+        t.assign_tids(tids)
+        assert t.bfs_tids() == tids
+        with pytest.raises(TreeError):
+            t.assign_tids(tids[:3])
+
+    def test_static_insert_rejected(self):
+        t = BalancedKTree(k=2, n=1)
+        with pytest.raises(TreeError):
+            t.insert(Rect(0, 0, 1, 1), RecordId(0, 0))
+
+    def test_leftmost_leaf(self):
+        t = BalancedKTree(k=3, n=2)
+        leaf = t.leftmost_leaf()
+        assert not leaf.children
+        assert t.depth_of(leaf) == 2
+
+    def test_remap_tids(self):
+        t = BalancedKTree(k=2, n=1)
+        t.assign_tids([RecordId(0, i) for i in range(3)])
+        t.remap_tids({RecordId(0, 1): RecordId(5, 5)})
+        assert t.bfs_tids()[1] == RecordId(5, 5)
+
+    def test_k1_degenerate_chain(self):
+        t = BalancedKTree(k=1, n=4)
+        assert t.node_count() == 5
+        assert len(t.nodes_at_height(3)) == 1
+
+
+class TestCartoTree:
+    def test_add_child_enforces_containment(self):
+        t = CartoTree(Rect(0, 0, 100, 100))
+        node = t.add_child(t.root(), Rect(0, 0, 50, 50))
+        with pytest.raises(TreeError):
+            t.add_child(node, Rect(40, 40, 60, 60))  # pokes out
+
+    def test_insert_descends_to_deepest_container(self):
+        t = CartoTree(Rect(0, 0, 100, 100))
+        country = t.add_child(t.root(), Rect(0, 0, 50, 50), RecordId(0, 0))
+        state = t.add_child(country, Rect(10, 10, 30, 30), RecordId(0, 1))
+        t.insert(Rect(15, 15, 20, 20), RecordId(0, 2))
+        assert len(state.children) == 1
+        assert state.children[0].tid == RecordId(0, 2)
+
+    def test_insert_outside_root_rejected(self):
+        t = CartoTree(Rect(0, 0, 10, 10))
+        with pytest.raises(TreeError):
+            t.insert(Rect(5, 5, 15, 15), RecordId(0, 0))
+
+    def test_from_containment_builds_hierarchy(self):
+        objs = [
+            (Rect(0, 0, 80, 80), RecordId(0, 0)),    # country
+            (Rect(10, 10, 40, 40), RecordId(0, 1)),  # state
+            (Rect(15, 15, 20, 20), RecordId(0, 2)),  # city
+            (Rect(50, 50, 70, 70), RecordId(0, 3)),  # other state
+        ]
+        t = CartoTree.from_containment(objs, Rect(0, 0, 100, 100))
+        t.validate()
+        assert t.height() == 3
+        country = t.root().children[0]
+        assert country.tid == RecordId(0, 0)
+        assert len(country.children) == 2  # both states
+        state = next(c for c in country.children if c.tid == RecordId(0, 1))
+        assert state.children[0].tid == RecordId(0, 2)
+
+    def test_height_and_counts(self):
+        t = CartoTree(Rect(0, 0, 100, 100))
+        a = t.add_child(t.root(), Rect(0, 0, 50, 50))
+        t.add_child(a, Rect(0, 0, 25, 25))
+        assert t.height() == 2
+        assert t.node_count() == 3
+        assert t.leaf_count() == 1

@@ -1,0 +1,68 @@
+"""Tests for ASCII tree rendering."""
+
+from repro.geometry.rect import Rect
+from repro.storage.record import RecordId
+from repro.trees.balanced import BalancedKTree
+from repro.trees.cartotree import CartoTree
+from repro.trees.render import level_summary, render_tree
+from repro.trees.rtree import RTree
+
+
+def small_carto() -> CartoTree:
+    t = CartoTree(Rect(0, 0, 100, 100))
+    country = t.add_child(t.root(), Rect(0, 0, 60, 60), RecordId(0, 1))
+    t.add_child(country, Rect(5, 5, 20, 20), RecordId(0, 2))
+    t.add_child(country, Rect(30, 30, 50, 50), RecordId(0, 3))
+    return t
+
+
+class TestRenderTree:
+    def test_empty(self):
+        assert render_tree(RTree()) == "(empty tree)"
+
+    def test_structure_lines(self):
+        text = render_tree(small_carto())
+        lines = text.splitlines()
+        assert len(lines) == 4  # root + country + 2 cities
+        assert lines[0].startswith(" ")  # root is technical (no tid)
+        assert "|--" in text and "`--" in text
+        assert text.count("*") == 3  # three application objects
+
+    def test_max_children_elision(self):
+        t = BalancedKTree(4, 1, universe=Rect(0, 0, 10, 10))
+        text = render_tree(t, max_children=2)
+        assert "... 2 more children" in text
+
+    def test_max_depth_pruning(self):
+        t = BalancedKTree(3, 3, universe=Rect(0, 0, 10, 10))
+        text = render_tree(t, max_depth=1)
+        assert "children pruned" in text
+        # Nothing below depth 1 is drawn: 1 root + 3 children + prune notes.
+        assert len(text.splitlines()) <= 1 + 3 * 2
+
+    def test_custom_label(self):
+        text = render_tree(small_carto(), label=lambda n: "NODE")
+        assert text.splitlines()[0] == "NODE"
+
+
+class TestLevelSummary:
+    def test_counts(self):
+        t = BalancedKTree(3, 2, universe=Rect(0, 0, 10, 10))
+        t.assign_tids([RecordId(0, i) for i in range(t.node_count())])
+        text = level_summary(t)
+        lines = text.splitlines()
+        assert lines[0].startswith("level")
+        assert lines[1].split() == ["0", "1", "1"]
+        assert lines[3].split() == ["2", "9", "9"]
+
+    def test_technical_nodes_counted_separately(self):
+        import random
+
+        t = RTree(max_entries=4)
+        rng = random.Random(5)
+        for i in range(30):
+            x, y = rng.uniform(0, 50), rng.uniform(0, 50)
+            t.insert(Rect(x, y, x + 2, y + 2), RecordId(0, i))
+        text = level_summary(t)
+        last = text.splitlines()[-1].split()
+        assert last[1] == last[2] == "30"  # data entries are the app objects

@@ -1,0 +1,131 @@
+"""Tests for the synthetic workload generators and assemblies."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.geometry.rect import Rect
+from repro.workloads.assembly import build_balanced_assembly, build_indexed_relation
+from repro.workloads.cartography import make_map
+from repro.workloads.generators import (
+    clustered_points,
+    clustered_rects,
+    uniform_points,
+    uniform_rects,
+)
+from repro.workloads.scenarios import make_lakes_and_houses
+
+UNIVERSE = Rect(0, 0, 100, 100)
+
+
+class TestGenerators:
+    def test_uniform_points_in_universe(self):
+        pts = uniform_points(200, UNIVERSE, rng=1)
+        assert len(pts) == 200
+        assert all(UNIVERSE.contains_point(p) for p in pts)
+
+    def test_deterministic_with_seed(self):
+        assert uniform_points(50, UNIVERSE, rng=7) == uniform_points(50, UNIVERSE, rng=7)
+        assert uniform_points(50, UNIVERSE, rng=7) != uniform_points(50, UNIVERSE, rng=8)
+
+    def test_uniform_rects_clipped(self):
+        rects = uniform_rects(200, UNIVERSE, 30, 30, rng=2)
+        assert all(UNIVERSE.contains_rect(r) for r in rects)
+
+    def test_clustered_points_cluster(self):
+        pts = clustered_points(300, UNIVERSE, clusters=3, spread=2.0, rng=3)
+        assert all(UNIVERSE.contains_point(p) for p in pts)
+        # Clustered data has lower dispersion than uniform data.
+        import statistics
+
+        ux = statistics.pstdev(p.x for p in uniform_points(300, UNIVERSE, rng=3))
+        cx = statistics.pstdev(p.x for p in pts)
+        assert cx < ux
+
+    def test_clustered_rects_in_universe(self):
+        rects = clustered_rects(100, UNIVERSE, 4, 3.0, 5, 5, rng=4)
+        assert all(UNIVERSE.contains_rect(r) for r in rects)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            uniform_points(-1, UNIVERSE)
+        with pytest.raises(WorkloadError):
+            uniform_rects(1, UNIVERSE, 0, 5)
+        with pytest.raises(WorkloadError):
+            clustered_points(10, UNIVERSE, clusters=0, spread=1)
+
+
+class TestLakesAndHouses:
+    def test_shapes_and_indices(self):
+        sc = make_lakes_and_houses(n_houses=100, n_lakes=10, seed=5)
+        assert len(sc.houses) == 100
+        assert len(sc.lakes) == 10
+        assert sc.houses.has_index_on("hlocation")
+        assert sc.lakes.has_index_on("larea")
+        sc.house_tree.check_invariants()
+        sc.lake_tree.check_invariants()
+
+    def test_lakes_are_polygons_in_universe(self):
+        sc = make_lakes_and_houses(n_houses=10, n_lakes=20, seed=6)
+        for lake in sc.lakes.scan():
+            assert sc.universe.contains_rect(lake["larea"].mbr())
+
+    def test_no_indices_option(self):
+        sc = make_lakes_and_houses(n_houses=5, n_lakes=5, build_indices=False)
+        assert not sc.houses.has_index_on("hlocation")
+
+
+class TestCartographicMap:
+    def test_three_level_hierarchy(self):
+        m = make_map(countries=4, states_per_country=3, cities_per_state=2)
+        assert m.tree.height() == 3
+        m.tree.validate()
+        assert len(m.regions) == 4 + 4 * 3 + 4 * 3 * 2
+
+    def test_kinds_recorded(self):
+        m = make_map(countries=2, states_per_country=2, cities_per_state=2)
+        kinds = {t["kind"] for t in m.regions.scan()}
+        assert kinds == {"country", "state", "city"}
+
+    def test_countries_tile_universe(self):
+        m = make_map(countries=6)
+        total = sum(
+            t["region"].area() for t in m.regions.scan() if t["kind"] == "country"
+        )
+        assert total == pytest.approx(m.universe.area(), rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            make_map(countries=0)
+
+
+class TestAssemblies:
+    def test_indexed_relation_unclustered(self):
+        ir = build_indexed_relation(120, seed=7)
+        assert len(ir.relation) == 120
+        assert not ir.relation.is_clustered
+        ir.tree.check_invariants()
+
+    def test_indexed_relation_clustered(self):
+        ir = build_indexed_relation(120, seed=7, clustered=True)
+        assert ir.relation.is_clustered
+        # Index still consistent after the recluster's tid rewrite.
+        sample = next(ir.relation.scan())
+        tids = ir.tree.search_tids(sample["shape"].mbr())
+        assert sample.tid in tids
+
+    def test_balanced_assembly_sizes(self):
+        ir = build_balanced_assembly(k=3, n=3)
+        assert len(ir.relation) == 40
+        assert ir.tree.node_count() == 40
+        assert all(t is not None for t in ir.tree.bfs_tids())
+
+    def test_balanced_assembly_clustered_layout(self):
+        ir = build_balanced_assembly(k=3, n=3, clustered=True)
+        # BFS order == file order: the i-th BFS node lives at slot i%m.
+        tids = ir.tree.bfs_tids()
+        for i, tid in enumerate(tids):
+            assert tid.slot == i % ir.relation.records_per_page
+
+    def test_count_validation(self):
+        with pytest.raises(WorkloadError):
+            build_indexed_relation(0)
