@@ -118,6 +118,7 @@ class StrategyComparison:
         *,
         include_join_index: bool = True,
         include_zorder: bool = False,
+        include_partition: bool = True,
     ) -> ComparisonReport:
         """Run every applicable join strategy; verify agreement."""
         report = ComparisonReport(
@@ -150,6 +151,8 @@ class StrategyComparison:
             candidates.append("join-index")
         if include_zorder and isinstance(theta, Overlaps):
             candidates.append("zorder")
+        if include_partition and isinstance(theta, Overlaps):
+            candidates.append("partition")
 
         for strategy in candidates:
             res = run(strategy)

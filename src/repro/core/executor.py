@@ -8,11 +8,14 @@ Strategy names follow the paper's numbering:
 ``join-index``  strategy III (precomputed Valduriez index)
 ``index-nl``    index-supported join (scan S, probe R's tree)
 ``zorder``      Orenstein sort-merge (``overlaps`` joins only)
+``partition``   partition-parallel grid + plane sweep (``overlaps``)
 ``auto``        pick by what is available and a selectivity guess
 ========== =====================================================
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from typing import Any
 
@@ -23,25 +26,58 @@ from repro.join.index_join import (
     index_nested_loop_join_swapped,
 )
 from repro.join.join_index import JoinIndex
-from repro.join.nested_loop import nested_loop_join, nested_loop_select
+from repro.join.nested_loop import RESERVED_PAGES, nested_loop_join, nested_loop_select
 from repro.join.result import JoinResult, SelectResult
 from repro.join.select import spatial_select
 from repro.join.tree_join import tree_join
 from repro.join.zorder_merge import zorder_merge_join
+from repro.parallel.join import partition_join
 from repro.predicates.dispatch import SpatialObject
 from repro.predicates.theta import Overlaps, ThetaOperator
 from repro.relational.relation import Relation
 from repro.storage.costs import CostMeter
 
 
-class SpatialQueryExecutor:
-    """Executes spatial selections and joins with pluggable strategies."""
+@dataclass(slots=True)
+class _RegisteredIndex:
+    """A join index plus the snapshot it was computed from.
 
-    def __init__(self, memory_pages: int = 4000) -> None:
+    The relation references keep the operands alive (so their ``id()``
+    keys cannot be recycled) and the captured modification counts detect
+    staleness: a mutated base relation invalidates the entry.
+    """
+
+    rel_r: Relation
+    rel_s: Relation
+    mod_r: int
+    mod_s: int
+    index: JoinIndex
+
+    def is_stale(self) -> bool:
+        return (
+            self.rel_r.modification_count != self.mod_r
+            or self.rel_s.modification_count != self.mod_s
+        )
+
+
+class SpatialQueryExecutor:
+    """Executes spatial selections and joins with pluggable strategies.
+
+    ``workers`` sets the default degree of parallelism for the
+    ``partition`` strategy (1 = fully in-process); per-join overrides go
+    through :meth:`join`.
+    """
+
+    def __init__(self, memory_pages: int = 4000, workers: int = 1) -> None:
         if memory_pages <= 10:
             raise JoinError(f"memory_pages must exceed 10, got {memory_pages}")
+        if workers < 1:
+            raise JoinError(f"workers must be positive, got {workers}")
         self.memory_pages = memory_pages
-        self._join_indices: dict[tuple[str, str, str, str, str], JoinIndex] = {}
+        self.workers = workers
+        self._join_indices: dict[
+            tuple[int, int, str, str, str], _RegisteredIndex
+        ] = {}
 
     # ------------------------------------------------------------------
     # Join-index registry
@@ -57,7 +93,12 @@ class SpatialQueryExecutor:
     ) -> JoinIndex:
         """Build and register a join index for later ``join-index`` runs."""
         ji = JoinIndex.precompute(rel_r, rel_s, column_r, column_s, theta)
-        self._join_indices[self._key(rel_r, rel_s, column_r, column_s, theta)] = ji
+        self._join_indices[self._key(rel_r, rel_s, column_r, column_s, theta)] = (
+            _RegisteredIndex(
+                rel_r, rel_s,
+                rel_r.modification_count, rel_s.modification_count, ji,
+            )
+        )
         return ji
 
     def join_index_for(
@@ -68,13 +109,28 @@ class SpatialQueryExecutor:
         column_s: str,
         theta: ThetaOperator,
     ) -> JoinIndex | None:
-        """The registered index for this join, or None."""
-        return self._join_indices.get(self._key(rel_r, rel_s, column_r, column_s, theta))
+        """The registered, still-fresh index for this join, or None.
+
+        Entries whose base relations mutated since precomputation are
+        dropped on lookup -- a stale join index silently returns wrong
+        answers, which is worse than recomputing.
+        """
+        key = self._key(rel_r, rel_s, column_r, column_s, theta)
+        entry = self._join_indices.get(key)
+        if entry is None:
+            return None
+        if entry.is_stale():
+            del self._join_indices[key]
+            return None
+        return entry.index
 
     @staticmethod
     def _key(rel_r: Relation, rel_s: Relation, column_r: str, column_s: str,
-             theta: ThetaOperator) -> tuple[str, str, str, str, str]:
-        return (rel_r.name, rel_s.name, column_r, column_s, theta.name)
+             theta: ThetaOperator) -> tuple[int, int, str, str, str]:
+        # Relation *identity*, not name: two distinct relations may share
+        # a name, and a registry keyed by name would serve one relation's
+        # index for the other's join.
+        return (id(rel_r), id(rel_s), column_r, column_s, theta.name)
 
     # ------------------------------------------------------------------
     # Selection
@@ -148,10 +204,17 @@ class SpatialQueryExecutor:
         meter: CostMeter | None = None,
         collect_tuples: bool = False,
         order: str = "bfs",
+        workers: int | None = None,
     ) -> JoinResult:
-        """Spatial join ``rel_r join_theta rel_s`` on the given columns."""
+        """Spatial join ``rel_r join_theta rel_s`` on the given columns.
+
+        ``workers`` overrides the executor-wide worker count for the
+        ``partition`` strategy; other strategies ignore it.
+        """
         if meter is None:
             meter = CostMeter()
+        if workers is None:
+            workers = self.workers
         if strategy == "auto":
             strategy = self._pick_join_strategy(rel_r, column_r, rel_s, column_s, theta)
 
@@ -215,6 +278,18 @@ class SpatialQueryExecutor:
                 rel_r, rel_s, column_r, column_s,
                 universe=universe, meter=meter, memory_pages=self.memory_pages,
             )
+        if strategy == "partition":
+            if not isinstance(theta, Overlaps):
+                raise JoinError(
+                    "the partition-parallel strategy applies to the "
+                    "'overlaps' operator only (its plane-sweep filter is "
+                    "MBR intersection)"
+                )
+            return partition_join(
+                rel_r, rel_s, column_r, column_s, theta,
+                workers=workers, meter=meter, memory_pages=self.memory_pages,
+                collect_tuples=collect_tuples,
+            )
         raise JoinError(f"unknown join strategy {strategy!r}")
 
     # ------------------------------------------------------------------
@@ -267,12 +342,17 @@ class SpatialQueryExecutor:
 
         A registered join index wins outright (lookup is cheapest when it
         exists and the study shows it superior at low selectivity, the
-        regime precomputation targets); otherwise two trees enable the
-        generalization-tree join, one tree the index-supported join, and
-        the nested loop remains the fallback.
+        regime precomputation targets).  Overlap joins whose operands fit
+        in memory go to the partition-parallel plane sweep -- it needs no
+        index, emits no duplicates, and dominates tree joins on in-memory
+        workloads (Tsitsigkos & Mamoulis et al., 2019).  Otherwise two
+        trees enable the generalization-tree join, one tree the
+        index-supported join, and the nested loop remains the fallback.
         """
         if self.join_index_for(rel_r, rel_s, column_r, column_s, theta) is not None:
             return "join-index"
+        if isinstance(theta, Overlaps) and self._fits_in_memory(rel_r, rel_s):
+            return "partition"
         has_r = rel_r.has_index_on(column_r)
         has_s = rel_s.has_index_on(column_s)
         if has_r and has_s:
@@ -283,6 +363,10 @@ class SpatialQueryExecutor:
             # Probe S's tree while scanning R: same strategy, swapped roles.
             return "index-nl-swapped"
         return "scan"
+
+    def _fits_in_memory(self, rel_r: Relation, rel_s: Relation) -> bool:
+        """True when both operands fit the usable ``M - 10`` page budget."""
+        return rel_r.num_pages + rel_s.num_pages <= self.memory_pages - RESERVED_PAGES
 
     def _common_universe(self, rel_r: Relation, column_r: str,
                          rel_s: Relation, column_s: str):

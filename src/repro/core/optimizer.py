@@ -26,11 +26,12 @@ from repro.costmodel.estimation import (
 from repro.costmodel.join_costs import (
     d_join_index,
     d_nested_loop,
+    d_partition,
     d_tree_clustered,
     d_tree_unclustered,
 )
 from repro.costmodel.parameters import ModelParameters
-from repro.predicates.theta import ThetaOperator
+from repro.predicates.theta import Overlaps, ThetaOperator
 from repro.relational.relation import Relation
 
 
@@ -64,6 +65,7 @@ _EXECUTABLE = {
     "D_IIa": "tree",
     "D_IIb": "tree",
     "D_III": "join-index",
+    "D_PAR": "partition",
 }
 
 
@@ -114,13 +116,16 @@ def plan_join(
     sample_pairs: int = 400,
     seed: int = 0,
     distribution: str = "uniform",
+    workers: int = 1,
 ) -> JoinPlan:
     """Estimate, predict, rank -- and return the full decision record.
 
     Only executable strategies are ranked: the tree strategies require
     indices on both columns, the join-index strategy requires
-    ``join_index_available``.  The UNIFORM distribution is the sensible
-    default when nothing is known about the operator's locality.
+    ``join_index_available``, and the partition-parallel sweep (``D_PAR``,
+    predicted at ``workers`` workers) requires the ``overlaps`` operator.
+    The UNIFORM distribution is the sensible default when nothing is
+    known about the operator's locality.
     """
     estimate = estimate_join_selectivity(
         rel_r, column_r, rel_s, column_s, theta,
@@ -130,6 +135,8 @@ def plan_join(
     dist = make_distribution(distribution, params)
 
     costs: dict[str, float] = {"D_I": d_nested_loop(params)}
+    if isinstance(theta, Overlaps):
+        costs["D_PAR"] = d_partition(params, workers=workers)
     if rel_r.has_index_on(column_r) and rel_s.has_index_on(column_s):
         clustered = rel_r.is_clustered and rel_s.is_clustered
         if clustered:

@@ -29,6 +29,22 @@ def d_nested_loop(params: ModelParameters) -> float:
     )
 
 
+def d_partition(params: ModelParameters, workers: int = 1) -> float:
+    """``D_PAR`` (beyond the paper): grid-partitioned parallel plane sweep.
+
+    Both relations are read exactly once (``2 * ceil(N/m)`` I/Os); the
+    CPU side is the sweep's sorted merge (``2N log2(2N)`` advance steps)
+    plus the expected ``p * N^2`` candidate filter/refinement pairs, and
+    it divides across ``workers`` since the tiles are independent.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    n = float(params.N)
+    cpu = (2.0 * n * math.log2(2.0 * n + 1.0) + params.p * n * n) * params.c_theta
+    io = 2.0 * params.relation_pages * params.c_io
+    return cpu / workers + io
+
+
 def d_tree_computation(dist: Distribution) -> float:
     """``D_II^Theta``: predicate evaluations of Algorithm JOIN.
 

@@ -24,7 +24,7 @@ from repro.geometry.zorder import decompose_rect
 from repro.join.result import JoinResult
 from repro.predicates.dispatch import exact_overlaps
 from repro.relational.relation import Relation
-from repro.storage.buffer import BufferPool
+from repro.storage.buffer import BufferPool, paired_pools
 from repro.storage.costs import CostMeter
 from repro.storage.record import RecordId
 
@@ -80,9 +80,12 @@ def zorder_merge_join(
         raise JoinError(f"max_level must be non-negative, got {max_level}")
     if meter is None:
         meter = CostMeter()
-    # Separate pools: the relations may live on different simulated disks.
-    pool_r = BufferPool(rel_r.buffer_pool.disk, memory_pages, meter)
-    pool_s = BufferPool(rel_s.buffer_pool.disk, memory_pages, meter)
+    # One M-page memory budget shared across both sides (the paper's
+    # M - 10 reservation convention), so I/O charges stay comparable to
+    # the nested-loop and tree strategies.
+    pool_r, pool_s = paired_pools(
+        rel_r.buffer_pool.disk, rel_s.buffer_pool.disk, memory_pages, meter
+    )
 
     entries_r = _z_entries(rel_r, column_r, universe, max_level, pool_r)
     entries_s = _z_entries(rel_s, column_s, universe, max_level, pool_s)

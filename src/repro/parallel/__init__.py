@@ -1,0 +1,36 @@
+"""Partition-parallel spatial join (beyond the paper).
+
+The paper's Algorithm JOIN and the Section 4.4 strategies are inherently
+single-threaded page-at-a-time designs.  This subsystem adds the
+partition-parallel evaluation of Tsitsigkos & Mamoulis et al. (2019):
+uniform grid partitioning with the reference-point duplicate-avoidance
+rule (:mod:`repro.parallel.partitioner`), a forward plane-sweep kernel
+per tile (:mod:`repro.parallel.plane_sweep`), and a worker pool merging
+per-worker cost meters (:mod:`repro.parallel.pool`).  The executor
+exposes it as the ``partition`` strategy.
+"""
+
+from repro.parallel.join import partition_join
+from repro.parallel.partitioner import (
+    Entry,
+    GridSpec,
+    PartitionTask,
+    partition_pair,
+    reference_point,
+    scatter,
+)
+from repro.parallel.plane_sweep import sweep_tile
+from repro.parallel.pool import balance_tasks, run_partitions
+
+__all__ = [
+    "Entry",
+    "GridSpec",
+    "PartitionTask",
+    "balance_tasks",
+    "partition_join",
+    "partition_pair",
+    "reference_point",
+    "run_partitions",
+    "scatter",
+    "sweep_tile",
+]

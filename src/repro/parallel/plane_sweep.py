@@ -1,0 +1,81 @@
+"""Forward plane sweep over one grid tile.
+
+The kernel of the partition-parallel join: both entry lists arrive sorted
+by ``mbr.xmin``; a single merge pass walks the lists in x order and, for
+each entry, scans forward in the *other* list while the x intervals still
+overlap.  Candidates that also overlap in y are MBR matches; each is
+charged one Theta-filter evaluation.  Surviving candidates pass through
+the reference-point ownership test (duplicate avoidance across tiles,
+free of charge -- it is bookkeeping, not a predicate) and are then
+refined with the exact theta-operator, which dispatches over the stored
+geometries via :mod:`repro.predicates.dispatch`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.parallel.partitioner import Entry, GridSpec, reference_point
+from repro.predicates.theta import ThetaOperator
+from repro.storage.costs import CostMeter
+from repro.storage.record import RecordId
+
+
+def sweep_tile(
+    grid: GridSpec,
+    ix: int,
+    iy: int,
+    entries_r: Sequence[Entry],
+    entries_s: Sequence[Entry],
+    theta: ThetaOperator,
+    meter: CostMeter,
+) -> list[tuple[RecordId, RecordId]]:
+    """All matching (tid_r, tid_s) pairs owned by tile ``(ix, iy)``.
+
+    Emits each qualifying pair exactly once across the whole grid: pairs
+    whose reference point falls in another tile are skipped here and
+    reported there.
+    """
+    pairs: list[tuple[RecordId, RecordId]] = []
+    cell = (ix, iy)
+    owner = grid.owner_cell
+    i = j = 0
+    n_r, n_s = len(entries_r), len(entries_s)
+    while i < n_r and j < n_s:
+        r_tid, r_mbr, r_geom = entries_r[i]
+        s_tid, s_mbr, s_geom = entries_s[j]
+        if r_mbr.xmin <= s_mbr.xmin:
+            # r opens first: pair it with every s whose x interval starts
+            # before r's closes.
+            k = j
+            while k < n_s:
+                s_tid, s_mbr, s_geom = entries_s[k]
+                if s_mbr.xmin > r_mbr.xmax:
+                    break
+                k += 1
+                meter.record_filter_eval()
+                if s_mbr.ymin > r_mbr.ymax or r_mbr.ymin > s_mbr.ymax:
+                    continue
+                if owner(*reference_point(r_mbr, s_mbr)) != cell:
+                    continue
+                meter.record_exact_eval()
+                if theta(r_geom, s_geom):
+                    pairs.append((r_tid, s_tid))
+            i += 1
+        else:
+            k = i
+            while k < n_r:
+                r_tid, r_mbr, r_geom = entries_r[k]
+                if r_mbr.xmin > s_mbr.xmax:
+                    break
+                k += 1
+                meter.record_filter_eval()
+                if r_mbr.ymin > s_mbr.ymax or s_mbr.ymin > r_mbr.ymax:
+                    continue
+                if owner(*reference_point(r_mbr, s_mbr)) != cell:
+                    continue
+                meter.record_exact_eval()
+                if theta(r_geom, s_geom):
+                    pairs.append((r_tid, s_tid))
+            j += 1
+    return pairs

@@ -49,6 +49,7 @@ class Relation:
         self._file: HeapFile = HeapFile(buffer_pool, record_size, utilization)
         self._indices: dict[str, Any] = {}
         self._clustered = False
+        self._mod_count = 0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -63,6 +64,7 @@ class Relation:
         t.tid = self._file.append(t)
         for column, index in self._indices.items():
             index.insert(t[column], t.tid)
+        self._mod_count += 1
         return t
 
     def insert_all(self, rows: Iterable[Sequence[Any]]) -> list[RelTuple]:
@@ -77,6 +79,7 @@ class Relation:
             remove = getattr(index, "delete", None) or getattr(index, "remove", None)
             if remove is not None:
                 remove(t[column], tid)
+        self._mod_count += 1
 
     # ------------------------------------------------------------------
     # Access
@@ -166,6 +169,7 @@ class Relation:
             t.tid = new_rid
         self._file = new_file
         self._clustered = True
+        self._mod_count += 1
         for index in self._indices.values():
             remap = getattr(index, "remap_tids", None)
             if remap is not None:
@@ -197,6 +201,16 @@ class Relation:
     @property
     def is_clustered(self) -> bool:
         return self._clustered
+
+    @property
+    def modification_count(self) -> int:
+        """Monotonic counter bumped by every tuple mutation.
+
+        Derived structures built from a snapshot of the relation (e.g. a
+        precomputed join index) capture this value and compare it later to
+        detect staleness.
+        """
+        return self._mod_count
 
     @property
     def num_pages(self) -> int:

@@ -19,6 +19,10 @@ from repro.storage.costs import CostMeter
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page
 
+#: Pages the paper's memory utilization technique keeps aside for the
+#: streamed relation and bookkeeping (Section 4.4: "say, M - 10 pages").
+RESERVED_PAGES = 10
+
 
 class BufferPool:
     """An LRU cache of disk pages with pin support.
@@ -87,18 +91,29 @@ class BufferPool:
             self._pin_counts[page_id] = count - 1
 
     def flush_all(self) -> None:
-        """Write back every dirty resident page (charging writes)."""
+        """Write back every dirty resident page (charging writes).
+
+        Dirty ids whose frame is gone are stale bookkeeping -- eviction
+        already wrote them out -- and are dropped explicitly rather than
+        skipped; each id is also cleared as it is processed, so a failed
+        write leaves only the genuinely unflushed pages marked dirty.
+        """
         for page_id in sorted(self._dirty):
-            if page_id in self._frames:
-                self.disk.write_page(self._frames[page_id])
+            page = self._frames.get(page_id)
+            if page is not None:
+                self.disk.write_page(page)
                 self.meter.record_write()
-        self._dirty.clear()
+            self._dirty.discard(page_id)
 
     def clear(self) -> None:
-        """Flush and drop all frames (e.g. between benchmark phases)."""
-        self.flush_all()
+        """Flush and drop all frames (e.g. between benchmark phases).
+
+        Pinned pages are checked *before* anything is written back: a
+        refused clear must not have mutated disk or meter state.
+        """
         if self._pin_counts:
             raise BufferPoolError(f"cannot clear pool with pinned pages: {sorted(self._pin_counts)}")
+        self.flush_all()
         self._frames.clear()
 
     # ------------------------------------------------------------------
@@ -140,3 +155,35 @@ class BufferPool:
             self.disk.write_page(page)
             self.meter.record_write()
             self._dirty.discard(victim_id)
+
+
+def paired_pools(
+    disk_r: SimulatedDisk,
+    disk_s: SimulatedDisk,
+    memory_pages: int,
+    meter: CostMeter,
+) -> tuple["BufferPool", "BufferPool"]:
+    """Two pool handles sharing one ``M``-page budget, per the paper.
+
+    Join strategies that access two relations must divide *one* main
+    memory of ``memory_pages`` frames between them -- not conjure a full
+    ``M`` frames per side -- or their I/O charges are not comparable to
+    the other strategies.  ``RESERVED_PAGES`` frames are held back for
+    bookkeeping (the ``M - 10`` convention); the remainder is one shared
+    pool when both relations live on the same disk, or split evenly when
+    they do not.
+    """
+    if memory_pages <= RESERVED_PAGES:
+        raise BufferPoolError(
+            f"memory_pages must exceed the {RESERVED_PAGES} reserved pages, "
+            f"got {memory_pages}"
+        )
+    budget = memory_pages - RESERVED_PAGES
+    if disk_r is disk_s:
+        shared = BufferPool(disk_r, budget, meter)
+        return shared, shared
+    half = max(1, budget // 2)
+    return (
+        BufferPool(disk_r, half, meter),
+        BufferPool(disk_s, max(1, budget - half), meter),
+    )

@@ -15,6 +15,7 @@ analytical formulas predict, plus a weighted total.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.errors import CostModelError
 
@@ -81,6 +82,34 @@ class CostMeter:
 
     def record_update(self, count: int = 1) -> None:
         self.update_computations += count
+
+    def absorb(self, other: "CostMeter") -> None:
+        """Add another meter's counters into this one (charges are kept).
+
+        This is how per-worker private meters flow back into the caller's
+        meter after a parallel run.
+        """
+        self.page_reads += other.page_reads
+        self.page_writes += other.page_writes
+        self.buffer_hits += other.buffer_hits
+        self.theta_filter_evals += other.theta_filter_evals
+        self.theta_exact_evals += other.theta_exact_evals
+        self.update_computations += other.update_computations
+
+    @classmethod
+    def merge(cls, meters: "Iterable[CostMeter]") -> "CostMeter":
+        """One combined meter summing every counter of ``meters``.
+
+        The charge vector is taken from the first meter (workers of one
+        parallel operation all run under the same charges); merging zero
+        meters yields a fresh meter under the default charges.
+        """
+        merged: CostMeter | None = None
+        for m in meters:
+            if merged is None:
+                merged = cls(charges=m.charges)
+            merged.absorb(m)
+        return merged if merged is not None else cls()
 
     def total(self) -> float:
         """Weighted cost in the paper's units.

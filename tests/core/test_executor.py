@@ -105,14 +105,42 @@ class TestAutoPick:
         res = executor.join(rel_r, "shape", rel_s, "shape", theta)
         assert res.strategy == "join-index"
 
-    def test_tree_when_both_indexed(self, executor, indexed_pair):
+    def test_partition_for_in_memory_overlaps(self, executor, indexed_pair):
+        """Overlap joins that fit in memory go to the partition sweep,
+        even when both sides carry trees."""
         rel_r, rel_s = indexed_pair
         res = executor.join(rel_r, "shape", rel_s, "shape", Overlaps())
+        assert res.strategy == "partition-sweep"
+        assert res.pair_set() == brute_force_pairs(
+            rel_r, "shape", rel_s, "shape", Overlaps()
+        )
+
+    def test_tree_when_both_indexed(self, executor, indexed_pair):
+        """Non-overlap predicates cannot use the partition sweep; two
+        trees still mean the generalization-tree join."""
+        rel_r, rel_s = indexed_pair
+        res = executor.join(rel_r, "shape", rel_s, "shape", WithinDistance(12.0))
         assert res.strategy == "tree-join"
+
+    def test_partition_when_nothing_available(self, executor):
+        """The partition sweep needs no index: unindexed in-memory
+        overlap joins no longer fall back to the nested loop."""
+        rel_r = make_rect_relation("r", 20, seed=106)
+        rel_s = make_rect_relation("s", 20, seed=107)
+        res = executor.join(rel_r, "shape", rel_s, "shape", Overlaps())
+        assert res.strategy == "partition-sweep"
 
     def test_scan_when_nothing_available(self, executor):
         rel_r = make_rect_relation("r", 20, seed=106)
         rel_s = make_rect_relation("s", 20, seed=107)
+        res = executor.join(rel_r, "shape", rel_s, "shape", NorthwestOf())
+        assert res.strategy == "nested-loop"
+
+    def test_out_of_memory_overlaps_falls_back(self):
+        """Operands exceeding the M - 10 budget skip the partition sweep."""
+        executor = SpatialQueryExecutor(memory_pages=12)
+        rel_r = make_rect_relation("r", 30, seed=108)
+        rel_s = make_rect_relation("s", 30, seed=109)
         res = executor.join(rel_r, "shape", rel_s, "shape", Overlaps())
         assert res.strategy == "nested-loop"
 

@@ -1,0 +1,104 @@
+"""Regression tests for the join-index registry.
+
+The registry used to key entries by ``Relation.name`` alone, so two
+distinct relations sharing a name collided, and a mutated base relation
+kept serving its stale precomputed index.  Entries are now keyed by
+relation identity and carry modification-count snapshots.
+"""
+
+import pytest
+
+from repro.core.executor import SpatialQueryExecutor
+from repro.geometry.rect import Rect
+from repro.predicates.theta import Overlaps
+
+from tests.join.conftest import brute_force_pairs, make_rect_relation
+
+
+@pytest.fixture
+def executor():
+    return SpatialQueryExecutor(memory_pages=200)
+
+
+class TestIdentityKeys:
+    def test_same_name_distinct_relations_do_not_collide(self, executor):
+        """A registered index must never answer for a *different* relation
+        that merely shares the name."""
+        rel_r = make_rect_relation("r", 40, seed=1)
+        rel_s = make_rect_relation("s", 40, seed=2)
+        impostor_r = make_rect_relation("r", 40, seed=3)  # same name, other data
+        theta = Overlaps()
+
+        executor.precompute_join_index(rel_r, rel_s, "shape", "shape", theta)
+        assert executor.join_index_for(rel_r, rel_s, "shape", "shape", theta) is not None
+        assert (
+            executor.join_index_for(impostor_r, rel_s, "shape", "shape", theta)
+            is None
+        )
+        # Auto-pick for the impostor must not route through rel_r's index.
+        res = executor.join(impostor_r, "shape", rel_s, "shape", theta)
+        assert res.strategy != "join-index"
+        assert res.pair_set() == brute_force_pairs(
+            impostor_r, "shape", rel_s, "shape", theta
+        )
+
+    def test_both_relations_can_register_under_one_name(self, executor):
+        rel_a = make_rect_relation("twin", 30, seed=4)
+        rel_b = make_rect_relation("twin", 30, seed=5)
+        rel_s = make_rect_relation("s", 30, seed=6)
+        theta = Overlaps()
+        executor.precompute_join_index(rel_a, rel_s, "shape", "shape", theta)
+        executor.precompute_join_index(rel_b, rel_s, "shape", "shape", theta)
+        ji_a = executor.join_index_for(rel_a, rel_s, "shape", "shape", theta)
+        ji_b = executor.join_index_for(rel_b, rel_s, "shape", "shape", theta)
+        assert ji_a is not None and ji_b is not None and ji_a is not ji_b
+
+
+class TestStaleness:
+    @pytest.mark.parametrize("mutate", ["insert", "delete", "recluster"])
+    def test_mutation_invalidates_entry(self, executor, mutate):
+        rel_r = make_rect_relation("r", 40, seed=7)
+        rel_s = make_rect_relation("s", 40, seed=8)
+        theta = Overlaps()
+        executor.precompute_join_index(rel_r, rel_s, "shape", "shape", theta)
+
+        if mutate == "insert":
+            rel_r.insert([999, Rect(1, 1, 2, 2)])
+        elif mutate == "delete":
+            victim = next(iter(rel_s.scan())).tid
+            rel_s.delete(victim)
+        else:
+            rel_r.recluster([t.tid for t in rel_r.scan()])
+
+        assert executor.join_index_for(rel_r, rel_s, "shape", "shape", theta) is None
+        # The stale entry is dropped, not just hidden.
+        assert executor._join_indices == {}
+
+    def test_stale_entry_not_used_by_auto(self, executor):
+        rel_r = make_rect_relation("r", 40, seed=9)
+        rel_s = make_rect_relation("s", 40, seed=10)
+        theta = Overlaps()
+        executor.precompute_join_index(rel_r, rel_s, "shape", "shape", theta)
+        rel_r.insert([999, Rect(0, 0, 100, 100)])  # overlaps everything
+
+        res = executor.join(rel_r, "shape", rel_s, "shape", theta)
+        assert res.strategy != "join-index"
+        assert res.pair_set() == brute_force_pairs(
+            rel_r, "shape", rel_s, "shape", theta
+        )
+
+    def test_reregistration_after_mutation(self, executor):
+        rel_r = make_rect_relation("r", 40, seed=11)
+        rel_s = make_rect_relation("s", 40, seed=12)
+        theta = Overlaps()
+        executor.precompute_join_index(rel_r, rel_s, "shape", "shape", theta)
+        rel_r.insert([999, Rect(5, 5, 15, 15)])
+        assert executor.join_index_for(rel_r, rel_s, "shape", "shape", theta) is None
+
+        executor.precompute_join_index(rel_r, rel_s, "shape", "shape", theta)
+        res = executor.join(
+            rel_r, "shape", rel_s, "shape", theta, strategy="join-index"
+        )
+        assert res.pair_set() == brute_force_pairs(
+            rel_r, "shape", rel_s, "shape", theta
+        )

@@ -46,7 +46,7 @@ class TestPlanJoin:
             rel_r, "shape", rel_s, "shape", Overlaps(),
             join_index_available=True,
         )
-        assert set(plan.predicted_costs) == {"D_I", "D_IIa", "D_III"}
+        assert set(plan.predicted_costs) == {"D_I", "D_IIa", "D_III", "D_PAR"}
         assert plan.strategy in plan.predicted_costs
         assert plan.predicted_costs[plan.strategy] == min(
             plan.predicted_costs.values()
@@ -68,11 +68,18 @@ class TestPlanJoin:
         assert plan.predicted_costs["D_III"] <= plan.predicted_costs["D_I"]
 
     def test_without_indices_only_scan(self):
+        """Non-overlap predicates without indices rank the nested loop
+        alone; overlaps additionally ranks the partition sweep, which
+        wins (one read of each relation vs. repeated passes)."""
         rel_r = make_rect_relation("r", 40, seed=64)
         rel_s = make_rect_relation("s", 40, seed=65)
-        plan = plan_join(rel_r, "shape", rel_s, "shape", Overlaps())
+        plan = plan_join(rel_r, "shape", rel_s, "shape", WithinDistance(8.0))
         assert plan.strategy == "D_I"
         assert set(plan.predicted_costs) == {"D_I"}
+
+        plan = plan_join(rel_r, "shape", rel_s, "shape", Overlaps())
+        assert set(plan.predicted_costs) == {"D_I", "D_PAR"}
+        assert plan.strategy == "D_PAR"
 
     def test_explain_is_readable(self, indexed_pair):
         rel_r, rel_s = indexed_pair

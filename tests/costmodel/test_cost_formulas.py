@@ -6,6 +6,7 @@ from repro.costmodel.distributions import make_distribution
 from repro.costmodel.join_costs import (
     d_join_index,
     d_nested_loop,
+    d_partition,
     d_tree_clustered,
     d_tree_computation,
     d_tree_unclustered,
@@ -134,3 +135,27 @@ class TestJoinCosts:
         d = make_distribution("no-loc", small)
         assert d_tree_unclustered(d) >= d_tree_computation(d)
         assert d_tree_clustered(d) >= d_tree_computation(d)
+
+
+class TestPartitionCost:
+    def test_beats_nested_loop_at_low_selectivity(self):
+        p = PAPER_PARAMETERS.with_p(1e-9)
+        assert d_partition(p) < d_nested_loop(p)
+
+    def test_cpu_divides_across_workers(self):
+        p = PAPER_PARAMETERS.with_p(1e-6)
+        io = 2.0 * p.relation_pages * p.c_io
+        seq, quad = d_partition(p, workers=1), d_partition(p, workers=4)
+        assert quad < seq
+        # I/O does not parallelize: both retain the same floor.
+        assert seq > io and quad > io
+        assert (seq - io) / (quad - io) == pytest.approx(4.0)
+
+    def test_grows_with_p(self):
+        assert d_partition(PAPER_PARAMETERS.with_p(1e-3)) > d_partition(
+            PAPER_PARAMETERS.with_p(1e-9)
+        )
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            d_partition(PAPER_PARAMETERS, workers=0)

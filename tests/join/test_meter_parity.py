@@ -1,0 +1,96 @@
+"""I/O parity across join strategies under the shared memory budget.
+
+Regression for the z-order merge's buffer configuration: it used to
+build two *fresh* pools of ``memory_pages`` frames each, silently
+granting itself ``2M`` pages of memory while the nested loop and the
+partition sweep obeyed the ``M - 10`` reservation convention.  All three
+strategies now draw from :func:`paired_pools`, so under ample memory
+their page-read totals agree exactly, and under tight memory the z-order
+refinement visibly re-reads pages instead of enjoying phantom frames.
+"""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.join.nested_loop import nested_loop_join
+from repro.join.zorder_merge import zorder_merge_join
+from repro.parallel import partition_join
+from repro.predicates.theta import Overlaps
+from repro.relational.relation import Relation
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+
+from tests.join.conftest import RECT_SCHEMA, make_rect_relation
+
+UNIVERSE = Rect(0.0, 0.0, 115.0, 115.0)
+
+
+def _relations(shared_disk):
+    if shared_disk:
+        pool = BufferPool(SimulatedDisk(), capacity=4000, meter=CostMeter())
+        rel_r = make_rect_relation("r", 120, seed=31, pool=pool)
+        rel_s = Relation("s", RECT_SCHEMA, pool)
+        import random
+
+        rng = random.Random(32)
+        for i in range(120):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            rel_s.insert([i, Rect(x, y, x + rng.uniform(0, 10), y + rng.uniform(0, 10))])
+    else:
+        rel_r = make_rect_relation("r", 120, seed=31)
+        rel_s = make_rect_relation("s", 120, seed=32)
+    return rel_r, rel_s
+
+
+@pytest.mark.parametrize("shared_disk", [False, True], ids=["two-disks", "one-disk"])
+def test_page_reads_agree_under_ample_memory(shared_disk):
+    rel_r, rel_s = _relations(shared_disk)
+    relation_pages = rel_r.num_pages + rel_s.num_pages
+
+    reads = {}
+    pair_sets = {}
+
+    meter = CostMeter()
+    res = nested_loop_join(rel_r, rel_s, "shape", "shape", Overlaps(), meter=meter)
+    reads["nested-loop"], pair_sets["nested-loop"] = meter.page_reads, res.pair_set()
+
+    meter = CostMeter()
+    res = zorder_merge_join(
+        rel_r, rel_s, "shape", "shape", universe=UNIVERSE, meter=meter
+    )
+    reads["zorder"], pair_sets["zorder"] = meter.page_reads, res.pair_set()
+
+    meter = CostMeter()
+    res = partition_join(rel_r, rel_s, "shape", "shape", Overlaps(), meter=meter)
+    reads["partition"], pair_sets["partition"] = meter.page_reads, res.pair_set()
+
+    # With everything resident, each strategy reads each relation once.
+    assert reads == {
+        "nested-loop": relation_pages,
+        "zorder": relation_pages,
+        "partition": relation_pages,
+    }
+    assert pair_sets["zorder"] == pair_sets["nested-loop"]
+    assert pair_sets["partition"] == pair_sets["nested-loop"]
+
+
+def test_tight_memory_zorder_rereads_during_refinement():
+    """With the 2M-frame bug, 15 memory pages still cached everything and
+    refinement was I/O-free; under the honest shared budget the
+    refinement phase must fault pages back in."""
+    rel_r, rel_s = _relations(shared_disk=False)
+    relation_pages = rel_r.num_pages + rel_s.num_pages
+    assert relation_pages > 15  # the workload genuinely exceeds the budget
+
+    meter = CostMeter()
+    tight = zorder_merge_join(
+        rel_r, rel_s, "shape", "shape",
+        universe=UNIVERSE, meter=meter, memory_pages=15,
+    )
+    assert meter.page_reads > relation_pages
+
+    ample = zorder_merge_join(
+        rel_r, rel_s, "shape", "shape", universe=UNIVERSE
+    )
+    assert tight.pair_set() == ample.pair_set()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import BufferPoolError
-from repro.storage.buffer import BufferPool
+from repro.storage.buffer import RESERVED_PAGES, BufferPool, paired_pools
 from repro.storage.costs import CostMeter
 from repro.storage.disk import SimulatedDisk
 
@@ -109,6 +109,68 @@ class TestPinning:
         pool.pin(disk.allocate_page().page_id)
         with pytest.raises(BufferPoolError):
             pool.clear()
+
+
+class TestFlushAndClear:
+    def test_refused_clear_flushes_nothing(self, setup):
+        """A clear refused for pins must not have written anything: the
+        pin check happens before any flush, so disk and meter are
+        untouched by the failed call."""
+        disk, pool, meter = setup
+        dirty = pool.new_page().page_id
+        pool.pin(disk.allocate_page().page_id)
+        with pytest.raises(BufferPoolError):
+            pool.clear()
+        assert meter.page_writes == 0
+        assert dirty in pool._dirty
+        # After unpinning, clear succeeds and flushes the dirty page once.
+        pool.unpin(next(iter(pool._pin_counts)))
+        pool.clear()
+        assert meter.page_writes == 1
+        assert pool.resident_count == 0
+
+    def test_flush_all_tolerates_stale_dirty_id(self, setup):
+        """A dirty id whose frame was already evicted (and written back)
+        is stale bookkeeping: flush_all drops it without writing or
+        raising."""
+        disk, pool, meter = setup
+        pid = disk.allocate_page().page_id
+        pool.fetch(pid)
+        pool._frames.pop(pid)       # simulate the frame being long gone
+        pool._dirty.add(pid)        # ...with its dirty flag left behind
+        pool.flush_all()
+        assert meter.page_writes == 0
+        assert pool._dirty == set()
+
+    def test_flush_all_clears_flags_of_written_pages(self, setup):
+        disk, pool, meter = setup
+        pool.new_page()
+        pool.new_page()
+        pool.flush_all()
+        assert meter.page_writes == 2
+        assert pool._dirty == set()
+        pool.flush_all()            # idempotent: nothing left to write
+        assert meter.page_writes == 2
+
+
+class TestPairedPools:
+    def test_same_disk_shares_one_pool(self):
+        disk = SimulatedDisk()
+        meter = CostMeter()
+        pool_r, pool_s = paired_pools(disk, disk, 100, meter)
+        assert pool_r is pool_s
+        assert pool_r.capacity == 100 - RESERVED_PAGES
+
+    def test_distinct_disks_split_budget(self):
+        meter = CostMeter()
+        pool_r, pool_s = paired_pools(SimulatedDisk(), SimulatedDisk(), 101, meter)
+        assert pool_r is not pool_s
+        assert pool_r.capacity + pool_s.capacity == 101 - RESERVED_PAGES
+        assert pool_r.meter is meter and pool_s.meter is meter
+
+    def test_budget_must_exceed_reservation(self):
+        with pytest.raises(BufferPoolError):
+            paired_pools(SimulatedDisk(), SimulatedDisk(), RESERVED_PAGES, CostMeter())
 
 
 class TestValidation:

@@ -50,3 +50,48 @@ class TestMeter:
             "theta_filter_evals", "theta_exact_evals",
             "update_computations", "total",
         }
+
+
+class TestMergeAndAbsorb:
+    def _meter(self, scale):
+        m = CostMeter()
+        m.record_read(1 * scale)
+        m.record_write(2 * scale)
+        m.record_hit(3 * scale)
+        m.record_filter_eval(4 * scale)
+        m.record_exact_eval(5 * scale)
+        m.record_update(6 * scale)
+        return m
+
+    def test_absorb_adds_every_counter(self):
+        m = self._meter(1)
+        m.absorb(self._meter(10))
+        assert m.page_reads == 11
+        assert m.page_writes == 22
+        assert m.buffer_hits == 33
+        assert m.theta_filter_evals == 44
+        assert m.theta_exact_evals == 55
+        assert m.update_computations == 66
+
+    def test_merge_sums_workers(self):
+        workers = [self._meter(1), self._meter(2), self._meter(3)]
+        merged = CostMeter.merge(workers)
+        assert merged.page_reads == 6
+        assert merged.update_computations == 36
+        assert merged.total() == sum(w.total() for w in workers)
+        # The inputs are untouched.
+        assert workers[0].page_reads == 1
+
+    def test_merge_keeps_first_charges(self):
+        first = CostMeter(charges=CostCharges(c_io=7.0))
+        first.record_read()
+        second = CostMeter()  # default charges
+        second.record_read()
+        merged = CostMeter.merge([first, second])
+        assert merged.charges.c_io == 7.0
+        assert merged.total() == 2 * 7.0
+
+    def test_merge_of_nothing_is_fresh_default(self):
+        merged = CostMeter.merge([])
+        assert merged.total() == 0.0
+        assert merged.charges == CostCharges()

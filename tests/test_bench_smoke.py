@@ -1,0 +1,73 @@
+"""Smoke checks over the benchmark suite.
+
+The benches live outside ``testpaths`` and only run on demand, so an
+import error or a renamed API can rot there unnoticed.  These tests keep
+them honest: every ``bench_*.py`` module must import, the whole directory
+must survive pytest collection, and the partition bench must actually
+*run* end to end at tiny parameters.
+"""
+
+import importlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+BENCH_MODULES = sorted(p.stem for p in BENCH_DIR.glob("bench_*.py"))
+
+
+@pytest.fixture(autouse=True)
+def repo_root_on_path():
+    sys.path.insert(0, str(REPO_ROOT))
+    try:
+        yield
+    finally:
+        sys.path.remove(str(REPO_ROOT))
+
+
+@pytest.mark.smoke
+def test_bench_directory_is_populated():
+    assert "bench_parallel_partition" in BENCH_MODULES
+    assert len(BENCH_MODULES) >= 20
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("name", BENCH_MODULES)
+def test_bench_module_imports(name):
+    """Module-level code (sweep constants, fixtures, imports) must load."""
+    module = importlib.import_module(f"benchmarks.{name}")
+    assert any(attr.startswith("test_") for attr in dir(module)), (
+        f"{name} defines no test entry points"
+    )
+
+
+@pytest.mark.smoke
+def test_bench_suite_collects():
+    """Every bench entry point must survive pytest collection."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks", "--collect-only", "-q"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.smoke
+def test_partition_bench_runs_tiny():
+    """The new bench end to end, with a tiny workload via its env knob."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["BENCH_PARTITION_COUNT"] = "40"
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "pytest",
+            "benchmarks/bench_parallel_partition.py", "-q",
+        ],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
