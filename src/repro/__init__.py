@@ -65,8 +65,9 @@ from repro.join import (
     tree_join,
     zorder_merge_join,
 )
-from repro.core import SpatialQueryExecutor, StrategyComparison
+from repro.core import ExecutionReport, SpatialQueryExecutor, StrategyComparison
 from repro.costmodel import PAPER_PARAMETERS, ModelParameters
+from repro.faults import FaultPlan, FaultyDisk
 
 __version__ = "1.0.0"
 
@@ -110,6 +111,9 @@ __all__ = [
     "SelectResult",
     "SpatialQueryExecutor",
     "StrategyComparison",
+    "ExecutionReport",
+    "FaultPlan",
+    "FaultyDisk",
     "ModelParameters",
     "PAPER_PARAMETERS",
     "__version__",

@@ -7,8 +7,15 @@ Usage::
     python -m repro updates                 # Section 4.2 update costs
     python -m repro crossovers              # exact crossover points
     python -m repro demo                    # measured strategy comparison
+    python -m repro demo --fault-seed 7 --fault-rate 0.02
+                                            # ... under injected storage faults
 
-All output is plain text, suitable for diffing between runs.
+All output is plain text, suitable for diffing between runs.  With
+``--fault-seed``/``--fault-rate`` the demo relations live on a
+:class:`~repro.faults.disk.FaultyDisk`, every strategy runs through the
+resilient executor (bounded retries + fallback chain), and the fault
+audit -- injected vs. consumed, per-strategy retries and fallbacks -- is
+appended to the table.
 """
 
 from __future__ import annotations
@@ -63,15 +70,48 @@ def cmd_crossovers(_args: argparse.Namespace) -> str:
 
 def cmd_demo(args: argparse.Namespace) -> str:
     from repro.core.comparison import StrategyComparison
-    from repro.predicates.theta import WithinDistance
+    from repro.predicates.theta import Overlaps, WithinDistance
     from repro.workloads.assembly import build_indexed_relation
 
-    ir_r = build_indexed_relation(args.size, seed=1)
-    ir_s = build_indexed_relation(args.size, seed=2)
+    faulted = args.fault_seed is not None or args.fault_rate > 0.0
+    disk = None
+    if faulted:
+        from repro.faults import FaultPlan, FaultyDisk
+
+        plan = FaultPlan(
+            seed=args.fault_seed if args.fault_seed is not None else 0,
+            read_rate=args.fault_rate,
+            write_rate=args.fault_rate,
+            torn_rate=args.fault_rate / 2,
+        )
+        disk = FaultyDisk(plan)
+
+    ir_r = build_indexed_relation(args.size, seed=1, disk=disk)
+    ir_s = build_indexed_relation(args.size, seed=2, disk=disk)
+    # Fault runs use an overlaps join so the whole fallback chain
+    # (partition -> tree -> zorder -> scan) is applicable.
+    theta = Overlaps() if faulted else WithinDistance(30.0)
     report = StrategyComparison().compare_join(
-        ir_r.relation, "shape", ir_s.relation, "shape", WithinDistance(30.0)
+        ir_r.relation, "shape", ir_s.relation, "shape", theta,
+        resilient=faulted,
     )
-    return report.format_table()
+    lines = [report.format_table()]
+    if faulted:
+        lines.append("")
+        lines.append(
+            "fault injection: seed={} rate={} -> {injected} injected, "
+            "{consumed} consumed, {outstanding} outstanding".format(
+                args.fault_seed, args.fault_rate, **disk.plan.summary()
+            )
+        )
+        for strategy, exec_report in report.execution_reports.items():
+            lines.append(
+                f"  {strategy:<12} retries={exec_report.retries} "
+                f"backoff={exec_report.backoff_steps} "
+                f"fallbacks={exec_report.fallbacks} "
+                f"ran={exec_report.strategy}"
+            )
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,6 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="measured strategy comparison")
     demo.add_argument("--size", type=int, default=400, help="tuples per relation")
+    demo.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for deterministic storage-fault injection",
+    )
+    demo.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="per-access transient fault probability (0 disables injection)",
+    )
     demo.set_defaults(handler=cmd_demo)
 
     return parser

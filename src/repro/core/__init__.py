@@ -10,11 +10,15 @@ This is the layer a downstream user talks to:
   the empirical counterpart of the paper's comparative study.
 """
 
-from repro.core.executor import SpatialQueryExecutor
+from repro.core.executor import FALLBACK_CHAIN, SpatialQueryExecutor
 from repro.core.comparison import StrategyComparison
 from repro.core.optimizer import JoinPlan, executable_strategy, plan_join
+from repro.core.report import AttemptRecord, ExecutionReport
 
 __all__ = [
+    "AttemptRecord",
+    "ExecutionReport",
+    "FALLBACK_CHAIN",
     "SpatialQueryExecutor",
     "StrategyComparison",
     "JoinPlan",

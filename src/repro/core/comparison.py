@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import JoinError
 from repro.core.executor import SpatialQueryExecutor
+from repro.core.report import ExecutionReport
 from repro.join.result import JoinResult, SelectResult
 from repro.predicates.dispatch import SpatialObject
 from repro.predicates.theta import Overlaps, ThetaOperator
@@ -36,10 +37,16 @@ class ComparisonRow:
 
 @dataclass(slots=True)
 class ComparisonReport:
-    """All strategies' rows plus the agreed-on match count."""
+    """All strategies' rows plus the agreed-on match count.
+
+    ``execution_reports`` is populated by resilient comparisons: one
+    :class:`~repro.core.report.ExecutionReport` per strategy, recording
+    retries, fallbacks, and consumed faults for that strategy's run.
+    """
 
     query: str
     rows: list[ComparisonRow] = field(default_factory=list)
+    execution_reports: dict[str, ExecutionReport] = field(default_factory=dict)
 
     def cheapest(self) -> ComparisonRow:
         if not self.rows:
@@ -119,8 +126,17 @@ class StrategyComparison:
         include_join_index: bool = True,
         include_zorder: bool = False,
         include_partition: bool = True,
+        resilient: bool = False,
     ) -> ComparisonReport:
-        """Run every applicable join strategy; verify agreement."""
+        """Run every applicable join strategy; verify agreement.
+
+        With ``resilient=True`` each strategy runs through
+        :meth:`SpatialQueryExecutor.execute_join` -- transient storage
+        faults are retried, failed strategies fall back down the chain,
+        and the per-strategy :class:`ExecutionReport` lands in
+        ``report.execution_reports``.  The agreement check is unchanged:
+        whatever survived must produce the reference pair set.
+        """
         report = ComparisonReport(
             query=(
                 f"JOIN {rel_r.name}.{column_r} {theta.name} {rel_s.name}.{column_s}"
@@ -129,11 +145,23 @@ class StrategyComparison:
 
         def run(strategy: str) -> JoinResult:
             meter = CostMeter()
-            res = self.executor.join(
-                rel_r, column_r, rel_s, column_s, theta,
-                strategy=strategy, meter=meter,
-            )
-            report.rows.append(_row_from(strategy, len(res.pair_set()), res.stats))
+            if resilient:
+                res, exec_report = self.executor.execute_join(
+                    rel_r, column_r, rel_s, column_s, theta,
+                    strategy=strategy, meter=meter,
+                )
+                report.execution_reports[strategy] = exec_report
+                # Strategy extras (grid size, workers, ...) come from the
+                # winning attempt; the counters cover *all* attempts.
+                stats = dict(res.stats)
+                stats.update(meter.snapshot())
+            else:
+                res = self.executor.join(
+                    rel_r, column_r, rel_s, column_s, theta,
+                    strategy=strategy, meter=meter,
+                )
+                stats = res.stats
+            report.rows.append(_row_from(strategy, len(res.pair_set()), stats))
             return res
 
         reference = run("scan").pair_set()

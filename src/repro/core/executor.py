@@ -19,7 +19,8 @@ from dataclasses import dataclass
 
 from typing import Any
 
-from repro.errors import JoinError
+from repro.core.report import AttemptRecord, ExecutionReport
+from repro.errors import ExecutionError, JoinError, StorageError, WorkerError
 from repro.join.accessor import RelationAccessor
 from repro.join.index_join import (
     index_nested_loop_join,
@@ -60,21 +61,38 @@ class _RegisteredIndex:
         )
 
 
+#: Order in which :meth:`SpatialQueryExecutor.execute_join` falls back
+#: when a strategy dies on a storage or worker failure: the partition
+#: sweep first (fastest when applicable), then the synchronized tree
+#: join, the z-order merge, and finally the always-applicable nested
+#: loop.
+FALLBACK_CHAIN: tuple[str, ...] = ("partition", "tree", "zorder", "scan")
+
+
 class SpatialQueryExecutor:
     """Executes spatial selections and joins with pluggable strategies.
 
     ``workers`` sets the default degree of parallelism for the
     ``partition`` strategy (1 = fully in-process); per-join overrides go
-    through :meth:`join`.
+    through :meth:`join`.  ``chunk_timeout`` bounds each parallel worker
+    chunk in wall-clock seconds (``None`` = unbounded); a chunk that
+    exceeds it is re-executed sequentially.
     """
 
-    def __init__(self, memory_pages: int = 4000, workers: int = 1) -> None:
+    def __init__(
+        self,
+        memory_pages: int = 4000,
+        workers: int = 1,
+        *,
+        chunk_timeout: float | None = None,
+    ) -> None:
         if memory_pages <= 10:
             raise JoinError(f"memory_pages must exceed 10, got {memory_pages}")
         if workers < 1:
             raise JoinError(f"workers must be positive, got {workers}")
         self.memory_pages = memory_pages
         self.workers = workers
+        self.chunk_timeout = chunk_timeout
         self._join_indices: dict[
             tuple[int, int, str, str, str], _RegisteredIndex
         ] = {}
@@ -289,8 +307,140 @@ class SpatialQueryExecutor:
                 rel_r, rel_s, column_r, column_s, theta,
                 workers=workers, meter=meter, memory_pages=self.memory_pages,
                 collect_tuples=collect_tuples,
+                fault_plan=self._fault_plan_for(rel_r, rel_s),
+                chunk_timeout=self.chunk_timeout,
             )
         raise JoinError(f"unknown join strategy {strategy!r}")
+
+    # ------------------------------------------------------------------
+    # Resilient execution
+    # ------------------------------------------------------------------
+
+    def execute_join(
+        self,
+        rel_r: Relation,
+        column_r: str,
+        rel_s: Relation,
+        column_s: str,
+        theta: ThetaOperator,
+        *,
+        strategy: str = "auto",
+        meter: CostMeter | None = None,
+        collect_tuples: bool = False,
+        order: str = "bfs",
+        workers: int | None = None,
+    ) -> tuple[JoinResult, ExecutionReport]:
+        """Join with a strategy-fallback chain and a full execution report.
+
+        The requested (or auto-picked) strategy runs first; if it dies on
+        a storage or worker failure -- a transient fault that outlasted
+        the buffer pool's retry budget, a permanently lost page, a worker
+        crash that sequential re-execution could not absorb -- the next
+        applicable strategy of :data:`FALLBACK_CHAIN` is tried, until one
+        succeeds or the chain is exhausted (:class:`ExecutionError`).
+
+        Every attempt is recorded in the returned
+        :class:`~repro.core.report.ExecutionReport`: strategy, outcome,
+        failure cause, per-attempt I/O retries and backoff.  When the
+        operands live on a :class:`~repro.faults.disk.FaultyDisk`, the
+        report also enumerates the faults injected during this execution
+        and whether each was consumed by a retry or recovery.  ``meter``
+        accumulates the cost of *all* attempts, failed ones included --
+        failed work is work.
+
+        On a clean run this is exactly :meth:`join` plus a one-attempt
+        report with zero retries and zero fallbacks.
+        """
+        if meter is None:
+            meter = CostMeter()
+        first = strategy
+        if first == "auto":
+            first = self._pick_join_strategy(rel_r, column_r, rel_s, column_s, theta)
+        chain = [first] + [
+            s for s in FALLBACK_CHAIN
+            if s != first
+            and self._strategy_applicable(s, rel_r, column_r, rel_s, column_s, theta)
+        ]
+
+        plan = self._fault_plan_for(rel_r, rel_s)
+        events_before = len(plan.events) if plan is not None else 0
+
+        report = ExecutionReport(
+            query=(
+                f"JOIN {rel_r.name}.{column_r} {theta.name} "
+                f"{rel_s.name}.{column_s}"
+            ),
+            requested_strategy=strategy,
+        )
+        result: JoinResult | None = None
+        for strat in chain:
+            attempt_meter = CostMeter(charges=meter.charges)
+            try:
+                result = self.join(
+                    rel_r, column_r, rel_s, column_s, theta,
+                    strategy=strat, meter=attempt_meter,
+                    collect_tuples=collect_tuples, order=order, workers=workers,
+                )
+            except (StorageError, WorkerError) as exc:
+                meter.absorb(attempt_meter)
+                report.attempts.append(AttemptRecord(
+                    strategy=strat, ok=False,
+                    error_type=type(exc).__name__, error=str(exc),
+                    io_retries=attempt_meter.io_retries,
+                    backoff_steps=attempt_meter.backoff_steps,
+                    stats=attempt_meter.snapshot(),
+                ))
+                continue
+            meter.absorb(attempt_meter)
+            report.attempts.append(AttemptRecord(
+                strategy=strat, ok=True,
+                io_retries=attempt_meter.io_retries,
+                backoff_steps=attempt_meter.backoff_steps,
+                stats=attempt_meter.snapshot(),
+            ))
+            break
+
+        if plan is not None:
+            new_events = plan.events[events_before:]
+            report.fault_events = [e.describe() for e in new_events]
+            report.fault_summary = {
+                "injected": len(new_events),
+                "consumed": sum(1 for e in new_events if e.consumed),
+                "outstanding": sum(1 for e in new_events if not e.consumed),
+            }
+
+        if result is None:
+            raise ExecutionError(
+                "every join strategy failed: "
+                + "; ".join(a.describe() for a in report.attempts),
+                report,
+            )
+        return result, report
+
+    def _strategy_applicable(
+        self,
+        strategy: str,
+        rel_r: Relation,
+        column_r: str,
+        rel_s: Relation,
+        column_s: str,
+        theta: ThetaOperator,
+    ) -> bool:
+        """Can this fallback strategy run at all on these operands?"""
+        if strategy in ("partition", "zorder"):
+            return isinstance(theta, Overlaps)
+        if strategy == "tree":
+            return rel_r.has_index_on(column_r) and rel_s.has_index_on(column_s)
+        return strategy == "scan"
+
+    @staticmethod
+    def _fault_plan_for(rel_r: Relation, rel_s: Relation):
+        """The operands' fault plan, when they live on a FaultyDisk."""
+        for rel in (rel_r, rel_s):
+            plan = getattr(rel.buffer_pool.disk, "plan", None)
+            if plan is not None:
+                return plan
+        return None
 
     # ------------------------------------------------------------------
     # Nearest-neighbor queries

@@ -1,0 +1,104 @@
+"""Execution reports: what the executor tried, what failed, what ran.
+
+A resilient execution is only trustworthy if it can account for itself.
+:class:`ExecutionReport` records every strategy attempt of
+:meth:`~repro.core.executor.SpatialQueryExecutor.execute_join` -- the
+strategy name, whether it succeeded, the failure cause otherwise, and
+the I/O retries and virtual-clock backoff its attempt consumed -- plus
+the fault plan's injected/consumed audit counters when the operands live
+on a :class:`~repro.faults.disk.FaultyDisk`.
+
+On a clean run (no fault injection) the report is deliberately boring:
+one successful attempt, zero retries, zero fallbacks.  Tests pin that,
+so the recovery machinery provably costs nothing on the happy path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import JoinError
+
+
+@dataclass(slots=True)
+class AttemptRecord:
+    """One strategy attempt inside a fallback chain."""
+
+    strategy: str
+    ok: bool
+    error_type: str | None = None
+    error: str | None = None
+    io_retries: int = 0
+    backoff_steps: int = 0
+    stats: dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        if self.ok:
+            tail = f"ok ({self.io_retries} retries)"
+        else:
+            tail = f"failed: {self.error_type}: {self.error}"
+        return f"{self.strategy}: {tail}"
+
+
+@dataclass(slots=True)
+class ExecutionReport:
+    """Full account of one resilient join execution."""
+
+    query: str
+    requested_strategy: str
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    fault_summary: dict[str, int] = field(default_factory=dict)
+    fault_events: list[str] = field(default_factory=list)
+
+    @property
+    def strategy(self) -> str:
+        """The strategy that produced the returned result."""
+        for a in self.attempts:
+            if a.ok:
+                return a.strategy
+        raise JoinError("no attempt succeeded in this report")
+
+    @property
+    def succeeded(self) -> bool:
+        return any(a.ok for a in self.attempts)
+
+    @property
+    def fallbacks(self) -> int:
+        """Strategies that failed before one succeeded."""
+        return sum(1 for a in self.attempts if not a.ok)
+
+    @property
+    def retries(self) -> int:
+        """Total transparently retried page I/Os across all attempts."""
+        return sum(a.io_retries for a in self.attempts)
+
+    @property
+    def backoff_steps(self) -> int:
+        """Total virtual-clock backoff units spent on retries."""
+        return sum(a.backoff_steps for a in self.attempts)
+
+    @property
+    def faults_injected(self) -> int:
+        return self.fault_summary.get("injected", 0)
+
+    @property
+    def faults_consumed(self) -> int:
+        return self.fault_summary.get("consumed", 0)
+
+    def format(self) -> str:
+        """Human-readable multi-line account."""
+        lines = [
+            self.query,
+            f"requested strategy: {self.requested_strategy}",
+        ]
+        for i, a in enumerate(self.attempts):
+            prefix = "attempt" if i == 0 else "fallback"
+            lines.append(f"  {prefix} {i + 1}: {a.describe()}")
+        if self.fault_summary:
+            lines.append(
+                "faults: {injected} injected, {consumed} consumed, "
+                "{outstanding} outstanding".format(**self.fault_summary)
+            )
+            for desc in self.fault_events:
+                lines.append(f"  - {desc}")
+        return "\n".join(lines)

@@ -23,6 +23,41 @@ class StorageError(ReproError):
     """Simulated-disk layer failure (bad page id, record overflow, ...)."""
 
 
+class TransientStorageError(StorageError):
+    """A page access that failed *this time* but may succeed on retry.
+
+    The fault-injection layer raises this for flaky reads/writes; the
+    buffer pool absorbs it with bounded retries.  Anything that escapes
+    the pool did so only after the retry budget was exhausted.
+    """
+
+
+class PermanentStorageError(StorageError):
+    """A page that is gone for good -- retrying cannot bring it back.
+
+    Raised for injected permanent page losses.  The buffer pool does not
+    retry these; recovery, if any, happens at the execution layer
+    (strategy fallback or chunk re-execution).
+    """
+
+
+class TornPageError(TransientStorageError):
+    """A read found a page whose checksum does not match its content.
+
+    Models a torn (partially persisted) write detected on the next read.
+    It is transient: the simulated recovery path restores the page from
+    its in-memory twin, so a retry succeeds.
+    """
+
+
+class WorkerError(ReproError):
+    """A parallel worker chunk crashed or timed out.
+
+    The pool recovers by re-executing the chunk sequentially; this error
+    escapes only when that recovery itself fails.
+    """
+
+
 class BufferPoolError(StorageError):
     """Buffer-pool misuse: over-pinning, eviction of a pinned page, ..."""
 
@@ -49,6 +84,18 @@ class TreeError(ReproError):
 
 class JoinError(ReproError):
     """Spatial join execution failure (missing index, bad strategy, ...)."""
+
+
+class ExecutionError(JoinError):
+    """Every strategy in the executor's fallback chain failed.
+
+    Carries the per-attempt report so callers can see what was tried and
+    why each attempt died.
+    """
+
+    def __init__(self, message: str, report: object | None = None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class CostModelError(ReproError):

@@ -1,0 +1,31 @@
+"""Deterministic fault injection for the simulated storage stack.
+
+The paper's cost model prices strategies assuming I/O always succeeds;
+production storage does not.  This subpackage makes failure a
+first-class, *reproducible* input:
+
+* :class:`~repro.faults.plan.FaultPlan` -- a seeded schedule of
+  transient read/write failures, torn writes, permanent page losses and
+  parallel-worker crashes, with an audit log of every injected fault and
+  whether recovery consumed it;
+* :class:`~repro.faults.disk.FaultyDisk` -- a drop-in
+  :class:`~repro.storage.disk.SimulatedDisk` that executes the plan and
+  detects torn writes via per-page checksums.
+
+Recovery lives in the layers above: the buffer pool retries transient
+faults with bounded virtual-clock backoff, the worker pool re-executes
+crashed chunks sequentially, and the executor falls back across join
+strategies -- each step recorded in an
+:class:`~repro.core.report.ExecutionReport`.
+"""
+
+from repro.faults.disk import FaultyDisk, page_checksum
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyDisk",
+    "page_checksum",
+]

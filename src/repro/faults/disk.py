@@ -1,0 +1,121 @@
+"""A :class:`SimulatedDisk` that fails on schedule.
+
+``FaultyDisk`` *is* a ``SimulatedDisk`` (drop-in for every pool, file
+and relation) whose page accesses consult a :class:`FaultPlan`:
+
+* transient read/write faults raise :class:`TransientStorageError` for
+  exactly one attempt -- the buffer pool's retry loop absorbs them;
+* permanently lost pages raise :class:`PermanentStorageError` on every
+  read, forever;
+* torn writes return success but record a checksum that does not match
+  the page content; the mismatch is detected on the next read, which
+  raises :class:`TornPageError` once and then repairs the page (the
+  simulation's stand-in for restoring from a replica or journal).
+
+Checksums are kept per page and verified only for pages flagged torn:
+pages in this simulation are shared in-memory objects that may be
+legitimately mutated between a write-back and a later read (another pool
+holding the same page dirty), so verifying every read would flag honest
+mutations as corruption.
+
+The disk also counts successful and failed physical attempts
+(``ok_reads`` / ``ok_writes`` / ``failed_attempts``) so tests can pin
+the meter's no-double-charge invariant directly against ground truth.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.errors import PermanentStorageError, TornPageError, TransientStorageError
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import PAGE_SIZE, Page
+
+
+def page_checksum(page: Page) -> int:
+    """CRC32 over the page's observable content.
+
+    Declared sizes and the repr of every slot participate, so any record
+    mutation changes the sum.
+    """
+    payload = repr((page.page_id, page.used_bytes, page.slot_sizes, page.slots))
+    return zlib.crc32(payload.encode("utf-8", errors="replace"))
+
+
+class FaultyDisk(SimulatedDisk):
+    """Simulated disk with deterministic, plan-driven fault injection."""
+
+    def __init__(self, plan: FaultPlan, page_size: int = PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self.plan = plan
+        self._checksums: dict[int, int] = {}
+        self._torn: set[int] = set()
+        self.ok_reads = 0
+        self.ok_writes = 0
+        self.failed_attempts = 0
+
+    # ------------------------------------------------------------------
+    # SimulatedDisk protocol
+    # ------------------------------------------------------------------
+
+    def allocate_page(self) -> Page:
+        page = super().allocate_page()
+        self._checksums[page.page_id] = page_checksum(page)
+        return page
+
+    def read_page(self, page_id: int) -> Page:
+        if self.plan.is_lost(page_id):
+            self.failed_attempts += 1
+            raise PermanentStorageError(f"page {page_id} is permanently lost")
+        if self.plan.draw_read_fault(page_id) is not None:
+            self.failed_attempts += 1
+            raise TransientStorageError(f"transient read failure on page {page_id}")
+        page = super().read_page(page_id)
+        if page_id in self._torn:
+            recorded = self._checksums.get(page_id)
+            if recorded != page_checksum(page):
+                # Detected: repair (restore the honest checksum) so the
+                # retry models a successful read from the replica.
+                self._torn.discard(page_id)
+                self._checksums[page_id] = page_checksum(page)
+                self.failed_attempts += 1
+                raise TornPageError(
+                    f"checksum mismatch on page {page_id}: torn write detected"
+                )
+            self._torn.discard(page_id)
+        self.ok_reads += 1
+        self.plan.note_success("read", page_id)
+        return page
+
+    def write_page(self, page: Page) -> None:
+        ev = self.plan.draw_write_fault(page.page_id)
+        if ev is not None and ev.kind is FaultKind.TRANSIENT_WRITE:
+            self.failed_attempts += 1
+            raise TransientStorageError(
+                f"transient write failure on page {page.page_id}"
+            )
+        super().write_page(page)
+        if ev is not None and ev.kind is FaultKind.TORN_WRITE:
+            # The device acks the write (it counts as a successful
+            # attempt), but the recorded checksum is off by construction
+            # -- the next read trips over it.
+            self.ok_writes += 1
+            self._torn.add(page.page_id)
+            self._checksums[page.page_id] = page_checksum(page) ^ 0xDEADBEEF
+            return
+        self._checksums[page.page_id] = page_checksum(page)
+        self.ok_writes += 1
+        self.plan.note_success("write", page.page_id)
+
+    # ------------------------------------------------------------------
+    # Test / report helpers
+    # ------------------------------------------------------------------
+
+    def lose_page(self, page_id: int) -> None:
+        """Mark a page permanently unreadable from now on."""
+        self.plan.lost_pages.add(page_id)
+
+    @property
+    def torn_pages(self) -> frozenset[int]:
+        return frozenset(self._torn)

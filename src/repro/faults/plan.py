@@ -1,0 +1,234 @@
+"""Deterministic fault plans: *what* fails, *when*, reproducibly.
+
+A :class:`FaultPlan` is the single source of truth for injected storage
+and worker failures.  It is seeded, so two runs with the same seed and
+the same access sequence inject the identical fault sequence -- the
+property every "survives faults" test relies on.
+
+The plan also keeps the books: every injected fault is logged as a
+:class:`FaultEvent`, and the event is marked *consumed* once a retry or
+a recovery path got past it.  An execution that claims to have survived
+a fault run can therefore be audited: ``injected == consumed`` (for
+transient faults) means no fault was silently dropped.
+
+Two knobs bound the adversary so bounded-retry recovery is guaranteed to
+terminate:
+
+* ``max_burst`` caps *consecutive* transient failures per page and
+  operation -- after ``max_burst`` failures in a row the next attempt is
+  forced to succeed, so any retry budget larger than ``max_burst`` wins;
+* ``read_outages`` schedules an exact number of failures for a specific
+  page, for tests that need a strategy to fail deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class FaultKind(str, Enum):
+    """What kind of failure was injected."""
+
+    TRANSIENT_READ = "transient-read"
+    TRANSIENT_WRITE = "transient-write"
+    TORN_WRITE = "torn-write"
+    PERMANENT_READ = "permanent-read"
+    WORKER_CRASH = "worker-crash"
+
+
+@dataclass(slots=True)
+class FaultEvent:
+    """One injected fault: its kind, its target, and whether recovery
+    got past it (``consumed``)."""
+
+    kind: FaultKind
+    target: int
+    op_index: int
+    consumed: bool = False
+
+    def describe(self) -> str:
+        state = "consumed" if self.consumed else "outstanding"
+        noun = "chunk" if self.kind is FaultKind.WORKER_CRASH else "page"
+        return f"{self.kind.value} on {noun} {self.target} ({state})"
+
+
+class FaultPlan:
+    """Seeded schedule of storage and worker faults.
+
+    ``read_rate`` / ``write_rate`` / ``torn_rate`` are per-access
+    Bernoulli probabilities for transient read failures, transient write
+    failures and torn writes.  ``lost_pages`` are permanently
+    unreadable.  ``read_outages`` maps a page id to an exact count of
+    forced transient read failures (consumed first, before any random
+    draw).  ``worker_crashes`` names parallel chunk indices whose worker
+    dies on first execution.
+
+    ``enabled`` gates all injection; flip it off to verify state without
+    interference (tests do this after a faulted workload).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        read_rate: float = 0.0,
+        write_rate: float = 0.0,
+        torn_rate: float = 0.0,
+        lost_pages: frozenset[int] | set[int] = frozenset(),
+        read_outages: dict[int, int] | None = None,
+        worker_crashes: frozenset[int] | set[int] = frozenset(),
+        max_burst: int = 3,
+    ) -> None:
+        for name, rate in (("read_rate", read_rate), ("write_rate", write_rate),
+                           ("torn_rate", torn_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if max_burst < 1:
+            raise ValueError(f"max_burst must be positive, got {max_burst}")
+        self.seed = seed
+        self.read_rate = read_rate
+        self.write_rate = write_rate
+        self.torn_rate = torn_rate
+        self.lost_pages = set(lost_pages)
+        self.read_outages = dict(read_outages or {})
+        self.worker_crashes = set(worker_crashes)
+        self.max_burst = max_burst
+        self.enabled = True
+        self.events: list[FaultEvent] = []
+        self._rng = random.Random(seed)
+        self._op_index = 0
+        # Consecutive-failure counters per (op, page), reset on success.
+        self._bursts: dict[tuple[str, int], int] = {}
+        # Injected-but-not-yet-consumed events per (op, page).
+        self._pending: dict[tuple[str, int], list[FaultEvent]] = {}
+
+    # ------------------------------------------------------------------
+    # Decision points (called by FaultyDisk / the worker pool)
+    # ------------------------------------------------------------------
+
+    def is_lost(self, page_id: int) -> bool:
+        """True when the page is permanently unreadable; logs one event
+        per distinct lost page actually hit."""
+        if not self.enabled or page_id not in self.lost_pages:
+            return False
+        if not any(
+            e.kind is FaultKind.PERMANENT_READ and e.target == page_id
+            for e in self.events
+        ):
+            self._log(FaultKind.PERMANENT_READ, page_id, pending=False)
+        return True
+
+    def draw_read_fault(self, page_id: int) -> FaultEvent | None:
+        """Decide whether *this* read attempt of ``page_id`` fails."""
+        if not self.enabled:
+            return None
+        outage = self.read_outages.get(page_id, 0)
+        if outage > 0:
+            self.read_outages[page_id] = outage - 1
+            return self._log(FaultKind.TRANSIENT_READ, page_id)
+        return self._draw("read", page_id, self.read_rate, FaultKind.TRANSIENT_READ)
+
+    def draw_write_fault(self, page_id: int) -> FaultEvent | None:
+        """Decide whether this write attempt fails (or lands torn).
+
+        Transient write failures take priority; a write that does go
+        through may independently land torn.
+        """
+        if not self.enabled:
+            return None
+        ev = self._draw("write", page_id, self.write_rate, FaultKind.TRANSIENT_WRITE)
+        if ev is not None:
+            return ev
+        return self._draw("torn", page_id, self.torn_rate, FaultKind.TORN_WRITE)
+
+    def should_crash_chunk(self, chunk_index: int) -> bool:
+        """Pure decision: does this parallel chunk's worker die?
+
+        No event is logged here -- the decision may be evaluated inside a
+        forked worker whose plan copy is discarded.  The parent logs the
+        crash via :meth:`note_worker_crash` when it observes the failure.
+        """
+        return self.enabled and chunk_index in self.worker_crashes
+
+    # ------------------------------------------------------------------
+    # Outcome notifications
+    # ------------------------------------------------------------------
+
+    def note_success(self, op: str, page_id: int) -> None:
+        """A retried access went through: consume its pending faults."""
+        self._bursts.pop((op, page_id), None)
+        if op == "write":
+            # A clean write also ends any torn-write burst on the page.
+            self._bursts.pop(("torn", page_id), None)
+        for ev in self._pending.pop((op, page_id), []):
+            ev.consumed = True
+
+    def note_worker_crash(self, chunk_index: int, recovered: bool) -> FaultEvent:
+        """Log an observed worker crash; ``recovered`` marks it consumed."""
+        ev = self._log(FaultKind.WORKER_CRASH, chunk_index, pending=False)
+        ev.consumed = recovered
+        return ev
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def injected(self) -> int:
+        return len(self.events)
+
+    @property
+    def consumed(self) -> int:
+        return sum(1 for e in self.events if e.consumed)
+
+    @property
+    def outstanding(self) -> int:
+        return self.injected - self.consumed
+
+    def summary(self) -> dict[str, int]:
+        """Counter triple for reports: injected / consumed / outstanding."""
+        return {
+            "injected": self.injected,
+            "consumed": self.consumed,
+            "outstanding": self.outstanding,
+        }
+
+    def describe_events(self) -> list[str]:
+        return [e.describe() for e in self.events]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _draw(
+        self, op: str, page_id: int, rate: float, kind: FaultKind
+    ) -> FaultEvent | None:
+        if rate <= 0.0:
+            return None
+        key = (op, page_id)
+        if self._bursts.get(key, 0) >= self.max_burst:
+            # Burst cap reached: force success so bounded retries always
+            # terminate.  The counter resets via note_success.
+            return None
+        if self._rng.random() >= rate:
+            return None
+        self._bursts[key] = self._bursts.get(key, 0) + 1
+        return self._log(kind, page_id)
+
+    def _log(
+        self, kind: FaultKind, target: int, *, pending: bool = True
+    ) -> FaultEvent:
+        ev = FaultEvent(kind=kind, target=target, op_index=self._op_index)
+        self._op_index += 1
+        self.events.append(ev)
+        if pending:
+            op = {
+                FaultKind.TRANSIENT_READ: "read",
+                FaultKind.TRANSIENT_WRITE: "write",
+                # A torn write is detected (and survived) on a *read*.
+                FaultKind.TORN_WRITE: "read",
+            }[kind]
+            self._pending.setdefault((op, target), []).append(ev)
+        return ev

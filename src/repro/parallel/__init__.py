@@ -20,12 +20,19 @@ from repro.parallel.partitioner import (
     scatter,
 )
 from repro.parallel.plane_sweep import sweep_tile
-from repro.parallel.pool import balance_tasks, run_partitions
+from repro.parallel.pool import (
+    ChunkRecovery,
+    PoolReport,
+    balance_tasks,
+    run_partitions,
+)
 
 __all__ = [
+    "ChunkRecovery",
     "Entry",
     "GridSpec",
     "PartitionTask",
+    "PoolReport",
     "balance_tasks",
     "partition_join",
     "partition_pair",

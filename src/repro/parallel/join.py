@@ -81,6 +81,8 @@ def partition_join(
     memory_pages: int = 4000,
     meter: CostMeter | None = None,
     collect_tuples: bool = False,
+    fault_plan=None,
+    chunk_timeout: float | None = None,
 ) -> JoinResult:
     """Partition-parallel overlap join of two relations.
 
@@ -90,6 +92,12 @@ def partition_join(
     ``workers>1`` spreads tiles over a process pool (falling back to the
     sequential path where processes are unavailable).  Result pairs are
     returned in sorted order, identical for every worker count.
+
+    ``fault_plan`` forwards a :class:`~repro.faults.plan.FaultPlan` to
+    the worker pool (injected worker crashes are recovered by sequential
+    chunk re-execution); ``chunk_timeout`` bounds each worker chunk.
+    The returned stats report how the pool actually ran: effective
+    worker count, degrade reason (if any), and recovered chunks.
     """
     if workers < 1:
         raise JoinError(f"workers must be positive, got {workers}")
@@ -104,8 +112,9 @@ def partition_join(
 
     spec = _resolve_grid(grid, universe, entries_r, entries_s, workers)
     tasks = partition_pair(entries_r, entries_s, spec)
-    pairs, worker_meter, effective = run_partitions(
-        tasks, spec, theta, workers=workers
+    pairs, worker_meter, pool_report = run_partitions(
+        tasks, spec, theta, workers=workers,
+        fault_plan=fault_plan, chunk_timeout=chunk_timeout,
     )
     meter.absorb(worker_meter)
 
@@ -119,6 +128,15 @@ def partition_join(
     result.stats = meter.snapshot()
     result.stats.update(
         grid_nx=spec.nx, grid_ny=spec.ny,
-        partitions=len(tasks), workers=effective,
+        partitions=len(tasks), workers=pool_report.effective_workers,
+        requested_workers=pool_report.requested_workers,
+        chunk_retries=pool_report.retried_chunks,
     )
+    if pool_report.degrade_reason is not None:
+        result.stats["degrade_reason"] = pool_report.degrade_reason
+    if pool_report.recoveries:
+        result.stats["recovered_chunks"] = [
+            f"chunk {r.chunk} ({r.tiles} tiles): {r.cause}"
+            for r in pool_report.recoveries
+        ]
     return result

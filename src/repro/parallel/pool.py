@@ -1,4 +1,4 @@
-"""Worker pool for the partition-parallel join.
+"""Worker pool for the partition-parallel join, with failure recovery.
 
 ``run_partitions`` executes the per-tile plane sweeps either sequentially
 in-process (``workers=1`` -- the deterministic path unit tests rely on)
@@ -12,31 +12,80 @@ first, onto the least-loaded worker) -- uniform grids over skewed data
 produce very uneven tiles, and a round-robin split would leave most
 workers idle behind the densest tile.
 
-Environments without working process support (sandboxes may refuse to
-create semaphores or fork) degrade to the sequential path rather than
-fail; the effective worker count is reported back to the caller.
+Failure handling is explicit, never silent:
+
+* environments without working process support (sandboxes may refuse to
+  create semaphores or fork) degrade to the sequential path and report
+  the *cause* in the returned :class:`PoolReport`;
+* each chunk is collected with an optional timeout; a chunk whose worker
+  crashed (e.g. an injected :class:`WorkerError`) or timed out is
+  re-executed sequentially in the parent -- a crashed machine does not
+  poison the data, so the re-run omits the crash injection -- and the
+  recovery is recorded per chunk;
+* pool shutdown runs in ``try/finally terminate()/join()`` so an
+  interrupted run leaks no worker processes.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from functools import partial
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
-from repro.errors import JoinError
+from repro.errors import JoinError, WorkerError
 from repro.parallel.partitioner import GridSpec, PartitionTask
 from repro.parallel.plane_sweep import sweep_tile
 from repro.predicates.theta import ThetaOperator
 from repro.storage.costs import CostMeter
 from repro.storage.record import RecordId
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.faults.plan import FaultPlan
+
+
+@dataclass(slots=True)
+class ChunkRecovery:
+    """One worker chunk that failed and was re-executed sequentially."""
+
+    chunk: int
+    tiles: int
+    cause: str
+    recovered: bool = True
+
+
+@dataclass(slots=True)
+class PoolReport:
+    """How the partition run actually executed.
+
+    ``degrade_reason`` is set when the process pool could not be used at
+    all (and why); ``recoveries`` lists every chunk whose worker crashed
+    or timed out and had to be re-run in the parent.
+    """
+
+    requested_workers: int
+    effective_workers: int
+    degrade_reason: str | None = None
+    recoveries: list[ChunkRecovery] = field(default_factory=list)
+
+    @property
+    def retried_chunks(self) -> int:
+        return len(self.recoveries)
+
+    @property
+    def degraded(self) -> bool:
+        return self.degrade_reason is not None
+
 
 def _run_chunk(
     tasks: Sequence[PartitionTask],
     grid: GridSpec,
     theta: ThetaOperator,
+    fault_plan: "FaultPlan | None" = None,
+    chunk_index: int = 0,
 ) -> tuple[list[tuple[RecordId, RecordId]], CostMeter]:
     """One worker's share: sweep every assigned tile on a private meter."""
+    if fault_plan is not None and fault_plan.should_crash_chunk(chunk_index):
+        raise WorkerError(f"injected crash of worker chunk {chunk_index}")
     meter = CostMeter()
     pairs: list[tuple[RecordId, RecordId]] = []
     for task in tasks:
@@ -62,34 +111,100 @@ def balance_tasks(
     return [c for c in chunks if c]
 
 
+def _run_chunks_sequentially(
+    chunks: list[list[PartitionTask]],
+    grid: GridSpec,
+    theta: ThetaOperator,
+    fault_plan: "FaultPlan | None",
+    report: PoolReport,
+) -> list[tuple[list[tuple[RecordId, RecordId]], CostMeter]]:
+    """Run every chunk in-process, recovering injected crashes per chunk."""
+    results = []
+    for i, chunk in enumerate(chunks):
+        try:
+            results.append(_run_chunk(chunk, grid, theta, fault_plan, i))
+        except WorkerError as exc:
+            results.append(_run_chunk(chunk, grid, theta))
+            report.recoveries.append(
+                ChunkRecovery(chunk=i, tiles=len(chunk), cause=repr(exc))
+            )
+            if fault_plan is not None:
+                fault_plan.note_worker_crash(i, recovered=True)
+    return results
+
+
 def run_partitions(
     tasks: Sequence[PartitionTask],
     grid: GridSpec,
     theta: ThetaOperator,
     *,
     workers: int = 1,
-) -> tuple[list[tuple[RecordId, RecordId]], CostMeter, int]:
-    """Sweep all tiles; returns ``(pairs, merged_meter, effective_workers)``.
+    fault_plan: "FaultPlan | None" = None,
+    chunk_timeout: float | None = None,
+) -> tuple[list[tuple[RecordId, RecordId]], CostMeter, PoolReport]:
+    """Sweep all tiles; returns ``(pairs, merged_meter, report)``.
 
-    ``effective_workers`` is 1 when the sequential fallback ran (either
-    requested, or because the platform refused to start processes).
+    ``report.effective_workers`` is 1 when the sequential path ran
+    (either requested, or because the platform refused to start
+    processes -- in which case ``report.degrade_reason`` says why).
+    ``chunk_timeout`` bounds each worker chunk in wall-clock seconds;
+    a chunk that exceeds it is re-executed sequentially.
     """
     if workers < 1:
         raise JoinError(f"workers must be positive, got {workers}")
     if workers == 1 or len(tasks) <= 1:
-        pairs, meter = _run_chunk(tasks, grid, theta)
-        return pairs, meter, 1
+        report = PoolReport(requested_workers=workers, effective_workers=1)
+        chunk = list(tasks)
+        reports = _run_chunks_sequentially([chunk] if chunk else [], grid, theta,
+                                           fault_plan, report)
+        pairs = [p for chunk_pairs, _ in reports for p in chunk_pairs]
+        return pairs, CostMeter.merge([m for _, m in reports]), report
 
     chunks = balance_tasks(tasks, workers)
+    report = PoolReport(requested_workers=workers, effective_workers=len(chunks))
     try:
-        with multiprocessing.get_context().Pool(processes=len(chunks)) as mp_pool:
-            reports = mp_pool.map(partial(_run_chunk, grid=grid, theta=theta), chunks)
-    except (OSError, PermissionError, ValueError, ImportError):
+        mp_pool = multiprocessing.get_context().Pool(processes=len(chunks))
+    except (OSError, PermissionError, ValueError, ImportError) as exc:
         # No usable process support here: run the chunks in-process, still
-        # on private meters, so results and accounting are identical.
-        reports = [_run_chunk(chunk, grid, theta) for chunk in chunks]
+        # on private meters, so results and accounting are identical --
+        # and say so, instead of silently pretending parallelism.
+        report.effective_workers = 1
+        report.degrade_reason = f"{type(exc).__name__}: {exc}"
+        reports = _run_chunks_sequentially(chunks, grid, theta, fault_plan, report)
         pairs = [p for chunk_pairs, _ in reports for p in chunk_pairs]
-        return pairs, CostMeter.merge([m for _, m in reports]), 1
+        return pairs, CostMeter.merge([m for _, m in reports]), report
 
-    pairs = [p for chunk_pairs, _ in reports for p in chunk_pairs]
-    return pairs, CostMeter.merge([m for _, m in reports]), len(chunks)
+    results: list[tuple[list[tuple[RecordId, RecordId]], CostMeter] | None] = []
+    causes: list[str | None] = []
+    try:
+        handles = [
+            mp_pool.apply_async(_run_chunk, (chunk, grid, theta, fault_plan, i))
+            for i, chunk in enumerate(chunks)
+        ]
+        for handle in handles:
+            try:
+                results.append(handle.get(timeout=chunk_timeout))
+                causes.append(None)
+            except multiprocessing.TimeoutError:
+                results.append(None)
+                causes.append(f"timeout after {chunk_timeout}s")
+            except Exception as exc:  # worker crashed: recover below
+                results.append(None)
+                causes.append(repr(exc))
+    finally:
+        mp_pool.terminate()
+        mp_pool.join()
+
+    for i, (chunk, outcome, cause) in enumerate(zip(chunks, results, causes)):
+        if outcome is not None:
+            continue
+        results[i] = _run_chunk(chunk, grid, theta)
+        report.recoveries.append(
+            ChunkRecovery(chunk=i, tiles=len(chunk), cause=cause or "unknown")
+        )
+        if fault_plan is not None:
+            fault_plan.note_worker_crash(i, recovered=True)
+
+    completed = [r for r in results if r is not None]
+    pairs = [p for chunk_pairs, _ in completed for p in chunk_pairs]
+    return pairs, CostMeter.merge([m for _, m in completed]), report

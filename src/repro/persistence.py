@@ -64,18 +64,25 @@ def geometry_from_dict(data: dict) -> Any:
         kind = data["type"]
     except (TypeError, KeyError):
         raise PersistenceError(f"geometry dict missing 'type': {data!r}") from None
-    if kind == "point":
-        return Point(data["x"], data["y"])
-    if kind == "rect":
-        return Rect(data["xmin"], data["ymin"], data["xmax"], data["ymax"])
-    if kind == "polygon":
-        center = data.get("centerpoint")
-        return Polygon(
-            [Point(x, y) for x, y in data["vertices"]],
-            centerpoint=Point(*center) if center else None,
-        )
-    if kind == "polyline":
-        return PolyLine([Point(x, y) for x, y in data["vertices"]])
+    try:
+        if kind == "point":
+            return Point(data["x"], data["y"])
+        if kind == "rect":
+            return Rect(data["xmin"], data["ymin"], data["xmax"], data["ymax"])
+        if kind == "polygon":
+            center = data.get("centerpoint")
+            return Polygon(
+                [Point(x, y) for x, y in data["vertices"]],
+                centerpoint=Point(*center) if center else None,
+            )
+        if kind == "polyline":
+            return PolyLine([Point(x, y) for x, y in data["vertices"]])
+    except (TypeError, KeyError, ValueError) as exc:
+        # Name the geometry type and the offending field/shape -- a bare
+        # KeyError('x') out of a 10k-row snapshot load is undebuggable.
+        raise PersistenceError(
+            f"malformed {kind!r} geometry: {type(exc).__name__}: {exc}"
+        ) from exc
     raise PersistenceError(f"unknown geometry type {kind!r}")
 
 
@@ -123,7 +130,12 @@ def relation_from_dict(
             record_size=data.get("record_size", 300),
             utilization=data.get("utilization", 0.75),
         )
-        for row in data["rows"]:
+        for i, row in enumerate(data["rows"]):
+            if len(row) != len(schema.columns):
+                raise PersistenceError(
+                    f"row {i} of relation {data['name']!r} has {len(row)} "
+                    f"values for {len(schema.columns)} schema columns"
+                )
             values = [
                 geometry_from_dict(v) if col.type.is_spatial else v
                 for col, v in zip(schema.columns, row)

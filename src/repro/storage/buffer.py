@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.errors import BufferPoolError
+from repro.errors import BufferPoolError, TransientStorageError
 from repro.storage.costs import CostMeter
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page
@@ -23,6 +23,11 @@ from repro.storage.page import Page
 #: streamed relation and bookkeeping (Section 4.4: "say, M - 10 pages").
 RESERVED_PAGES = 10
 
+#: Default bound on transparent retries of a transiently failed page
+#: access.  One above the fault plan's default ``max_burst`` so bounded
+#: injection can never outlast the retry budget.
+DEFAULT_MAX_RETRIES = 5
+
 
 class BufferPool:
     """An LRU cache of disk pages with pin support.
@@ -30,14 +35,32 @@ class BufferPool:
     ``capacity`` is the number of page frames (the model's ``M``).  Pinned
     pages are never evicted; attempting to fetch when every frame is
     pinned raises, mirroring a real system's buffer-starvation error.
+
+    Transient disk faults (:class:`TransientStorageError`, injected by a
+    :class:`~repro.faults.disk.FaultyDisk`) are retried transparently up
+    to ``max_retries`` times with exponential *virtual-clock* backoff:
+    each failed attempt records one ``io_retry`` and its backoff units on
+    the meter instead of sleeping.  The eventual successful access is
+    charged as exactly one read/write -- retries never double-charge.
+    Permanent faults are not retried and propagate immediately.
     """
 
-    def __init__(self, disk: SimulatedDisk, capacity: int, meter: CostMeter | None = None) -> None:
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        capacity: int,
+        meter: CostMeter | None = None,
+        *,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ) -> None:
         if capacity <= 0:
             raise BufferPoolError(f"buffer capacity must be positive, got {capacity}")
+        if max_retries < 0:
+            raise BufferPoolError(f"max_retries must be >= 0, got {max_retries}")
         self.disk = disk
         self.capacity = capacity
         self.meter = meter if meter is not None else CostMeter()
+        self.max_retries = max_retries
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
         self._pin_counts: dict[int, int] = {}
         self._dirty: set[int] = set()
@@ -55,7 +78,7 @@ class BufferPool:
             self._frames.move_to_end(page_id)
             self.meter.record_hit()
             return self._frames[page_id]
-        page = self.disk.read_page(page_id)
+        page = self._read_with_retry(page_id)
         self._admit(page)
         self.meter.record_read()
         return page
@@ -101,7 +124,7 @@ class BufferPool:
         for page_id in sorted(self._dirty):
             page = self._frames.get(page_id)
             if page is not None:
-                self.disk.write_page(page)
+                self._write_with_retry(page)
                 self.meter.record_write()
             self._dirty.discard(page_id)
 
@@ -152,9 +175,33 @@ class BufferPool:
             raise BufferPoolError("all buffer frames are pinned; cannot evict")
         page = self._frames.pop(victim_id)
         if victim_id in self._dirty:
-            self.disk.write_page(page)
+            self._write_with_retry(page)
             self.meter.record_write()
             self._dirty.discard(victim_id)
+
+    def _read_with_retry(self, page_id: int) -> Page:
+        backoff = 1
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self.disk.read_page(page_id)
+            except TransientStorageError:
+                if attempt == self.max_retries:
+                    raise
+                self.meter.record_retry(backoff)
+                backoff *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _write_with_retry(self, page: Page) -> None:
+        backoff = 1
+        for attempt in range(self.max_retries + 1):
+            try:
+                self.disk.write_page(page)
+                return
+            except TransientStorageError:
+                if attempt == self.max_retries:
+                    raise
+                self.meter.record_retry(backoff)
+                backoff *= 2
 
 
 def paired_pools(

@@ -53,6 +53,8 @@ class CostMeter:
     theta_filter_evals: int = 0
     theta_exact_evals: int = 0
     update_computations: int = 0
+    io_retries: int = 0
+    backoff_steps: int = 0
     charges: CostCharges = field(default_factory=CostCharges)
 
     @property
@@ -83,6 +85,18 @@ class CostMeter:
     def record_update(self, count: int = 1) -> None:
         self.update_computations += count
 
+    def record_retry(self, backoff: int = 1) -> None:
+        """One failed I/O attempt about to be retried.
+
+        ``backoff`` is the virtual-clock wait taken before the retry (in
+        abstract backoff units -- nothing sleeps).  The successful access
+        is charged separately as exactly one read/write, so a retried I/O
+        is never double-charged in ``page_reads``/``page_writes``;
+        ``io_retries``/``backoff_steps`` keep the failure cost visible.
+        """
+        self.io_retries += 1
+        self.backoff_steps += backoff
+
     def absorb(self, other: "CostMeter") -> None:
         """Add another meter's counters into this one (charges are kept).
 
@@ -95,6 +109,8 @@ class CostMeter:
         self.theta_filter_evals += other.theta_filter_evals
         self.theta_exact_evals += other.theta_exact_evals
         self.update_computations += other.update_computations
+        self.io_retries += other.io_retries
+        self.backoff_steps += other.backoff_steps
 
     @classmethod
     def merge(cls, meters: "Iterable[CostMeter]") -> "CostMeter":
@@ -132,6 +148,8 @@ class CostMeter:
         self.theta_filter_evals = 0
         self.theta_exact_evals = 0
         self.update_computations = 0
+        self.io_retries = 0
+        self.backoff_steps = 0
 
     def snapshot(self) -> dict[str, float]:
         """Plain-dict view for reports and benchmark output."""
@@ -142,5 +160,7 @@ class CostMeter:
             "theta_filter_evals": self.theta_filter_evals,
             "theta_exact_evals": self.theta_exact_evals,
             "update_computations": self.update_computations,
+            "io_retries": self.io_retries,
+            "backoff_steps": self.backoff_steps,
             "total": self.total(),
         }

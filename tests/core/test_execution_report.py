@@ -1,0 +1,221 @@
+"""Resilient execution: fallback chain, ExecutionReport, fault audits."""
+
+import pytest
+
+from repro.core import FALLBACK_CHAIN, SpatialQueryExecutor
+from repro.errors import ExecutionError
+from repro.faults import FaultPlan, FaultyDisk
+from repro.predicates.theta import Overlaps, WithinDistance
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+from repro.workloads.assembly import build_indexed_relation
+
+
+def build_pair(disk, n=120):
+    ir_r = build_indexed_relation(n, seed=1, disk=disk)
+    ir_s = build_indexed_relation(n, seed=2, disk=disk)
+    return ir_r.relation, ir_s.relation
+
+
+@pytest.fixture(scope="module")
+def clean_reference():
+    rel_r, rel_s = build_pair(SimulatedDisk())
+    executor = SpatialQueryExecutor()
+    return executor.join(
+        rel_r, "shape", rel_s, "shape", Overlaps(), strategy="scan"
+    ).pair_set()
+
+
+class TestCleanPath:
+    """With fault injection disabled the machinery must cost nothing."""
+
+    def test_single_attempt_zero_retries_zero_fallbacks(self, clean_reference):
+        rel_r, rel_s = build_pair(SimulatedDisk())
+        executor = SpatialQueryExecutor()
+        for strategy in FALLBACK_CHAIN:
+            res, report = executor.execute_join(
+                rel_r, "shape", rel_s, "shape", Overlaps(), strategy=strategy
+            )
+            assert res.pair_set() == clean_reference
+            assert len(report.attempts) == 1
+            assert report.attempts[0].ok
+            assert report.strategy == strategy
+            assert report.retries == 0
+            assert report.fallbacks == 0
+            assert report.backoff_steps == 0
+            assert report.fault_summary == {}
+
+    def test_result_identical_to_plain_join(self, clean_reference):
+        rel_r, rel_s = build_pair(SimulatedDisk())
+        executor = SpatialQueryExecutor()
+        plain_meter = CostMeter()
+        plain = executor.join(
+            rel_r, "shape", rel_s, "shape", Overlaps(),
+            strategy="partition", meter=plain_meter,
+        )
+        exec_meter = CostMeter()
+        resilient, _ = executor.execute_join(
+            rel_r, "shape", rel_s, "shape", Overlaps(),
+            strategy="partition", meter=exec_meter,
+        )
+        assert resilient.pair_set() == plain.pair_set()
+        # Identical charges: the resilient wrapper adds no I/O.
+        assert exec_meter.snapshot() == plain_meter.snapshot()
+
+    def test_auto_strategy_recorded(self):
+        rel_r, rel_s = build_pair(SimulatedDisk())
+        executor = SpatialQueryExecutor()
+        res, report = executor.execute_join(
+            rel_r, "shape", rel_s, "shape", WithinDistance(10.0)
+        )
+        assert report.requested_strategy == "auto"
+        assert report.succeeded
+
+
+class TestSeededFaultRun:
+    def test_every_strategy_survives_and_agrees(self, clean_reference):
+        plan = FaultPlan(seed=17, read_rate=0.05, write_rate=0.05,
+                         torn_rate=0.02)
+        rel_r, rel_s = build_pair(FaultyDisk(plan))
+        executor = SpatialQueryExecutor()
+        for strategy in FALLBACK_CHAIN:
+            res, report = executor.execute_join(
+                rel_r, "shape", rel_s, "shape", Overlaps(), strategy=strategy
+            )
+            assert res.pair_set() == clean_reference
+            # Every fault injected during this execution was consumed by
+            # a retry or fallback -- none silently dropped.
+            assert report.fault_summary["injected"] == (
+                report.fault_summary["consumed"]
+            )
+            assert report.fault_summary["outstanding"] == 0
+            assert len(report.fault_events) == report.fault_summary["injected"]
+        # The workload as a whole hit at least one fault, or the run
+        # proves nothing.
+        assert plan.injected > 0
+
+    def test_retries_visible_in_report(self):
+        plan = FaultPlan(seed=3, read_outages={})
+        disk = FaultyDisk(plan)
+        rel_r, rel_s = build_pair(disk)
+        plan.read_outages[rel_r.page_ids[0]] = 2
+        executor = SpatialQueryExecutor()
+        res, report = executor.execute_join(
+            rel_r, "shape", rel_s, "shape", Overlaps(), strategy="scan"
+        )
+        assert report.retries == 2
+        assert report.attempts[0].io_retries == 2
+        assert report.backoff_steps == 3  # 1 + 2
+
+
+class TestFallbackChain:
+    def test_outage_exhausts_first_strategy_then_falls_back(
+        self, clean_reference
+    ):
+        # 8 forced failures on page 0: the first strategy burns its
+        # retry budget (5 retries = 6 attempts) and dies; the fallback
+        # consumes the remaining 2 and succeeds.
+        plan = FaultPlan(seed=1, read_outages={0: 8})
+        rel_r, rel_s = build_pair(FaultyDisk(plan))
+        executor = SpatialQueryExecutor()
+        res, report = executor.execute_join(
+            rel_r, "shape", rel_s, "shape", Overlaps(), strategy="partition"
+        )
+        assert res.pair_set() == clean_reference
+        assert not report.attempts[0].ok
+        assert report.attempts[0].error_type == "TransientStorageError"
+        assert report.attempts[1].ok
+        assert report.attempts[1].strategy == "tree"
+        assert report.fallbacks == 1
+        assert report.fault_summary["outstanding"] == 0
+
+    def test_chain_order_follows_spec(self):
+        assert FALLBACK_CHAIN == ("partition", "tree", "zorder", "scan")
+
+    def test_permanent_loss_exhausts_chain(self):
+        plan = FaultPlan(seed=2)
+        disk = FaultyDisk(plan)
+        rel_r, rel_s = build_pair(disk)
+        disk.lose_page(rel_r.page_ids[0])
+        executor = SpatialQueryExecutor()
+        with pytest.raises(ExecutionError) as excinfo:
+            executor.execute_join(
+                rel_r, "shape", rel_s, "shape", Overlaps(), strategy="partition"
+            )
+        report = excinfo.value.report
+        # Every applicable strategy was attempted and each failure cause
+        # recorded.
+        assert [a.strategy for a in report.attempts] == list(FALLBACK_CHAIN)
+        assert all(not a.ok for a in report.attempts)
+        assert all(a.error_type == "PermanentStorageError" for a in report.attempts)
+
+    def test_meter_accumulates_failed_attempts(self):
+        plan = FaultPlan(seed=1, read_outages={0: 8})
+        rel_r, rel_s = build_pair(FaultyDisk(plan))
+        executor = SpatialQueryExecutor()
+        meter = CostMeter()
+        res, report = executor.execute_join(
+            rel_r, "shape", rel_s, "shape", Overlaps(),
+            strategy="partition", meter=meter,
+        )
+        # Failed work is work: the caller's meter covers all attempts.
+        # Attempt 1 records its 5 retries (the 6th failure re-raises and
+        # kills the strategy); the fallback records the remaining 2.
+        total_retries = sum(a.io_retries for a in report.attempts)
+        assert meter.io_retries == total_retries == 7
+
+    def test_inapplicable_strategies_skipped(self):
+        # Non-overlaps theta: partition and zorder are not in the chain.
+        plan = FaultPlan(seed=4, read_outages={0: 8})
+        rel_r, rel_s = build_pair(FaultyDisk(plan))
+        executor = SpatialQueryExecutor()
+        res, report = executor.execute_join(
+            rel_r, "shape", rel_s, "shape", WithinDistance(5.0),
+            strategy="tree",
+        )
+        tried = [a.strategy for a in report.attempts]
+        assert "partition" not in tried[1:]
+        assert "zorder" not in tried[1:]
+
+
+class TestWorkerRecoveryThroughExecutor:
+    def test_crashed_chunk_recovered_and_meter_matches_reference(
+        self, clean_reference
+    ):
+        plan = FaultPlan(seed=9, worker_crashes={0})
+        rel_r, rel_s = build_pair(FaultyDisk(plan))
+        executor = SpatialQueryExecutor(workers=3)
+        meter = CostMeter()
+        res, report = executor.execute_join(
+            rel_r, "shape", rel_s, "shape", Overlaps(),
+            strategy="partition", meter=meter,
+        )
+        assert res.pair_set() == clean_reference
+        assert res.stats["chunk_retries"] == 1
+        assert report.fault_summary == {
+            "injected": 1, "consumed": 1, "outstanding": 0,
+        }
+        # No fallback was needed -- recovery happened inside the pool.
+        assert report.fallbacks == 0
+        # The merged meter still covers each relation page exactly once,
+        # like the nested-loop reference.
+        ref_meter = CostMeter()
+        executor.join(
+            rel_r, "shape", rel_s, "shape", Overlaps(),
+            strategy="scan", meter=ref_meter,
+        )
+        assert meter.page_reads == ref_meter.page_reads
+
+
+class TestReportFormatting:
+    def test_format_mentions_attempts_and_faults(self):
+        plan = FaultPlan(seed=1, read_outages={0: 8})
+        rel_r, rel_s = build_pair(FaultyDisk(plan))
+        executor = SpatialQueryExecutor()
+        _, report = executor.execute_join(
+            rel_r, "shape", rel_s, "shape", Overlaps(), strategy="partition"
+        )
+        text = report.format()
+        assert "attempt 1: partition: failed" in text
+        assert "fallback 2: tree: ok" in text
+        assert "8 injected, 8 consumed" in text

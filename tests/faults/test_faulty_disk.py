@@ -1,0 +1,105 @@
+"""FaultyDisk: fault execution, checksum-based torn-write detection."""
+
+import pytest
+
+from repro.errors import (
+    PermanentStorageError,
+    StorageError,
+    TornPageError,
+    TransientStorageError,
+)
+from repro.faults import FaultPlan, FaultyDisk, page_checksum
+
+
+def make_disk(**plan_kwargs):
+    plan = FaultPlan(**{"seed": 0, **plan_kwargs})
+    return FaultyDisk(plan), plan
+
+
+class TestPassthrough:
+    def test_is_a_simulated_disk(self):
+        disk, _ = make_disk()
+        page = disk.allocate_page()
+        page.insert("rec", 10)
+        disk.write_page(page)
+        assert disk.read_page(page.page_id) is page
+        assert disk.num_pages == 1
+        assert len(disk) == 1
+
+    def test_unallocated_page_still_raises_storage_error(self):
+        disk, _ = make_disk()
+        with pytest.raises(StorageError):
+            disk.read_page(3)
+
+
+class TestTransientFaults:
+    def test_read_outage_raises_then_recovers(self):
+        disk, plan = make_disk()
+        page = disk.allocate_page()
+        plan.read_outages[page.page_id] = 2
+        with pytest.raises(TransientStorageError):
+            disk.read_page(page.page_id)
+        with pytest.raises(TransientStorageError):
+            disk.read_page(page.page_id)
+        assert disk.read_page(page.page_id) is page
+        assert plan.summary() == {"injected": 2, "consumed": 2, "outstanding": 0}
+
+    def test_write_faults_retryable(self):
+        disk, plan = make_disk(write_rate=1.0, max_burst=2)
+        page = disk.allocate_page()
+        with pytest.raises(TransientStorageError):
+            disk.write_page(page)
+        with pytest.raises(TransientStorageError):
+            disk.write_page(page)
+        disk.write_page(page)  # burst cap forces success
+        assert plan.consumed == 2
+
+    def test_attempt_counters(self):
+        disk, plan = make_disk()
+        page = disk.allocate_page()
+        plan.read_outages[page.page_id] = 1
+        with pytest.raises(TransientStorageError):
+            disk.read_page(page.page_id)
+        disk.read_page(page.page_id)
+        assert disk.failed_attempts == 1
+        assert disk.ok_reads == 1
+
+
+class TestPermanentLoss:
+    def test_lost_page_always_raises(self):
+        disk, _ = make_disk()
+        page = disk.allocate_page()
+        disk.lose_page(page.page_id)
+        for _ in range(3):
+            with pytest.raises(PermanentStorageError):
+                disk.read_page(page.page_id)
+        # Permanent losses are logged once and never consumed.
+        assert disk.plan.summary() == {
+            "injected": 1, "consumed": 0, "outstanding": 1,
+        }
+
+
+class TestTornWrites:
+    def test_torn_write_detected_once_then_repaired(self):
+        disk, plan = make_disk(torn_rate=1.0, max_burst=1)
+        page = disk.allocate_page()
+        page.insert("payload", 25)
+        disk.write_page(page)  # lands torn, no exception
+        assert page.page_id in disk.torn_pages
+        with pytest.raises(TornPageError):
+            disk.read_page(page.page_id)
+        # Repaired: the retry succeeds and the content is intact.
+        again = disk.read_page(page.page_id)
+        assert again.get(0) == "payload"
+        assert page.page_id not in disk.torn_pages
+        assert plan.outstanding == 0
+
+    def test_torn_page_error_is_transient(self):
+        assert issubclass(TornPageError, TransientStorageError)
+
+    def test_checksum_tracks_content(self):
+        disk, _ = make_disk()
+        page = disk.allocate_page()
+        before = page_checksum(page)
+        page.insert("x", 5)
+        assert page_checksum(page) != before

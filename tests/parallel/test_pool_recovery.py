@@ -1,0 +1,138 @@
+"""Worker pool failure recovery: crashed chunks re-run sequentially."""
+
+from repro.faults import FaultPlan
+from repro.parallel.join import partition_join
+from repro.parallel.partitioner import GridSpec, partition_pair
+from repro.parallel.pool import PoolReport, run_partitions
+from repro.predicates.theta import Overlaps
+from repro.storage.costs import CostMeter
+
+from tests.join.conftest import make_rect_relation
+
+
+def build_tasks(n=80):
+    rel_r = make_rect_relation("r", n, seed=11)
+    rel_s = make_rect_relation("s", n, seed=12)
+    entries = {}
+    for name, rel in (("r", rel_r), ("s", rel_s)):
+        out = []
+        for pid in rel.page_ids:
+            page = rel.buffer_pool.fetch(pid)
+            for slot, record in enumerate(page.slots):
+                if record is None:
+                    continue
+                geom = record["shape"]
+                from repro.storage.record import RecordId
+
+                out.append((RecordId(pid, slot), geom.mbr(), geom))
+        entries[name] = out
+    mbrs = [e[1] for e in entries["r"]] + [e[1] for e in entries["s"]]
+    from repro.geometry.rect import Rect
+
+    spec = GridSpec(Rect.union_of(mbrs), 4, 4)
+    return partition_pair(entries["r"], entries["s"], spec), spec
+
+
+class TestSequentialRecovery:
+    def test_injected_crash_recovered_in_sequential_mode(self):
+        tasks, spec = build_tasks()
+        clean_pairs, _, _ = run_partitions(tasks, spec, Overlaps(), workers=1)
+
+        plan = FaultPlan(seed=0, worker_crashes={0})
+        pairs, meter, report = run_partitions(
+            tasks, spec, Overlaps(), workers=1, fault_plan=plan
+        )
+        assert sorted(pairs) == sorted(clean_pairs)
+        assert report.retried_chunks == 1
+        assert report.recoveries[0].chunk == 0
+        assert "injected crash" in report.recoveries[0].cause
+        assert plan.summary() == {"injected": 1, "consumed": 1, "outstanding": 0}
+
+    def test_report_shape_on_clean_run(self):
+        tasks, spec = build_tasks()
+        pairs, meter, report = run_partitions(tasks, spec, Overlaps(), workers=1)
+        assert isinstance(report, PoolReport)
+        assert report.effective_workers == 1
+        assert report.degrade_reason is None
+        assert report.retried_chunks == 0
+        assert not report.degraded
+
+
+class TestParallelRecovery:
+    def test_crashed_chunk_reexecuted_with_identical_results(self):
+        tasks, spec = build_tasks()
+        clean_pairs, clean_meter, _ = run_partitions(
+            tasks, spec, Overlaps(), workers=1
+        )
+
+        plan = FaultPlan(seed=0, worker_crashes={0, 1})
+        pairs, meter, report = run_partitions(
+            tasks, spec, Overlaps(), workers=3, fault_plan=plan
+        )
+        assert sorted(pairs) == sorted(clean_pairs)
+        assert report.retried_chunks == 2
+        assert {r.chunk for r in report.recoveries} == {0, 1}
+        assert all(r.recovered for r in report.recoveries)
+        # The merged meter covers every tile exactly once: recovery does
+        # not double-count the crashed chunk's successful re-run.
+        assert meter.theta_filter_evals == clean_meter.theta_filter_evals
+
+    def test_all_chunks_crashing_still_completes(self):
+        tasks, spec = build_tasks()
+        clean_pairs, _, _ = run_partitions(tasks, spec, Overlaps(), workers=1)
+        plan = FaultPlan(seed=0, worker_crashes={0, 1, 2, 3})
+        pairs, _, report = run_partitions(
+            tasks, spec, Overlaps(), workers=4, fault_plan=plan
+        )
+        assert sorted(pairs) == sorted(clean_pairs)
+        assert report.retried_chunks == len(report.recoveries) >= 1
+
+
+class TestPartitionJoinIntegration:
+    def _relations(self):
+        import random
+
+        from repro.faults import FaultyDisk
+        from repro.geometry.rect import Rect
+        from repro.relational.relation import Relation
+        from repro.storage.buffer import BufferPool
+
+        from tests.join.conftest import RECT_SCHEMA
+
+        plan = FaultPlan(seed=5, worker_crashes={0})
+        disk = FaultyDisk(plan)
+        pool = BufferPool(disk, capacity=4000, meter=CostMeter())
+        rels = []
+        for name, seed in (("r", 21), ("s", 22)):
+            rel = Relation(name, RECT_SCHEMA, pool)
+            rng = random.Random(seed)
+            for i in range(100):
+                x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+                rel.insert(
+                    [i, Rect(x, y, x + rng.uniform(0, 8), y + rng.uniform(0, 8))]
+                )
+            rels.append(rel)
+        return rels[0], rels[1], plan
+
+    def test_stats_surface_recovery(self):
+        rel_r, rel_s, plan = self._relations()
+        meter = CostMeter()
+        res = partition_join(
+            rel_r, rel_s, "shape", "shape", Overlaps(),
+            workers=2, meter=meter, fault_plan=plan,
+        )
+        assert res.stats["chunk_retries"] == 1
+        assert any("chunk 0" in line for line in res.stats["recovered_chunks"])
+        # Same pair set as a clean single-worker run.
+        clean = partition_join(rel_r, rel_s, "shape", "shape", Overlaps())
+        assert res.pair_set() == clean.pair_set()
+
+    def test_stats_report_requested_and_effective_workers(self):
+        rel_r, rel_s, _ = self._relations()
+        res = partition_join(rel_r, rel_s, "shape", "shape", Overlaps(), workers=2)
+        assert res.stats["requested_workers"] == 2
+        assert res.stats["workers"] >= 1
+        assert res.stats["chunk_retries"] == 0
+        # Degrade, if it happened, must carry a reason.
+        if res.stats["workers"] == 1:
+            assert "degrade_reason" in res.stats

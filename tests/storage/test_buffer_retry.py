@@ -1,0 +1,115 @@
+"""BufferPool retry behavior under injected storage faults."""
+
+import pytest
+
+from repro.errors import BufferPoolError, PermanentStorageError, TransientStorageError
+from repro.faults import FaultPlan, FaultyDisk
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+
+
+def make_pool(capacity=8, max_retries=5, **plan_kwargs):
+    plan = FaultPlan(**{"seed": 0, **plan_kwargs})
+    disk = FaultyDisk(plan)
+    meter = CostMeter()
+    pool = BufferPool(disk, capacity, meter, max_retries=max_retries)
+    return pool, disk, plan, meter
+
+
+class TestReadRetries:
+    def test_transient_read_retried_and_charged_once(self):
+        pool, disk, plan, meter = make_pool()
+        page = pool.new_page()
+        pool.flush_all()
+        pool.clear()
+        plan.read_outages[page.page_id] = 3
+
+        fetched = pool.fetch(page.page_id)
+
+        assert fetched.page_id == page.page_id
+        # One successful read charged, three failed attempts as retries.
+        assert meter.page_reads == 1
+        assert meter.io_retries == 3
+        # Exponential virtual backoff: 1 + 2 + 4.
+        assert meter.backoff_steps == 7
+        assert plan.outstanding == 0
+
+    def test_retry_budget_exhaustion_reraises(self):
+        pool, disk, plan, meter = make_pool(max_retries=2)
+        page = pool.new_page()
+        pool.flush_all()
+        pool.clear()
+        plan.read_outages[page.page_id] = 10
+
+        with pytest.raises(TransientStorageError):
+            pool.fetch(page.page_id)
+        # The failed fetch charged nothing, only retries.
+        assert meter.page_reads == 0
+        assert meter.io_retries == 2
+
+    def test_permanent_fault_not_retried(self):
+        pool, disk, plan, meter = make_pool()
+        page = pool.new_page()
+        pool.flush_all()
+        pool.clear()
+        disk.lose_page(page.page_id)
+
+        with pytest.raises(PermanentStorageError):
+            pool.fetch(page.page_id)
+        assert meter.io_retries == 0  # no retry on permanent loss
+
+    def test_torn_write_survived_via_read_retry(self):
+        pool, disk, plan, meter = make_pool(torn_rate=1.0, max_burst=1)
+        page = pool.new_page()
+        page.insert("committed", 20)
+        pool.mark_dirty(page.page_id)
+        pool.flush_all()  # lands torn
+        pool.clear()
+
+        fetched = pool.fetch(page.page_id)
+        assert fetched.get(0) == "committed"
+        assert meter.io_retries == 1  # the torn read, retried once
+        assert meter.page_reads == 1
+
+
+class TestWriteRetries:
+    def test_flush_retries_transient_write_failures(self):
+        pool, disk, plan, meter = make_pool(write_rate=1.0, max_burst=3)
+        page = pool.new_page()
+        page.insert("v", 5)
+        pool.mark_dirty(page.page_id)
+        pool.flush_all()
+
+        assert meter.page_writes == 1
+        assert meter.io_retries == 3  # burst-capped failures before success
+        assert plan.outstanding == 0
+
+    def test_eviction_write_back_retries(self):
+        pool, disk, plan, meter = make_pool(capacity=1, write_rate=1.0, max_burst=2)
+        first = pool.new_page()
+        first.insert("a", 5)
+        pool.mark_dirty(first.page_id)
+        pool.new_page()  # evicts `first`, write-back must retry through
+
+        assert meter.page_writes == 1
+        assert meter.io_retries == 2
+        # The content actually reached the disk.
+        plan.enabled = False
+        assert disk.read_page(first.page_id).get(0) == "a"
+
+
+class TestConfiguration:
+    def test_negative_max_retries_rejected(self):
+        pool, disk, plan, meter = make_pool()
+        with pytest.raises(BufferPoolError):
+            BufferPool(disk, 4, max_retries=-1)
+
+    def test_zero_retries_means_first_failure_escapes(self):
+        pool, disk, plan, meter = make_pool(max_retries=0)
+        page = pool.new_page()
+        pool.flush_all()
+        pool.clear()
+        plan.read_outages[page.page_id] = 1
+        with pytest.raises(TransientStorageError):
+            pool.fetch(page.page_id)
+        assert meter.io_retries == 0

@@ -48,7 +48,7 @@ class TestMeter:
         assert set(snap) == {
             "page_reads", "page_writes", "buffer_hits",
             "theta_filter_evals", "theta_exact_evals",
-            "update_computations", "total",
+            "update_computations", "io_retries", "backoff_steps", "total",
         }
 
 

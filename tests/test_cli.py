@@ -43,3 +43,19 @@ class TestCommands:
         assert main(["demo", "--size", "60"]) == 0
         out = capsys.readouterr().out
         assert "strategy" in out and "join-index" in out
+        assert "fault injection" not in out
+
+    def test_demo_with_fault_injection(self, capsys):
+        assert main([
+            "demo", "--size", "60", "--fault-seed", "7", "--fault-rate", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault injection: seed=7 rate=0.05" in out
+        assert "injected" in out and "consumed" in out
+        assert "retries=" in out and "fallbacks=" in out
+
+    def test_demo_fault_seed_alone_enables_injection(self, capsys):
+        assert main(["demo", "--size", "40", "--fault-seed", "3"]) == 0
+        out = capsys.readouterr().out
+        # Rate 0: injection plumbing active, nothing actually injected.
+        assert "0 injected" in out

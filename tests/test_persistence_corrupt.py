@@ -1,0 +1,110 @@
+"""Corrupt snapshots must raise PersistenceError -- never a raw
+KeyError/TypeError that strands the caller without context."""
+
+import json
+
+import pytest
+
+from repro.persistence import (
+    PersistenceError,
+    geometry_from_dict,
+    load_snapshot,
+    relation_from_dict,
+    relation_to_dict,
+    save_snapshot,
+)
+
+from tests.join.conftest import make_rect_relation
+
+
+class TestCorruptGeometry:
+    def test_unknown_geometry_type(self):
+        with pytest.raises(PersistenceError, match="unknown geometry type"):
+            geometry_from_dict({"type": "hexagon", "vertices": []})
+
+    def test_missing_field_names_type_and_field(self):
+        with pytest.raises(PersistenceError) as excinfo:
+            geometry_from_dict({"type": "point", "x": 1.0})  # no "y"
+        msg = str(excinfo.value)
+        assert "point" in msg and "y" in msg
+        assert excinfo.value.__cause__ is not None  # context preserved
+
+    def test_missing_rect_field(self):
+        with pytest.raises(PersistenceError, match="rect"):
+            geometry_from_dict({"type": "rect", "xmin": 0, "ymin": 0, "xmax": 1})
+
+    def test_wrong_arity_coordinates(self):
+        with pytest.raises(PersistenceError, match="polygon"):
+            geometry_from_dict(
+                {"type": "polygon", "vertices": [[0, 0], [1], [2, 2]]}
+            )
+
+    def test_wrong_arity_polyline(self):
+        with pytest.raises(PersistenceError, match="polyline"):
+            geometry_from_dict(
+                {"type": "polyline", "vertices": [[0, 0, 0], [1, 1, 1]]}
+            )
+
+    def test_non_dict_input(self):
+        with pytest.raises(PersistenceError):
+            geometry_from_dict(["point", 1, 2])
+
+
+class TestCorruptRelation:
+    def _payload(self):
+        return relation_to_dict(make_rect_relation("objects", 12, seed=80))
+
+    def test_schema_row_mismatch(self):
+        data = self._payload()
+        data["rows"][3] = data["rows"][3][:1]  # drop a column value
+        with pytest.raises(PersistenceError, match="row 3"):
+            relation_from_dict(data)
+
+    def test_extra_row_values_rejected(self):
+        data = self._payload()
+        data["rows"][0] = data["rows"][0] + [42]
+        with pytest.raises(PersistenceError, match="row 0"):
+            relation_from_dict(data)
+
+    def test_unknown_geometry_in_row(self):
+        data = self._payload()
+        data["rows"][2][1] = {"type": "blob"}
+        with pytest.raises(PersistenceError):
+            relation_from_dict(data)
+
+    def test_missing_columns_key(self):
+        with pytest.raises(PersistenceError):
+            relation_from_dict({"name": "x", "rows": []})
+
+
+class TestCorruptSnapshotFiles:
+    def test_truncated_json(self, tmp_path):
+        rel = make_rect_relation("objects", 10, seed=81)
+        path = tmp_path / "snap.json"
+        save_snapshot(path, {"objects": rel})
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # truncate mid-stream
+        with pytest.raises(PersistenceError, match="cannot read snapshot"):
+            load_snapshot(path)
+
+    def test_snapshot_with_corrupt_geometry(self, tmp_path):
+        rel = make_rect_relation("objects", 10, seed=82)
+        path = tmp_path / "snap.json"
+        save_snapshot(path, {"objects": rel})
+        payload = json.loads(path.read_text())
+        payload["relations"]["objects"]["rows"][0][1] = {
+            "type": "rect", "xmin": 0.0,
+        }
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PersistenceError):
+            load_snapshot(path)
+
+    def test_snapshot_with_short_row(self, tmp_path):
+        rel = make_rect_relation("objects", 10, seed=83)
+        path = tmp_path / "snap.json"
+        save_snapshot(path, {"objects": rel})
+        payload = json.loads(path.read_text())
+        payload["relations"]["objects"]["rows"][5] = [1]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PersistenceError, match="row 5"):
+            load_snapshot(path)
