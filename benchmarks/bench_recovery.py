@@ -1,0 +1,106 @@
+"""Crash recovery: wall-clock and replay work versus log length.
+
+Two questions, answered on a durable insert/delete workload:
+
+1. *Scaling* -- how recovery time and the number of replayed records
+   grow with the length of the un-checkpointed log tail.  Replay work
+   must be monotone in log length (that is the point of measuring it).
+2. *Checkpoints* -- how a checkpoint cadence bounds that work: the same
+   workload with periodic checkpoints must replay strictly fewer
+   records than the checkpoint-free run, recovering to the identical
+   state.
+
+``BENCH_RECOVERY_OPS`` overrides the operation count (the smoke suite
+sets it tiny; the full run defaults to 2,000 operations).
+"""
+
+import os
+import time
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, ColumnType, Schema
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+from repro.wal import Checkpointer, WriteAheadLog, recover
+
+OPS = int(os.environ.get("BENCH_RECOVERY_OPS", "2000"))
+SCHEMA = Schema([Column("oid", ColumnType.INT), Column("tag", ColumnType.STR)])
+
+
+def durable_workload(ops, checkpoint_every=None):
+    """Run ``ops`` logged mutations; returns (disk, expected live oids)."""
+    meter = CostMeter()
+    disk = SimulatedDisk()
+    pool = BufferPool(disk, 512, meter)
+    wal = WriteAheadLog(disk, meter)
+    pool.wal = wal
+    rel = Relation("objects", SCHEMA, pool, wal=wal)
+    checkpointer = (
+        Checkpointer(wal, [rel], every_ops=checkpoint_every)
+        if checkpoint_every
+        else None
+    )
+    tids, live = {}, set()
+    for i in range(ops):
+        tids[i] = rel.insert([i, f"tag{i % 17}"]).tid
+        live.add(i)
+        if i % 5 == 4:  # every fifth op also deletes an older row
+            victim = min(live)
+            rel.delete(tids[victim])
+            live.discard(victim)
+        if checkpointer is not None:
+            checkpointer.maybe_checkpoint()
+    pool.flush_all()
+    return disk, live
+
+
+def timed_recover(disk):
+    start = time.perf_counter()
+    relations, report = recover(disk)
+    return relations, report, time.perf_counter() - start
+
+
+def test_recovery_time_vs_log_length(benchmark):
+    rows = []
+    sweep = sorted({max(1, OPS // 4), max(1, OPS // 2), OPS})
+    for ops in sweep:
+        disk, live = durable_workload(ops)
+        relations, report, elapsed = timed_recover(disk)
+        got = {t["oid"] for t in relations["objects"].scan()}
+        assert got == live
+        rows.append((ops, report.last_lsn, report.records_replayed, elapsed))
+
+    disk, _ = durable_workload(OPS)
+    benchmark.pedantic(timed_recover, args=(disk,), rounds=1, iterations=1)
+
+    print(f"\n{'ops':>8}{'log LSNs':>10}{'replayed':>10}{'seconds':>10}")
+    for ops, lsns, replayed, elapsed in rows:
+        print(f"{ops:>8}{lsns:>10}{replayed:>10}{elapsed:>10.4f}")
+
+    # Without checkpoints, replay work is monotone in log length.
+    replayed = [r[2] for r in rows]
+    assert replayed == sorted(replayed)
+    assert replayed[-1] > replayed[0] or len(set(sweep)) == 1
+
+
+def test_checkpoint_bounds_recovery(benchmark):
+    cadence = max(2, OPS // 8)
+    disk_plain, live_plain = durable_workload(OPS)
+    disk_cp, live_cp = durable_workload(OPS, checkpoint_every=cadence)
+    assert live_plain == live_cp
+
+    _, report_plain, t_plain = timed_recover(disk_plain)
+    (relations, report_cp, t_cp) = benchmark.pedantic(
+        timed_recover, args=(disk_cp,), rounds=1, iterations=1
+    )
+
+    got = {t["oid"] for t in relations["objects"].scan()}
+    assert got == live_cp
+    print(
+        f"\nno checkpoint: {report_plain.records_replayed} replayed "
+        f"in {t_plain:.4f}s; cadence {cadence}: "
+        f"{report_cp.records_replayed} replayed in {t_cp:.4f}s"
+    )
+    # A checkpoint fuses the log prefix: strictly less replay work.
+    assert report_cp.records_replayed < report_plain.records_replayed

@@ -67,7 +67,9 @@ from repro.join import (
 )
 from repro.core import ExecutionReport, SpatialQueryExecutor, StrategyComparison
 from repro.costmodel import PAPER_PARAMETERS, ModelParameters
+from repro.errors import CrashError, WALError
 from repro.faults import FaultPlan, FaultyDisk
+from repro.wal import Checkpointer, RecoveryReport, WriteAheadLog, recover
 
 __version__ = "1.0.0"
 
@@ -114,6 +116,12 @@ __all__ = [
     "ExecutionReport",
     "FaultPlan",
     "FaultyDisk",
+    "CrashError",
+    "WALError",
+    "WriteAheadLog",
+    "Checkpointer",
+    "RecoveryReport",
+    "recover",
     "ModelParameters",
     "PAPER_PARAMETERS",
     "__version__",

@@ -8,6 +8,7 @@ examined on average.
 
 from __future__ import annotations
 
+from repro.errors import CostModelError
 from repro.costmodel.parameters import ModelParameters
 from repro.costmodel.yao import yao
 
@@ -45,6 +46,40 @@ def u_tree_clustered(params: ModelParameters) -> float:
     k = params.k
     per_level = (k / 2.0) * params.c_update + (k / (2.0 * params.m)) * params.c_io
     return per_level * expected_insert_height(params)
+
+
+def durability_surcharge(
+    params: ModelParameters,
+    *,
+    policy: str = "always",
+    checkpoint_every: int = 64,
+) -> float:
+    """Extra expected I/O cost per insert under write-ahead logging.
+
+    Durability adds two terms on top of *any* update strategy (U_I..U_III
+    alike -- the log does not care how indices are maintained):
+
+    * the **log write**: under ``policy="always"`` every insert flushes
+      the tail log page (one ``C_IO``); under ``policy="group"`` frames
+      accumulate and the flush is amortized over the
+      ``floor(s / LOG_RECORD_SIZE)`` frames a log page holds;
+    * the **checkpoint share**: every ``checkpoint_every`` inserts the
+      log is fused into a snapshot of ``ceil(N/m)`` relation pages, so
+      each insert carries ``relation_pages / checkpoint_every`` page
+      writes.
+    """
+    from repro.wal.log import LOG_RECORD_SIZE  # storage-layer constant
+
+    if policy not in ("always", "group"):
+        raise CostModelError(f"unknown WAL sync policy {policy!r}")
+    if checkpoint_every < 1:
+        raise CostModelError(
+            f"checkpoint_every must be positive, got {checkpoint_every}"
+        )
+    frames_per_page = max(1, params.s // LOG_RECORD_SIZE)
+    log_term = params.c_io if policy == "always" else params.c_io / frames_per_page
+    checkpoint_term = params.relation_pages / checkpoint_every * params.c_io
+    return log_term + checkpoint_term
 
 
 def u_join_index(params: ModelParameters, t_relations: int | None = None) -> float:

@@ -50,6 +50,26 @@ class TornPageError(TransientStorageError):
     """
 
 
+class CrashError(StorageError):
+    """The simulated device crashed: its durable image is frozen.
+
+    Raised by a :class:`~repro.faults.disk.FaultyDisk` once a scheduled
+    crash point is reached, and for every access afterwards.  It is *not*
+    transient -- no retry can talk to a crashed disk.  The only way
+    forward is :func:`repro.wal.recover` over the frozen image.
+    """
+
+
+class WALError(StorageError):
+    """Write-ahead-log protocol violation.
+
+    Most importantly: an attempt to flush a dirty data page whose log
+    record has not yet reached the disk (the WAL rule), or malformed log
+    state encountered outside recovery (recovery itself degrades
+    gracefully -- a torn tail is truncated, not raised).
+    """
+
+
 class WorkerError(ReproError):
     """A parallel worker chunk crashed or timed out.
 

@@ -25,12 +25,23 @@ the meter's no-double-charge invariant directly against ground truth.
 
 from __future__ import annotations
 
+import copy
 import zlib
 
-from repro.errors import PermanentStorageError, TornPageError, TransientStorageError
+from repro.errors import (
+    CrashError,
+    PermanentStorageError,
+    TornPageError,
+    TransientStorageError,
+)
 from repro.faults.plan import FaultKind, FaultPlan
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import PAGE_SIZE, Page
+
+#: Sentinel that replaces the last slot of a page whose in-flight write
+#: landed torn at the crash point.  Deliberately *not* a valid WAL frame
+#: (no dict shape, no CRC): recovery must detect it as garbage.
+TORN_SLOT = "<torn write: partial frame>"
 
 
 def page_checksum(page: Page) -> int:
@@ -54,17 +65,34 @@ class FaultyDisk(SimulatedDisk):
         self.ok_reads = 0
         self.ok_writes = 0
         self.failed_attempts = 0
+        #: Successful physical writes so far -- the clock ``crash_at_write``
+        #: is scheduled against.
+        self.physical_writes = 0
+        self.crashed = False
+        # Durable shadow copies, maintained only while a crash is
+        # scheduled: a page's shadow reflects exactly what has been
+        # physically *written* (plus empty images for allocations), never
+        # in-buffer mutations that were not flushed.  Pages in this
+        # simulation are shared in-memory objects, so without the shadow a
+        # crash image could not distinguish flushed from unflushed state.
+        self._durable: dict[int, Page] = {}
 
     # ------------------------------------------------------------------
     # SimulatedDisk protocol
     # ------------------------------------------------------------------
 
     def allocate_page(self) -> Page:
+        self._check_crashed()
         page = super().allocate_page()
         self._checksums[page.page_id] = page_checksum(page)
+        if self._tracking_durability():
+            # Allocation is a (durable) metadata operation; the page's
+            # durable image starts empty until it is physically written.
+            self._durable[page.page_id] = copy.deepcopy(page)
         return page
 
     def read_page(self, page_id: int) -> Page:
+        self._check_crashed()
         if self.plan.is_lost(page_id):
             self.failed_attempts += 1
             raise PermanentStorageError(f"page {page_id} is permanently lost")
@@ -89,6 +117,9 @@ class FaultyDisk(SimulatedDisk):
         return page
 
     def write_page(self, page: Page) -> None:
+        self._check_crashed()
+        if self.plan.should_crash_at(self.physical_writes):
+            self._trigger_crash(page)
         ev = self.plan.draw_write_fault(page.page_id)
         if ev is not None and ev.kind is FaultKind.TRANSIENT_WRITE:
             self.failed_attempts += 1
@@ -101,12 +132,73 @@ class FaultyDisk(SimulatedDisk):
             # attempt), but the recorded checksum is off by construction
             # -- the next read trips over it.
             self.ok_writes += 1
+            self._note_physical_write(page)
             self._torn.add(page.page_id)
             self._checksums[page.page_id] = page_checksum(page) ^ 0xDEADBEEF
             return
         self._checksums[page.page_id] = page_checksum(page)
         self.ok_writes += 1
+        self._note_physical_write(page)
         self.plan.note_success("write", page.page_id)
+
+    # ------------------------------------------------------------------
+    # Crash machinery
+    # ------------------------------------------------------------------
+
+    def _tracking_durability(self) -> bool:
+        return self.plan.crash_at_write is not None
+
+    def _check_crashed(self) -> None:
+        if self.crashed:
+            raise CrashError(
+                f"disk crashed at physical write {self.plan.crash_at_write}; "
+                "no further access is possible -- recover from crash_image()"
+            )
+
+    def _note_physical_write(self, page: Page) -> None:
+        """A write reached the platter: advance the clock, update shadows."""
+        self.physical_writes += 1
+        if self._tracking_durability():
+            self._durable[page.page_id] = copy.deepcopy(page)
+
+    def _trigger_crash(self, in_flight: Page) -> None:
+        """Freeze the durable image and die.
+
+        The in-flight write does not land -- unless ``crash_torn_tail`` is
+        set, in which case a *mangled* copy lands: its last slot is
+        replaced with garbage, modelling a frame that was only partially
+        persisted.  Recovery must detect it via the frame CRC.
+        """
+        self.crashed = True
+        self.plan.note_crash(self.physical_writes)
+        if self.plan.crash_torn_tail:
+            torn = copy.deepcopy(in_flight)
+            if torn.slots:
+                torn.slots[-1] = TORN_SLOT
+            self._durable[in_flight.page_id] = torn
+        self.failed_attempts += 1
+        raise CrashError(
+            f"disk crashed at physical write {self.physical_writes}"
+            + (" (in-flight write landed torn)" if self.plan.crash_torn_tail else "")
+        )
+
+    def crash_image(self) -> SimulatedDisk:
+        """The frozen durable image as a plain, healthy ``SimulatedDisk``.
+
+        Only callable after the scheduled crash fired.  The image contains
+        every allocated page in its last physically-written state --
+        in-buffer mutations that were never flushed are absent, exactly as
+        they would be after a real power cut.
+        """
+        if not self.crashed:
+            raise CrashError("crash_image() requires a crashed disk")
+        image = SimulatedDisk(self.page_size)
+        for page_id in range(len(self._pages)):
+            shadow = self._durable.get(page_id)
+            if shadow is None:  # pragma: no cover - shadows track allocations
+                shadow = Page(page_id=page_id, capacity=self.page_size)
+            image._pages.append(copy.deepcopy(shadow))
+        return image
 
     # ------------------------------------------------------------------
     # Test / report helpers

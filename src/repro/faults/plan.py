@@ -36,6 +36,7 @@ class FaultKind(str, Enum):
     TORN_WRITE = "torn-write"
     PERMANENT_READ = "permanent-read"
     WORKER_CRASH = "worker-crash"
+    CRASH = "crash"
 
 
 @dataclass(slots=True)
@@ -50,7 +51,12 @@ class FaultEvent:
 
     def describe(self) -> str:
         state = "consumed" if self.consumed else "outstanding"
-        noun = "chunk" if self.kind is FaultKind.WORKER_CRASH else "page"
+        if self.kind is FaultKind.WORKER_CRASH:
+            noun = "chunk"
+        elif self.kind is FaultKind.CRASH:
+            noun = "physical write"
+        else:
+            noun = "page"
         return f"{self.kind.value} on {noun} {self.target} ({state})"
 
 
@@ -63,7 +69,10 @@ class FaultPlan:
     unreadable.  ``read_outages`` maps a page id to an exact count of
     forced transient read failures (consumed first, before any random
     draw).  ``worker_crashes`` names parallel chunk indices whose worker
-    dies on first execution.
+    dies on first execution.  ``crash_at_write`` schedules a whole-process
+    crash at an exact physical-write index (``crash_torn_tail`` lands the
+    in-flight write torn), freezing the disk's durable image for
+    crash-recovery testing.
 
     ``enabled`` gates all injection; flip it off to verify state without
     interference (tests do this after a faulted workload).
@@ -80,6 +89,8 @@ class FaultPlan:
         read_outages: dict[int, int] | None = None,
         worker_crashes: frozenset[int] | set[int] = frozenset(),
         max_burst: int = 3,
+        crash_at_write: int | None = None,
+        crash_torn_tail: bool = False,
     ) -> None:
         for name, rate in (("read_rate", read_rate), ("write_rate", write_rate),
                            ("torn_rate", torn_rate)):
@@ -87,6 +98,8 @@ class FaultPlan:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
         if max_burst < 1:
             raise ValueError(f"max_burst must be positive, got {max_burst}")
+        if crash_at_write is not None and crash_at_write < 0:
+            raise ValueError(f"crash_at_write must be >= 0, got {crash_at_write}")
         self.seed = seed
         self.read_rate = read_rate
         self.write_rate = write_rate
@@ -95,6 +108,14 @@ class FaultPlan:
         self.read_outages = dict(read_outages or {})
         self.worker_crashes = set(worker_crashes)
         self.max_burst = max_burst
+        #: Physical-write index (successful writes so far) at which the
+        #: disk crashes: the scheduled write does not complete and the
+        #: durable image freezes.  ``None`` disables crash scheduling.
+        self.crash_at_write = crash_at_write
+        #: With ``crash_torn_tail=True`` the in-flight write lands *torn*
+        #: in the frozen image (its last frame is garbage) instead of not
+        #: landing at all -- the classic torn log tail.
+        self.crash_torn_tail = crash_torn_tail
         self.enabled = True
         self.events: list[FaultEvent] = []
         self._rng = random.Random(seed)
@@ -143,6 +164,15 @@ class FaultPlan:
             return ev
         return self._draw("torn", page_id, self.torn_rate, FaultKind.TORN_WRITE)
 
+    def should_crash_at(self, write_index: int) -> bool:
+        """Pure decision: does the disk crash *instead of* completing the
+        physical write with this index (successful writes so far)?"""
+        return (
+            self.enabled
+            and self.crash_at_write is not None
+            and write_index == self.crash_at_write
+        )
+
     def should_crash_chunk(self, chunk_index: int) -> bool:
         """Pure decision: does this parallel chunk's worker die?
 
@@ -170,6 +200,20 @@ class FaultPlan:
         ev = self._log(FaultKind.WORKER_CRASH, chunk_index, pending=False)
         ev.consumed = recovered
         return ev
+
+    def note_crash(self, write_index: int) -> FaultEvent:
+        """Log the disk crash itself (once, by the disk that froze).
+
+        The event starts outstanding; :meth:`mark_crash_recovered` flips
+        it to consumed once :func:`repro.wal.recover` replays the image.
+        """
+        return self._log(FaultKind.CRASH, write_index, pending=False)
+
+    def mark_crash_recovered(self) -> None:
+        """Recovery replayed the frozen image: consume the crash event."""
+        for ev in self.events:
+            if ev.kind is FaultKind.CRASH:
+                ev.consumed = True
 
     # ------------------------------------------------------------------
     # Bookkeeping

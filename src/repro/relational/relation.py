@@ -38,6 +38,8 @@ class Relation:
         buffer_pool: BufferPool,
         record_size: int = DEFAULT_TUPLE_SIZE,
         utilization: float = 0.75,
+        *,
+        wal: Any = None,
     ) -> None:
         if not name:
             raise RelationError("relation name must be non-empty")
@@ -50,6 +52,15 @@ class Relation:
         self._indices: dict[str, Any] = {}
         self._clustered = False
         self._mod_count = 0
+        #: Optional write-ahead log (duck-typed so this module never
+        #: imports :mod:`repro.wal`).  When set, every mutation appends a
+        #: log record and stamps the touched pages with its LSN; the
+        #: buffer pool then enforces the WAL rule against those stamps.
+        self.wal = wal
+        if wal is not None:
+            wal.register_relation(self)
+            if getattr(buffer_pool, "wal", None) is None:
+                buffer_pool.wal = wal
 
     # ------------------------------------------------------------------
     # Mutation
@@ -62,6 +73,9 @@ class Relation:
         """
         t = RelTuple(self.schema, values)
         t.tid = self._file.append(t)
+        if self.wal is not None:
+            lsn = self.wal.log_insert(self.name, t.tid, self.schema, t.values)
+            self._stamp(lsn, t.tid.page_id)
         for column, index in self._indices.items():
             index.insert(t[column], t.tid)
         self._mod_count += 1
@@ -75,6 +89,9 @@ class Relation:
         """Remove a tuple by id; index entries are removed as well."""
         t = self.get(tid)
         self._file.delete(tid)
+        if self.wal is not None:
+            lsn = self.wal.log_delete(self.name, tid)
+            self._stamp(lsn, tid.page_id)
         for column, index in self._indices.items():
             remove = getattr(index, "delete", None) or getattr(index, "remove", None)
             if remove is not None:
@@ -132,6 +149,10 @@ class Relation:
             for t in self.scan():
                 index.insert(t[column], t.tid)
         self._indices[column] = index
+        if self.wal is not None:
+            # The index content is derivable (recovery backfills from the
+            # rebuilt relation); only the *fact* of the index is logged.
+            self.wal.log_attach_index(self.name, column, type(index).__name__)
 
     def index_on(self, column: str) -> Any:
         """The secondary index on ``column``; raises if none is attached."""
@@ -165,6 +186,13 @@ class Relation:
         ordered_tuples = [old_tuples[rid] for rid in order]
         new_rids = new_file.bulk_load(ordered_tuples)
         rid_map = dict(zip(order, new_rids))
+        if self.wal is not None:
+            # One atomic commit record, logged after the new file is fully
+            # built but before the swap: a crash earlier leaves orphan
+            # pages and the old file intact (the recluster never
+            # happened); from here on recovery replays it wholesale.
+            lsn = self.wal.log_recluster(self.name, list(order), list(new_rids))
+            self._stamp(lsn, *new_file.page_ids)
         for t, new_rid in zip(ordered_tuples, new_rids):
             t.tid = new_rid
         self._file = new_file
@@ -191,12 +219,24 @@ class Relation:
         capacity = memory_pages if memory_pages is not None else self.buffer_pool.capacity
         new_meter = meter if meter is not None else CostMeter()
         new_pool = BufferPool(self.buffer_pool.disk, capacity, new_meter)
+        new_pool.wal = getattr(self.buffer_pool, "wal", None)
         self.buffer_pool = new_pool
         self._file.buffer_pool = new_pool
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def _stamp(self, lsn: int, *page_ids: int) -> None:
+        """Stamp resident pages with the LSN of the record covering them.
+
+        The stamp is what the buffer pool's WAL rule checks: the page may
+        not be physically written until the log is durable past ``lsn``.
+        """
+        for page_id in page_ids:
+            page = self.buffer_pool.peek(page_id)
+            if page is not None:
+                page.page_lsn = lsn
 
     @property
     def is_clustered(self) -> bool:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.errors import BufferPoolError, TransientStorageError
+from repro.errors import BufferPoolError, TransientStorageError, WALError
 from repro.storage.costs import CostMeter
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page
@@ -64,6 +64,11 @@ class BufferPool:
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
         self._pin_counts: dict[int, int] = {}
         self._dirty: set[int] = set()
+        #: When a :class:`~repro.wal.log.WriteAheadLog` is attached, the
+        #: pool enforces the WAL rule: a dirty page whose ``page_lsn``
+        #: exceeds the log's ``durable_lsn`` must not be physically
+        #: written -- its log record has not reached the disk yet.
+        self.wal = None
 
     # ------------------------------------------------------------------
     # Core protocol
@@ -124,6 +129,7 @@ class BufferPool:
         for page_id in sorted(self._dirty):
             page = self._frames.get(page_id)
             if page is not None:
+                self._check_wal_rule(page)
                 self._write_with_retry(page)
                 self.meter.record_write()
             self._dirty.discard(page_id)
@@ -146,6 +152,15 @@ class BufferPool:
     def is_resident(self, page_id: int) -> bool:
         """True if the page currently occupies a frame (no cost)."""
         return page_id in self._frames
+
+    def peek(self, page_id: int) -> Page | None:
+        """The resident page, with no charge and no LRU effect.
+
+        Used for LSN stamping after a logged mutation: the page was just
+        touched through :meth:`fetch`/:meth:`new_page`, so peeking is
+        bookkeeping on an already-charged access, not hidden I/O.
+        """
+        return self._frames.get(page_id)
 
     @property
     def resident_count(self) -> int:
@@ -175,9 +190,26 @@ class BufferPool:
             raise BufferPoolError("all buffer frames are pinned; cannot evict")
         page = self._frames.pop(victim_id)
         if victim_id in self._dirty:
+            self._check_wal_rule(page)
             self._write_with_retry(page)
             self.meter.record_write()
             self._dirty.discard(victim_id)
+
+    def _check_wal_rule(self, page: Page) -> None:
+        """Refuse to write a page ahead of its log record.
+
+        This is the write-ahead invariant itself, checked -- not assumed
+        -- at every physical write-back path.  Under ``sync="always"``
+        log records are durable before the page is stamped, so this
+        never fires; under group commit it surfaces a missing
+        ``wal.sync()`` deterministically instead of by ordering luck.
+        """
+        if self.wal is not None and page.page_lsn > self.wal.durable_lsn:
+            raise WALError(
+                f"WAL rule violation: page {page.page_id} carries LSN "
+                f"{page.page_lsn} but the log is only durable up to "
+                f"{self.wal.durable_lsn}; sync the log before flushing"
+            )
 
     def _read_with_retry(self, page_id: int) -> Page:
         backoff = 1

@@ -55,6 +55,8 @@ class CostMeter:
     update_computations: int = 0
     io_retries: int = 0
     backoff_steps: int = 0
+    log_writes: int = 0
+    checkpoint_pages: int = 0
     charges: CostCharges = field(default_factory=CostCharges)
 
     @property
@@ -66,6 +68,16 @@ class CostMeter:
     def predicate_evaluations(self) -> int:
         """All predicate computations, filter and refinement combined."""
         return self.theta_filter_evals + self.theta_exact_evals
+
+    @property
+    def durability_ios(self) -> int:
+        """Physical I/Os spent purely on crash safety (WAL + checkpoints).
+
+        Kept separate from ``page_reads``/``page_writes`` so non-durable
+        baseline numbers are untouched by the durability layer; they are
+        still priced at ``C_IO`` in :meth:`total`.
+        """
+        return self.log_writes + self.checkpoint_pages
 
     def record_read(self, pages: int = 1) -> None:
         self.page_reads += pages
@@ -97,6 +109,14 @@ class CostMeter:
         self.io_retries += 1
         self.backoff_steps += backoff
 
+    def record_log_write(self, pages: int = 1) -> None:
+        """One physical write of a WAL log/anchor page (write-through)."""
+        self.log_writes += pages
+
+    def record_checkpoint_page(self, pages: int = 1) -> None:
+        """One physical write of a checkpoint snapshot page."""
+        self.checkpoint_pages += pages
+
     def absorb(self, other: "CostMeter") -> None:
         """Add another meter's counters into this one (charges are kept).
 
@@ -111,6 +131,8 @@ class CostMeter:
         self.update_computations += other.update_computations
         self.io_retries += other.io_retries
         self.backoff_steps += other.backoff_steps
+        self.log_writes += other.log_writes
+        self.checkpoint_pages += other.checkpoint_pages
 
     @classmethod
     def merge(cls, meters: "Iterable[CostMeter]") -> "CostMeter":
@@ -132,11 +154,14 @@ class CostMeter:
 
         ``predicate_evaluations * C_Theta + io_operations * C_IO +
         update_computations * C_U`` -- directly comparable to the formulas
-        of Sections 4.2-4.4.
+        of Sections 4.2-4.4.  Durability I/Os (WAL + checkpoint writes)
+        are priced at ``C_IO`` on top: a non-durable run has zero of them,
+        so baseline totals are unchanged, while durable runs show the
+        crash-safety surcharge explicitly.
         """
         return (
             self.predicate_evaluations * self.charges.c_theta
-            + self.io_operations * self.charges.c_io
+            + (self.io_operations + self.durability_ios) * self.charges.c_io
             + self.update_computations * self.charges.c_update
         )
 
@@ -150,6 +175,8 @@ class CostMeter:
         self.update_computations = 0
         self.io_retries = 0
         self.backoff_steps = 0
+        self.log_writes = 0
+        self.checkpoint_pages = 0
 
     def snapshot(self) -> dict[str, float]:
         """Plain-dict view for reports and benchmark output."""
@@ -162,5 +189,7 @@ class CostMeter:
             "update_computations": self.update_computations,
             "io_retries": self.io_retries,
             "backoff_steps": self.backoff_steps,
+            "log_writes": self.log_writes,
+            "checkpoint_pages": self.checkpoint_pages,
             "total": self.total(),
         }

@@ -47,25 +47,36 @@ class HeapFile:
         self._page_ids: list[int] = []
         self._page_id_set: set[int] = set()
         self._record_count = 0
+        # Live records on the tail page -- a cached mirror of its
+        # record_count().  Appending consults this instead of fetching
+        # the tail just to discover it is full: a full-page append must
+        # cost zero extra page reads.
+        self._tail_live = 0
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
 
     def append(self, record: Any) -> RecordId:
-        """Store a record, allocating a new page when the current is full."""
-        if self._page_ids:
+        """Store a record, allocating a new page when the current is full.
+
+        The tail page is fetched only when it actually has room: its fill
+        count is cached, so appends that must open a fresh page do not
+        pay a probe read of the (full) tail first.
+        """
+        if self._page_ids and self._tail_live < self.records_per_page:
             last = self.buffer_pool.fetch(self._page_ids[-1])
-            if last.record_count() < self.records_per_page:
-                slot = last.insert(record, self.record_size)
-                self.buffer_pool.mark_dirty(last.page_id)
-                self._record_count += 1
-                return RecordId(last.page_id, slot)
+            slot = last.insert(record, self.record_size)
+            self.buffer_pool.mark_dirty(last.page_id)
+            self._record_count += 1
+            self._tail_live += 1
+            return RecordId(last.page_id, slot)
         page = self.buffer_pool.new_page()
         self._page_ids.append(page.page_id)
         self._page_id_set.add(page.page_id)
         slot = page.insert(record, self.record_size)
         self._record_count += 1
+        self._tail_live = 1
         return RecordId(page.page_id, slot)
 
     def append_all(self, records: Any) -> list[RecordId]:
@@ -79,6 +90,8 @@ class HeapFile:
         page.delete(rid.slot)
         self.buffer_pool.mark_dirty(rid.page_id)
         self._record_count -= 1
+        if self._page_ids and rid.page_id == self._page_ids[-1]:
+            self._tail_live -= 1
 
     # ------------------------------------------------------------------
     # Access
@@ -91,10 +104,21 @@ class HeapFile:
         return page.get(rid.slot)
 
     def get_many(self, rids: list[RecordId]) -> list[Any]:
-        """Fetch records for sorted-or-not RIDs; sorts to batch page hits."""
+        """Fetch records for sorted-or-not RIDs, one fetch per distinct page.
+
+        RIDs are grouped by page first, so each page goes through the
+        buffer pool exactly once regardless of how many records it
+        contributes or how the ids are ordered.
+        """
+        by_page: dict[int, list[RecordId]] = {}
+        for rid in set(rids):
+            self._check_rid(rid)
+            by_page.setdefault(rid.page_id, []).append(rid)
         out: dict[RecordId, Any] = {}
-        for rid in sorted(set(rids)):
-            out[rid] = self.get(rid)
+        for page_id in sorted(by_page):
+            page = self.buffer_pool.fetch(page_id)
+            for rid in by_page[page_id]:
+                out[rid] = page.get(rid.slot)
         return [out[rid] for rid in rids]
 
     def scan(self) -> Iterator[tuple[RecordId, Any]]:

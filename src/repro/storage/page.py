@@ -30,6 +30,10 @@ class Page:
     used_bytes: int = 0
     slots: list[Any] = field(default_factory=list)
     slot_sizes: list[int] = field(default_factory=list)
+    #: LSN of the last logged mutation applied to this page (0 = never
+    #: WAL-governed).  The buffer pool refuses to flush a dirty page whose
+    #: ``page_lsn`` is ahead of the log's durable watermark (the WAL rule).
+    page_lsn: int = 0
 
     def free_bytes(self) -> int:
         return self.capacity - self.used_bytes

@@ -1,0 +1,34 @@
+"""Crash-consistent storage: write-ahead log, checkpoints, recovery.
+
+ARIES-lite for the simulated stack: :class:`WriteAheadLog` makes every
+relation mutation durable *before* its data page is dirtied, the buffer
+pool enforces the WAL rule against ``durable_lsn``, a
+:class:`Checkpointer` periodically fuses the log into a snapshot, and
+:func:`recover` rebuilds the committed prefix from any (possibly
+crashed, possibly torn-tailed) disk image -- idempotently.
+"""
+
+from repro.wal.checkpoint import CHECKPOINT_FORMAT, Checkpointer, snapshot_relation
+from repro.wal.log import (
+    LOG_RECORD_SIZE,
+    LogRecordKind,
+    WriteAheadLog,
+    frame_crc,
+    frame_is_valid,
+    make_frame,
+)
+from repro.wal.recovery import RecoveryReport, recover
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "Checkpointer",
+    "LOG_RECORD_SIZE",
+    "LogRecordKind",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "frame_crc",
+    "frame_is_valid",
+    "make_frame",
+    "recover",
+    "snapshot_relation",
+]

@@ -1,0 +1,74 @@
+"""The durability surcharge: WAL + checkpoint cost layered on Section 4.2.
+
+The surcharge is a uniform additive term over U_I..U_III, so the paper's
+non-durable numbers -- and the strategy ranking -- are untouched by it.
+"""
+
+import math
+
+import pytest
+
+from repro.costmodel.parameters import PAPER_PARAMETERS
+from repro.costmodel.sweep import update_study
+from repro.costmodel.update_costs import durability_surcharge
+from repro.errors import CostModelError
+from repro.wal.log import LOG_RECORD_SIZE
+
+
+class TestSurchargeFormula:
+    def test_always_policy_value(self):
+        # One full-price log flush per insert plus the checkpoint share.
+        p = PAPER_PARAMETERS
+        expected = p.c_io + p.relation_pages / 64 * p.c_io
+        assert durability_surcharge(p) == pytest.approx(expected)
+
+    def test_group_policy_amortizes_log_flush(self):
+        # s=2000 and 100-byte frames: 20 frames share each log-page write.
+        p = PAPER_PARAMETERS
+        frames_per_page = p.s // LOG_RECORD_SIZE
+        assert frames_per_page == 20
+        expected = p.c_io / frames_per_page + p.relation_pages / 64 * p.c_io
+        assert durability_surcharge(p, policy="group") == pytest.approx(expected)
+
+    def test_group_is_cheaper_than_always(self):
+        assert durability_surcharge(
+            PAPER_PARAMETERS, policy="group"
+        ) < durability_surcharge(PAPER_PARAMETERS, policy="always")
+
+    def test_sparser_checkpoints_cost_less(self):
+        dense = durability_surcharge(PAPER_PARAMETERS, checkpoint_every=16)
+        sparse = durability_surcharge(PAPER_PARAMETERS, checkpoint_every=256)
+        assert sparse < dense
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(CostModelError):
+            durability_surcharge(PAPER_PARAMETERS, policy="fsync-sometimes")
+
+    def test_nonpositive_cadence_rejected(self):
+        with pytest.raises(CostModelError):
+            durability_surcharge(PAPER_PARAMETERS, checkpoint_every=0)
+
+
+class TestDurableUpdateStudy:
+    def test_default_study_is_bit_identical_to_paper(self):
+        # durable=False must not perturb the published numbers at all.
+        assert update_study() == update_study(durable=False)
+        baseline = update_study()
+        assert baseline["U_I"] == 0.0
+
+    def test_surcharge_is_uniform_across_strategies(self):
+        baseline = update_study()
+        durable = update_study(durable=True)
+        extra = durability_surcharge(PAPER_PARAMETERS)
+        for name in ("U_I", "U_IIa", "U_IIb", "U_III"):
+            assert durable[name] == pytest.approx(baseline[name] + extra)
+
+    def test_ranking_is_preserved(self):
+        baseline = update_study()
+        durable = update_study(durable=True, policy="group", checkpoint_every=128)
+        rank = lambda d: sorted(d, key=d.get)  # noqa: E731
+        assert rank(baseline) == rank(durable)
+
+    def test_surcharge_is_finite_and_positive(self):
+        extra = durability_surcharge(PAPER_PARAMETERS, policy="group")
+        assert math.isfinite(extra) and extra > 0

@@ -1,0 +1,130 @@
+"""Unit tests for the scheduled-crash machinery of FaultyDisk."""
+
+import pytest
+
+from repro.errors import CrashError, StorageError, TransientStorageError
+from repro.faults.disk import TORN_SLOT, FaultyDisk
+from repro.faults.plan import FaultKind, FaultPlan
+
+
+def crashing_disk(crash_at, torn=False):
+    return FaultyDisk(FaultPlan(seed=0, crash_at_write=crash_at,
+                                crash_torn_tail=torn))
+
+
+class TestCrashScheduling:
+    def test_crash_fires_at_exact_write_index(self):
+        disk = crashing_disk(crash_at=2)
+        pages = [disk.allocate_page() for _ in range(4)]
+        disk.write_page(pages[0])
+        disk.write_page(pages[1])
+        with pytest.raises(CrashError):
+            disk.write_page(pages[2])
+        assert disk.crashed
+        assert disk.physical_writes == 2
+
+    def test_crash_error_is_permanent_not_transient(self):
+        # The buffer pool's retry loop must never swallow a crash.
+        assert issubclass(CrashError, StorageError)
+        assert not issubclass(CrashError, TransientStorageError)
+
+    def test_all_access_refused_after_crash(self):
+        disk = crashing_disk(crash_at=0)
+        page = disk.allocate_page()
+        with pytest.raises(CrashError):
+            disk.write_page(page)
+        with pytest.raises(CrashError):
+            disk.read_page(page.page_id)
+        with pytest.raises(CrashError):
+            disk.write_page(page)
+        with pytest.raises(CrashError):
+            disk.allocate_page()
+
+    def test_no_crash_when_disabled(self):
+        plan = FaultPlan(seed=0, crash_at_write=1)
+        plan.enabled = False
+        disk = FaultyDisk(plan)
+        page = disk.allocate_page()
+        for _ in range(5):
+            disk.write_page(page)  # must not raise
+
+
+class TestCrashImage:
+    def test_requires_a_crashed_disk(self):
+        disk = crashing_disk(crash_at=99)
+        disk.allocate_page()
+        with pytest.raises(CrashError):
+            disk.crash_image()
+
+    def test_image_reflects_only_physical_writes(self):
+        disk = crashing_disk(crash_at=2)
+        a, b = disk.allocate_page(), disk.allocate_page()
+        a.insert("flushed", 10)
+        disk.write_page(a)
+        # Mutate b in memory but never write it -- the shared-object
+        # aliasing must not leak it into the durable image.
+        b.insert("never flushed", 10)
+        with pytest.raises(CrashError):
+            disk.write_page(a)
+            disk.write_page(a)
+        image = disk.crash_image()
+        assert image.read_page(a.page_id).slots == ["flushed"]
+        assert image.read_page(b.page_id).slots == []
+
+    def test_in_flight_write_does_not_land(self):
+        disk = crashing_disk(crash_at=1)
+        a = disk.allocate_page()
+        a.insert("first", 10)
+        disk.write_page(a)
+        a.insert("second", 10)
+        with pytest.raises(CrashError):
+            disk.write_page(a)
+        image = disk.crash_image()
+        assert image.read_page(a.page_id).slots == ["first"]
+
+    def test_torn_tail_lands_mangled(self):
+        disk = crashing_disk(crash_at=1, torn=True)
+        a = disk.allocate_page()
+        a.insert("first", 10)
+        disk.write_page(a)
+        a.insert("second", 10)
+        with pytest.raises(CrashError):
+            disk.write_page(a)
+        image = disk.crash_image()
+        # The in-flight write landed, but its last slot is garbage.
+        assert image.read_page(a.page_id).slots == ["first", TORN_SLOT]
+
+    def test_image_is_independent_of_the_dead_disk(self):
+        disk = crashing_disk(crash_at=1)
+        a = disk.allocate_page()
+        a.insert("x", 10)
+        disk.write_page(a)
+        with pytest.raises(CrashError):
+            disk.write_page(a)
+        image = disk.crash_image()
+        image.read_page(a.page_id).insert("y", 10)
+        assert disk.crash_image().read_page(a.page_id).slots == ["x"]
+
+
+class TestPlanAudit:
+    def test_crash_event_logged_outstanding(self):
+        disk = crashing_disk(crash_at=0)
+        page = disk.allocate_page()
+        with pytest.raises(CrashError):
+            disk.write_page(page)
+        events = [e for e in disk.plan.events if e.kind is FaultKind.CRASH]
+        assert len(events) == 1
+        assert not events[0].consumed
+        assert "physical write" in events[0].describe()
+
+    def test_mark_crash_recovered_consumes(self):
+        disk = crashing_disk(crash_at=0)
+        page = disk.allocate_page()
+        with pytest.raises(CrashError):
+            disk.write_page(page)
+        disk.plan.mark_crash_recovered()
+        assert disk.plan.outstanding == 0
+
+    def test_negative_crash_index_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash_at_write=-1)

@@ -48,8 +48,21 @@ class TestMeter:
         assert set(snap) == {
             "page_reads", "page_writes", "buffer_hits",
             "theta_filter_evals", "theta_exact_evals",
-            "update_computations", "io_retries", "backoff_steps", "total",
+            "update_computations", "io_retries", "backoff_steps",
+            "log_writes", "checkpoint_pages", "total",
         }
+
+    def test_durability_ios_charged_but_separate(self):
+        m = CostMeter()
+        m.record_read(2)
+        m.record_log_write(3)
+        m.record_checkpoint_page(1)
+        # Durability traffic never leaks into the baseline I/O counters...
+        assert m.io_operations == 2
+        assert m.page_writes == 0
+        # ...but is charged at the same C_IO rate in the weighted total.
+        assert m.durability_ios == 4
+        assert m.total() == (2 + 4) * 1000.0
 
 
 class TestMergeAndAbsorb:

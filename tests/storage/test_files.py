@@ -64,9 +64,71 @@ class TestHeapFile:
         with pytest.raises(StorageError):
             HeapFile(pool, record_size=3000)
 
+    def test_delete_then_append_reuses_tail_slot(self, pool):
+        hf = HeapFile(pool, record_size=300)
+        rids = hf.append_all(range(5))  # exactly one full page
+        hf.delete(rids[3])
+        rid = hf.append("again")
+        assert rid.page_id == rids[0].page_id  # reclaimed, no new page
+        assert hf.num_pages == 1
+
     def test_bad_utilization(self, pool):
         with pytest.raises(StorageError):
             HeapFile(pool, record_size=300, utilization=0.0)
+
+
+class TestHeapFileMeter:
+    """I/O-cost regressions for the append and get_many fast paths."""
+
+    def fresh(self):
+        meter = CostMeter()
+        pool = BufferPool(SimulatedDisk(), capacity=4000, meter=meter)
+        return meter, pool
+
+    def test_full_page_append_costs_zero_reads(self):
+        # Appending past a full tail must not probe-fetch the tail page
+        # just to discover it is full: the fill count is cached.
+        meter, pool = self.fresh()
+        hf = HeapFile(pool, record_size=300)
+        hf.append_all(range(5))  # page 0 now full
+        pool.clear()  # evict everything: a probe fetch would be a miss
+        meter.reset()
+        hf.append("overflow")
+        assert hf.num_pages == 2
+        assert meter.page_reads == 0
+        assert meter.buffer_hits == 0
+
+    def test_append_into_partial_tail_costs_one_access(self):
+        meter, pool = self.fresh()
+        hf = HeapFile(pool, record_size=300)
+        hf.append_all(range(3))  # page 0 has room for 2 more
+        pool.clear()
+        meter.reset()
+        hf.append("fits")
+        assert hf.num_pages == 1
+        assert meter.page_reads == 1  # the tail itself, nothing extra
+
+    def test_get_many_fetches_each_distinct_page_once(self):
+        meter, pool = self.fresh()
+        hf = HeapFile(pool, record_size=300)
+        rids = hf.append_all(range(20))  # 4 pages
+        pool.clear()
+        meter.reset()
+        got = hf.get_many(list(reversed(rids)))
+        assert got == list(reversed(range(20)))
+        assert meter.page_reads == 4
+        assert meter.buffer_hits == 0
+
+    def test_get_many_deduplicates_repeated_rids(self):
+        meter, pool = self.fresh()
+        hf = HeapFile(pool, record_size=300)
+        rids = hf.append_all(range(10))  # 2 pages
+        pool.clear()
+        meter.reset()
+        got = hf.get_many([rids[0], rids[0], rids[7], rids[0]])
+        assert got == [0, 0, 7, 0]
+        assert meter.page_reads == 2
+        assert meter.buffer_hits == 0
 
 
 class TestClusteredFile:

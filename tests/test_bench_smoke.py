@@ -71,3 +71,19 @@ def test_partition_bench_runs_tiny():
         cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300,
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.smoke
+def test_recovery_bench_runs_tiny():
+    """Recovery time vs log length, end to end at a tiny op count."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["BENCH_RECOVERY_OPS"] = "60"
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "pytest",
+            "benchmarks/bench_recovery.py", "-q",
+        ],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -59,3 +59,46 @@ class TestCommands:
         out = capsys.readouterr().out
         # Rate 0: injection plumbing active, nothing actually injected.
         assert "0 injected" in out
+
+    def test_demo_crash_recovery(self, capsys):
+        assert main(["demo", "--size", "60", "--crash-at", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "crash scheduled at physical write 40" in out
+        assert "recovery report" in out
+        assert "recovered state = committed prefix" in out
+        # The recovery consumed the crash event.
+        assert "1 consumed, 0 outstanding" in out
+        assert "log writes" in out
+
+    def test_demo_crash_with_torn_tail(self, capsys):
+        assert main([
+            "demo", "--size", "60", "--crash-at", "25", "--torn-tail",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "with torn tail" in out
+        assert "torn log tail detected: yes" in out
+        assert "recovered state = committed prefix" in out
+
+    def test_demo_crash_point_never_reached(self, capsys):
+        assert main(["demo", "--size", "20", "--crash-at", "99999"]) == 0
+        out = capsys.readouterr().out
+        assert "no crash fired" in out
+        assert "recovery report" not in out
+
+    def test_updates_durable_column(self, capsys):
+        assert main(["updates"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["updates", "--durable"]) == 0
+        out = capsys.readouterr().out
+        assert "durable = " in out and "WAL sync=always" in out
+        # The non-durable column is byte-identical to the plain table.
+        for line in baseline.splitlines()[1:]:
+            assert line in out
+
+    def test_updates_durable_group_policy(self, capsys):
+        assert main([
+            "updates", "--durable", "--policy", "group",
+            "--checkpoint-every", "128",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "WAL sync=group" in out and "checkpoint every 128 ops" in out

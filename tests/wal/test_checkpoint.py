@@ -1,0 +1,91 @@
+"""Unit tests for checkpointing: cadence, truncation, snapshots."""
+
+from repro.geometry import Rect
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, ColumnType, Schema
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+from repro.wal import Checkpointer, WriteAheadLog, snapshot_relation
+
+SCHEMA = Schema([Column("oid", ColumnType.INT), Column("shape", ColumnType.RECT)])
+
+
+def durable_relation():
+    meter = CostMeter()
+    disk = SimulatedDisk()
+    pool = BufferPool(disk, 64, meter)
+    wal = WriteAheadLog(disk, meter)
+    pool.wal = wal
+    rel = Relation("objects", SCHEMA, pool, wal=wal)
+    return meter, wal, rel
+
+
+class TestCadence:
+    def test_maybe_checkpoint_waits_for_threshold(self):
+        _, wal, rel = durable_relation()
+        cp = Checkpointer(wal, [rel], every_ops=5)
+        for i in range(4):
+            rel.insert([i, Rect(i, i, i + 1, i + 1)])
+            assert cp.maybe_checkpoint() is None
+        rel.insert([4, Rect(4, 4, 5, 5)])
+        assert cp.maybe_checkpoint() is not None
+        assert cp.checkpoints_taken == 1
+
+    def test_checkpoint_resets_record_counter(self):
+        _, wal, rel = durable_relation()
+        cp = Checkpointer(wal, [rel], every_ops=3)
+        for i in range(3):
+            rel.insert([i, Rect(i, i, i + 1, i + 1)])
+        cp.checkpoint()
+        assert wal.records_since_checkpoint == 0
+
+    def test_checkpoint_truncates_log_chain(self):
+        disk = SimulatedDisk()
+        meter = CostMeter()
+        pool = BufferPool(disk, 64, meter)
+        wal = WriteAheadLog(disk, meter)
+        pool.wal = wal
+        rel = Relation("objects", SCHEMA, pool, wal=wal)
+        frames_per_page = disk.page_size // 100
+        for i in range(frames_per_page * 2):  # spill over several log pages
+            rel.insert([i, Rect(i, i, i + 1, i + 1)])
+        assert len(wal.log_page_ids) > 1
+        Checkpointer(wal, [rel]).checkpoint()
+        # Only the live tail page remains in the replayable chain.
+        assert len(wal.log_page_ids) == 1
+        assert wal.checkpoint_meta is not None
+
+    def test_checkpoint_pages_charged_on_meter(self):
+        meter, wal, rel = durable_relation()
+        for i in range(10):
+            rel.insert([i, Rect(i, i, i + 1, i + 1)])
+        before = meter.checkpoint_pages
+        Checkpointer(wal, [rel]).checkpoint()
+        assert meter.checkpoint_pages > before
+
+    def test_track_adds_relation_once(self):
+        _, wal, rel = durable_relation()
+        cp = Checkpointer(wal, [])
+        cp.track(rel)
+        cp.track(rel)
+        assert len(cp.relations) == 1
+
+
+class TestSnapshot:
+    def test_snapshot_carries_rows_and_rids(self):
+        _, _, rel = durable_relation()
+        tids = [rel.insert([i, Rect(i, i, i + 1, i + 1)]).tid for i in range(3)]
+        snap = snapshot_relation(rel)
+        assert snap["name"] == "objects"
+        assert len(snap["rows"]) == 3
+        assert snap["rids"] == [[t.page_id, t.slot] for t in tids]
+        assert snap["clustered"] is False
+
+    def test_snapshot_reflects_clustering_and_indexes(self):
+        _, _, rel = durable_relation()
+        tids = [rel.insert([i, Rect(i, i, i + 1, i + 1)]).tid for i in range(4)]
+        rel.recluster(list(reversed(tids)))
+        snap = snapshot_relation(rel)
+        assert snap["clustered"] is True
+        assert [row[0] for row in snap["rows"]] == [3, 2, 1, 0]

@@ -1,0 +1,157 @@
+"""Unit tests for the write-ahead log: frames, LSNs, sync, the WAL rule."""
+
+import pytest
+
+from repro.errors import WALError
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, ColumnType, Schema
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+from repro.wal import LOG_RECORD_SIZE, LogRecordKind, WriteAheadLog
+from repro.wal.log import frame_crc, frame_is_valid, make_frame
+
+SCHEMA = Schema([Column("oid", ColumnType.INT)])
+
+
+def make_wal(sync="always"):
+    meter = CostMeter()
+    disk = SimulatedDisk()
+    wal = WriteAheadLog(disk, meter, sync=sync)
+    return disk, meter, wal
+
+
+class TestFrames:
+    def test_roundtrip_crc(self):
+        frame = make_frame(7, "insert", {"relation": "r", "tid": [0, 1]})
+        assert frame_is_valid(frame)
+        assert frame["crc"] == frame_crc(7, "insert", frame["payload"])
+
+    def test_tampered_payload_detected(self):
+        frame = make_frame(7, "insert", {"relation": "r", "tid": [0, 1]})
+        frame["payload"]["tid"] = [0, 2]
+        assert not frame_is_valid(frame)
+
+    def test_tampered_lsn_detected(self):
+        frame = make_frame(7, "delete", {"relation": "r", "tid": [0, 1]})
+        frame["lsn"] = 8
+        assert not frame_is_valid(frame)
+
+    def test_garbage_shapes_rejected(self):
+        assert not frame_is_valid("<torn write: partial frame>")
+        assert not frame_is_valid(None)
+        assert not frame_is_valid({"lsn": "x", "kind": "insert",
+                                   "payload": {}, "crc": 0})
+        assert not frame_is_valid({"lsn": 1})
+
+
+class TestAppend:
+    def test_lsns_are_monotone_from_one(self):
+        _, _, wal = make_wal()
+        lsns = [
+            wal.append(LogRecordKind.INSERT, {"relation": "r", "i": i})
+            for i in range(5)
+        ]
+        assert lsns == [1, 2, 3, 4, 5]
+        assert wal.last_lsn == 5
+
+    def test_always_policy_is_durable_on_return(self):
+        _, _, wal = make_wal()
+        wal.append(LogRecordKind.INSERT, {"relation": "r"})
+        assert wal.durable_lsn == wal.last_lsn
+
+    def test_group_policy_lags_until_sync(self):
+        _, _, wal = make_wal(sync="group")
+        wal.append(LogRecordKind.INSERT, {"relation": "r"})
+        assert wal.durable_lsn < wal.last_lsn
+        wal.sync()
+        assert wal.durable_lsn == wal.last_lsn
+
+    def test_tail_spills_to_new_log_page(self):
+        disk, _, wal = make_wal()
+        frames_per_page = disk.page_size // LOG_RECORD_SIZE
+        for i in range(frames_per_page + 1):
+            wal.append(LogRecordKind.INSERT, {"i": i})
+        assert len(wal.log_page_ids) == 2
+
+    def test_log_writes_charged_on_meter(self):
+        _, meter, wal = make_wal()
+        before = meter.log_writes
+        wal.append(LogRecordKind.INSERT, {"relation": "r"})
+        wal.append(LogRecordKind.DELETE, {"relation": "r"})
+        # One flush per append under sync="always" (+ any anchor writes).
+        assert meter.log_writes >= before + 2
+        # Durability traffic never pollutes the baseline counters.
+        assert meter.page_writes == 0
+
+    def test_unknown_sync_policy_rejected(self):
+        with pytest.raises(WALError):
+            WriteAheadLog(SimulatedDisk(), sync="fsync-sometimes")
+
+    def test_bad_start_lsn_rejected(self):
+        with pytest.raises(WALError):
+            WriteAheadLog(SimulatedDisk(), start_lsn=0)
+
+
+class TestWALRule:
+    """The pool must refuse to flush a page ahead of its log record --
+    deterministically, not by flush-ordering luck."""
+
+    def _durable_relation(self, sync):
+        meter = CostMeter()
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, 64, meter)
+        wal = WriteAheadLog(disk, meter, sync=sync)
+        pool.wal = wal
+        rel = Relation("r", SCHEMA, pool, wal=wal)
+        return pool, wal, rel
+
+    def test_group_commit_flush_without_sync_raises(self):
+        pool, wal, rel = self._durable_relation("group")
+        rel.insert([1])
+        with pytest.raises(WALError):
+            pool.flush_all()
+
+    def test_group_commit_flush_after_sync_succeeds(self):
+        pool, wal, rel = self._durable_relation("group")
+        rel.insert([1])
+        wal.sync()
+        pool.flush_all()  # must not raise
+
+    def test_always_policy_never_trips_the_rule(self):
+        pool, _, rel = self._durable_relation("always")
+        for i in range(20):
+            rel.insert([i])
+        pool.flush_all()  # must not raise
+
+    def test_eviction_also_checks_the_rule(self):
+        meter = CostMeter()
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, 2, meter)
+        wal = WriteAheadLog(disk, meter, sync="group")
+        pool.wal = wal
+        rel = Relation("r", SCHEMA, pool, wal=wal)
+        rel.insert([0])
+        # Filling the tiny pool forces an eviction of the stamped page.
+        with pytest.raises(WALError):
+            for _ in range(4):
+                pool.new_page()
+
+    def test_rule_checks_watermark_not_ordering(self):
+        pool, wal, rel = self._durable_relation("group")
+        rel.insert([1])
+        page_id = rel.page_ids[0]
+        page = pool.peek(page_id)
+        assert page is not None and page.page_lsn > wal.durable_lsn
+        wal.sync()
+        assert page.page_lsn <= wal.durable_lsn
+
+
+class TestRelationRegistry:
+    def test_register_records_schema_metadata(self):
+        _, _, wal = make_wal()
+        pool = BufferPool(wal.disk, 16)
+        rel = Relation("houses", SCHEMA, pool, record_size=250, wal=wal)
+        meta = wal._relation_meta["houses"]
+        assert meta["record_size"] == 250
+        assert meta["columns"] == [{"name": "oid", "type": "int"}]
