@@ -1,0 +1,70 @@
+"""Benchmark artifact store: metrics snapshots + outcomes as JSON files.
+
+Every bench run (full or smoke) leaves one ``BENCH_<module>.json`` per
+executed ``bench_*`` module in the artifact directory -- test outcomes
+with durations, plus any payloads the bench published through
+:func:`emit_bench_artifact` (typically a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`).  CI uploads the
+directory, so a regression investigation starts from numbers, not from
+re-running the suite.
+
+The directory defaults to ``<repo>/bench-artifacts`` and is overridable
+with the ``BENCH_ARTIFACT_DIR`` environment variable.  The store lives
+here rather than in ``conftest.py`` so bench modules can import the
+helper without re-importing the conftest (pytest loads conftests through
+its own importer; a second import would split the store in two).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: module name -> {"tests": [...], "payloads": {...}}
+_STORE: dict[str, dict[str, Any]] = {}
+
+
+def artifact_dir() -> Path:
+    return Path(os.environ.get("BENCH_ARTIFACT_DIR",
+                               REPO_ROOT / "bench-artifacts"))
+
+
+def emit_bench_artifact(module: str, key: str, payload: Any) -> None:
+    """Attach a JSON-safe payload to this bench module's artifact.
+
+    ``module`` is the bare module name (``bench_rtree``); ``key`` names
+    the payload inside the artifact file.  Re-emitting a key overwrites
+    it -- the last run wins, matching pytest's rerun semantics.
+    """
+    _STORE.setdefault(module, {}).setdefault("payloads", {})[key] = payload
+
+
+def record_test_outcome(module: str, nodeid: str, outcome: str,
+                        duration: float) -> None:
+    entry = _STORE.setdefault(module, {})
+    entry.setdefault("tests", []).append(
+        {"nodeid": nodeid, "outcome": outcome, "duration": duration}
+    )
+
+
+def write_artifacts(exit_status: int) -> list[Path]:
+    """Flush the store to one JSON file per bench module; returns paths."""
+    if not _STORE:
+        return []
+    out_dir = artifact_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for module, entry in sorted(_STORE.items()):
+        path = out_dir / f"BENCH_{module}.json"
+        payload = {"module": module, "exit_status": int(exit_status), **entry}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    _STORE.clear()
+    return written

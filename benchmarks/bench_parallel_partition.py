@@ -20,6 +20,7 @@ import time
 
 import pytest
 
+from benchmarks.artifacts import emit_bench_artifact
 from repro.geometry import Rect
 from repro.join.sync_join import sync_tree_join
 from repro.join.zorder_merge import zorder_merge_join
@@ -76,6 +77,14 @@ def test_worker_scaling(benchmark, relations):
     print(f"{'workers':>9}{'effective':>11}{'seconds':>10}")
     for workers, effective, elapsed, _ in rows:
         print(f"{workers:>9}{effective:>11}{elapsed:>10.3f}")
+    emit_bench_artifact("bench_parallel_partition", "worker_scaling", {
+        "count": COUNT,
+        "matches": len(reference),
+        "rows": [
+            {"workers": w, "effective": e, "seconds": s}
+            for w, e, s, _ in rows
+        ],
+    })
 
     seq = rows[0][2]
     par = rows[-1][2]
@@ -116,6 +125,14 @@ def test_grid_granularity(benchmark, relations):
         print(f"{n:>6}{tiles:>8}{evals:>14}{elapsed:>10.3f}")
     print(f"fitted {fitted.stats['grid_nx']}x{fitted.stats['grid_ny']}: "
           f"{fitted_meter.theta_filter_evals} filter evals")
+    emit_bench_artifact("bench_parallel_partition", "grid_granularity", {
+        "count": COUNT,
+        "rows": [
+            {"grid": n, "tiles": t, "filter_evals": evals, "seconds": s}
+            for n, t, evals, s in rows
+        ],
+        "fitted_meter": fitted_meter.snapshot(),
+    })
 
     # Finer grids prune: a 16x16 grid must do fewer filter evaluations
     # than the single-tile sweep (strictly fewer once the workload is

@@ -17,6 +17,7 @@ sets it tiny; the full run defaults to 2,000 operations).
 import os
 import time
 
+from benchmarks.artifacts import emit_bench_artifact
 from repro.relational.relation import Relation
 from repro.relational.schema import Column, ColumnType, Schema
 from repro.storage.buffer import BufferPool
@@ -77,6 +78,12 @@ def test_recovery_time_vs_log_length(benchmark):
     print(f"\n{'ops':>8}{'log LSNs':>10}{'replayed':>10}{'seconds':>10}")
     for ops, lsns, replayed, elapsed in rows:
         print(f"{ops:>8}{lsns:>10}{replayed:>10}{elapsed:>10.4f}")
+    emit_bench_artifact("bench_recovery", "recovery_vs_log_length", {
+        "rows": [
+            {"ops": o, "log_lsns": l, "replayed": r, "seconds": s}
+            for o, l, r, s in rows
+        ],
+    })
 
     # Without checkpoints, replay work is monotone in log length.
     replayed = [r[2] for r in rows]
@@ -102,5 +109,13 @@ def test_checkpoint_bounds_recovery(benchmark):
         f"in {t_plain:.4f}s; cadence {cadence}: "
         f"{report_cp.records_replayed} replayed in {t_cp:.4f}s"
     )
+    emit_bench_artifact("bench_recovery", "checkpoint_bound", {
+        "ops": OPS,
+        "cadence": cadence,
+        "replayed_plain": report_plain.records_replayed,
+        "replayed_checkpointed": report_cp.records_replayed,
+        "seconds_plain": t_plain,
+        "seconds_checkpointed": t_cp,
+    })
     # A checkpoint fuses the log prefix: strictly less replay work.
     assert report_cp.records_replayed < report_plain.records_replayed

@@ -1,0 +1,157 @@
+"""Disabled-tracer overhead on the join kernels must be noise.
+
+The observability PR's contract is that tracing you do not ask for costs
+(essentially) nothing: span sites are per phase / per level, never per
+tuple, and the disabled path is one attribute call returning a shared
+no-op handle.  This bench quantifies that claim on the two kernels whose
+inner loops are pure predicate evaluation -- the z-order merge and the
+synchronized tree join:
+
+1. measure the kernel's wall time with tracing disabled (min of
+   repeats, the standard noise filter);
+2. count the span sites one run actually opens (with a recording
+   tracer) and measure the cost of a single no-op span entry/exit;
+3. assert ``span_sites x per_site_cost < TOLERANCE x kernel_time`` --
+   the *total* disabled-instrumentation budget, bounded far below the
+   2% predicate-eval slowdown the acceptance criterion allows.
+
+The analytic bound is what's asserted because it is robust on noisy
+single-core CI containers; the direct enabled-vs-disabled A/B timing is
+measured and reported (and shipped in the JSON artifact) but not gated.
+
+``BENCH_TRACE_COUNT`` overrides the per-relation cardinality,
+``BENCH_TRACE_TOLERANCE`` the asserted overhead fraction (default 0.02).
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.artifacts import emit_bench_artifact
+from repro.geometry import Rect
+from repro.join.sync_join import sync_tree_join
+from repro.join.zorder_merge import zorder_merge_join
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
+from repro.predicates.theta import Overlaps
+from repro.storage.costs import CostMeter
+from repro.workloads.assembly import build_indexed_relation
+
+UNIVERSE = Rect(0, 0, 1024, 1024)
+COUNT = int(os.environ.get("BENCH_TRACE_COUNT", "1200"))
+TOLERANCE = float(os.environ.get("BENCH_TRACE_TOLERANCE", "0.02"))
+REPEATS = 5
+NULL_SPAN_SAMPLES = 20_000
+
+
+@pytest.fixture(scope="module")
+def relations():
+    ir_r = build_indexed_relation(COUNT, universe=UNIVERSE, seed=801, max_extent=8)
+    ir_s = build_indexed_relation(COUNT, universe=UNIVERSE, seed=802, max_extent=8)
+    return ir_r, ir_s
+
+
+def min_wall(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def null_span_cost() -> float:
+    """Seconds per disabled span entry/exit (amortized over many)."""
+    meter = CostMeter()
+    start = time.perf_counter()
+    for _ in range(NULL_SPAN_SAMPLES):
+        with NULL_TRACER.span("x", meter=meter, level=0):
+            pass
+    return (time.perf_counter() - start) / NULL_SPAN_SAMPLES
+
+
+def _run_zorder(ir_r, ir_s, tracer=None):
+    meter = CostMeter()
+    result = zorder_merge_join(
+        ir_r.relation, ir_s.relation, "shape", "shape",
+        universe=UNIVERSE, meter=meter, tracer=tracer,
+    )
+    return result, meter
+
+
+def _run_sync(ir_r, ir_s, tracer=None):
+    meter = CostMeter()
+    result = sync_tree_join(
+        ir_r.tree, ir_s.tree, Overlaps(), meter=meter, tracer=tracer,
+    )
+    return result, meter
+
+
+KERNELS = {"zorder": _run_zorder, "sync-join": _run_sync}
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_disabled_tracer_overhead_is_bounded(relations, kernel):
+    ir_r, ir_s = relations
+    run = KERNELS[kernel]
+
+    # How many span sites does one run actually open?
+    recording = Tracer()
+    result, meter = run(ir_r, ir_s, tracer=recording)
+    span_sites = len(recording.spans)
+    predicate_evals = meter.theta_filter_evals + meter.theta_exact_evals
+    # Span sites must be a small constant (per phase), never per tuple:
+    # the count cannot grow with the relation cardinality.
+    assert 1 <= span_sites <= 8, (
+        f"{kernel}: {span_sites} spans for {predicate_evals} predicate "
+        "evals -- span sites must stay per phase, not per tuple"
+    )
+
+    disabled = min_wall(lambda: run(ir_r, ir_s))
+    enabled = min_wall(lambda: run(ir_r, ir_s, tracer=Tracer()))
+    per_site = null_span_cost()
+    overhead = span_sites * per_site
+    fraction = overhead / disabled
+
+    print(
+        f"\n{kernel}: {predicate_evals} predicate evals, {span_sites} span "
+        f"sites, disabled {disabled * 1e3:.2f}ms, enabled "
+        f"{enabled * 1e3:.2f}ms, null-span {per_site * 1e9:.0f}ns/site, "
+        f"disabled overhead {fraction * 100:.4f}% (budget "
+        f"{TOLERANCE * 100:.1f}%)"
+    )
+    emit_bench_artifact("bench_trace_overhead", kernel, {
+        "predicate_evals": predicate_evals,
+        "span_sites": span_sites,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "null_span_seconds_per_site": per_site,
+        "overhead_fraction": fraction,
+        "tolerance": TOLERANCE,
+        "pairs": len(result.pairs),
+    })
+    assert fraction < TOLERANCE, (
+        f"{kernel}: disabled-tracer overhead {fraction:.4%} exceeds "
+        f"{TOLERANCE:.0%}"
+    )
+
+
+@pytest.mark.smoke
+def test_metrics_snapshot_artifact(relations):
+    """Ship one instrumented run's metrics registry in the artifact."""
+    ir_r, ir_s = relations
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    meter = CostMeter()
+    from repro.core.executor import SpatialQueryExecutor
+
+    executor = SpatialQueryExecutor(tracer=tracer, metrics=metrics)
+    result, report = executor.execute_join(
+        ir_r.relation, "shape", ir_s.relation, "shape", Overlaps(),
+        strategy="tree", meter=meter,
+    )
+    assert report.succeeded
+    snapshot = metrics.snapshot()
+    assert "join.filter_evals" in snapshot
+    emit_bench_artifact("bench_trace_overhead", "metrics_snapshot", snapshot)

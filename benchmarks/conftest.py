@@ -13,8 +13,11 @@ reproduction fail the bench run.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
+from benchmarks.artifacts import record_test_outcome, write_artifacts
 from repro.costmodel.sweep import StudyResult, log_space
 
 #: Sweep axes used by all figure benches (both axes are log in the paper).
@@ -27,6 +30,21 @@ def print_study(study: StudyResult, extra: str = "") -> None:
     print(study.format_table())
     if extra:
         print(extra)
+
+
+def pytest_runtest_logreport(report):
+    """Record every bench test's outcome for the JSON artifact."""
+    if report.when != "call":
+        return
+    module = Path(report.nodeid.split("::", 1)[0]).stem
+    if module.startswith("bench_"):
+        record_test_outcome(module, report.nodeid, report.outcome,
+                            report.duration)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush one ``BENCH_<module>.json`` per executed bench module."""
+    write_artifacts(int(exitstatus))
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,8 @@ Usage::
     python -m repro demo                    # measured strategy comparison
     python -m repro demo --fault-seed 7 --fault-rate 0.02
                                             # ... under injected storage faults
+    python -m repro trace --explain --drift # instrumented query + span tree
+    python -m repro trace --trace-out t.jsonl --metrics
 
 All output is plain text, suitable for diffing between runs.  With
 ``--fault-seed``/``--fault-rate`` the demo relations live on a
@@ -224,6 +226,84 @@ def cmd_demo(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def cmd_trace(args: argparse.Namespace) -> str:
+    """Run one seeded SELECT and one JOIN fully instrumented.
+
+    Emits the span tree (``--explain``), the JSONL trace
+    (``--trace-out``), the model-vs-measured drift verdict (``--drift``)
+    and the metrics registry (``--metrics``).  The footer verifies trace
+    conservation: the exclusive per-span cost deltas must sum back to
+    the query meter's totals.
+    """
+    from repro.core.executor import SpatialQueryExecutor
+    from repro.geometry.rect import Rect
+    from repro.obs import MetricsRegistry, Tracer, sum_cost_self
+    from repro.predicates.theta import Overlaps
+    from repro.storage.costs import CostMeter
+    from repro.workloads.assembly import build_indexed_relation
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    ir_r = build_indexed_relation(args.size, seed=args.seed)
+    ir_s = build_indexed_relation(args.size, seed=args.seed + 1)
+    executor = SpatialQueryExecutor(tracer=tracer, metrics=metrics)
+    theta = Overlaps()
+    meter = CostMeter()
+
+    query = Rect(100.0, 100.0, 400.0, 420.0)
+    selected = executor.select(
+        ir_r.relation, "shape", query, theta, strategy="tree", meter=meter
+    )
+
+    plan = None
+    if args.drift:
+        from repro.core.optimizer import plan_join
+
+        plan = plan_join(
+            ir_r.relation, "shape", ir_s.relation, "shape", theta,
+            memory_pages=executor.memory_pages, workers=executor.workers,
+        )
+    result, report = executor.execute_join(
+        ir_r.relation, "shape", ir_s.relation, "shape", theta,
+        strategy=args.strategy, meter=meter, plan=plan,
+    )
+
+    lines = [
+        f"traced workload: {args.size} tuples/relation, seed {args.seed}",
+        f"SELECT {query} overlaps -> {len(selected.matches)} matches",
+        f"JOIN ({report.strategy}) -> {len(result.pairs)} pairs",
+    ]
+    if args.explain:
+        lines.append("")
+        lines.append(tracer.render_tree())
+    if args.drift:
+        lines.append("")
+        lines.append(report.drift.format())
+    if args.metrics:
+        lines.append("")
+        lines.append(metrics.render())
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as out:
+            count = tracer.export_jsonl(out)
+        lines.append(f"wrote {count} spans to {args.trace_out}")
+
+    # Trace conservation: exclusive span deltas must sum to the meter.
+    reconstructed = sum_cost_self(tracer.to_records())
+    expected = meter.snapshot()
+    drifted_keys = [
+        k for k, v in expected.items()
+        if abs(reconstructed.get(k, 0.0) - v) > 1e-6
+    ]
+    if drifted_keys:  # pragma: no cover - conservation is pinned by tests
+        lines.append(f"WARNING: trace does not account for {drifted_keys}")
+    else:
+        lines.append(
+            f"trace accounts for all {expected['total']:.0f} metered cost "
+            f"units across {len(tracer.spans)} spans"
+        )
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -282,6 +362,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --crash-at: land the in-flight write torn (partial frame)",
     )
     demo.set_defaults(handler=cmd_demo)
+
+    trace = sub.add_parser(
+        "trace", help="run an instrumented query and inspect its spans"
+    )
+    trace.add_argument("--size", type=int, default=300, help="tuples per relation")
+    trace.add_argument("--seed", type=int, default=11, help="workload seed")
+    trace.add_argument(
+        "--strategy", default="auto",
+        choices=("auto", "scan", "tree", "zorder", "partition", "index-nl"),
+        help="join strategy to trace (default: optimizer's pick)",
+    )
+    trace.add_argument(
+        "--trace-out", default=None, metavar="FILE.jsonl",
+        help="write the span records as JSON Lines to this file",
+    )
+    trace.add_argument(
+        "--explain", action="store_true",
+        help="print the span tree with per-span cost deltas",
+    )
+    trace.add_argument(
+        "--drift", action="store_true",
+        help="plan with the Section 4 formulas and report model drift",
+    )
+    trace.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics registry after the run",
+    )
+    trace.set_defaults(handler=cmd_trace)
 
     return parser
 

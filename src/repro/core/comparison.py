@@ -11,8 +11,12 @@ check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import JoinError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.obs.drift import DriftReport
 from repro.core.executor import SpatialQueryExecutor
 from repro.core.report import ExecutionReport
 from repro.join.result import JoinResult, SelectResult
@@ -47,6 +51,7 @@ class ComparisonReport:
     query: str
     rows: list[ComparisonRow] = field(default_factory=list)
     execution_reports: dict[str, ExecutionReport] = field(default_factory=dict)
+    drift: DriftReport | None = None
 
     def cheapest(self) -> ComparisonRow:
         if not self.rows:
@@ -71,6 +76,9 @@ class ComparisonReport:
                 f"{r.page_writes:>9}{r.predicate_evals:>11}"
                 f"{r.update_computations:>9}{r.total_cost:>14.1f}"
             )
+        if self.drift is not None:
+            lines.append("")
+            lines.append(self.drift.format())
         return "\n".join(lines)
 
 
@@ -127,6 +135,7 @@ class StrategyComparison:
         include_zorder: bool = False,
         include_partition: bool = True,
         resilient: bool = False,
+        check_drift: bool = False,
     ) -> ComparisonReport:
         """Run every applicable join strategy; verify agreement.
 
@@ -136,6 +145,12 @@ class StrategyComparison:
         and the per-strategy :class:`ExecutionReport` lands in
         ``report.execution_reports``.  The agreement check is unchanged:
         whatever survived must produce the reference pair set.
+
+        With ``check_drift=True`` the join is additionally planned once
+        with the Section 4 cost formulas and every measured strategy the
+        plan can price gets a predicted-vs-measured row in
+        ``report.drift`` -- the empirical table and the model's claims
+        about it, side by side.
         """
         report = ComparisonReport(
             query=(
@@ -189,6 +204,25 @@ class StrategyComparison:
                     f"strategy disagreement: {strategy} found "
                     f"{len(res.pair_set())} pairs, scan {len(reference)}"
                 )
+
+        if check_drift:
+            from repro.core.optimizer import plan_join
+            from repro.obs.drift import drift_from_measurements
+
+            ji = self.executor.join_index_for(
+                rel_r, rel_s, column_r, column_s, theta
+            )
+            plan = plan_join(
+                rel_r, column_r, rel_s, column_s, theta,
+                join_index_available=ji is not None,
+                memory_pages=self.executor.memory_pages,
+                workers=self.executor.workers,
+            )
+            report.drift = drift_from_measurements(
+                plan,
+                [(r.strategy, r.total_cost) for r in report.rows],
+                query=report.query,
+            )
         return report
 
 

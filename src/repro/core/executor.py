@@ -32,6 +32,7 @@ from repro.join.result import JoinResult, SelectResult
 from repro.join.select import spatial_select
 from repro.join.tree_join import tree_join
 from repro.join.zorder_merge import zorder_merge_join
+from repro.obs.trace import coalesce
 from repro.parallel.join import partition_join
 from repro.predicates.dispatch import SpatialObject
 from repro.predicates.theta import Overlaps, ThetaOperator
@@ -77,6 +78,13 @@ class SpatialQueryExecutor:
     through :meth:`join`.  ``chunk_timeout`` bounds each parallel worker
     chunk in wall-clock seconds (``None`` = unbounded); a chunk that
     exceeds it is re-executed sequentially.
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) makes every
+    select/join emit a strategy-level span with per-phase and per-level
+    children; ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`)
+    collects buffer-pool hit ratios, Theta prune rates, QualPairs
+    lengths and parallel chunk timings from the layers underneath.  Both
+    default to off and cost nothing when off.
     """
 
     def __init__(
@@ -85,6 +93,8 @@ class SpatialQueryExecutor:
         workers: int = 1,
         *,
         chunk_timeout: float | None = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if memory_pages <= 10:
             raise JoinError(f"memory_pages must exceed 10, got {memory_pages}")
@@ -93,6 +103,8 @@ class SpatialQueryExecutor:
         self.memory_pages = memory_pages
         self.workers = workers
         self.chunk_timeout = chunk_timeout
+        self.tracer = coalesce(tracer)
+        self.metrics = metrics
         self._join_indices: dict[
             tuple[int, int, str, str, str], _RegisteredIndex
         ] = {}
@@ -176,34 +188,38 @@ class SpatialQueryExecutor:
                 strategy = "grid" if isinstance(index, GridFile) else "tree"
             else:
                 strategy = "scan"
-        if strategy == "scan":
-            return nested_loop_select(
-                relation, column, query, theta,
-                meter=meter, memory_pages=self.memory_pages,
-            )
-        if strategy == "tree":
-            tree = relation.index_on(column)
-            return spatial_select(
-                tree, query, theta,
-                accessor=self._cold_accessor(relation, meter),
-                meter=meter, order=order,
-            )
-        if strategy == "grid":
-            from repro.gridfile.join import grid_select
-
-            grid = relation.index_on(column)
-            if not isinstance(grid, GridFile):
-                raise JoinError(
-                    f"index on {relation.name}.{column} is not a grid file"
+        with self.tracer.span("executor.select", meter=meter, strategy=strategy):
+            if strategy == "scan":
+                return nested_loop_select(
+                    relation, column, query, theta,
+                    meter=meter, memory_pages=self.memory_pages,
                 )
-            return grid_select(grid, query, theta, meter=meter)
-        raise JoinError(f"unknown selection strategy {strategy!r}")
+            if strategy == "tree":
+                tree = relation.index_on(column)
+                return spatial_select(
+                    tree, query, theta,
+                    accessor=self._cold_accessor(relation, meter),
+                    meter=meter, order=order,
+                    tracer=self.tracer, metrics=self.metrics,
+                )
+            if strategy == "grid":
+                from repro.gridfile.join import grid_select
+
+                grid = relation.index_on(column)
+                if not isinstance(grid, GridFile):
+                    raise JoinError(
+                        f"index on {relation.name}.{column} is not a grid file"
+                    )
+                return grid_select(grid, query, theta, meter=meter)
+            raise JoinError(f"unknown selection strategy {strategy!r}")
 
     def _cold_accessor(self, relation: Relation, meter: CostMeter) -> RelationAccessor:
         """A relation accessor over a fresh pool charging to ``meter``."""
         from repro.storage.buffer import BufferPool
 
         pool = BufferPool(relation.buffer_pool.disk, self.memory_pages, meter)
+        if self.metrics is not None:
+            pool.attach_metrics(self.metrics, pool=relation.name)
         return RelationAccessor(relation, pool)
 
     # ------------------------------------------------------------------
@@ -236,6 +252,27 @@ class SpatialQueryExecutor:
         if strategy == "auto":
             strategy = self._pick_join_strategy(rel_r, column_r, rel_s, column_s, theta)
 
+        with self.tracer.span("executor.join", meter=meter, strategy=strategy):
+            return self._dispatch_join(
+                rel_r, column_r, rel_s, column_s, theta,
+                strategy=strategy, meter=meter,
+                collect_tuples=collect_tuples, order=order, workers=workers,
+            )
+
+    def _dispatch_join(
+        self,
+        rel_r: Relation,
+        column_r: str,
+        rel_s: Relation,
+        column_s: str,
+        theta: ThetaOperator,
+        *,
+        strategy: str,
+        meter: CostMeter,
+        collect_tuples: bool,
+        order: str,
+        workers: int,
+    ) -> JoinResult:
         if strategy == "scan":
             return nested_loop_join(
                 rel_r, rel_s, column_r, column_s, theta,
@@ -250,6 +287,7 @@ class SpatialQueryExecutor:
                 accessor_r=self._cold_accessor(rel_r, meter),
                 accessor_s=self._cold_accessor(rel_s, meter),
                 meter=meter, order=order, collect_tuples=collect_tuples,
+                tracer=self.tracer, metrics=self.metrics,
             )
         if strategy == "index-nl":
             tree_r = rel_r.index_on(column_r)
@@ -295,6 +333,7 @@ class SpatialQueryExecutor:
             return zorder_merge_join(
                 rel_r, rel_s, column_r, column_s,
                 universe=universe, meter=meter, memory_pages=self.memory_pages,
+                tracer=self.tracer,
             )
         if strategy == "partition":
             if not isinstance(theta, Overlaps):
@@ -309,6 +348,7 @@ class SpatialQueryExecutor:
                 collect_tuples=collect_tuples,
                 fault_plan=self._fault_plan_for(rel_r, rel_s),
                 chunk_timeout=self.chunk_timeout,
+                tracer=self.tracer, metrics=self.metrics,
             )
         raise JoinError(f"unknown join strategy {strategy!r}")
 
@@ -329,6 +369,7 @@ class SpatialQueryExecutor:
         collect_tuples: bool = False,
         order: str = "bfs",
         workers: int | None = None,
+        plan=None,
     ) -> tuple[JoinResult, ExecutionReport]:
         """Join with a strategy-fallback chain and a full execution report.
 
@@ -350,6 +391,13 @@ class SpatialQueryExecutor:
 
         On a clean run this is exactly :meth:`join` plus a one-attempt
         report with zero retries and zero fallbacks.
+
+        ``plan`` (a :class:`~repro.core.optimizer.JoinPlan`) enables
+        model-vs-measured drift detection: the winning attempt's metered
+        total is compared against the cost formula that prices the
+        strategy which actually ran, and the resulting
+        :class:`~repro.obs.drift.DriftReport` is attached to the
+        execution report (``report.drift``).
         """
         if meter is None:
             meter = CostMeter()
@@ -362,8 +410,8 @@ class SpatialQueryExecutor:
             and self._strategy_applicable(s, rel_r, column_r, rel_s, column_s, theta)
         ]
 
-        plan = self._fault_plan_for(rel_r, rel_s)
-        events_before = len(plan.events) if plan is not None else 0
+        fault_plan = self._fault_plan_for(rel_r, rel_s)
+        events_before = len(fault_plan.events) if fault_plan is not None else 0
 
         report = ExecutionReport(
             query=(
@@ -400,8 +448,8 @@ class SpatialQueryExecutor:
             ))
             break
 
-        if plan is not None:
-            new_events = plan.events[events_before:]
+        if fault_plan is not None:
+            new_events = fault_plan.events[events_before:]
             report.fault_events = [e.describe() for e in new_events]
             report.fault_summary = {
                 "injected": len(new_events),
@@ -415,7 +463,49 @@ class SpatialQueryExecutor:
                 + "; ".join(a.describe() for a in report.attempts),
                 report,
             )
+
+        if plan is not None:
+            from repro.obs.drift import drift_from_plan
+
+            winner = next(a for a in report.attempts if a.ok)
+            report.drift = drift_from_plan(
+                plan, winner.strategy, winner.stats.get("total", 0.0),
+                query=report.query,
+            )
+        if self.metrics is not None:
+            self.metrics.absorb_meter(meter, strategy=report.strategy)
         return result, report
+
+    def plan_and_execute_join(
+        self,
+        rel_r: Relation,
+        column_r: str,
+        rel_s: Relation,
+        column_s: str,
+        theta: ThetaOperator,
+        **kwargs: Any,
+    ) -> tuple[JoinResult, ExecutionReport]:
+        """Optimize with the Section 4 formulas, execute, check for drift.
+
+        Convenience wrapper: runs :func:`~repro.core.optimizer.plan_join`
+        (telling it whether a fresh join index is registered), executes
+        the plan's strategy through :meth:`execute_join`, and returns the
+        result with a drift-annotated report.  Extra keyword arguments
+        are forwarded to :meth:`execute_join`.
+        """
+        from repro.core.optimizer import executable_strategy, plan_join
+
+        ji = self.join_index_for(rel_r, rel_s, column_r, column_s, theta)
+        plan = plan_join(
+            rel_r, column_r, rel_s, column_s, theta,
+            join_index_available=ji is not None,
+            memory_pages=self.memory_pages,
+            workers=self.workers,
+        )
+        return self.execute_join(
+            rel_r, column_r, rel_s, column_s, theta,
+            strategy=executable_strategy(plan), plan=plan, **kwargs,
+        )
 
     def _strategy_applicable(
         self,

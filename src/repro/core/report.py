@@ -16,8 +16,16 @@ so the recovery machinery provably costs nothing on the happy path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import JoinError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.obs.drift import DriftReport
+
+#: Injected-fault events rendered in full before eliding the rest; keeps
+#: a high-fault-rate report readable while still proving what happened.
+MAX_RENDERED_FAULT_EVENTS = 6
 
 
 @dataclass(slots=True)
@@ -49,6 +57,7 @@ class ExecutionReport:
     attempts: list[AttemptRecord] = field(default_factory=list)
     fault_summary: dict[str, int] = field(default_factory=dict)
     fault_events: list[str] = field(default_factory=list)
+    drift: DriftReport | None = None
 
     @property
     def strategy(self) -> str:
@@ -99,6 +108,13 @@ class ExecutionReport:
                 "faults: {injected} injected, {consumed} consumed, "
                 "{outstanding} outstanding".format(**self.fault_summary)
             )
-            for desc in self.fault_events:
+        if self.fault_events:
+            shown = self.fault_events[:MAX_RENDERED_FAULT_EVENTS]
+            for desc in shown:
                 lines.append(f"  - {desc}")
+            elided = len(self.fault_events) - len(shown)
+            if elided:
+                lines.append(f"  ... and {elided} more fault events")
+        if self.drift is not None:
+            lines.extend("  " + line for line in self.drift.format().splitlines())
         return "\n".join(lines)

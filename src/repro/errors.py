@@ -122,5 +122,9 @@ class CostModelError(ReproError):
     """Invalid cost-model parameterization (p out of range, n < 1, ...)."""
 
 
+class ObservabilityError(ReproError):
+    """Tracer/metrics misuse (unbalanced spans, metric type collision)."""
+
+
 class WorkloadError(ReproError):
     """Synthetic workload generation failure (inconsistent parameters)."""

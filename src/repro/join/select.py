@@ -17,12 +17,12 @@ asymmetric operators such as ``to the Northwest of``.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Any
 
 from repro.errors import JoinError
 from repro.join.accessor import DirectAccessor, NodeAccessor
 from repro.join.result import SelectResult
+from repro.obs.trace import coalesce
 from repro.predicates.big_theta import BigThetaOperator
 from repro.predicates.dispatch import SpatialObject
 from repro.predicates.theta import ThetaOperator
@@ -43,6 +43,8 @@ def spatial_select(
     reverse: bool = False,
     big_theta: BigThetaOperator | None = None,
     limit: int | None = None,
+    tracer=None,
+    metrics=None,
 ) -> SelectResult:
     """Run Algorithm SELECT over a generalization tree.
 
@@ -75,6 +77,16 @@ def spatial_select(
     limit:
         Stop after this many matches -- existence probes (semijoins) pass
         ``limit=1`` so a hit terminates the traversal immediately.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` (or ``None`` for the shared
+        no-op).  BFS traversals emit one ``select.level`` span per tree
+        height -- nodes examined, Theta prunes, exact refinements and
+        the meter delta that height caused; DFS emits the enclosing
+        ``select`` span only (its stack interleaves heights).
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry`; BFS publishes
+        per-level ``select.filter_evals``/``select.filter_prunes``
+        counters (the Theta-filter prune rate per height).
     """
     if order not in ("bfs", "dfs"):
         raise JoinError(f"order must be 'bfs' or 'dfs', got {order!r}")
@@ -86,6 +98,7 @@ def spatial_select(
         meter = CostMeter()
     if big_theta is None:
         big_theta = theta.filter_operator()
+    tracer = coalesce(tracer)
 
     result = SelectResult(strategy=f"select-{order}{'-reversed' if reverse else ''}")
     if tree.is_empty():
@@ -117,29 +130,59 @@ def spatial_select(
     def reached_limit() -> bool:
         return limit is not None and len(result.matches) >= limit
 
-    if order == "bfs":
-        # SELECT1/SELECT2: QualNodes lists per height, processed in order.
-        qual: deque[Any] = deque()
-        if skip_start:
-            # The start node was already examined by the caller; schedule
-            # its children directly.
-            qual.extend(tree.children(root))
+    with tracer.span(
+        "select", meter=meter, order=order, reverse=reverse
+    ) as select_span:
+        if order == "bfs":
+            # SELECT1/SELECT2: QualNodes lists per height, processed in
+            # order -- the explicit per-level batches are the paper's own
+            # formulation and give the tracer its level boundaries.
+            if skip_start:
+                # The start node was already examined by the caller;
+                # schedule its children directly.
+                qual: list[Any] = list(tree.children(root))
+            else:
+                qual = [root]
+            level = 0
+            while qual and not reached_limit():
+                next_qual: list[Any] = []
+                with tracer.span("select.level", meter=meter, level=level) as span:
+                    examined = 0
+                    passes = 0
+                    exact_before = meter.theta_exact_evals
+                    matches_before = len(result.matches)
+                    for node in qual:
+                        if reached_limit():
+                            break
+                        examined += 1
+                        if examine(node):
+                            passes += 1
+                            next_qual.extend(tree.children(node))
+                    span.set_tag("nodes", examined)
+                    span.set_tag("filter_evals", examined)
+                    span.set_tag("prunes", examined - passes)
+                    span.set_tag(
+                        "exact_evals", meter.theta_exact_evals - exact_before
+                    )
+                    span.set_tag("matches", len(result.matches) - matches_before)
+                if metrics is not None:
+                    metrics.counter("select.filter_evals", level=level).inc(examined)
+                    metrics.counter("select.filter_prunes", level=level).inc(
+                        examined - passes
+                    )
+                qual = next_qual
+                level += 1
         else:
-            qual.append(root)
-        while qual and not reached_limit():
-            node = qual.popleft()
-            if examine(node):
-                qual.extend(tree.children(node))
-    else:
-        stack: list[Any] = []
-        if skip_start:
-            stack.extend(reversed(tree.children(root)))
-        else:
-            stack.append(root)
-        while stack and not reached_limit():
-            node = stack.pop()
-            if examine(node):
-                stack.extend(reversed(tree.children(node)))
+            stack: list[Any] = []
+            if skip_start:
+                stack.extend(reversed(tree.children(root)))
+            else:
+                stack.append(root)
+            while stack and not reached_limit():
+                node = stack.pop()
+                if examine(node):
+                    stack.extend(reversed(tree.children(node)))
+        select_span.set_tag("matches", len(result.matches))
 
     result.stats = meter.snapshot()
     return result

@@ -21,6 +21,7 @@ from typing import Any
 
 from repro.join.accessor import DirectAccessor, NodeAccessor
 from repro.join.result import JoinResult
+from repro.obs.trace import coalesce
 from repro.predicates.big_theta import BigThetaOperator
 from repro.predicates.theta import ThetaOperator
 from repro.storage.costs import CostMeter
@@ -36,6 +37,7 @@ def sync_tree_join(
     accessor_s: NodeAccessor | None = None,
     meter: CostMeter | None = None,
     big_theta: BigThetaOperator | None = None,
+    tracer=None,
 ) -> JoinResult:
     """Join two generalization trees by synchronized descent.
 
@@ -43,6 +45,10 @@ def sync_tree_join(
     application objects are theta-refined and emitted, and the pair's
     children (cross product, or one-sided when a leaf meets an interior
     node) are pushed.  No region is ever scanned twice.
+
+    The depth-first worklist interleaves tree levels, so a ``tracer``
+    gets one enclosing ``sync-join`` span (pairs filtered, pruned,
+    emitted) rather than the per-level spans of Algorithm JOIN.
     """
     if accessor_r is None:
         accessor_r = DirectAccessor()
@@ -52,6 +58,7 @@ def sync_tree_join(
         meter = CostMeter()
     if big_theta is None:
         big_theta = theta.filter_operator()
+    tracer = coalesce(tracer)
 
     result = JoinResult(strategy="sync-tree-join")
     if tree_r.is_empty() or tree_s.is_empty():
@@ -74,45 +81,53 @@ def sync_tree_join(
         return item, False
 
     stack: list[tuple[Any, Any]] = [(tree_r.root(), tree_s.root())]
-    while stack:
-        item_a, item_b = stack.pop()
-        a, pinned_a = unwrap(item_a)
-        b, pinned_b = unwrap(item_b)
-        region_a = tree_r.region(a)
-        region_b = tree_s.region(b)
-        tid_a = tree_r.tid(a)
-        tid_b = tree_s.tid(b)
-        accessor_r.visit(tid_a, a)
-        accessor_s.visit(tid_b, b)
+    with tracer.span("sync-join", meter=meter) as span:
+        filtered = 0
+        pruned = 0
+        while stack:
+            item_a, item_b = stack.pop()
+            a, pinned_a = unwrap(item_a)
+            b, pinned_b = unwrap(item_b)
+            region_a = tree_r.region(a)
+            region_b = tree_s.region(b)
+            tid_a = tree_r.tid(a)
+            tid_b = tree_s.tid(b)
+            accessor_r.visit(tid_a, a)
+            accessor_s.visit(tid_b, b)
 
-        meter.record_filter_eval()
-        if not big_theta(region_a, region_b):
-            continue
+            meter.record_filter_eval()
+            filtered += 1
+            if not big_theta(region_a, region_b):
+                pruned += 1
+                continue
 
-        if tid_a is not None and tid_b is not None:
-            meter.record_exact_eval()
-            if theta(region_a, region_b):
-                result.pairs.append((tid_a, tid_b))
+            if tid_a is not None and tid_b is not None:
+                meter.record_exact_eval()
+                if theta(region_a, region_b):
+                    result.pairs.append((tid_a, tid_b))
 
-        children_a = [] if pinned_a else tree_r.children(a)
-        children_b = [] if pinned_b else tree_s.children(b)
-        if children_a and children_b:
-            for ca in children_a:
-                for cb in children_b:
-                    stack.append((ca, cb))
-            # Keep interior application objects alive one level down.
-            if tid_a is not None:
-                for cb in children_b:
-                    stack.append((_Pinned(a), cb))
-            if tid_b is not None:
+            children_a = [] if pinned_a else tree_r.children(a)
+            children_b = [] if pinned_b else tree_s.children(b)
+            if children_a and children_b:
                 for ca in children_a:
-                    stack.append((ca, _Pinned(b)))
-        elif children_a:
-            for ca in children_a:
-                stack.append((ca, item_b))
-        elif children_b:
-            for cb in children_b:
-                stack.append((item_a, cb))
+                    for cb in children_b:
+                        stack.append((ca, cb))
+                # Keep interior application objects alive one level down.
+                if tid_a is not None:
+                    for cb in children_b:
+                        stack.append((_Pinned(a), cb))
+                if tid_b is not None:
+                    for ca in children_a:
+                        stack.append((ca, _Pinned(b)))
+            elif children_a:
+                for ca in children_a:
+                    stack.append((ca, item_b))
+            elif children_b:
+                for cb in children_b:
+                    stack.append((item_a, cb))
+        span.set_tag("filter_evals", filtered)
+        span.set_tag("prunes", pruned)
+        span.set_tag("pairs", len(result.pairs))
 
     result.stats = meter.snapshot()
     return result

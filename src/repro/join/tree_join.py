@@ -25,11 +25,16 @@ from typing import Any
 from repro.join.accessor import DirectAccessor, NodeAccessor
 from repro.join.result import JoinResult
 from repro.join.select import qualifying_children_only, select_pass_with_children
+from repro.obs.trace import coalesce
 from repro.predicates.big_theta import BigThetaOperator
 from repro.predicates.theta import ThetaOperator
 from repro.storage.costs import CostMeter
 from repro.storage.record import RecordId
 from repro.trees.base import GeneralizationTree
+
+# QualPairs lists grow multiplicatively level over level; powers of four
+# (fanout^2 for the common fanout-2 synthetic trees) make even buckets.
+_QUAL_PAIR_BUCKETS: tuple[float, ...] = (1, 4, 16, 64, 256, 1024, 4096)
 
 
 def tree_join(
@@ -43,12 +48,23 @@ def tree_join(
     big_theta: BigThetaOperator | None = None,
     order: str = "bfs",
     collect_tuples: bool = False,
+    tracer=None,
+    metrics=None,
 ) -> JoinResult:
     """Compute ``R join_theta S`` hierarchically over two generalization trees.
 
     Matches are ``(tid_r, tid_s)`` pairs of application objects (interior
     technical nodes never join).  Pass ``collect_tuples=True`` to also
     fetch and pair the actual payloads through the accessors.
+
+    With a ``tracer``, every QualPairs level emits one ``join.level``
+    span: the level's pair count, Theta-filter evaluations and prunes,
+    exact refinements, emitted pairs, and the meter delta the level
+    caused (the per-level decomposition of Figures 11-13).  A
+    ``metrics`` registry additionally receives the QualPairs length
+    histogram and per-level filter/prune counters.  The SELECT passes
+    inside a level stay span-free by design -- one span per qualifying
+    pair would swamp the trace; their cost lands in the level's delta.
     """
     if accessor_r is None:
         accessor_r = DirectAccessor()
@@ -58,6 +74,7 @@ def tree_join(
         meter = CostMeter()
     if big_theta is None:
         big_theta = theta.filter_operator()
+    tracer = coalesce(tracer)
 
     result = JoinResult(strategy="tree-join")
     if tree_r.is_empty() or tree_s.is_empty():
@@ -80,95 +97,117 @@ def tree_join(
 
     while qual_pairs and level <= max_level:
         next_pairs: list[tuple[Any, Any]] = []
-        for a, b in qual_pairs:
-            region_a = tree_r.region(a)
-            region_b = tree_s.region(b)
-            tid_a = tree_r.tid(a)
-            tid_b = tree_s.tid(b)
-            accessor_r.visit(tid_a, a)
-            accessor_s.visit(tid_b, b)
+        with tracer.span(
+            "join.level", meter=meter, level=level, qual_pairs=len(qual_pairs)
+        ) as span:
+            filter_before = meter.theta_filter_evals
+            exact_before = meter.theta_exact_evals
+            pairs_before = len(result.pairs)
+            prunes = 0
+            for a, b in qual_pairs:
+                region_a = tree_r.region(a)
+                region_b = tree_s.region(b)
+                tid_a = tree_r.tid(a)
+                tid_b = tree_s.tid(b)
+                accessor_r.visit(tid_a, a)
+                accessor_s.visit(tid_b, b)
 
-            # JOIN2: the pair must pass the Theta-filter to be pursued.
-            meter.record_filter_eval()
-            if not big_theta(region_a, region_b):
-                continue
+                # JOIN2: the pair must pass the Theta-filter to be pursued.
+                meter.record_filter_eval()
+                if not big_theta(region_a, region_b):
+                    prunes += 1
+                    continue
 
-            # JOIN3: exact check on the pair itself.
-            if (tid_a is not None) and (tid_b is not None):
-                meter.record_exact_eval()
-                if theta(region_a, region_b):
-                    emit(tid_a, tid_b, a, b)
+                # JOIN3: exact check on the pair itself.
+                if (tid_a is not None) and (tid_b is not None):
+                    meter.record_exact_eval()
+                    if theta(region_a, region_b):
+                        emit(tid_a, tid_b, a, b)
 
-            # JOIN4 / pass 1: a against strict descendants of b.  When a
-            # is a technical entity no match can involve it, so only the
-            # direct children of b are filtered (the deep descent would be
-            # pure overhead -- the paper's model never hits this case
-            # because assumption S2 makes every node an application object).
-            if tid_a is not None:
-                pass1, qual_b_children = select_pass_with_children(
-                    tree_s,
-                    region_a,
-                    theta,
-                    b,
-                    accessor=accessor_s,
-                    meter=meter,
-                    reverse=False,
-                    big_theta=big_theta,
-                    order=order,
-                )
-                for tid_b2, payload_b in pass1.matches:
-                    if tid_b2 is not None:
-                        result.pairs.append((tid_a, tid_b2))
-                        if collect_tuples:
-                            result.tuples.append(
-                                (accessor_r.visit(tid_a, a), payload_b)
-                            )
-            else:
-                qual_b_children = qualifying_children_only(
-                    tree_s,
-                    region_a,
-                    b,
-                    accessor=accessor_s,
-                    meter=meter,
-                    reverse=False,
-                    big_theta=big_theta,
-                )
+                # JOIN4 / pass 1: a against strict descendants of b.  When a
+                # is a technical entity no match can involve it, so only the
+                # direct children of b are filtered (the deep descent would be
+                # pure overhead -- the paper's model never hits this case
+                # because assumption S2 makes every node an application object).
+                if tid_a is not None:
+                    pass1, qual_b_children = select_pass_with_children(
+                        tree_s,
+                        region_a,
+                        theta,
+                        b,
+                        accessor=accessor_s,
+                        meter=meter,
+                        reverse=False,
+                        big_theta=big_theta,
+                        order=order,
+                    )
+                    for tid_b2, payload_b in pass1.matches:
+                        if tid_b2 is not None:
+                            result.pairs.append((tid_a, tid_b2))
+                            if collect_tuples:
+                                result.tuples.append(
+                                    (accessor_r.visit(tid_a, a), payload_b)
+                                )
+                else:
+                    qual_b_children = qualifying_children_only(
+                        tree_s,
+                        region_a,
+                        b,
+                        accessor=accessor_s,
+                        meter=meter,
+                        reverse=False,
+                        big_theta=big_theta,
+                    )
 
-            # JOIN4 / pass 2: strict descendants of a against b.
-            if tid_b is not None:
-                pass2, qual_a_children = select_pass_with_children(
-                    tree_r,
-                    region_b,
-                    theta,
-                    a,
-                    accessor=accessor_r,
-                    meter=meter,
-                    reverse=True,
-                    big_theta=big_theta,
-                    order=order,
-                )
-                for tid_a2, payload_a in pass2.matches:
-                    if tid_a2 is not None:
-                        result.pairs.append((tid_a2, tid_b))
-                        if collect_tuples:
-                            result.tuples.append(
-                                (payload_a, accessor_s.visit(tid_b, b))
-                            )
-            else:
-                qual_a_children = qualifying_children_only(
-                    tree_r,
-                    region_b,
-                    a,
-                    accessor=accessor_r,
-                    meter=meter,
-                    reverse=True,
-                    big_theta=big_theta,
-                )
+                # JOIN4 / pass 2: strict descendants of a against b.
+                if tid_b is not None:
+                    pass2, qual_a_children = select_pass_with_children(
+                        tree_r,
+                        region_b,
+                        theta,
+                        a,
+                        accessor=accessor_r,
+                        meter=meter,
+                        reverse=True,
+                        big_theta=big_theta,
+                        order=order,
+                    )
+                    for tid_a2, payload_a in pass2.matches:
+                        if tid_a2 is not None:
+                            result.pairs.append((tid_a2, tid_b))
+                            if collect_tuples:
+                                result.tuples.append(
+                                    (payload_a, accessor_s.visit(tid_b, b))
+                                )
+                else:
+                    qual_a_children = qualifying_children_only(
+                        tree_r,
+                        region_b,
+                        a,
+                        accessor=accessor_r,
+                        meter=meter,
+                        reverse=True,
+                        big_theta=big_theta,
+                    )
 
-            # Seed the next level with the qualifying direct descendants.
-            for a2 in qual_a_children:
-                for b2 in qual_b_children:
-                    next_pairs.append((a2, b2))
+                # Seed the next level with the qualifying direct descendants.
+                for a2 in qual_a_children:
+                    for b2 in qual_b_children:
+                        next_pairs.append((a2, b2))
+
+            span.set_tag("filter_evals", meter.theta_filter_evals - filter_before)
+            span.set_tag("prunes", prunes)
+            span.set_tag("exact_evals", meter.theta_exact_evals - exact_before)
+            span.set_tag("pairs", len(result.pairs) - pairs_before)
+
+        if metrics is not None:
+            metrics.histogram(
+                "join.qual_pairs", buckets=_QUAL_PAIR_BUCKETS
+            ).observe(len(qual_pairs))
+            metrics.counter("join.filter_evals", level=level).inc(
+                meter.theta_filter_evals - filter_before
+            )
+            metrics.counter("join.filter_prunes", level=level).inc(prunes)
 
         qual_pairs = next_pairs
         level += 1

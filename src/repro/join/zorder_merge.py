@@ -22,6 +22,7 @@ from repro.errors import JoinError
 from repro.geometry.rect import Rect
 from repro.geometry.zorder import decompose_rect
 from repro.join.result import JoinResult
+from repro.obs.trace import coalesce
 from repro.predicates.dispatch import exact_overlaps
 from repro.relational.relation import Relation
 from repro.storage.buffer import BufferPool, paired_pools
@@ -66,6 +67,7 @@ def zorder_merge_join(
     meter: CostMeter | None = None,
     memory_pages: int = 4000,
     refine: bool = True,
+    tracer=None,
 ) -> JoinResult:
     """Overlap join via z-order decomposition and a merge sweep.
 
@@ -75,11 +77,18 @@ def zorder_merge_join(
     (including duplicates, as in Orenstein's original scheme) are
     returned; by default candidates are deduplicated and verified with
     the exact overlap test.
+
+    A ``tracer`` sees the algorithm's three phases as sibling spans --
+    ``zorder.decompose`` (cell entries per side), ``zorder.merge``
+    (candidates, including Orenstein's duplicates) and ``zorder.refine``
+    (unique candidates, surviving pairs) -- each carrying the meter
+    delta that phase caused.
     """
     if max_level < 0:
         raise JoinError(f"max_level must be non-negative, got {max_level}")
     if meter is None:
         meter = CostMeter()
+    tracer = coalesce(tracer)
     # One M-page memory budget shared across both sides (the paper's
     # M - 10 reservation convention), so I/O charges stay comparable to
     # the nested-loop and tree strategies.
@@ -87,8 +96,11 @@ def zorder_merge_join(
         rel_r.buffer_pool.disk, rel_s.buffer_pool.disk, memory_pages, meter
     )
 
-    entries_r = _z_entries(rel_r, column_r, universe, max_level, pool_r)
-    entries_s = _z_entries(rel_s, column_s, universe, max_level, pool_s)
+    with tracer.span("zorder.decompose", meter=meter, max_level=max_level) as span:
+        entries_r = _z_entries(rel_r, column_r, universe, max_level, pool_r)
+        entries_s = _z_entries(rel_s, column_s, universe, max_level, pool_s)
+        span.set_tag("entries_r", len(entries_r))
+        span.set_tag("entries_s", len(entries_s))
 
     # Merge sweep: advance over both lists in interval-start order,
     # maintaining a stack of open (enclosing) intervals per side.  When an
@@ -98,30 +110,32 @@ def zorder_merge_join(
     candidates: list[tuple[RecordId, RecordId]] = []
     open_r: list[tuple[int, int, RecordId]] = []
     open_s: list[tuple[int, int, RecordId]] = []
-    i = j = 0
-    while i < len(entries_r) or j < len(entries_s):
-        take_r = j >= len(entries_s) or (
-            i < len(entries_r) and entries_r[i][0] <= entries_s[j][0]
-        )
-        lo, hi, tid = entries_r[i] if take_r else entries_s[j]
-        if take_r:
-            i += 1
-        else:
-            j += 1
-        # Close expired intervals on both stacks.
-        while open_r and open_r[-1][1] < lo:
-            open_r.pop()
-        while open_s and open_s[-1][1] < lo:
-            open_s.pop()
-        other = open_s if take_r else open_r
-        for _olo, _ohi, other_tid in other:
-            meter.record_filter_eval()
-            pair = (tid, other_tid) if take_r else (other_tid, tid)
-            candidates.append(pair)
-        if take_r:
-            open_r.append((lo, hi, tid))
-        else:
-            open_s.append((lo, hi, tid))
+    with tracer.span("zorder.merge", meter=meter) as span:
+        i = j = 0
+        while i < len(entries_r) or j < len(entries_s):
+            take_r = j >= len(entries_s) or (
+                i < len(entries_r) and entries_r[i][0] <= entries_s[j][0]
+            )
+            lo, hi, tid = entries_r[i] if take_r else entries_s[j]
+            if take_r:
+                i += 1
+            else:
+                j += 1
+            # Close expired intervals on both stacks.
+            while open_r and open_r[-1][1] < lo:
+                open_r.pop()
+            while open_s and open_s[-1][1] < lo:
+                open_s.pop()
+            other = open_s if take_r else open_r
+            for _olo, _ohi, other_tid in other:
+                meter.record_filter_eval()
+                pair = (tid, other_tid) if take_r else (other_tid, tid)
+                candidates.append(pair)
+            if take_r:
+                open_r.append((lo, hi, tid))
+            else:
+                open_s.append((lo, hi, tid))
+        span.set_tag("candidates", len(candidates))
 
     result = JoinResult(strategy="zorder-merge")
     if not refine:
@@ -130,14 +144,17 @@ def zorder_merge_join(
         return result
 
     # Deduplicate, then refine with the exact geometric test.
-    unique = sorted(set(candidates))
-    for r_tid, s_tid in unique:
-        r_page = pool_r.fetch(r_tid.page_id)
-        s_page = pool_s.fetch(s_tid.page_id)
-        r_record = r_page.get(r_tid.slot)
-        s_record = s_page.get(s_tid.slot)
-        meter.record_exact_eval()
-        if exact_overlaps(r_record[column_r], s_record[column_s]):
-            result.pairs.append((r_tid, s_tid))
+    with tracer.span("zorder.refine", meter=meter) as span:
+        unique = sorted(set(candidates))
+        for r_tid, s_tid in unique:
+            r_page = pool_r.fetch(r_tid.page_id)
+            s_page = pool_s.fetch(s_tid.page_id)
+            r_record = r_page.get(r_tid.slot)
+            s_record = s_page.get(s_tid.slot)
+            meter.record_exact_eval()
+            if exact_overlaps(r_record[column_r], s_record[column_s]):
+                result.pairs.append((r_tid, s_tid))
+        span.set_tag("unique", len(unique))
+        span.set_tag("pairs", len(result.pairs))
     result.stats = meter.snapshot()
     return result

@@ -1,0 +1,61 @@
+"""Observability: query tracing, metrics, and model-drift detection.
+
+Three pieces, all zero-dependency and all optional at every call site:
+
+* :mod:`repro.obs.trace` -- nested spans with per-span CostMeter deltas,
+  a no-op implementation for the disabled path, a JSONL exporter and a
+  tree renderer;
+* :mod:`repro.obs.metrics` -- a registry of counters, gauges and
+  fixed-bucket histograms that the buffer pool, WAL, parallel pool and
+  join kernels publish into;
+* :mod:`repro.obs.drift` -- predicted-vs-measured cost comparison with
+  the fitting module's log-space tolerance.
+"""
+
+from repro.obs.drift import (
+    DEFAULT_DRIFT_TOLERANCE,
+    DriftReport,
+    DriftRow,
+    drift_from_measurements,
+    drift_from_plan,
+    log_error,
+    model_for_strategy,
+)
+from repro.obs.metrics import (
+    DURATION_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    coalesce,
+    sum_cost_self,
+)
+
+__all__ = [
+    "DEFAULT_DRIFT_TOLERANCE",
+    "DURATION_BUCKETS",
+    "SIZE_BUCKETS",
+    "Counter",
+    "DriftReport",
+    "DriftRow",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "coalesce",
+    "drift_from_measurements",
+    "drift_from_plan",
+    "log_error",
+    "model_for_strategy",
+    "sum_cost_self",
+]

@@ -1,0 +1,316 @@
+"""Zero-dependency query tracing: nested spans over the cost meters.
+
+The paper's argument is an *accounting* argument -- the C/D formulas
+predict page accesses and predicate evaluations -- so the tracer's unit
+of duration is the same accounting: every span can capture the delta of
+a :class:`~repro.storage.costs.CostMeter` between entry and exit (the
+"virtual clock" of the simulated engine) alongside its wall-clock time.
+A SELECT traversal then decomposes into one span per tree level, each
+carrying exactly the page reads and Theta evaluations that level caused
+-- Figures 8-13 become explainable per level instead of per run.
+
+Two implementations share one surface:
+
+* :class:`Tracer` records spans and can export them as JSONL or render
+  them as an indented tree;
+* :class:`NullTracer` (singleton :data:`NULL_TRACER`) is the disabled
+  path: ``span()`` hands back one shared no-op context manager, so
+  instrumented code costs a single attribute call per *span* (never per
+  tuple or per predicate) when tracing is off.
+
+Instrumented code follows one idiom::
+
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("join.level", meter=meter, level=j) as span:
+        ...
+        span.set_tag("qual_pairs", len(qual_pairs))
+
+Span cost deltas are *inclusive* (a parent contains its children).  The
+exporter also derives the *exclusive* ``cost_self`` of every span --
+inclusive minus the sum of the direct children's inclusive deltas -- so
+summing ``cost_self`` over a trace reproduces the root totals exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, TextIO
+
+from repro.errors import ObservabilityError
+from repro.storage.costs import COUNTER_FIELDS, CostMeter
+
+#: Meter snapshot keys that participate in span cost deltas.  ``total``
+#: doubles as the span's virtual-clock duration (paper cost units).
+_DELTA_KEYS: tuple[str, ...] = COUNTER_FIELDS + ("total",)
+
+
+@dataclass(slots=True)
+class Span:
+    """One traced operation: name, tags, wall time, meter deltas."""
+
+    span_id: int
+    parent_id: int | None
+    depth: int
+    name: str
+    tags: dict[str, Any] = field(default_factory=dict)
+    wall_start: float = 0.0
+    wall_end: float | None = None
+    cost_start: dict[str, float] | None = None
+    cost_end: dict[str, float] | None = None
+
+    def set_tag(self, key: str, value: Any) -> None:
+        """Attach or overwrite one tag (usable while the span is open)."""
+        self.tags[key] = value
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock duration (0.0 while the span is still open)."""
+        if self.wall_end is None:
+            return 0.0
+        return self.wall_end - self.wall_start
+
+    @property
+    def cost(self) -> dict[str, float]:
+        """Inclusive meter delta over the span ({} when no meter given)."""
+        if self.cost_start is None or self.cost_end is None:
+            return {}
+        return {
+            k: self.cost_end.get(k, 0.0) - self.cost_start.get(k, 0.0)
+            for k in _DELTA_KEYS
+        }
+
+    @property
+    def virtual_duration(self) -> float:
+        """The span's duration on the cost model's virtual clock."""
+        return self.cost.get("total", 0.0)
+
+
+class _SpanHandle:
+    """Context manager opening/closing one span on its tracer."""
+
+    __slots__ = ("_tracer", "_span", "_meter")
+
+    def __init__(self, tracer: "Tracer", span: Span, meter: CostMeter | None) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._meter = meter
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        if self._meter is not None:
+            self._span.cost_start = self._meter.snapshot()
+        self._span.wall_start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span.wall_end = time.perf_counter()
+        if self._meter is not None:
+            self._span.cost_end = self._meter.snapshot()
+        popped = self._tracer._stack.pop()
+        if popped is not self._span:  # pragma: no cover - misuse guard
+            raise ObservabilityError(
+                f"span stack corrupted: closed {self._span.name!r} but "
+                f"{popped.name!r} was on top"
+            )
+
+
+class Tracer:
+    """Records nested spans; export as JSONL or render as a tree."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def span(self, name: str, *, meter: CostMeter | None = None,
+             **tags: Any) -> _SpanHandle:
+        """Open a child span of the currently active span.
+
+        ``meter`` is snapshotted at entry and exit; the difference is the
+        span's inclusive cost delta.  Extra keyword arguments become
+        tags; more can be added through :meth:`Span.set_tag` while the
+        span is open.
+        """
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            depth=parent.depth + 1 if parent is not None else 0,
+            name=name,
+            tags=dict(tags),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return _SpanHandle(self, span, meter)
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """JSON-safe span records, in span-start order.
+
+        Each record carries the inclusive ``cost`` delta and the derived
+        exclusive ``cost_self`` delta (inclusive minus the direct
+        children's inclusive deltas).  Summing ``cost_self`` over every
+        span of a trace therefore reproduces the root spans' inclusive
+        totals -- the conservation law the trace tests pin.
+        """
+        child_sums: dict[int, dict[str, float]] = {}
+        for s in self.spans:
+            if s.parent_id is not None and s.cost_start is not None:
+                acc = child_sums.setdefault(s.parent_id, dict.fromkeys(_DELTA_KEYS, 0.0))
+                for k, v in s.cost.items():
+                    acc[k] += v
+        records = []
+        for s in self.spans:
+            cost = s.cost
+            eaten = child_sums.get(s.span_id)
+            if cost and eaten is not None:
+                cost_self = {k: cost[k] - eaten[k] for k in _DELTA_KEYS}
+            else:
+                cost_self = dict(cost)
+            records.append(
+                {
+                    "span_id": s.span_id,
+                    "parent_id": s.parent_id,
+                    "depth": s.depth,
+                    "name": s.name,
+                    "tags": dict(s.tags),
+                    "wall_seconds": s.wall_seconds,
+                    "cost": cost,
+                    "cost_self": cost_self,
+                }
+            )
+        return records
+
+    def export_jsonl(self, out: TextIO) -> int:
+        """Write one JSON object per span; returns the span count."""
+        records = self.to_records()
+        for record in records:
+            out.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+    def render_tree(self) -> str:
+        """Indented per-span view: name, key tags, wall and cost deltas."""
+        lines: list[str] = []
+
+        def describe(span: Span) -> str:
+            parts = [span.name]
+            if span.tags:
+                tag_text = " ".join(
+                    f"{k}={v}" for k, v in sorted(span.tags.items())
+                )
+                parts.append(f"[{tag_text}]")
+            cost = span.cost
+            if cost:
+                parts.append(
+                    "cost={:.0f} (reads={:.0f} writes={:.0f} "
+                    "filter={:.0f} exact={:.0f})".format(
+                        cost.get("total", 0.0),
+                        cost.get("page_reads", 0.0),
+                        cost.get("page_writes", 0.0),
+                        cost.get("theta_filter_evals", 0.0),
+                        cost.get("theta_exact_evals", 0.0),
+                    )
+                )
+            parts.append(f"wall={span.wall_seconds * 1e3:.2f}ms")
+            return " ".join(parts)
+
+        def walk(span: Span, prefix: str, is_last: bool) -> None:
+            glyph = "`-- " if is_last else "|-- "
+            lines.append(prefix + glyph + describe(span))
+            kids = self.children_of(span)
+            ext = "    " if is_last else "|   "
+            for i, kid in enumerate(kids):
+                walk(kid, prefix + ext, i == len(kids) - 1)
+
+        for root in self.roots():
+            lines.append(describe(root))
+            kids = self.children_of(root)
+            for i, kid in enumerate(kids):
+                walk(kid, "", i == len(kids) - 1)
+        return "\n".join(lines)
+
+
+class _NullSpan:
+    """The shared do-nothing span the disabled path hands out."""
+
+    __slots__ = ()
+
+    def set_tag(self, key: str, value: Any) -> None:
+        pass
+
+
+class _NullHandle:
+    """Reusable no-op context manager: enter/exit do nothing."""
+
+    __slots__ = ()
+    _span = _NullSpan()
+
+    def __enter__(self) -> _NullSpan:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+class NullTracer:
+    """Disabled tracing: every ``span()`` call is the same no-op.
+
+    Kept stateless and shared (:data:`NULL_TRACER`) so the instrumented
+    hot paths pay one method call and one shared-object return per span
+    site -- and span sites are per level / per phase, never per tuple.
+    """
+
+    _handle = _NullHandle()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def span(self, name: str, *, meter: CostMeter | None = None,
+             **tags: Any) -> _NullHandle:
+        return self._handle
+
+    def roots(self) -> list[Span]:
+        return []
+
+    def to_records(self) -> list[dict[str, Any]]:
+        return []
+
+    def export_jsonl(self, out: TextIO) -> int:
+        return 0
+
+    def render_tree(self) -> str:
+        return ""
+
+
+#: The process-wide disabled tracer; instrumented code defaults to it.
+NULL_TRACER = NullTracer()
+
+
+def coalesce(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """The given tracer, or the shared null tracer when ``None``."""
+    return tracer if tracer is not None else NULL_TRACER
+
+
+def sum_cost_self(records: Iterable[dict[str, Any]]) -> dict[str, float]:
+    """Sum the exclusive deltas of exported records (trace conservation)."""
+    totals = dict.fromkeys(_DELTA_KEYS, 0.0)
+    for record in records:
+        for k, v in record.get("cost_self", {}).items():
+            totals[k] += v
+    return totals

@@ -83,6 +83,8 @@ def partition_join(
     collect_tuples: bool = False,
     fault_plan=None,
     chunk_timeout: float | None = None,
+    tracer=None,
+    metrics=None,
 ) -> JoinResult:
     """Partition-parallel overlap join of two relations.
 
@@ -103,20 +105,34 @@ def partition_join(
         raise JoinError(f"workers must be positive, got {workers}")
     if meter is None:
         meter = CostMeter()
+    from repro.obs.trace import coalesce
+
+    tracer = coalesce(tracer)
 
     pool_r, pool_s = paired_pools(
         rel_r.buffer_pool.disk, rel_s.buffer_pool.disk, memory_pages, meter
     )
-    entries_r = _extract_entries(rel_r, column_r, pool_r)
-    entries_s = _extract_entries(rel_s, column_s, pool_s)
+    with tracer.span("partition.extract", meter=meter) as span:
+        entries_r = _extract_entries(rel_r, column_r, pool_r)
+        entries_s = _extract_entries(rel_s, column_s, pool_s)
+        span.set_tag("entries_r", len(entries_r))
+        span.set_tag("entries_s", len(entries_s))
 
-    spec = _resolve_grid(grid, universe, entries_r, entries_s, workers)
-    tasks = partition_pair(entries_r, entries_s, spec)
-    pairs, worker_meter, pool_report = run_partitions(
-        tasks, spec, theta, workers=workers,
-        fault_plan=fault_plan, chunk_timeout=chunk_timeout,
-    )
-    meter.absorb(worker_meter)
+    with tracer.span("partition.scatter", meter=meter) as span:
+        spec = _resolve_grid(grid, universe, entries_r, entries_s, workers)
+        tasks = partition_pair(entries_r, entries_s, spec)
+        span.set_tag("grid", f"{spec.nx}x{spec.ny}")
+        span.set_tag("tiles", len(tasks))
+
+    with tracer.span("partition.sweep", meter=meter, workers=workers) as span:
+        pairs, worker_meter, pool_report = run_partitions(
+            tasks, spec, theta, workers=workers,
+            fault_plan=fault_plan, chunk_timeout=chunk_timeout,
+            metrics=metrics,
+        )
+        meter.absorb(worker_meter)
+        span.set_tag("effective_workers", pool_report.effective_workers)
+        span.set_tag("pairs", len(pairs))
 
     result = JoinResult(strategy="partition-sweep")
     result.pairs = sorted(pairs)

@@ -29,6 +29,7 @@ Failure handling is explicit, never silent:
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -117,10 +118,12 @@ def _run_chunks_sequentially(
     theta: ThetaOperator,
     fault_plan: "FaultPlan | None",
     report: PoolReport,
+    metrics=None,
 ) -> list[tuple[list[tuple[RecordId, RecordId]], CostMeter]]:
     """Run every chunk in-process, recovering injected crashes per chunk."""
     results = []
     for i, chunk in enumerate(chunks):
+        started = time.perf_counter()
         try:
             results.append(_run_chunk(chunk, grid, theta, fault_plan, i))
         except WorkerError as exc:
@@ -130,7 +133,16 @@ def _run_chunks_sequentially(
             )
             if fault_plan is not None:
                 fault_plan.note_worker_crash(i, recovered=True)
+        if metrics is not None:
+            _observe_chunk(metrics, time.perf_counter() - started, len(chunk))
     return results
+
+
+def _observe_chunk(metrics, seconds: float, tiles: int) -> None:
+    from repro.obs.metrics import DURATION_BUCKETS  # lazy: optional layer
+
+    metrics.histogram("parallel.chunk_seconds", buckets=DURATION_BUCKETS).observe(seconds)
+    metrics.histogram("parallel.chunk_tiles").observe(tiles)
 
 
 def run_partitions(
@@ -141,6 +153,7 @@ def run_partitions(
     workers: int = 1,
     fault_plan: "FaultPlan | None" = None,
     chunk_timeout: float | None = None,
+    metrics=None,
 ) -> tuple[list[tuple[RecordId, RecordId]], CostMeter, PoolReport]:
     """Sweep all tiles; returns ``(pairs, merged_meter, report)``.
 
@@ -149,6 +162,12 @@ def run_partitions(
     processes -- in which case ``report.degrade_reason`` says why).
     ``chunk_timeout`` bounds each worker chunk in wall-clock seconds;
     a chunk that exceeds it is re-executed sequentially.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) receives
+    per-chunk wall durations and tile counts, plus a recovery counter --
+    the partition-level timing breakdown that makes a parallel join's
+    imbalance visible.  On the process-pool path a chunk's duration is
+    measured from dispatch to collection, so concurrent chunks overlap.
     """
     if workers < 1:
         raise JoinError(f"workers must be positive, got {workers}")
@@ -156,8 +175,9 @@ def run_partitions(
         report = PoolReport(requested_workers=workers, effective_workers=1)
         chunk = list(tasks)
         reports = _run_chunks_sequentially([chunk] if chunk else [], grid, theta,
-                                           fault_plan, report)
+                                           fault_plan, report, metrics)
         pairs = [p for chunk_pairs, _ in reports for p in chunk_pairs]
+        _publish_recoveries(metrics, report)
         return pairs, CostMeter.merge([m for _, m in reports]), report
 
     chunks = balance_tasks(tasks, workers)
@@ -170,21 +190,27 @@ def run_partitions(
         # and say so, instead of silently pretending parallelism.
         report.effective_workers = 1
         report.degrade_reason = f"{type(exc).__name__}: {exc}"
-        reports = _run_chunks_sequentially(chunks, grid, theta, fault_plan, report)
+        reports = _run_chunks_sequentially(chunks, grid, theta, fault_plan,
+                                           report, metrics)
         pairs = [p for chunk_pairs, _ in reports for p in chunk_pairs]
+        _publish_recoveries(metrics, report)
         return pairs, CostMeter.merge([m for _, m in reports]), report
 
     results: list[tuple[list[tuple[RecordId, RecordId]], CostMeter] | None] = []
     causes: list[str | None] = []
     try:
+        dispatched = time.perf_counter()
         handles = [
             mp_pool.apply_async(_run_chunk, (chunk, grid, theta, fault_plan, i))
             for i, chunk in enumerate(chunks)
         ]
-        for handle in handles:
+        for i, handle in enumerate(handles):
             try:
                 results.append(handle.get(timeout=chunk_timeout))
                 causes.append(None)
+                if metrics is not None:
+                    _observe_chunk(metrics, time.perf_counter() - dispatched,
+                                   len(chunks[i]))
             except multiprocessing.TimeoutError:
                 results.append(None)
                 causes.append(f"timeout after {chunk_timeout}s")
@@ -198,13 +224,22 @@ def run_partitions(
     for i, (chunk, outcome, cause) in enumerate(zip(chunks, results, causes)):
         if outcome is not None:
             continue
+        started = time.perf_counter()
         results[i] = _run_chunk(chunk, grid, theta)
         report.recoveries.append(
             ChunkRecovery(chunk=i, tiles=len(chunk), cause=cause or "unknown")
         )
+        if metrics is not None:
+            _observe_chunk(metrics, time.perf_counter() - started, len(chunk))
         if fault_plan is not None:
             fault_plan.note_worker_crash(i, recovered=True)
 
     completed = [r for r in results if r is not None]
     pairs = [p for chunk_pairs, _ in completed for p in chunk_pairs]
+    _publish_recoveries(metrics, report)
     return pairs, CostMeter.merge([m for _, m in completed]), report
+
+
+def _publish_recoveries(metrics, report: PoolReport) -> None:
+    if metrics is not None and report.recoveries:
+        metrics.counter("parallel.chunk_recoveries").inc(len(report.recoveries))

@@ -64,11 +64,37 @@ class BufferPool:
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
         self._pin_counts: dict[int, int] = {}
         self._dirty: set[int] = set()
+        # Metrics series, bound by attach_metrics(); None = unobserved
+        # (the hot path then pays exactly one None check per access).
+        self._m_hits = None
+        self._m_misses = None
+        self._m_writes = None
+        self._m_retries = None
+        self._m_hit_ratio = None
         #: When a :class:`~repro.wal.log.WriteAheadLog` is attached, the
         #: pool enforces the WAL rule: a dirty page whose ``page_lsn``
         #: exceeds the log's ``durable_lsn`` must not be physically
         #: written -- its log record has not reached the disk yet.
         self.wal = None
+
+    def attach_metrics(self, registry, pool: str = "buffer") -> None:
+        """Publish this pool's behavior into a metrics registry.
+
+        Binds the counter/gauge objects once, so the per-access cost of
+        observation is one ``inc()`` -- no registry lookups on the hot
+        path.  ``pool`` labels the series when several pools share one
+        registry.
+        """
+        self._m_hits = registry.counter("buffer.hits", pool=pool)
+        self._m_misses = registry.counter("buffer.misses", pool=pool)
+        self._m_writes = registry.counter("buffer.writes", pool=pool)
+        self._m_retries = registry.counter("buffer.retries", pool=pool)
+        self._m_hit_ratio = registry.gauge("buffer.hit_ratio", pool=pool)
+
+    def _note_access(self, hit: bool) -> None:
+        (self._m_hits if hit else self._m_misses).inc()
+        seen = self._m_hits.value + self._m_misses.value
+        self._m_hit_ratio.set(self._m_hits.value / seen)
 
     # ------------------------------------------------------------------
     # Core protocol
@@ -82,10 +108,14 @@ class BufferPool:
         if page_id in self._frames:
             self._frames.move_to_end(page_id)
             self.meter.record_hit()
+            if self._m_hits is not None:
+                self._note_access(hit=True)
             return self._frames[page_id]
         page = self._read_with_retry(page_id)
         self._admit(page)
         self.meter.record_read()
+        if self._m_hits is not None:
+            self._note_access(hit=False)
         return page
 
     def mark_dirty(self, page_id: int) -> None:
@@ -132,6 +162,8 @@ class BufferPool:
                 self._check_wal_rule(page)
                 self._write_with_retry(page)
                 self.meter.record_write()
+                if self._m_writes is not None:
+                    self._m_writes.inc()
             self._dirty.discard(page_id)
 
     def clear(self) -> None:
@@ -193,6 +225,8 @@ class BufferPool:
             self._check_wal_rule(page)
             self._write_with_retry(page)
             self.meter.record_write()
+            if self._m_writes is not None:
+                self._m_writes.inc()
             self._dirty.discard(victim_id)
 
     def _check_wal_rule(self, page: Page) -> None:
@@ -220,6 +254,8 @@ class BufferPool:
                 if attempt == self.max_retries:
                     raise
                 self.meter.record_retry(backoff)
+                if self._m_retries is not None:
+                    self._m_retries.inc()
                 backoff *= 2
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -233,6 +269,8 @@ class BufferPool:
                 if attempt == self.max_retries:
                     raise
                 self.meter.record_retry(backoff)
+                if self._m_retries is not None:
+                    self._m_retries.inc()
                 backoff *= 2
 
 

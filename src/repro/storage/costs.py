@@ -14,7 +14,7 @@ analytical formulas predict, plus a weighted total.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Iterable
 
 from repro.errors import CostModelError
@@ -121,18 +121,11 @@ class CostMeter:
         """Add another meter's counters into this one (charges are kept).
 
         This is how per-worker private meters flow back into the caller's
-        meter after a parallel run.
+        meter after a parallel run.  Field-driven so a counter added to
+        the dataclass can never be silently dropped here.
         """
-        self.page_reads += other.page_reads
-        self.page_writes += other.page_writes
-        self.buffer_hits += other.buffer_hits
-        self.theta_filter_evals += other.theta_filter_evals
-        self.theta_exact_evals += other.theta_exact_evals
-        self.update_computations += other.update_computations
-        self.io_retries += other.io_retries
-        self.backoff_steps += other.backoff_steps
-        self.log_writes += other.log_writes
-        self.checkpoint_pages += other.checkpoint_pages
+        for name in COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     @classmethod
     def merge(cls, meters: "Iterable[CostMeter]") -> "CostMeter":
@@ -167,29 +160,26 @@ class CostMeter:
 
     def reset(self) -> None:
         """Zero all counters (charges are kept)."""
-        self.page_reads = 0
-        self.page_writes = 0
-        self.buffer_hits = 0
-        self.theta_filter_evals = 0
-        self.theta_exact_evals = 0
-        self.update_computations = 0
-        self.io_retries = 0
-        self.backoff_steps = 0
-        self.log_writes = 0
-        self.checkpoint_pages = 0
+        for name in COUNTER_FIELDS:
+            setattr(self, name, 0)
 
     def snapshot(self) -> dict[str, float]:
-        """Plain-dict view for reports and benchmark output."""
-        return {
-            "page_reads": self.page_reads,
-            "page_writes": self.page_writes,
-            "buffer_hits": self.buffer_hits,
-            "theta_filter_evals": self.theta_filter_evals,
-            "theta_exact_evals": self.theta_exact_evals,
-            "update_computations": self.update_computations,
-            "io_retries": self.io_retries,
-            "backoff_steps": self.backoff_steps,
-            "log_writes": self.log_writes,
-            "checkpoint_pages": self.checkpoint_pages,
-            "total": self.total(),
+        """Plain-dict view for reports and benchmark output.
+
+        Exhaustive by construction: every declared counter field appears
+        under its own name (``charges`` stays out -- it is a weight
+        vector, not a count), plus the weighted ``total``.
+        """
+        view: dict[str, float] = {
+            name: getattr(self, name) for name in COUNTER_FIELDS
         }
+        view["total"] = self.total()
+        return view
+
+
+#: Every counter field of :class:`CostMeter`, in declaration order.
+#: ``snapshot``/``absorb``/``reset`` iterate this tuple, so adding a
+#: counter to the dataclass automatically flows through all three.
+COUNTER_FIELDS: tuple[str, ...] = tuple(
+    f.name for f in fields(CostMeter) if f.name != "charges"
+)

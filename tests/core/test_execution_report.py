@@ -3,6 +3,11 @@
 import pytest
 
 from repro.core import FALLBACK_CHAIN, SpatialQueryExecutor
+from repro.core.report import (
+    MAX_RENDERED_FAULT_EVENTS,
+    AttemptRecord,
+    ExecutionReport,
+)
 from repro.errors import ExecutionError
 from repro.faults import FaultPlan, FaultyDisk
 from repro.predicates.theta import Overlaps, WithinDistance
@@ -207,7 +212,55 @@ class TestWorkerRecoveryThroughExecutor:
         assert meter.page_reads == ref_meter.page_reads
 
 
+class TestAttemptRecord:
+    def test_describe_success_form(self):
+        rec = AttemptRecord(strategy="tree", ok=True, io_retries=2)
+        assert rec.describe() == "tree: ok (2 retries)"
+
+    def test_describe_failure_form(self):
+        rec = AttemptRecord(
+            strategy="partition", ok=False,
+            error_type="TransientStorageError", error="page 0 unreadable",
+        )
+        assert rec.describe() == (
+            "partition: failed: TransientStorageError: page 0 unreadable"
+        )
+
+
+def _report_with(**overrides):
+    base = dict(query="R join S", requested_strategy="partition")
+    base.update(overrides)
+    return ExecutionReport(**base)
+
+
 class TestReportFormatting:
+    def test_fault_events_capped_with_elision_line(self):
+        events = [f"read fault on page {i}" for i in range(10)]
+        report = _report_with(
+            attempts=[AttemptRecord(strategy="partition", ok=True)],
+            fault_summary={"injected": 10, "consumed": 10, "outstanding": 0},
+            fault_events=events,
+        )
+        text = report.format()
+        for desc in events[:MAX_RENDERED_FAULT_EVENTS]:
+            assert f"  - {desc}" in text
+        for desc in events[MAX_RENDERED_FAULT_EVENTS:]:
+            assert desc not in text
+        assert "... and 4 more fault events" in text
+
+    def test_exactly_cap_events_not_elided(self):
+        events = [f"e{i}" for i in range(MAX_RENDERED_FAULT_EVENTS)]
+        text = _report_with(fault_events=events).format()
+        assert all(f"  - {d}" in text for d in events)
+        assert "more fault events" not in text
+
+    def test_events_render_without_summary(self):
+        # A caller may attach events without the audit counters; the
+        # events must still be visible.
+        text = _report_with(fault_events=["torn write on page 3"]).format()
+        assert "  - torn write on page 3" in text
+        assert "injected" not in text
+
     def test_format_mentions_attempts_and_faults(self):
         plan = FaultPlan(seed=1, read_outages={0: 8})
         rel_r, rel_s = build_pair(FaultyDisk(plan))

@@ -1,0 +1,104 @@
+"""MetricsRegistry: counters, gauges, histograms, labels, absorb_meter."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry, SIZE_BUCKETS
+from repro.storage.costs import COUNTER_FIELDS, CostMeter
+
+
+class TestCounter:
+    def test_get_or_create_returns_same_series(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits", pool="r")
+        c.inc()
+        c.inc(4)
+        assert reg.counter("hits", pool="r") is c
+        assert c.value == 5
+
+    def test_labels_split_series(self):
+        reg = MetricsRegistry()
+        reg.counter("evals", level=0).inc(7)
+        reg.counter("evals", level=1).inc(3)
+        assert [c.value for c in reg.series("evals")] == [7, 3]
+        assert len(reg) == 2
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            reg.counter("hits").inc(-1)
+
+
+class TestGauge:
+    def test_set_moves_both_ways(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("hit_ratio")
+        g.set(0.8)
+        g.set(0.25)
+        assert g.value == 0.25
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("batch", buckets=(1, 10, 100))
+        for value in (0.5, 1, 2, 10, 11, 1000):
+            h.observe(value)
+        # intervals: <=1, (1,10], (10,100], overflow
+        assert h.bucket_counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.min == 0.5 and h.max == 1000
+        assert h.mean == pytest.approx(sum((0.5, 1, 2, 10, 11, 1000)) / 6)
+
+    def test_default_buckets_are_size_buckets(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("lengths").buckets == tuple(
+            float(b) for b in SIZE_BUCKETS
+        )
+
+    def test_unsorted_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="sorted"):
+            reg.histogram("bad", buckets=(5, 1))
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("t", buckets=(1.0, 2.0))
+        h.observe(1.5)
+        snap = h.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["buckets"] == {"le_1": 0, "le_2": 1, "overflow": 0}
+
+
+class TestRegistry:
+    def test_type_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObservabilityError, match="already registered"):
+            reg.gauge("x")
+
+    def test_absorb_meter_publishes_all_counters(self):
+        reg = MetricsRegistry()
+        meter = CostMeter()
+        meter.record_read(3)
+        meter.record_filter_eval(9)
+        reg.absorb_meter(meter, strategy="tree")
+        assert reg.counter("cost.page_reads", strategy="tree").value == 3
+        assert reg.counter("cost.theta_filter_evals", strategy="tree").value == 9
+        assert reg.gauge("cost.total", strategy="tree").value == meter.total()
+        # Exhaustive: one series per declared meter counter.
+        for name in COUNTER_FIELDS:
+            assert reg.series(f"cost.{name}"), name
+
+    def test_snapshot_and_render(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", pool="r").inc(2)
+        reg.gauge("ratio").set(0.5)
+        reg.histogram("sizes", buckets=(1, 2)).observe(1)
+        snap = reg.snapshot()
+        assert set(snap) == {"hits", "ratio", "sizes"}
+        assert snap["hits"][0]["value"] == 2
+        text = reg.render()
+        assert "hits{pool=r} = 2" in text
+        assert "ratio = 0.5" in text
+        assert "sizes count=1" in text

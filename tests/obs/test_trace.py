@@ -1,0 +1,161 @@
+"""Tracer: span nesting, meter deltas, conservation, export, no-op path."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import NULL_TRACER, NullTracer, Tracer, coalesce, sum_cost_self
+from repro.storage.costs import COUNTER_FIELDS, CostMeter
+
+
+class TestSpanStructure:
+    def test_nesting_and_depth(self):
+        t = Tracer()
+        with t.span("root"):
+            with t.span("child"):
+                with t.span("grandchild"):
+                    pass
+            with t.span("sibling"):
+                pass
+        names = [s.name for s in t.spans]
+        assert names == ["root", "child", "grandchild", "sibling"]
+        root, child, grand, sibling = t.spans
+        assert root.parent_id is None and root.depth == 0
+        assert child.parent_id == root.span_id and child.depth == 1
+        assert grand.parent_id == child.span_id and grand.depth == 2
+        assert sibling.parent_id == root.span_id
+        assert t.roots() == [root]
+        assert t.children_of(root) == [child, sibling]
+
+    def test_tags_from_kwargs_and_set_tag(self):
+        t = Tracer()
+        with t.span("op", level=3) as span:
+            span.set_tag("nodes", 17)
+        assert t.spans[0].tags == {"level": 3, "nodes": 17}
+
+    def test_wall_clock_measured(self):
+        t = Tracer()
+        with t.span("op"):
+            pass
+        assert t.spans[0].wall_seconds >= 0.0
+        assert t.spans[0].wall_end is not None
+
+    def test_mis_nested_exit_raises(self):
+        t = Tracer()
+        outer = t.span("outer")
+        inner = t.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ObservabilityError, match="span stack corrupted"):
+            outer.__exit__(None, None, None)
+
+
+class TestMeterDeltas:
+    def test_inclusive_delta_and_virtual_duration(self):
+        meter = CostMeter()
+        meter.record_read(3)  # pre-span charges must not leak in
+        t = Tracer()
+        with t.span("op", meter=meter):
+            meter.record_read(2)
+            meter.record_filter_eval()
+        cost = t.spans[0].cost
+        assert cost["page_reads"] == 2
+        assert cost["theta_filter_evals"] == 1
+        assert cost["total"] == 2 * 1000 + 1
+        assert t.spans[0].virtual_duration == cost["total"]
+
+    def test_no_meter_means_empty_cost(self):
+        t = Tracer()
+        with t.span("op"):
+            pass
+        assert t.spans[0].cost == {}
+
+    def test_parent_cost_includes_children(self):
+        meter = CostMeter()
+        t = Tracer()
+        with t.span("parent", meter=meter):
+            meter.record_filter_eval()
+            with t.span("child", meter=meter):
+                meter.record_exact_eval(2)
+        parent, child = t.spans
+        assert parent.cost["theta_filter_evals"] == 1
+        assert parent.cost["theta_exact_evals"] == 2
+        assert child.cost["theta_exact_evals"] == 2
+
+
+class TestConservation:
+    def _traced_work(self):
+        meter = CostMeter()
+        t = Tracer()
+        with t.span("root", meter=meter):
+            meter.record_read(4)
+            with t.span("a", meter=meter):
+                meter.record_filter_eval(10)
+            with t.span("b", meter=meter):
+                meter.record_exact_eval(5)
+                with t.span("b.inner", meter=meter):
+                    meter.record_write(1)
+        return t, meter
+
+    def test_cost_self_sums_to_meter_totals(self):
+        t, meter = self._traced_work()
+        totals = sum_cost_self(t.to_records())
+        snap = meter.snapshot()
+        for key in COUNTER_FIELDS + ("total",):
+            assert totals[key] == pytest.approx(snap[key]), key
+
+    def test_cost_self_is_exclusive(self):
+        t, _ = self._traced_work()
+        by_name = {r["name"]: r for r in t.to_records()}
+        # root's own work: 4 reads only (children ate the rest).
+        assert by_name["root"]["cost_self"]["page_reads"] == 4
+        assert by_name["root"]["cost_self"]["theta_filter_evals"] == 0
+        assert by_name["b"]["cost_self"]["page_writes"] == 0
+        assert by_name["b.inner"]["cost_self"]["page_writes"] == 1
+
+
+class TestExport:
+    def test_jsonl_round_trip(self):
+        t, _ = TestConservation()._traced_work()
+        out = io.StringIO()
+        count = t.export_jsonl(out)
+        lines = out.getvalue().strip().splitlines()
+        assert count == len(lines) == 4
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["root", "a", "b", "b.inner"]
+        for r in records:
+            assert set(r) == {
+                "span_id", "parent_id", "depth", "name", "tags",
+                "wall_seconds", "cost", "cost_self",
+            }
+
+    def test_render_tree_shape(self):
+        t, _ = TestConservation()._traced_work()
+        text = t.render_tree()
+        assert "root" in text and "|-- a" in text and "`-- b" in text
+        assert "`-- b.inner" in text
+        assert "cost=" in text and "wall=" in text
+
+
+class TestNullTracer:
+    def test_shared_noop_handle(self):
+        t = NullTracer()
+        h1 = t.span("a", meter=CostMeter(), level=1)
+        h2 = t.span("b")
+        assert h1 is h2  # one shared handle: no allocation per site
+        with h1 as span:
+            span.set_tag("anything", 42)  # silently dropped
+        assert t.to_records() == [] and t.roots() == []
+        assert t.render_tree() == ""
+        assert t.export_jsonl(io.StringIO()) == 0
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled is True
+        assert NULL_TRACER.enabled is False
+
+    def test_coalesce(self):
+        assert coalesce(None) is NULL_TRACER
+        t = Tracer()
+        assert coalesce(t) is t

@@ -1,9 +1,16 @@
 """Unit tests for cost charges and the meter."""
 
+import dataclasses
+
 import pytest
 
 from repro.errors import CostModelError
-from repro.storage.costs import PAPER_CHARGES, CostCharges, CostMeter
+from repro.storage.costs import (
+    COUNTER_FIELDS,
+    PAPER_CHARGES,
+    CostCharges,
+    CostMeter,
+)
 
 
 class TestCharges:
@@ -51,6 +58,19 @@ class TestMeter:
             "update_computations", "io_retries", "backoff_steps",
             "log_writes", "checkpoint_pages", "total",
         }
+
+    def test_snapshot_exhaustive_over_declared_fields(self):
+        """Adding a counter field must flow into snapshot() for free.
+
+        Pins snapshot keys to the dataclass declaration itself, so a new
+        counter that someone forgets to publish shows up as a test
+        failure here, not as a silent hole in reports and metrics.
+        """
+        declared = {
+            f.name for f in dataclasses.fields(CostMeter) if f.name != "charges"
+        }
+        assert set(COUNTER_FIELDS) == declared
+        assert set(CostMeter().snapshot()) == declared | {"total"}
 
     def test_durability_ios_charged_but_separate(self):
         m = CostMeter()

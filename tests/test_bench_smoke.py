@@ -74,6 +74,35 @@ def test_partition_bench_runs_tiny():
 
 
 @pytest.mark.smoke
+def test_trace_overhead_bench_runs_tiny(tmp_path):
+    """Trace-overhead bench end to end, artifact JSON included."""
+    import json
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["BENCH_TRACE_COUNT"] = "200"
+    env["BENCH_ARTIFACT_DIR"] = str(tmp_path)
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "pytest",
+            "benchmarks/bench_trace_overhead.py", "-q",
+        ],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    # The session hook must have shipped the run's numbers as JSON.
+    artifact = tmp_path / "BENCH_bench_trace_overhead.json"
+    assert artifact.exists(), sorted(p.name for p in tmp_path.iterdir())
+    payload = json.loads(artifact.read_text())
+    assert payload["exit_status"] == 0
+    assert set(payload["payloads"]) >= {"zorder", "sync-join", "metrics_snapshot"}
+    for kernel in ("zorder", "sync-join"):
+        stats = payload["payloads"][kernel]
+        assert stats["overhead_fraction"] < stats["tolerance"]
+    assert all(t["outcome"] == "passed" for t in payload["tests"])
+
+
+@pytest.mark.smoke
 def test_recovery_bench_runs_tiny():
     """Recovery time vs log length, end to end at a tiny op count."""
     env = dict(os.environ)

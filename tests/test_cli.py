@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -102,3 +104,66 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "WAL sync=group" in out and "checkpoint every 128 ops" in out
+
+
+class TestTraceCommand:
+    def test_default_run_verifies_conservation(self, capsys):
+        assert main(["trace", "--size", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "traced workload: 150 tuples/relation" in out
+        assert "SELECT" in out and "matches" in out
+        assert "JOIN" in out and "pairs" in out
+        assert "trace accounts for all" in out
+        assert "WARNING" not in out
+
+    def test_explain_renders_span_tree(self, capsys):
+        assert main(["trace", "--size", "150", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "executor.select" in out
+        assert "executor.join" in out
+        assert "cost=" in out and "wall=" in out
+
+    def test_drift_renders_verdict(self, capsys):
+        assert main([
+            "trace", "--size", "150", "--strategy", "tree", "--drift",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "drift report" in out
+        assert "tree" in out and "D_II" in out
+
+    def test_metrics_renders_registry(self, capsys):
+        assert main(["trace", "--size", "150", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "cost.page_reads" in out
+        assert "buffer." in out
+
+    def test_trace_out_writes_valid_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "--size", "150", "--strategy", "tree",
+            "--trace-out", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"spans to {path}" in out
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records
+        for record in records:
+            assert set(record) == {
+                "span_id", "parent_id", "depth", "name", "tags",
+                "wall_seconds", "cost", "cost_self",
+            }
+        # Acceptance criterion: summed exclusive costs equal the sum of
+        # the root spans' inclusive totals -- nothing leaks, nothing is
+        # double-counted.
+        total_self = sum(r["cost_self"].get("total", 0.0) for r in records)
+        root_total = sum(
+            r["cost"].get("total", 0.0)
+            for r in records if r["parent_id"] is None
+        )
+        assert total_self == pytest.approx(root_total)
+
+    def test_unknown_strategy_fails_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--strategy", "bogus"])
