@@ -1,0 +1,691 @@
+"""The adaptive query-result and Theta-filter cache.
+
+Motivation (ROADMAP north star + Section 4): under HI-LOC workloads the
+same hot windows and join pairs are queried over and over, yet every
+``executor.select``/``executor.join`` re-traverses the generalization
+tree from the root.  The cache short-circuits that repetition in three
+tiers:
+
+* **exact hit** -- the same query (relation identity, predicate,
+  geometry fingerprint) at the same modification epoch: the stored
+  result is served verbatim at zero page reads;
+* **containment hit** -- a cached SELECT for window ``W`` answers any
+  ``W' subset-of W`` by refining the stored Theta-filter candidate set
+  (or, for exact-monotone operators, the stored matches) with the exact
+  predicate -- justified by the Table 1 filter contract:
+  ``Theta-hits(W)`` is a superset of ``Theta-hits(W')``;
+* **miss** -- the query executes normally and is admitted under the
+  cost-model-aware policy of :mod:`repro.cache.policy`.
+
+Invalidation is *epoch-based*, reusing the PR-1 join-index registry
+scheme: every entry captures the operand relations' monotonic
+``modification_count`` at admission, and any insert, delete, recluster
+or WAL-recovery replay bumps that counter -- stale entries are dropped
+on the next probe (and by :meth:`QueryCache.purge_stale`), never
+served.  Keys hold strong references to their relations, so ``id()``
+identity cannot be recycled while an entry lives.
+
+Symmetric operators are orientation-normalized: ``R join S`` and
+``S join R`` under a symmetric theta share one entry, with the pair
+order swapped on the way out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cache.keys import (
+    exact_monotone,
+    geometry_fingerprint,
+    theta_cache_key,
+    window_monotone,
+)
+from repro.cache.policy import (
+    CachePolicy,
+    estimate_join_bytes,
+    estimate_select_bytes,
+)
+from repro.geometry.rect import Rect
+from repro.join.result import JoinResult, SelectResult
+from repro.predicates.theta import ThetaOperator
+from repro.relational.relation import Relation
+from repro.storage.costs import CostMeter
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Lifetime event counters of one cache instance."""
+
+    probes: int = 0
+    exact_hits: int = 0
+    containment_hits: int = 0
+    misses: int = 0
+    admissions: int = 0
+    rejections: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.exact_hits + self.containment_hits
+
+    @property
+    def hit_ratio(self) -> float:
+        """Observed hit probability over all probes so far (0 when idle)."""
+        return self.hits / self.probes if self.probes else 0.0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "probes": self.probes,
+            "exact_hits": self.exact_hits,
+            "containment_hits": self.containment_hits,
+            "misses": self.misses,
+            "admissions": self.admissions,
+            "rejections": self.rejections,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass(slots=True)
+class _SelectEntry:
+    """One cached spatial selection."""
+
+    relation: Relation
+    column: str
+    epoch: int
+    theta: ThetaOperator
+    query: Any
+    strategy: str
+    order: str
+    matches: list[tuple[Any, Any]]
+    candidates: list[tuple[Any, Any, Any]] | None
+    refinable_matches: bool
+    predicted_cost: float
+    nbytes: int
+    tick: int = 0
+
+    def fresh(self) -> bool:
+        return self.relation.modification_count == self.epoch
+
+
+@dataclass(slots=True)
+class _JoinEntry:
+    """One cached spatial join, stored in canonical orientation."""
+
+    rel_r: Relation
+    rel_s: Relation
+    epoch_r: int
+    epoch_s: int
+    theta: ThetaOperator
+    pairs: list[tuple[Any, Any]]
+    tuples: list[tuple[Any, Any]] | None
+    predicted_cost: float
+    nbytes: int
+    tick: int = 0
+
+    def fresh(self) -> bool:
+        return (
+            self.rel_r.modification_count == self.epoch_r
+            and self.rel_s.modification_count == self.epoch_s
+        )
+
+
+class QueryCache:
+    """Epoch-invalidated result cache for selections and joins.
+
+    ``policy`` bounds admission and memory (see
+    :class:`~repro.cache.policy.CachePolicy`); the keyword shortcuts
+    construct one.  ``attach_metrics`` publishes hit/miss/eviction/
+    invalidation counters and byte/entry gauges into a
+    :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    def __init__(
+        self,
+        policy: CachePolicy | None = None,
+        *,
+        byte_budget: int | None = None,
+        admission_threshold: float | None = None,
+    ) -> None:
+        if policy is None:
+            kwargs: dict[str, Any] = {}
+            if byte_budget is not None:
+                kwargs["byte_budget"] = byte_budget
+            if admission_threshold is not None:
+                kwargs["admission_threshold"] = admission_threshold
+            policy = CachePolicy(**kwargs)
+        self.policy = policy
+        self.stats = CacheStats()
+        self._entries: dict[tuple, _SelectEntry | _JoinEntry] = {}
+        #: (kind-specific group key) -> set of entry keys, for the
+        #: containment scan and the optimizer's hit-probability probe.
+        self._groups: dict[tuple, set[tuple]] = {}
+        self._tick = 0
+        self._metrics = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.nbytes for e in self._entries.values())
+
+    def entries(self) -> list[_SelectEntry | _JoinEntry]:
+        """Live entries (fresh or not-yet-purged stale), for tests."""
+        return list(self._entries.values())
+
+    def attach_metrics(self, registry: Any, **labels: Any) -> None:
+        """Publish cache events into a metrics registry from now on."""
+        self._metrics = (registry, labels)
+        self._publish_gauges()
+
+    # ------------------------------------------------------------------
+    # Selections
+    # ------------------------------------------------------------------
+
+    def probe_select(
+        self,
+        relation: Relation,
+        column: str,
+        query: Any,
+        theta: ThetaOperator,
+        *,
+        strategy: str,
+        order: str,
+        meter: CostMeter,
+    ) -> tuple[str, SelectResult] | tuple[None, None]:
+        """Look up a selection; serve exact or containment, else miss.
+
+        Containment refinement charges one exact predicate evaluation
+        per stored candidate to ``meter`` -- the same refinement work a
+        real traversal would do at the leaves -- and zero page reads.
+        """
+        self.stats.probes += 1
+        meter.record_cache_probe()
+
+        key = self._select_key(relation, column, theta, strategy, order, query)
+        entry = self._entries.get(key)
+        if entry is not None and not self._validate(key, entry):
+            entry = None
+        if entry is not None:
+            assert isinstance(entry, _SelectEntry)
+            self._touch(entry)
+            self.stats.exact_hits += 1
+            meter.record_cache_hit()
+            self._count("cache.hits", tier="exact", kind="select")
+            result = SelectResult(
+                strategy="cached-exact", matches=list(entry.matches)
+            )
+            result.stats = meter.snapshot()
+            return "exact", result
+
+        served = self._containment_lookup(
+            relation, column, query, theta, strategy, order, meter
+        )
+        if served is not None:
+            return "containment", served
+
+        self.stats.misses += 1
+        self._count("cache.misses", kind="select")
+        return None, None
+
+    def _containment_lookup(
+        self,
+        relation: Relation,
+        column: str,
+        query: Any,
+        theta: ThetaOperator,
+        strategy: str,
+        order: str,
+        meter: CostMeter,
+    ) -> SelectResult | None:
+        """Serve ``query`` from a cached strictly-larger window, if any."""
+        if not isinstance(query, Rect):
+            return None
+        if not (window_monotone(theta) or exact_monotone(theta)):
+            return None
+        group = self._groups.get(
+            self._select_group(relation, column, theta, strategy, order)
+        )
+        if not group:
+            return None
+        best: _SelectEntry | None = None
+        for entry_key in sorted(group):
+            entry = self._entries.get(entry_key)
+            if entry is None:
+                continue
+            assert isinstance(entry, _SelectEntry)
+            if not self._validate(entry_key, entry):
+                continue
+            window = entry.query
+            if not isinstance(window, Rect) or not window.contains_rect(query):
+                continue
+            usable = (
+                entry.candidates is not None and window_monotone(theta)
+            ) or (entry.refinable_matches and exact_monotone(theta))
+            if not usable:
+                continue
+            # Prefer the entry needing the least refinement work.
+            work = (
+                len(entry.candidates)
+                if entry.candidates is not None and window_monotone(theta)
+                else len(entry.matches)
+            )
+            if best is None or work < self._refine_work(best, theta):
+                best = entry
+        if best is None:
+            return None
+
+        result = SelectResult(strategy="cached-containment")
+        if best.candidates is not None and window_monotone(theta):
+            # Theta-filter contract: every filter-hit of the shrunken
+            # window is among W's stored candidates; refine exactly.
+            for tid, region, payload in best.candidates:
+                meter.record_exact_eval()
+                if theta(query, region):
+                    result.matches.append((tid, payload))
+        else:
+            # Exact-monotone operator: matches(W') is a subset of
+            # matches(W); re-test each stored match against W'.
+            for tid, payload in best.matches:
+                meter.record_exact_eval()
+                if theta(query, payload[column]):
+                    result.matches.append((tid, payload))
+        self._touch(best)
+        self.stats.containment_hits += 1
+        meter.record_cache_hit()
+        self._count("cache.hits", tier="containment", kind="select")
+        result.stats = meter.snapshot()
+        return result
+
+    @staticmethod
+    def _refine_work(entry: _SelectEntry, theta: ThetaOperator) -> int:
+        if entry.candidates is not None and window_monotone(theta):
+            return len(entry.candidates)
+        return len(entry.matches)
+
+    def admit_select(
+        self,
+        relation: Relation,
+        column: str,
+        query: Any,
+        theta: ThetaOperator,
+        *,
+        strategy: str,
+        order: str,
+        result: SelectResult,
+        candidates: list[tuple[Any, Any, Any]] | None,
+        measured_cost: float,
+        predicted_cost: float | None = None,
+    ) -> bool:
+        """Consider caching a freshly executed selection.
+
+        ``predicted_cost`` is the Section 4 model prediction when the
+        caller planned the query; the metered actual of this execution
+        is the fallback predictor.  Returns True when admitted.
+        """
+        cost = predicted_cost if predicted_cost is not None else measured_cost
+        nbytes = estimate_select_bytes(
+            len(result.matches),
+            len(candidates) if candidates is not None else 0,
+            relation.record_size,
+        )
+        if not self.policy.admits(cost, nbytes):
+            self.stats.rejections += 1
+            return False
+        refinable = all(
+            hasattr(payload, "__getitem__") for _tid, payload in result.matches
+        )
+        entry = _SelectEntry(
+            relation=relation,
+            column=column,
+            epoch=relation.modification_count,
+            theta=theta,
+            query=query,
+            strategy=strategy,
+            order=order,
+            matches=list(result.matches),
+            candidates=list(candidates) if candidates is not None else None,
+            refinable_matches=refinable,
+            predicted_cost=cost,
+            nbytes=nbytes,
+        )
+        key = self._select_key(relation, column, theta, strategy, order, query)
+        self._store(
+            key, entry, self._select_group(relation, column, theta, strategy, order)
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+
+    def probe_join(
+        self,
+        rel_r: Relation,
+        column_r: str,
+        rel_s: Relation,
+        column_s: str,
+        theta: ThetaOperator,
+        *,
+        strategy: str,
+        collect_tuples: bool,
+        meter: CostMeter,
+    ) -> tuple[str, JoinResult] | tuple[None, None]:
+        """Look up a join result; joins have the exact tier only."""
+        self.stats.probes += 1
+        meter.record_cache_probe()
+        key, swapped = self._join_key(
+            rel_r, column_r, rel_s, column_s, theta, strategy
+        )
+        entry = self._entries.get(key)
+        if entry is not None and not self._validate(key, entry):
+            entry = None
+        if (
+            entry is None
+            or not isinstance(entry, _JoinEntry)
+            or (collect_tuples and entry.tuples is None)
+        ):
+            self.stats.misses += 1
+            self._count("cache.misses", kind="join")
+            return None, None
+        self._touch(entry)
+        self.stats.exact_hits += 1
+        meter.record_cache_hit()
+        self._count("cache.hits", tier="exact", kind="join")
+        if swapped:
+            pairs = [(b, a) for a, b in entry.pairs]
+            tuples = (
+                [(b, a) for a, b in entry.tuples]
+                if collect_tuples and entry.tuples is not None
+                else []
+            )
+        else:
+            pairs = list(entry.pairs)
+            tuples = (
+                list(entry.tuples)
+                if collect_tuples and entry.tuples is not None
+                else []
+            )
+        result = JoinResult(strategy="cached-exact", pairs=pairs, tuples=tuples)
+        result.stats = meter.snapshot()
+        return "exact", result
+
+    def admit_join(
+        self,
+        rel_r: Relation,
+        column_r: str,
+        rel_s: Relation,
+        column_s: str,
+        theta: ThetaOperator,
+        *,
+        strategy: str,
+        result: JoinResult,
+        collect_tuples: bool,
+        measured_cost: float,
+        predicted_cost: float | None = None,
+    ) -> bool:
+        """Consider caching a freshly executed join."""
+        cost = predicted_cost if predicted_cost is not None else measured_cost
+        nbytes = estimate_join_bytes(
+            len(result.pairs),
+            len(result.tuples) if collect_tuples else 0,
+            rel_r.record_size,
+            rel_s.record_size,
+        )
+        if not self.policy.admits(cost, nbytes):
+            self.stats.rejections += 1
+            return False
+        key, swapped = self._join_key(
+            rel_r, column_r, rel_s, column_s, theta, strategy
+        )
+        if swapped:
+            pairs = [(b, a) for a, b in result.pairs]
+            tuples = (
+                [(b, a) for a, b in result.tuples] if collect_tuples else None
+            )
+            first, second = rel_s, rel_r
+        else:
+            pairs = list(result.pairs)
+            tuples = list(result.tuples) if collect_tuples else None
+            first, second = rel_r, rel_s
+        entry = _JoinEntry(
+            rel_r=first,
+            rel_s=second,
+            epoch_r=first.modification_count,
+            epoch_s=second.modification_count,
+            theta=theta,
+            pairs=pairs,
+            tuples=tuples,
+            predicted_cost=cost,
+            nbytes=nbytes,
+        )
+        self._store(
+            key, entry, self._join_group(rel_r, column_r, rel_s, column_s, theta)
+        )
+        return True
+
+    def join_hit_probability(
+        self,
+        rel_r: Relation,
+        column_r: str,
+        rel_s: Relation,
+        column_s: str,
+        theta: ThetaOperator,
+    ) -> float:
+        """The optimizer's discount: how likely is this join cached?
+
+        1.0 when a fresh entry exists for the join under *any* strategy
+        (an exact hit is then certain); otherwise the cache's observed
+        lifetime hit ratio -- the empirical base rate of the workload's
+        repetitiveness.
+        """
+        group = self._groups.get(
+            self._join_group(rel_r, column_r, rel_s, column_s, theta)
+        )
+        if group:
+            for entry_key in sorted(group):
+                entry = self._entries.get(entry_key)
+                if entry is not None and self._validate(entry_key, entry):
+                    return 1.0
+        return self.stats.hit_ratio
+
+    # ------------------------------------------------------------------
+    # Invalidation, eviction, maintenance
+    # ------------------------------------------------------------------
+
+    def purge_stale(self) -> int:
+        """Drop every entry whose relation epoch moved; returns count.
+
+        Probes already invalidate lazily; this sweep exists for
+        maintenance points (and for the stateful suite's invariant that
+        no entry survives an epoch bump).
+        """
+        stale = [k for k, e in self._entries.items() if not e.fresh()]
+        for key in stale:
+            self._drop(key)
+            self.stats.invalidations += 1
+            self._count("cache.invalidations")
+        if stale:
+            self._publish_gauges()
+        return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything (counts as evictions); returns entry count."""
+        count = len(self._entries)
+        for key in list(self._entries):
+            self._drop(key)
+            self.stats.evictions += 1
+            self._count("cache.evictions")
+        self._publish_gauges()
+        return count
+
+    def _validate(self, key: tuple, entry: _SelectEntry | _JoinEntry) -> bool:
+        """Freshness check; stale entries are dropped, never served."""
+        if entry.fresh():
+            return True
+        self._drop(key)
+        self.stats.invalidations += 1
+        self._count("cache.invalidations")
+        self._publish_gauges()
+        return False
+
+    def _store(
+        self, key: tuple, entry: _SelectEntry | _JoinEntry, group: tuple
+    ) -> None:
+        self._tick += 1
+        entry.tick = self._tick
+        self._entries[key] = entry
+        self._groups.setdefault(group, set()).add(key)
+        self._evict_over_budget(protect=key)
+        self.stats.admissions += 1
+        self._count("cache.admissions")
+        self._publish_gauges()
+
+    def _evict_over_budget(self, protect: tuple) -> None:
+        """LRU-by-predicted-cost eviction down to the byte budget."""
+        while self.total_bytes > self.policy.byte_budget and len(self._entries) > 1:
+            lru = sorted(
+                (k for k in self._entries if k != protect),
+                key=lambda k: self._entries[k].tick,
+            )[: self.policy.eviction_window]
+            if not lru:
+                break
+            victim = min(
+                lru,
+                key=lambda k: (
+                    self._entries[k].predicted_cost,
+                    self._entries[k].tick,
+                ),
+            )
+            self._drop(victim)
+            self.stats.evictions += 1
+            self._count("cache.evictions")
+
+    def _drop(self, key: tuple) -> None:
+        self._entries.pop(key, None)
+        for members in self._groups.values():
+            members.discard(key)
+
+    def _touch(self, entry: _SelectEntry | _JoinEntry) -> None:
+        self._tick += 1
+        entry.tick = self._tick
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _select_key(
+        relation: Relation,
+        column: str,
+        theta: ThetaOperator,
+        strategy: str,
+        order: str,
+        query: Any,
+    ) -> tuple:
+        return (
+            "select",
+            id(relation),
+            column,
+            theta_cache_key(theta),
+            strategy,
+            order,
+            geometry_fingerprint(query),
+        )
+
+    @staticmethod
+    def _select_group(
+        relation: Relation,
+        column: str,
+        theta: ThetaOperator,
+        strategy: str,
+        order: str,
+    ) -> tuple:
+        return ("select", id(relation), column, theta_cache_key(theta),
+                strategy, order)
+
+    @staticmethod
+    def _join_orientation(
+        rel_r: Relation,
+        column_r: str,
+        rel_s: Relation,
+        column_s: str,
+        theta: ThetaOperator,
+    ) -> bool:
+        """True when a symmetric join should be stored S-first."""
+        return theta.symmetric and (id(rel_s), column_s) < (id(rel_r), column_r)
+
+    @classmethod
+    def _join_key(
+        cls,
+        rel_r: Relation,
+        column_r: str,
+        rel_s: Relation,
+        column_s: str,
+        theta: ThetaOperator,
+        strategy: str,
+    ) -> tuple[tuple, bool]:
+        swapped = cls._join_orientation(rel_r, column_r, rel_s, column_s, theta)
+        if swapped:
+            rel_r, rel_s = rel_s, rel_r
+            column_r, column_s = column_s, column_r
+        key = (
+            "join",
+            id(rel_r),
+            column_r,
+            id(rel_s),
+            column_s,
+            theta_cache_key(theta),
+            strategy,
+        )
+        return key, swapped
+
+    @classmethod
+    def _join_group(
+        cls,
+        rel_r: Relation,
+        column_r: str,
+        rel_s: Relation,
+        column_s: str,
+        theta: ThetaOperator,
+    ) -> tuple:
+        if cls._join_orientation(rel_r, column_r, rel_s, column_s, theta):
+            rel_r, rel_s = rel_s, rel_r
+            column_r, column_s = column_s, column_r
+        return ("join", id(rel_r), column_r, id(rel_s), column_s,
+                theta_cache_key(theta))
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, **labels: Any) -> None:
+        if self._metrics is None:
+            return
+        registry, base = self._metrics
+        registry.counter(name, **base, **labels).inc()
+
+    def _publish_gauges(self) -> None:
+        if self._metrics is None:
+            return
+        registry, base = self._metrics
+        registry.gauge("cache.bytes", **base).set(self.total_bytes)
+        registry.gauge("cache.entries", **base).set(len(self._entries))
+
+    def describe(self) -> str:
+        """One-line terminal summary."""
+        s = self.stats
+        return (
+            f"cache: {len(self._entries)} entries, {self.total_bytes} bytes "
+            f"(budget {self.policy.byte_budget}); probes={s.probes} "
+            f"exact={s.exact_hits} containment={s.containment_hits} "
+            f"misses={s.misses} evictions={s.evictions} "
+            f"invalidations={s.invalidations}"
+        )

@@ -1,0 +1,101 @@
+"""Cache keys: geometry fingerprints, predicate keys, monotonicity.
+
+A cache entry must be found again by *value*, not by object identity --
+two :class:`~repro.geometry.rect.Rect` instances with the same
+coordinates describe the same query window.  The fingerprint of a
+geometry is therefore a canonical tuple of its type tag and defining
+coordinates: collision-free (equal fingerprints imply equal geometries),
+hashable, and *translation-compatible* -- translating two geometries by
+the same vector preserves fingerprint equality and inequality, so a
+rigidly translated workload produces exactly the same hit/miss sequence
+against a fresh cache (pinned by the metamorphic suite).
+
+The module also classifies operators for the containment tier.  A
+cached SELECT for window ``W`` can answer ``W' subset-of W`` only when
+the Table 1 Theta-filter contract is monotone under window shrinkage:
+``Theta-hits(W)`` must be a superset of ``Theta-hits(W')`` for every
+``W' subset-of W``.  That holds for the MBR-intersection filter
+(``overlaps``, ``includes``), the closest-point distance filter
+(``within distance d``: shrinking the window can only *increase* the
+closest-point distance to any object, so every filter-hit of ``W'`` was
+already a filter-hit of ``W``) and the buffer filter (``reachable in x
+minutes``, same argument).  It does *not* hold for directional
+operators (the tangent quadrant moves with the window) or the distance
+band (the lower bound breaks monotonicity), so those never take the
+containment tier.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.predicates.theta import (
+    Includes,
+    Overlaps,
+    ReachableWithin,
+    ThetaOperator,
+    WithinDistance,
+)
+
+#: Operators whose Theta-filter hit set is monotone under window
+#: shrinkage -- the containment tier may refine a cached candidate set.
+WINDOW_MONOTONE_THETAS: tuple[type, ...] = (
+    Overlaps,
+    Includes,
+    WithinDistance,
+    ReachableWithin,
+)
+
+#: Operators whose *exact* predicate is itself monotone under window
+#: shrinkage (``theta(W', t)`` implies ``theta(W, t)`` for ``W'`` inside
+#: ``W``) -- the containment tier may refine straight from the cached
+#: exact matches when no candidate set was stored.  ``within distance``
+#: is deliberately absent: it compares *centerpoints*, and the center of
+#: a shrunken window moves.
+EXACT_MONOTONE_THETAS: tuple[type, ...] = (Overlaps, Includes, ReachableWithin)
+
+
+def window_monotone(theta: ThetaOperator) -> bool:
+    """True when the operator's Theta-filter honours the containment
+    contract of Table 1 under window shrinkage."""
+    return isinstance(theta, WINDOW_MONOTONE_THETAS)
+
+
+def exact_monotone(theta: ThetaOperator) -> bool:
+    """True when the exact predicate itself shrinks with the window."""
+    return isinstance(theta, EXACT_MONOTONE_THETAS)
+
+
+def geometry_fingerprint(obj: Any) -> tuple:
+    """Canonical, hashable fingerprint of a spatial object.
+
+    Equal geometries fingerprint equal; distinct geometries fingerprint
+    distinct (the defining coordinates are embedded verbatim, no lossy
+    hashing).  Unknown spatial types fall back to their type name plus
+    ``repr`` -- still value-based for any reasonably implemented
+    geometry.
+    """
+    if isinstance(obj, Rect):
+        return ("rect", obj.xmin, obj.ymin, obj.xmax, obj.ymax)
+    if isinstance(obj, Point):
+        return ("point", obj.x, obj.y)
+    points = getattr(obj, "points", None)
+    if points is not None:
+        return (
+            type(obj).__name__.lower(),
+            tuple((p.x, p.y) for p in points),
+        )
+    return (type(obj).__name__, repr(obj))
+
+
+def theta_cache_key(theta: ThetaOperator) -> tuple[str, str]:
+    """Value-based key for an operator: type plus parameterized name.
+
+    ``theta.name`` embeds the operator's parameters (``within_distance
+    (12.0)``, ``direction_of(nw)``), so two instances with the same
+    parameters share entries while differently parameterized ones never
+    collide.
+    """
+    return (type(theta).__name__, theta.name)

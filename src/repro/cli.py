@@ -231,7 +231,10 @@ def cmd_trace(args: argparse.Namespace) -> str:
 
     Emits the span tree (``--explain``), the JSONL trace
     (``--trace-out``), the model-vs-measured drift verdict (``--drift``)
-    and the metrics registry (``--metrics``).  The footer verifies trace
+    and the metrics registry (``--metrics``).  With ``--cache`` the
+    SELECT and the JOIN each run twice through a query cache -- the cold
+    pass misses and is admitted, the warm pass reports its hit tier --
+    and the cache summary is appended.  The footer verifies trace
     conservation: the exclusive per-span cost deltas must sum back to
     the query meter's totals.
     """
@@ -244,9 +247,14 @@ def cmd_trace(args: argparse.Namespace) -> str:
 
     tracer = Tracer()
     metrics = MetricsRegistry()
+    cache = None
+    if args.cache:
+        from repro.cache import QueryCache
+
+        cache = QueryCache(byte_budget=args.cache_budget)
     ir_r = build_indexed_relation(args.size, seed=args.seed)
     ir_s = build_indexed_relation(args.size, seed=args.seed + 1)
-    executor = SpatialQueryExecutor(tracer=tracer, metrics=metrics)
+    executor = SpatialQueryExecutor(tracer=tracer, metrics=metrics, cache=cache)
     theta = Overlaps()
     meter = CostMeter()
 
@@ -262,6 +270,7 @@ def cmd_trace(args: argparse.Namespace) -> str:
         plan = plan_join(
             ir_r.relation, "shape", ir_s.relation, "shape", theta,
             memory_pages=executor.memory_pages, workers=executor.workers,
+            cache=cache,
         )
     result, report = executor.execute_join(
         ir_r.relation, "shape", ir_s.relation, "shape", theta,
@@ -273,6 +282,29 @@ def cmd_trace(args: argparse.Namespace) -> str:
         f"SELECT {query} overlaps -> {len(selected.matches)} matches",
         f"JOIN ({report.strategy}) -> {len(result.pairs)} pairs",
     ]
+    if cache is not None:
+        warm_select = executor.select(
+            ir_r.relation, "shape", query, theta, strategy="tree", meter=meter
+        )
+        select_tier = (
+            warm_select.strategy[len("cached-"):]
+            if warm_select.strategy.startswith("cached-")
+            else "miss"
+        )
+        warm_result, warm_report = executor.execute_join(
+            ir_r.relation, "shape", ir_s.relation, "shape", theta,
+            strategy=args.strategy, meter=meter, plan=plan,
+        )
+        lines.append(
+            f"warm SELECT -> {len(warm_select.matches)} matches "
+            f"(cache: {select_tier} hit)"
+        )
+        lines.append(
+            f"warm JOIN -> {len(warm_result.pairs)} pairs "
+            f"(cache: {warm_report.cached or 'miss'}"
+            f"{' hit' if warm_report.cached else ''})"
+        )
+        lines.append(cache.describe())
     if args.explain:
         lines.append("")
         lines.append(tracer.render_tree())
@@ -388,6 +420,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--metrics", action="store_true",
         help="print the metrics registry after the run",
+    )
+    trace.add_argument(
+        "--cache", action="store_true",
+        help="run each query twice through a query-result cache and "
+        "report the warm pass's hit tier",
+    )
+    trace.add_argument(
+        "--cache-budget", type=int, default=8 * 1024 * 1024,
+        metavar="BYTES", help="query-cache byte budget (with --cache)",
     )
     trace.set_defaults(handler=cmd_trace)
 

@@ -85,6 +85,15 @@ class SpatialQueryExecutor:
     collects buffer-pool hit ratios, Theta prune rates, QualPairs
     lengths and parallel chunk timings from the layers underneath.  Both
     default to off and cost nothing when off.
+
+    ``cache`` (a :class:`~repro.cache.QueryCache`) short-circuits
+    repeated selections and joins: an exact repeat is served at zero
+    page reads, a SELECT window nested inside a cached one is refined
+    from the stored Theta-candidate set, and misses are admitted under
+    the cache's cost-aware policy.  Entries are invalidated by the
+    operand relations' modification epochs, so a cached executor never
+    serves stale answers.  Default off; with no cache the dispatch path
+    is byte-identical to previous behavior.
     """
 
     def __init__(
@@ -95,6 +104,7 @@ class SpatialQueryExecutor:
         chunk_timeout: float | None = None,
         tracer=None,
         metrics=None,
+        cache=None,
     ) -> None:
         if memory_pages <= 10:
             raise JoinError(f"memory_pages must exceed 10, got {memory_pages}")
@@ -105,6 +115,9 @@ class SpatialQueryExecutor:
         self.chunk_timeout = chunk_timeout
         self.tracer = coalesce(tracer)
         self.metrics = metrics
+        self.cache = cache
+        if cache is not None and metrics is not None:
+            cache.attach_metrics(metrics)
         self._join_indices: dict[
             tuple[int, int, str, str, str], _RegisteredIndex
         ] = {}
@@ -177,7 +190,14 @@ class SpatialQueryExecutor:
         order: str = "bfs",
         meter: CostMeter | None = None,
     ) -> SelectResult:
-        """Spatial selection ``{t in relation : query theta t.column}``."""
+        """Spatial selection ``{t in relation : query theta t.column}``.
+
+        With a cache attached, an exact or containment hit is served
+        inside the ``executor.select`` span (tagged ``cache=exact`` /
+        ``cache=containment``) without touching storage; misses execute
+        normally, collect the Theta-candidate set as a free byproduct
+        of tree traversals, and are offered to the admission policy.
+        """
         from repro.gridfile.gridfile import GridFile
 
         if meter is None:
@@ -188,30 +208,79 @@ class SpatialQueryExecutor:
                 strategy = "grid" if isinstance(index, GridFile) else "tree"
             else:
                 strategy = "scan"
-        with self.tracer.span("executor.select", meter=meter, strategy=strategy):
-            if strategy == "scan":
-                return nested_loop_select(
-                    relation, column, query, theta,
-                    meter=meter, memory_pages=self.memory_pages,
-                )
-            if strategy == "tree":
-                tree = relation.index_on(column)
-                return spatial_select(
-                    tree, query, theta,
-                    accessor=self._cold_accessor(relation, meter),
-                    meter=meter, order=order,
-                    tracer=self.tracer, metrics=self.metrics,
-                )
-            if strategy == "grid":
-                from repro.gridfile.join import grid_select
-
-                grid = relation.index_on(column)
-                if not isinstance(grid, GridFile):
-                    raise JoinError(
-                        f"index on {relation.name}.{column} is not a grid file"
+        with self.tracer.span(
+            "executor.select", meter=meter, strategy=strategy
+        ) as span:
+            if self.cache is not None:
+                with self.tracer.span("cache.probe", meter=meter) as probe:
+                    tier, served = self.cache.probe_select(
+                        relation, column, query, theta,
+                        strategy=strategy, order=order, meter=meter,
                     )
-                return grid_select(grid, query, theta, meter=meter)
-            raise JoinError(f"unknown selection strategy {strategy!r}")
+                    probe.set_tag("tier", tier or "miss")
+                if served is not None:
+                    span.set_tag("cache", tier)
+                    return served
+                span.set_tag("cache", "miss")
+            candidates: list | None = None
+            if self.cache is not None and strategy == "tree":
+                from repro.cache.keys import window_monotone
+
+                if window_monotone(theta):
+                    candidates = []
+            cost_before = meter.total()
+            result = self._dispatch_select(
+                relation, column, query, theta,
+                strategy=strategy, order=order, meter=meter,
+                candidates_out=candidates,
+            )
+            if self.cache is not None:
+                self.cache.admit_select(
+                    relation, column, query, theta,
+                    strategy=strategy, order=order, result=result,
+                    candidates=candidates,
+                    measured_cost=meter.total() - cost_before,
+                )
+            return result
+
+    def _dispatch_select(
+        self,
+        relation: Relation,
+        column: str,
+        query: SpatialObject,
+        theta: ThetaOperator,
+        *,
+        strategy: str,
+        order: str,
+        meter: CostMeter,
+        candidates_out: list | None = None,
+    ) -> SelectResult:
+        from repro.gridfile.gridfile import GridFile
+
+        if strategy == "scan":
+            return nested_loop_select(
+                relation, column, query, theta,
+                meter=meter, memory_pages=self.memory_pages,
+            )
+        if strategy == "tree":
+            tree = relation.index_on(column)
+            return spatial_select(
+                tree, query, theta,
+                accessor=self._cold_accessor(relation, meter),
+                meter=meter, order=order,
+                tracer=self.tracer, metrics=self.metrics,
+                candidates_out=candidates_out,
+            )
+        if strategy == "grid":
+            from repro.gridfile.join import grid_select
+
+            grid = relation.index_on(column)
+            if not isinstance(grid, GridFile):
+                raise JoinError(
+                    f"index on {relation.name}.{column} is not a grid file"
+                )
+            return grid_select(grid, query, theta, meter=meter)
+        raise JoinError(f"unknown selection strategy {strategy!r}")
 
     def _cold_accessor(self, relation: Relation, meter: CostMeter) -> RelationAccessor:
         """A relation accessor over a fresh pool charging to ``meter``."""
@@ -244,6 +313,12 @@ class SpatialQueryExecutor:
 
         ``workers`` overrides the executor-wide worker count for the
         ``partition`` strategy; other strategies ignore it.
+
+        With a cache attached, an exact repeat of a join (same operand
+        identities and epochs, same predicate, same strategy) is served
+        from the stored pair list at zero page reads; symmetric
+        operators share one entry across both operand orders.  Misses
+        execute normally and are offered to the admission policy.
         """
         if meter is None:
             meter = CostMeter()
@@ -252,12 +327,35 @@ class SpatialQueryExecutor:
         if strategy == "auto":
             strategy = self._pick_join_strategy(rel_r, column_r, rel_s, column_s, theta)
 
-        with self.tracer.span("executor.join", meter=meter, strategy=strategy):
-            return self._dispatch_join(
+        with self.tracer.span(
+            "executor.join", meter=meter, strategy=strategy
+        ) as span:
+            if self.cache is not None:
+                with self.tracer.span("cache.probe", meter=meter) as probe:
+                    tier, served = self.cache.probe_join(
+                        rel_r, column_r, rel_s, column_s, theta,
+                        strategy=strategy, collect_tuples=collect_tuples,
+                        meter=meter,
+                    )
+                    probe.set_tag("tier", tier or "miss")
+                if served is not None:
+                    span.set_tag("cache", tier)
+                    return served
+                span.set_tag("cache", "miss")
+            cost_before = meter.total()
+            result = self._dispatch_join(
                 rel_r, column_r, rel_s, column_s, theta,
                 strategy=strategy, meter=meter,
                 collect_tuples=collect_tuples, order=order, workers=workers,
             )
+            if self.cache is not None:
+                self.cache.admit_join(
+                    rel_r, column_r, rel_s, column_s, theta,
+                    strategy=strategy, result=result,
+                    collect_tuples=collect_tuples,
+                    measured_cost=meter.total() - cost_before,
+                )
+            return result
 
     def _dispatch_join(
         self,
@@ -446,6 +544,10 @@ class SpatialQueryExecutor:
                 backoff_steps=attempt_meter.backoff_steps,
                 stats=attempt_meter.snapshot(),
             ))
+            if result.strategy.startswith("cached-"):
+                # Served by the query cache inside :meth:`join`: record
+                # the tier so reports and the CLI can show it.
+                report.cached = result.strategy[len("cached-"):]
             break
 
         if fault_plan is not None:
@@ -464,7 +566,10 @@ class SpatialQueryExecutor:
                 report,
             )
 
-        if plan is not None:
+        if plan is not None and report.cached is None:
+            # Drift compares the model against a *measured execution*;
+            # a cache hit measured ~zero by design, which is savings,
+            # not model drift -- cached runs are skipped.
             from repro.obs.drift import drift_from_plan
 
             winner = next(a for a in report.attempts if a.ok)
@@ -501,6 +606,7 @@ class SpatialQueryExecutor:
             join_index_available=ji is not None,
             memory_pages=self.memory_pages,
             workers=self.workers,
+            cache=self.cache,
         )
         return self.execute_join(
             rel_r, column_r, rel_s, column_s, theta,

@@ -43,6 +43,13 @@ class JoinPlan:
     estimate: SelectivityEstimate
     parameters: ModelParameters
     predicted_costs: dict[str, float] = field(default_factory=dict)
+    #: Probability the query cache serves this join without executing.
+    hit_probability: float = 0.0
+    #: ``predicted_costs`` scaled by ``1 - hit_probability``: the
+    #: expected cost once cache hits are free.  ``predicted_costs``
+    #: stays raw so drift detection compares model vs. an actual
+    #: *execution*, never a cache serve.
+    discounted_costs: dict[str, float] = field(default_factory=dict)
 
     def format_explain(self) -> str:
         lines = [
@@ -56,6 +63,14 @@ class JoinPlan:
         for name, cost in sorted(self.predicted_costs.items(), key=lambda kv: kv[1]):
             marker = "  -> " if name == self.strategy else "     "
             lines.append(f"{marker}{name:12s} {cost:16.1f}")
+        if self.hit_probability > 0.0:
+            best = self.discounted_costs.get(
+                self.strategy, self.predicted_costs.get(self.strategy, 0.0)
+            )
+            lines.append(
+                f"cache hit probability: {self.hit_probability:.2f} "
+                f"(expected cost {best:.1f})"
+            )
         return "\n".join(lines)
 
 
@@ -117,6 +132,7 @@ def plan_join(
     seed: int = 0,
     distribution: str = "uniform",
     workers: int = 1,
+    cache=None,
 ) -> JoinPlan:
     """Estimate, predict, rank -- and return the full decision record.
 
@@ -126,6 +142,13 @@ def plan_join(
     predicted at ``workers`` workers) requires the ``overlaps`` operator.
     The UNIFORM distribution is the sensible default when nothing is
     known about the operator's locality.
+
+    When a :class:`~repro.cache.cache.QueryCache` is passed, the plan
+    also carries the cache's hit probability for this join and each
+    strategy's cost discounted by it.  The discount is uniform -- a hit
+    serves the answer regardless of which strategy would have computed
+    it -- so the *ranking* is unchanged; what changes is the expected
+    cost a caller should budget for.
     """
     estimate = estimate_join_selectivity(
         rel_r, column_r, rel_s, column_s, theta,
@@ -149,11 +172,18 @@ def plan_join(
     if not costs:
         raise JoinError("no executable strategy to rank")
     best = min(costs, key=lambda name: costs[name])
+    hit_p = 0.0
+    if cache is not None:
+        hit_p = cache.join_hit_probability(rel_r, column_r, rel_s, column_s, theta)
     return JoinPlan(
         strategy=best,
         estimate=estimate,
         parameters=params,
         predicted_costs=costs,
+        hit_probability=hit_p,
+        discounted_costs={
+            name: cost * (1.0 - hit_p) for name, cost in costs.items()
+        },
     )
 
 

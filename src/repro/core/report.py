@@ -58,6 +58,9 @@ class ExecutionReport:
     fault_summary: dict[str, int] = field(default_factory=dict)
     fault_events: list[str] = field(default_factory=list)
     drift: DriftReport | None = None
+    #: Cache tier that served the result ("exact"/"containment"), or
+    #: None when the query actually executed.
+    cached: str | None = None
 
     @property
     def strategy(self) -> str:
@@ -103,6 +106,8 @@ class ExecutionReport:
         for i, a in enumerate(self.attempts):
             prefix = "attempt" if i == 0 else "fallback"
             lines.append(f"  {prefix} {i + 1}: {a.describe()}")
+        if self.cached is not None:
+            lines.append(f"served from cache ({self.cached} tier)")
         if self.fault_summary:
             lines.append(
                 "faults: {injected} injected, {consumed} consumed, "

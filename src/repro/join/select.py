@@ -45,6 +45,7 @@ def spatial_select(
     limit: int | None = None,
     tracer=None,
     metrics=None,
+    candidates_out: list | None = None,
 ) -> SelectResult:
     """Run Algorithm SELECT over a generalization tree.
 
@@ -87,6 +88,14 @@ def spatial_select(
         A :class:`~repro.obs.metrics.MetricsRegistry`; BFS publishes
         per-level ``select.filter_evals``/``select.filter_prunes``
         counters (the Theta-filter prune rate per height).
+    candidates_out:
+        When a list is passed, every payload-bearing node that survives
+        the Theta-filter is appended as ``(tid, region, payload)`` --
+        the Theta-candidate set the query cache stores for containment
+        refinement.  The candidates are a byproduct of the traversal the
+        meter already charges; collecting them costs no extra predicate
+        evaluations or page reads (the payload fetch lands on the page
+        the refinement just touched).
     """
     if order not in ("bfs", "dfs"):
         raise JoinError(f"order must be 'bfs' or 'dfs', got {order!r}")
@@ -121,10 +130,23 @@ def spatial_select(
         if not passed:
             return False
         if tid is not None or getattr(node, "payload", None) is not None:
-            meter.record_exact_eval()
-            exact = theta(region, query) if reverse else theta(query, region)
-            if exact:
-                result.matches.append((tid, accessor.visit(tid, node)))
+            if candidates_out is not None:
+                # Collect the Theta-hit before refining: the containment
+                # tier of the query cache needs every filter survivor,
+                # not just the exact matches.  The payload is fetched
+                # once and shared with the match list, so the charged
+                # I/O pattern of the plain path is preserved.
+                payload = accessor.visit(tid, node)
+                candidates_out.append((tid, region, payload))
+                meter.record_exact_eval()
+                exact = theta(region, query) if reverse else theta(query, region)
+                if exact:
+                    result.matches.append((tid, payload))
+            else:
+                meter.record_exact_eval()
+                exact = theta(region, query) if reverse else theta(query, region)
+                if exact:
+                    result.matches.append((tid, accessor.visit(tid, node)))
         return True
 
     def reached_limit() -> bool:

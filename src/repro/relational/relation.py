@@ -252,6 +252,20 @@ class Relation:
         """
         return self._mod_count
 
+    def bump_epoch(self, count: int = 1) -> int:
+        """Advance the modification counter without a tuple mutation.
+
+        Maintenance paths whose effects bypass :meth:`insert`/
+        :meth:`delete` -- WAL recovery rebuilding the relation in place,
+        external reorganization -- call this so epoch-keyed consumers
+        (the query cache, the join-index registry) see their snapshots
+        as stale.  Returns the new count.
+        """
+        if count < 1:
+            raise RelationError(f"epoch bump must be positive, got {count}")
+        self._mod_count += count
+        return self._mod_count
+
     @property
     def num_pages(self) -> int:
         """Pages occupied by the relation (the model's ``ceil(N/m)``)."""

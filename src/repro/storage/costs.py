@@ -57,6 +57,8 @@ class CostMeter:
     backoff_steps: int = 0
     log_writes: int = 0
     checkpoint_pages: int = 0
+    cache_probes: int = 0
+    cache_hits: int = 0
     charges: CostCharges = field(default_factory=CostCharges)
 
     @property
@@ -108,6 +110,21 @@ class CostMeter:
         """
         self.io_retries += 1
         self.backoff_steps += backoff
+
+    def record_cache_probe(self, count: int = 1) -> None:
+        """One query-cache lookup (hit or miss).
+
+        Cache traffic is pure observation: probes and hits are in-memory
+        dictionary operations, charged at zero in :meth:`total` and kept
+        out of ``durability_ios`` -- a cached run's baseline I/O and
+        durability surcharge read exactly like an uncached run's, minus
+        the work the cache saved.
+        """
+        self.cache_probes += count
+
+    def record_cache_hit(self, count: int = 1) -> None:
+        """One query answered from the cache (any tier)."""
+        self.cache_hits += count
 
     def record_log_write(self, pages: int = 1) -> None:
         """One physical write of a WAL log/anchor page (write-through)."""

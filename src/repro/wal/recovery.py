@@ -334,6 +334,15 @@ def recover(
     # over the recovered image finds a checkpoint and an empty tail.
     Checkpointer(new_wal, relations.values()).checkpoint()
 
+    # Replay rebuilt every relation from scratch, so epoch-keyed
+    # consumers (query cache, join-index registry) must treat any
+    # pre-crash snapshot as stale.  The rebuilt modification count could
+    # coincidentally equal a pre-crash value (replay compresses the
+    # mutation history); one extra bump past the replayed count makes
+    # the recovered epoch unambiguous.
+    for rel in relations.values():
+        rel.bump_epoch()
+
     if plan is not None:
         plan.mark_crash_recovered()
     return relations, report

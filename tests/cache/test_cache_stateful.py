@@ -1,0 +1,180 @@
+"""Stateful property testing: the cached executor vs. a shadow model.
+
+Hypothesis interleaves inserts, deletes, reclusters, selections,
+self-joins, cache clears and stale sweeps against one relation behind a
+cache-wrapped executor.  Two claims hold at every step:
+
+1. **hit == fresh re-execution** -- every query answer (whether served
+   from the cache or executed) equals the brute-force answer over a
+   shadow dictionary that has seen the same mutations;
+2. **no entry survives an epoch bump** -- after ``purge_stale`` every
+   remaining entry's captured epoch equals its relation's live
+   modification count.
+
+The byte budget is kept small so eviction fires during the run; the
+admission threshold is zero so every executed query is a candidate
+entry.  CI soaks this machine under several fixed seeds (the
+``cache-soak`` job).
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.cache import CachePolicy, QueryCache
+from repro.core.executor import SpatialQueryExecutor
+from repro.geometry.rect import Rect
+from repro.predicates.theta import Overlaps
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, ColumnType, Schema
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+from repro.trees.rtree import RTree
+
+SCHEMA = Schema([Column("oid", ColumnType.INT), Column("shape", ColumnType.RECT)])
+
+coords = st.floats(min_value=0, max_value=100, allow_nan=False)
+sizes = st.floats(min_value=0, max_value=15, allow_nan=False)
+
+
+class CachedExecutorMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        pool = BufferPool(SimulatedDisk(), capacity=4000, meter=CostMeter())
+        self.relation = Relation("objects", SCHEMA, pool)
+        self.tree = RTree(max_entries=4)
+        self.relation.attach_index("shape", self.tree)
+        self.cache = QueryCache(
+            CachePolicy(byte_budget=64 * 1024, admission_threshold=0.0)
+        )
+        self.executor = SpatialQueryExecutor(
+            memory_pages=4000, cache=self.cache
+        )
+        self.shadow: dict[int, Rect] = {}
+        self.tids: dict[int, object] = {}
+        self.next_oid = 0
+        #: A clustered file is append-frozen (inserting would violate
+        #: the clustering order), so inserts stop after a recluster.
+        self.reclustered = False
+
+    # ------------------------------------------------------------------
+    # Mutations (each bumps the relation's epoch)
+    # ------------------------------------------------------------------
+
+    @precondition(lambda self: not self.reclustered)
+    @rule(x=coords, y=coords, w=sizes, h=sizes)
+    def insert(self, x, y, w, h):
+        rect = Rect(x, y, x + w, y + h)
+        t = self.relation.insert([self.next_oid, rect])
+        self.shadow[self.next_oid] = rect
+        self.tids[self.next_oid] = t.tid
+        self.next_oid += 1
+
+    @precondition(lambda self: self.shadow)
+    @rule(data=st.data())
+    def delete(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.shadow)))
+        self.relation.delete(self.tids[oid])
+        del self.shadow[oid]
+        del self.tids[oid]
+
+    @precondition(lambda self: self.shadow)
+    @rule()
+    def recluster(self):
+        # Rebuild the file in reverse scan order: a physical
+        # reorganization that changes every RID but no tuple.
+        order = [t.tid for t in self.relation.scan()][::-1]
+        rid_map = self.relation.recluster(order)
+        self.tids = {oid: rid_map[tid] for oid, tid in self.tids.items()}
+        self.reclustered = True
+
+    # ------------------------------------------------------------------
+    # Queries: cache-served or executed, always checked against shadow
+    # ------------------------------------------------------------------
+
+    @rule(
+        x=coords, y=coords, w=sizes, h=sizes,
+        strategy=st.sampled_from(["tree", "scan"]),
+    )
+    def select_query(self, x, y, w, h, strategy):
+        query = Rect(x, y, x + w, y + h)
+        res = self.executor.select(
+            self.relation, "shape", query, Overlaps(), strategy=strategy
+        )
+        got = sorted(t["oid"] for _tid, t in res.matches)
+        want = sorted(
+            oid for oid, r in self.shadow.items() if r.intersects(query)
+        )
+        assert got == want, (res.strategy, query)
+
+    @rule()
+    def self_join_query(self):
+        res = self.executor.join(
+            self.relation, "shape", self.relation, "shape", Overlaps(),
+            strategy="scan",
+        )
+        got = sorted(
+            (self.relation.get(a)["oid"], self.relation.get(b)["oid"])
+            for a, b in res.pairs
+        )
+        want = sorted(
+            (i, j)
+            for i, ri in self.shadow.items()
+            for j, rj in self.shadow.items()
+            if ri.intersects(rj)
+        )
+        assert got == want, res.strategy
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    @rule()
+    def clear_cache(self):
+        self.cache.clear()
+        assert len(self.cache) == 0
+
+    @rule()
+    def sweep_stale(self):
+        self.cache.purge_stale()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def no_entry_survives_an_epoch_bump(self):
+        if not hasattr(self, "cache"):
+            return
+        self.cache.purge_stale()
+        for entry in self.cache.entries():
+            assert entry.fresh()
+
+    @invariant()
+    def cache_respects_its_byte_budget(self):
+        if not hasattr(self, "cache"):
+            return
+        assert self.cache.total_bytes <= self.cache.policy.byte_budget or (
+            len(self.cache) == 1
+        )
+
+    @invariant()
+    def stats_are_consistent(self):
+        if not hasattr(self, "cache"):
+            return
+        s = self.cache.stats
+        assert s.probes == s.exact_hits + s.containment_hits + s.misses
+        assert len(self.cache) <= s.admissions
+
+
+CachedExecutorTest = CachedExecutorMachine.TestCase
+CachedExecutorTest.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

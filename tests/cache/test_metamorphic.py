@@ -1,0 +1,165 @@
+"""Metamorphic relations of the query cache.
+
+Three transformation laws that need no ground truth, only consistency:
+
+* **window shrinkage** -- for a containment-eligible operator, a cached
+  window ``W`` must answer every ``W' subset-of W`` identically to a
+  fresh execution of ``W'`` (the Table 1 filter contract in action);
+* **predicate symmetry** -- for a symmetric operator, ``R join S``
+  followed by ``S join R`` must hit the shared entry and return the
+  mirrored pairs;
+* **translation invariance** -- rigidly translating the whole workload
+  (data and queries) must reproduce the exact hit/miss/tier sequence
+  against a fresh cache: cache behaviour depends on the *relative*
+  geometry only.
+"""
+
+import random
+
+import pytest
+
+from repro.cache import CachePolicy, QueryCache
+from repro.core.executor import SpatialQueryExecutor
+from repro.geometry.rect import Rect
+from repro.predicates.theta import Overlaps, WithinDistance
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, ColumnType, Schema
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+from repro.trees.rtree import RTree
+
+SCHEMA = Schema([Column("oid", ColumnType.INT), Column("shape", ColumnType.RECT)])
+
+
+def build_relation(name: str, count: int, seed: int, dx: float = 0.0,
+                   dy: float = 0.0) -> Relation:
+    """A seeded indexed relation, optionally rigidly translated."""
+    pool = BufferPool(SimulatedDisk(), capacity=4000, meter=CostMeter())
+    rel = Relation(name, SCHEMA, pool)
+    rng = random.Random(seed)
+    for i in range(count):
+        x, y = rng.uniform(0, 900), rng.uniform(0, 900)
+        w, h = rng.uniform(1, 40), rng.uniform(1, 40)
+        rel.insert([i, Rect(x + dx, y + dy, x + w + dx, y + h + dy)])
+    rel.attach_index("shape", RTree(max_entries=8))
+    return rel
+
+
+def cached_executor() -> SpatialQueryExecutor:
+    return SpatialQueryExecutor(
+        memory_pages=4000,
+        cache=QueryCache(CachePolicy(admission_threshold=0.0)),
+    )
+
+
+def oids(result) -> list[int]:
+    return sorted(t["oid"] for _tid, t in result.matches)
+
+
+# ----------------------------------------------------------------------
+# Window shrinkage
+# ----------------------------------------------------------------------
+
+SHRINK_THETAS = [Overlaps(), WithinDistance(60.0)]
+
+WINDOWS = [
+    Rect(100.0, 100.0, 500.0, 500.0),      # the cached outer window W
+    Rect(150.0, 150.0, 450.0, 450.0),      # concentric shrink
+    Rect(100.0, 100.0, 300.0, 500.0),      # shares W's corner
+    Rect(340.0, 210.0, 360.0, 230.0),      # tiny interior window
+    Rect(100.0, 100.0, 500.0, 500.0),      # W itself (exact tier)
+]
+
+
+@pytest.mark.parametrize("theta", SHRINK_THETAS, ids=lambda t: t.name)
+def test_window_shrinkage_equals_fresh_execution(theta):
+    rel = build_relation("r", 150, seed=3)
+    executor = cached_executor()
+    plain = SpatialQueryExecutor(memory_pages=4000)
+
+    outer = WINDOWS[0]
+    executor.select(rel, "shape", outer, theta, strategy="tree")
+    for window in WINDOWS[1:]:
+        assert outer.contains_rect(window)
+        served = executor.select(rel, "shape", window, theta, strategy="tree")
+        fresh = plain.select(rel, "shape", window, theta, strategy="tree")
+        assert served.strategy.startswith("cached-"), window
+        assert oids(served) == oids(fresh), (theta.name, window)
+
+
+def test_shrinkage_chain_serves_from_best_fitting_window():
+    """Nested windows cached outermost-first: each shrink still agrees."""
+    rel = build_relation("r", 150, seed=4)
+    executor = cached_executor()
+    plain = SpatialQueryExecutor(memory_pages=4000)
+    windows = [
+        Rect(50.0, 50.0, 800.0, 800.0),
+        Rect(100.0, 100.0, 600.0, 600.0),
+        Rect(200.0, 200.0, 400.0, 400.0),
+    ]
+    for i, window in enumerate(windows):
+        served = executor.select(rel, "shape", window, Overlaps(),
+                                 strategy="tree")
+        fresh = plain.select(rel, "shape", window, Overlaps(), strategy="tree")
+        assert oids(served) == oids(fresh)
+        if i > 0:
+            assert served.strategy == "cached-containment"
+
+
+# ----------------------------------------------------------------------
+# Predicate symmetry
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "theta", [Overlaps(), WithinDistance(50.0)], ids=lambda t: t.name
+)
+def test_symmetric_join_mirrors_through_the_cache(theta):
+    rel_r = build_relation("r", 80, seed=5)
+    rel_s = build_relation("s", 70, seed=6)
+    executor = cached_executor()
+    plain = SpatialQueryExecutor(memory_pages=4000)
+
+    rs = executor.join(rel_r, "shape", rel_s, "shape", theta, strategy="tree")
+    sr = executor.join(rel_s, "shape", rel_r, "shape", theta, strategy="tree")
+    assert sr.strategy == "cached-exact"
+    assert sorted(sr.pairs) == sorted((b, a) for a, b in rs.pairs)
+    # ... and the mirrored serve equals a fresh mirrored execution.
+    fresh_sr = plain.join(rel_s, "shape", rel_r, "shape", theta,
+                          strategy="tree")
+    assert sorted(sr.pairs) == sorted(fresh_sr.pairs)
+
+
+# ----------------------------------------------------------------------
+# Translation invariance
+# ----------------------------------------------------------------------
+
+def _tier_sequence(dx: float, dy: float) -> list[str]:
+    """Hit/miss/tier classification of a fixed query script, translated."""
+    rel = build_relation("r", 120, seed=7, dx=dx, dy=dy)
+    executor = cached_executor()
+    script = [
+        Rect(100.0, 100.0, 500.0, 500.0),
+        Rect(150.0, 150.0, 450.0, 450.0),   # containment in #1
+        Rect(100.0, 100.0, 500.0, 500.0),   # exact repeat of #1
+        Rect(600.0, 600.0, 700.0, 700.0),   # disjoint: miss
+        Rect(620.0, 620.0, 680.0, 680.0),   # containment in #4
+    ]
+    tiers = []
+    for window in script:
+        shifted = Rect(window.xmin + dx, window.ymin + dy,
+                       window.xmax + dx, window.ymax + dy)
+        result = executor.select(rel, "shape", shifted, Overlaps(),
+                                 strategy="tree")
+        tiers.append(
+            result.strategy[len("cached-"):]
+            if result.strategy.startswith("cached-") else "miss"
+        )
+    return tiers
+
+
+@pytest.mark.parametrize("delta", [(1000.0, 0.0), (-250.0, 4000.0)])
+def test_translation_preserves_hit_miss_classification(delta):
+    baseline = _tier_sequence(0.0, 0.0)
+    assert baseline == ["miss", "containment", "exact", "miss", "containment"]
+    assert _tier_sequence(*delta) == baseline

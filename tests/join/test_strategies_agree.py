@@ -3,10 +3,16 @@
 This is the strongest correctness check in the suite: randomized inputs
 (sizes, extents, operators), five independent implementations, one
 answer.  Hypothesis drives the workload generation.
+
+The cache differential below extends the claim through the query cache:
+for every executor strategy, a cache-wrapped executor's cold run *and*
+its warm (cache-served) run must be byte-identical to the uncached
+executor's answer -- for selections and joins alike.
 """
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -93,3 +99,125 @@ def test_all_strategies_agree(n_r, n_s, extent, seed, theta, fanout):
             rel_r, rel_s, "shape", "shape", universe=UNIVERSE, max_level=6
         )
         assert zm.pair_set() == expected
+
+
+# ----------------------------------------------------------------------
+# Cache differential: cached executor == uncached executor, per strategy
+# ----------------------------------------------------------------------
+
+CACHE_QUERY = Rect(100.0, 100.0, 400.0, 420.0)
+
+SELECT_STRATEGIES = ["scan", "tree", "tree-dfs"]
+JOIN_STRATEGIES = [
+    "scan", "tree", "tree-dfs", "zorder", "partition", "join-index",
+    "index-nl",
+]
+
+
+@pytest.fixture(scope="module")
+def cache_workload():
+    from repro.workloads.assembly import build_indexed_relation
+
+    ir_r = build_indexed_relation(120, seed=11, max_extent=40.0)
+    ir_s = build_indexed_relation(100, seed=12, max_extent=40.0)
+    return ir_r, ir_s
+
+
+def _make_executor(cached: bool):
+    from repro.cache import CachePolicy, QueryCache
+    from repro.core.executor import SpatialQueryExecutor
+
+    cache = None
+    if cached:
+        # Admit everything: the differential covers cheap selections too.
+        cache = QueryCache(CachePolicy(admission_threshold=0.0))
+    return SpatialQueryExecutor(memory_pages=4000, cache=cache)
+
+
+def _split(spec: str) -> tuple[str, str]:
+    if spec.endswith("-dfs"):
+        return spec[: -len("-dfs")], "dfs"
+    return spec, "bfs"
+
+
+def _select_payload(result):
+    """Sorted, value-level rendering of a SELECT answer."""
+    return sorted((tid, tuple(t.values)) for tid, t in result.matches)
+
+
+@pytest.mark.parametrize("spec", SELECT_STRATEGIES)
+def test_cached_select_matches_uncached(spec, cache_workload):
+    from repro.predicates.theta import Overlaps
+
+    ir_r, _ = cache_workload
+    strategy, order = _split(spec)
+    baseline = _make_executor(cached=False).select(
+        ir_r.relation, "shape", CACHE_QUERY, Overlaps(),
+        strategy=strategy, order=order,
+    )
+    cached_exec = _make_executor(cached=True)
+    cold = cached_exec.select(
+        ir_r.relation, "shape", CACHE_QUERY, Overlaps(),
+        strategy=strategy, order=order,
+    )
+    warm = cached_exec.select(
+        ir_r.relation, "shape", CACHE_QUERY, Overlaps(),
+        strategy=strategy, order=order,
+    )
+    expected = _select_payload(baseline)
+    assert _select_payload(cold) == expected, spec
+    assert _select_payload(warm) == expected, spec
+    assert warm.strategy == "cached-exact", spec
+
+
+@pytest.mark.parametrize("spec", JOIN_STRATEGIES)
+def test_cached_join_matches_uncached(spec, cache_workload):
+    from repro.predicates.theta import Overlaps
+
+    ir_r, ir_s = cache_workload
+    strategy, order = _split(spec)
+    operands = (ir_r.relation, "shape", ir_s.relation, "shape", Overlaps())
+
+    plain = _make_executor(cached=False)
+    cached_exec = _make_executor(cached=True)
+    if strategy == "join-index":
+        plain.precompute_join_index(
+            ir_r.relation, ir_s.relation, "shape", "shape", Overlaps()
+        )
+        cached_exec.precompute_join_index(
+            ir_r.relation, ir_s.relation, "shape", "shape", Overlaps()
+        )
+
+    baseline = plain.join(*operands, strategy=strategy, order=order)
+    cold = cached_exec.join(*operands, strategy=strategy, order=order)
+    warm = cached_exec.join(*operands, strategy=strategy, order=order)
+
+    # Byte-identical sorted pair lists -- not just the deduplicated set,
+    # so a strategy emitting duplicates (zorder) must be served its own
+    # duplicates back.
+    expected = sorted(baseline.pairs)
+    assert sorted(cold.pairs) == expected, spec
+    assert sorted(warm.pairs) == expected, spec
+    assert warm.strategy == "cached-exact", spec
+
+
+@pytest.mark.parametrize("spec", JOIN_STRATEGIES)
+def test_warm_join_hits_read_zero_pages(spec, cache_workload):
+    from repro.predicates.theta import Overlaps
+    from repro.storage.costs import CostMeter
+
+    ir_r, ir_s = cache_workload
+    strategy, order = _split(spec)
+    operands = (ir_r.relation, "shape", ir_s.relation, "shape", Overlaps())
+    executor = _make_executor(cached=True)
+    if strategy == "join-index":
+        executor.precompute_join_index(
+            ir_r.relation, ir_s.relation, "shape", "shape", Overlaps()
+        )
+    executor.join(*operands, strategy=strategy, order=order)
+    warm_meter = CostMeter()
+    warm = executor.join(*operands, strategy=strategy, order=order, meter=warm_meter)
+    assert warm.strategy == "cached-exact", spec
+    assert warm_meter.page_reads == 0, spec
+    assert warm_meter.page_writes == 0, spec
+    assert warm_meter.cache_hits == 1, spec

@@ -56,7 +56,8 @@ class TestMeter:
             "page_reads", "page_writes", "buffer_hits",
             "theta_filter_evals", "theta_exact_evals",
             "update_computations", "io_retries", "backoff_steps",
-            "log_writes", "checkpoint_pages", "total",
+            "log_writes", "checkpoint_pages", "cache_probes", "cache_hits",
+            "total",
         }
 
     def test_snapshot_exhaustive_over_declared_fields(self):
@@ -83,6 +84,23 @@ class TestMeter:
         # ...but is charged at the same C_IO rate in the weighted total.
         assert m.durability_ios == 4
         assert m.total() == (2 + 4) * 1000.0
+
+    def test_cache_counters_free_and_separate(self):
+        """Cache probes/hits are observation, never cost.
+
+        They must stay out of the weighted total, out of the baseline
+        I/O counters and out of the durability surcharge -- the pinned
+        strategy baselines and drift totals depend on it.
+        """
+        m = CostMeter()
+        m.record_read(2)
+        m.record_cache_probe(9)
+        m.record_cache_hit(5)
+        assert m.cache_probes == 9
+        assert m.cache_hits == 5
+        assert m.io_operations == 2
+        assert m.durability_ios == 0
+        assert m.total() == CostMeter(page_reads=2).total() == 2 * 1000.0
 
 
 class TestMergeAndAbsorb:
