@@ -22,8 +22,17 @@ scheme: every entry captures the operand relations' monotonic
 ``modification_count`` at admission, and any insert, delete, recluster
 or WAL-recovery replay bumps that counter -- stale entries are dropped
 on the next probe (and by :meth:`QueryCache.purge_stale`), never
-served.  Keys hold strong references to their relations, so ``id()``
-identity cannot be recycled while an entry lives.
+served.  Entries are keyed on :attr:`~repro.relational.relation.Relation.uid`
+-- a stable, never-recycled instance id -- and hold their relations by
+*weak* reference: dropping a relation releases its cached results (and
+their geometry payloads) instead of pinning them forever, and a
+same-named reload gets a fresh uid so it can never be served another
+relation's answers.
+
+The cache is safe to share across threads: one re-entrant lock guards
+every probe, admission, eviction and sweep, which is what lets the
+multi-session query service of :mod:`repro.server` keep a single cache
+hot for all concurrent clients.
 
 Symmetric operators are orientation-normalized: ``R join S`` and
 ``S join R`` under a symmetric theta share one entry, with the pair
@@ -32,6 +41,8 @@ order swapped on the way out.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -90,9 +101,14 @@ class CacheStats:
 
 @dataclass(slots=True)
 class _SelectEntry:
-    """One cached spatial selection."""
+    """One cached spatial selection.
 
-    relation: Relation
+    ``relation_ref`` is a weak reference: the entry must never keep its
+    relation alive (a dropped relation would otherwise be pinned by its
+    own cached answers, forever, keyed under an id that can recycle).
+    """
+
+    relation_ref: weakref.ref
     column: str
     epoch: int
     theta: ThetaOperator
@@ -107,15 +123,16 @@ class _SelectEntry:
     tick: int = 0
 
     def fresh(self) -> bool:
-        return self.relation.modification_count == self.epoch
+        rel = self.relation_ref()
+        return rel is not None and rel.modification_count == self.epoch
 
 
 @dataclass(slots=True)
 class _JoinEntry:
     """One cached spatial join, stored in canonical orientation."""
 
-    rel_r: Relation
-    rel_s: Relation
+    rel_r_ref: weakref.ref
+    rel_s_ref: weakref.ref
     epoch_r: int
     epoch_s: int
     theta: ThetaOperator
@@ -126,9 +143,13 @@ class _JoinEntry:
     tick: int = 0
 
     def fresh(self) -> bool:
+        rel_r = self.rel_r_ref()
+        rel_s = self.rel_s_ref()
         return (
-            self.rel_r.modification_count == self.epoch_r
-            and self.rel_s.modification_count == self.epoch_s
+            rel_r is not None
+            and rel_s is not None
+            and rel_r.modification_count == self.epoch_r
+            and rel_s.modification_count == self.epoch_s
         )
 
 
@@ -140,6 +161,9 @@ class QueryCache:
     construct one.  ``attach_metrics`` publishes hit/miss/eviction/
     invalidation counters and byte/entry gauges into a
     :class:`~repro.obs.metrics.MetricsRegistry`.
+
+    All public methods are thread-safe; a single instance may be shared
+    by every session of a concurrent query service.
     """
 
     def __init__(
@@ -164,6 +188,12 @@ class QueryCache:
         self._groups: dict[tuple, set[tuple]] = {}
         self._tick = 0
         self._metrics = None
+        self._lock = threading.RLock()
+        #: Uids of relations whose weakref died; their entries are
+        #: purged at the next probe/admit/sweep.  The weakref callback
+        #: only appends (atomic), never touches cache structures -- it
+        #: may fire inside garbage collection on any thread.
+        self._dead_uids: list[int] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -178,12 +208,54 @@ class QueryCache:
 
     def entries(self) -> list[_SelectEntry | _JoinEntry]:
         """Live entries (fresh or not-yet-purged stale), for tests."""
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def attach_metrics(self, registry: Any, **labels: Any) -> None:
         """Publish cache events into a metrics registry from now on."""
-        self._metrics = (registry, labels)
-        self._publish_gauges()
+        with self._lock:
+            self._metrics = (registry, labels)
+            self._publish_gauges()
+
+    # ------------------------------------------------------------------
+    # Relation liveness
+    # ------------------------------------------------------------------
+
+    def _track(self, relation: Relation) -> weakref.ref:
+        """A weak reference whose death schedules the uid for purging."""
+        dead = self._dead_uids
+        uid = relation.uid
+        return weakref.ref(relation, lambda _ref: dead.append(uid))
+
+    def _purge_dead(self) -> None:
+        """Drop entries whose relation was garbage-collected.
+
+        Runs under the lock at every probe/admit/sweep; keyed on the
+        stable uid the dead relation carried, so the sweep touches
+        exactly the entries that can never be served again.
+        """
+        if not self._dead_uids:
+            return
+        dead: set[int] = set()
+        while self._dead_uids:
+            dead.add(self._dead_uids.pop())
+        doomed = [
+            key for key in self._entries
+            if not dead.isdisjoint(self._key_uids(key))
+        ]
+        for key in doomed:
+            self._drop(key)
+            self.stats.invalidations += 1
+            self._count("cache.invalidations")
+        if doomed:
+            self._publish_gauges()
+
+    @staticmethod
+    def _key_uids(key: tuple) -> tuple[int, ...]:
+        """The relation uids embedded in an entry key."""
+        if key[0] == "select":
+            return (key[1],)
+        return (key[1], key[3])
 
     # ------------------------------------------------------------------
     # Selections
@@ -206,34 +278,36 @@ class QueryCache:
         per stored candidate to ``meter`` -- the same refinement work a
         real traversal would do at the leaves -- and zero page reads.
         """
-        self.stats.probes += 1
-        meter.record_cache_probe()
+        with self._lock:
+            self._purge_dead()
+            self.stats.probes += 1
+            meter.record_cache_probe()
 
-        key = self._select_key(relation, column, theta, strategy, order, query)
-        entry = self._entries.get(key)
-        if entry is not None and not self._validate(key, entry):
-            entry = None
-        if entry is not None:
-            assert isinstance(entry, _SelectEntry)
-            self._touch(entry)
-            self.stats.exact_hits += 1
-            meter.record_cache_hit()
-            self._count("cache.hits", tier="exact", kind="select")
-            result = SelectResult(
-                strategy="cached-exact", matches=list(entry.matches)
+            key = self._select_key(relation, column, theta, strategy, order, query)
+            entry = self._entries.get(key)
+            if entry is not None and not self._validate(key, entry):
+                entry = None
+            if entry is not None:
+                assert isinstance(entry, _SelectEntry)
+                self._touch(entry)
+                self.stats.exact_hits += 1
+                meter.record_cache_hit()
+                self._count("cache.hits", tier="exact", kind="select")
+                result = SelectResult(
+                    strategy="cached-exact", matches=list(entry.matches)
+                )
+                result.stats = meter.snapshot()
+                return "exact", result
+
+            served = self._containment_lookup(
+                relation, column, query, theta, strategy, order, meter
             )
-            result.stats = meter.snapshot()
-            return "exact", result
+            if served is not None:
+                return "containment", served
 
-        served = self._containment_lookup(
-            relation, column, query, theta, strategy, order, meter
-        )
-        if served is not None:
-            return "containment", served
-
-        self.stats.misses += 1
-        self._count("cache.misses", kind="select")
-        return None, None
+            self.stats.misses += 1
+            self._count("cache.misses", kind="select")
+            return None, None
 
     def _containment_lookup(
         self,
@@ -323,44 +397,59 @@ class QueryCache:
         candidates: list[tuple[Any, Any, Any]] | None,
         measured_cost: float,
         predicted_cost: float | None = None,
+        epoch: int | None = None,
     ) -> bool:
         """Consider caching a freshly executed selection.
 
         ``predicted_cost`` is the Section 4 model prediction when the
         caller planned the query; the metered actual of this execution
-        is the fallback predictor.  Returns True when admitted.
+        is the fallback predictor.  ``epoch`` is the relation's
+        modification count *pinned before execution*: when the relation
+        mutated while the query ran (a concurrent writer), the result
+        may mix states and is refused rather than cached.  Returns True
+        when admitted.
         """
-        cost = predicted_cost if predicted_cost is not None else measured_cost
-        nbytes = estimate_select_bytes(
-            len(result.matches),
-            len(candidates) if candidates is not None else 0,
-            relation.record_size,
-        )
-        if not self.policy.admits(cost, nbytes):
-            self.stats.rejections += 1
-            return False
-        refinable = all(
-            hasattr(payload, "__getitem__") for _tid, payload in result.matches
-        )
-        entry = _SelectEntry(
-            relation=relation,
-            column=column,
-            epoch=relation.modification_count,
-            theta=theta,
-            query=query,
-            strategy=strategy,
-            order=order,
-            matches=list(result.matches),
-            candidates=list(candidates) if candidates is not None else None,
-            refinable_matches=refinable,
-            predicted_cost=cost,
-            nbytes=nbytes,
-        )
-        key = self._select_key(relation, column, theta, strategy, order, query)
-        self._store(
-            key, entry, self._select_group(relation, column, theta, strategy, order)
-        )
-        return True
+        with self._lock:
+            self._purge_dead()
+            if epoch is None:
+                epoch = relation.modification_count
+            elif epoch != relation.modification_count:
+                # The operand moved mid-execution: this answer belongs
+                # to no single epoch and must never be served.
+                self.stats.rejections += 1
+                return False
+            cost = predicted_cost if predicted_cost is not None else measured_cost
+            nbytes = estimate_select_bytes(
+                len(result.matches),
+                len(candidates) if candidates is not None else 0,
+                relation.record_size,
+            )
+            if not self.policy.admits(cost, nbytes):
+                self.stats.rejections += 1
+                return False
+            refinable = all(
+                hasattr(payload, "__getitem__") for _tid, payload in result.matches
+            )
+            entry = _SelectEntry(
+                relation_ref=self._track(relation),
+                column=column,
+                epoch=epoch,
+                theta=theta,
+                query=query,
+                strategy=strategy,
+                order=order,
+                matches=list(result.matches),
+                candidates=list(candidates) if candidates is not None else None,
+                refinable_matches=refinable,
+                predicted_cost=cost,
+                nbytes=nbytes,
+            )
+            key = self._select_key(relation, column, theta, strategy, order, query)
+            self._store(
+                key, entry,
+                self._select_group(relation, column, theta, strategy, order),
+            )
+            return True
 
     # ------------------------------------------------------------------
     # Joins
@@ -379,43 +468,45 @@ class QueryCache:
         meter: CostMeter,
     ) -> tuple[str, JoinResult] | tuple[None, None]:
         """Look up a join result; joins have the exact tier only."""
-        self.stats.probes += 1
-        meter.record_cache_probe()
-        key, swapped = self._join_key(
-            rel_r, column_r, rel_s, column_s, theta, strategy
-        )
-        entry = self._entries.get(key)
-        if entry is not None and not self._validate(key, entry):
-            entry = None
-        if (
-            entry is None
-            or not isinstance(entry, _JoinEntry)
-            or (collect_tuples and entry.tuples is None)
-        ):
-            self.stats.misses += 1
-            self._count("cache.misses", kind="join")
-            return None, None
-        self._touch(entry)
-        self.stats.exact_hits += 1
-        meter.record_cache_hit()
-        self._count("cache.hits", tier="exact", kind="join")
-        if swapped:
-            pairs = [(b, a) for a, b in entry.pairs]
-            tuples = (
-                [(b, a) for a, b in entry.tuples]
-                if collect_tuples and entry.tuples is not None
-                else []
+        with self._lock:
+            self._purge_dead()
+            self.stats.probes += 1
+            meter.record_cache_probe()
+            key, swapped = self._join_key(
+                rel_r, column_r, rel_s, column_s, theta, strategy
             )
-        else:
-            pairs = list(entry.pairs)
-            tuples = (
-                list(entry.tuples)
-                if collect_tuples and entry.tuples is not None
-                else []
-            )
-        result = JoinResult(strategy="cached-exact", pairs=pairs, tuples=tuples)
-        result.stats = meter.snapshot()
-        return "exact", result
+            entry = self._entries.get(key)
+            if entry is not None and not self._validate(key, entry):
+                entry = None
+            if (
+                entry is None
+                or not isinstance(entry, _JoinEntry)
+                or (collect_tuples and entry.tuples is None)
+            ):
+                self.stats.misses += 1
+                self._count("cache.misses", kind="join")
+                return None, None
+            self._touch(entry)
+            self.stats.exact_hits += 1
+            meter.record_cache_hit()
+            self._count("cache.hits", tier="exact", kind="join")
+            if swapped:
+                pairs = [(b, a) for a, b in entry.pairs]
+                tuples = (
+                    [(b, a) for a, b in entry.tuples]
+                    if collect_tuples and entry.tuples is not None
+                    else []
+                )
+            else:
+                pairs = list(entry.pairs)
+                tuples = (
+                    list(entry.tuples)
+                    if collect_tuples and entry.tuples is not None
+                    else []
+                )
+            result = JoinResult(strategy="cached-exact", pairs=pairs, tuples=tuples)
+            result.stats = meter.snapshot()
+            return "exact", result
 
     def admit_join(
         self,
@@ -430,46 +521,68 @@ class QueryCache:
         collect_tuples: bool,
         measured_cost: float,
         predicted_cost: float | None = None,
+        epoch_r: int | None = None,
+        epoch_s: int | None = None,
     ) -> bool:
-        """Consider caching a freshly executed join."""
-        cost = predicted_cost if predicted_cost is not None else measured_cost
-        nbytes = estimate_join_bytes(
-            len(result.pairs),
-            len(result.tuples) if collect_tuples else 0,
-            rel_r.record_size,
-            rel_s.record_size,
-        )
-        if not self.policy.admits(cost, nbytes):
-            self.stats.rejections += 1
-            return False
-        key, swapped = self._join_key(
-            rel_r, column_r, rel_s, column_s, theta, strategy
-        )
-        if swapped:
-            pairs = [(b, a) for a, b in result.pairs]
-            tuples = (
-                [(b, a) for a, b in result.tuples] if collect_tuples else None
+        """Consider caching a freshly executed join.
+
+        ``epoch_r``/``epoch_s`` are the operands' modification counts
+        pinned before execution; a result computed while either operand
+        mutated is refused (see :meth:`admit_select`).
+        """
+        with self._lock:
+            self._purge_dead()
+            if epoch_r is None:
+                epoch_r = rel_r.modification_count
+            elif epoch_r != rel_r.modification_count:
+                self.stats.rejections += 1
+                return False
+            if epoch_s is None:
+                epoch_s = rel_s.modification_count
+            elif epoch_s != rel_s.modification_count:
+                self.stats.rejections += 1
+                return False
+            cost = predicted_cost if predicted_cost is not None else measured_cost
+            nbytes = estimate_join_bytes(
+                len(result.pairs),
+                len(result.tuples) if collect_tuples else 0,
+                rel_r.record_size,
+                rel_s.record_size,
             )
-            first, second = rel_s, rel_r
-        else:
-            pairs = list(result.pairs)
-            tuples = list(result.tuples) if collect_tuples else None
-            first, second = rel_r, rel_s
-        entry = _JoinEntry(
-            rel_r=first,
-            rel_s=second,
-            epoch_r=first.modification_count,
-            epoch_s=second.modification_count,
-            theta=theta,
-            pairs=pairs,
-            tuples=tuples,
-            predicted_cost=cost,
-            nbytes=nbytes,
-        )
-        self._store(
-            key, entry, self._join_group(rel_r, column_r, rel_s, column_s, theta)
-        )
-        return True
+            if not self.policy.admits(cost, nbytes):
+                self.stats.rejections += 1
+                return False
+            key, swapped = self._join_key(
+                rel_r, column_r, rel_s, column_s, theta, strategy
+            )
+            if swapped:
+                pairs = [(b, a) for a, b in result.pairs]
+                tuples = (
+                    [(b, a) for a, b in result.tuples] if collect_tuples else None
+                )
+                first, second = rel_s, rel_r
+                epoch_first, epoch_second = epoch_s, epoch_r
+            else:
+                pairs = list(result.pairs)
+                tuples = list(result.tuples) if collect_tuples else None
+                first, second = rel_r, rel_s
+                epoch_first, epoch_second = epoch_r, epoch_s
+            entry = _JoinEntry(
+                rel_r_ref=self._track(first),
+                rel_s_ref=self._track(second),
+                epoch_r=epoch_first,
+                epoch_s=epoch_second,
+                theta=theta,
+                pairs=pairs,
+                tuples=tuples,
+                predicted_cost=cost,
+                nbytes=nbytes,
+            )
+            self._store(
+                key, entry,
+                self._join_group(rel_r, column_r, rel_s, column_s, theta),
+            )
+            return True
 
     def join_hit_probability(
         self,
@@ -486,45 +599,51 @@ class QueryCache:
         lifetime hit ratio -- the empirical base rate of the workload's
         repetitiveness.
         """
-        group = self._groups.get(
-            self._join_group(rel_r, column_r, rel_s, column_s, theta)
-        )
-        if group:
-            for entry_key in sorted(group):
-                entry = self._entries.get(entry_key)
-                if entry is not None and self._validate(entry_key, entry):
-                    return 1.0
-        return self.stats.hit_ratio
+        with self._lock:
+            self._purge_dead()
+            group = self._groups.get(
+                self._join_group(rel_r, column_r, rel_s, column_s, theta)
+            )
+            if group:
+                for entry_key in sorted(group):
+                    entry = self._entries.get(entry_key)
+                    if entry is not None and self._validate(entry_key, entry):
+                        return 1.0
+            return self.stats.hit_ratio
 
     # ------------------------------------------------------------------
     # Invalidation, eviction, maintenance
     # ------------------------------------------------------------------
 
     def purge_stale(self) -> int:
-        """Drop every entry whose relation epoch moved; returns count.
+        """Drop every entry whose relation epoch moved or died; returns count.
 
         Probes already invalidate lazily; this sweep exists for
         maintenance points (and for the stateful suite's invariant that
         no entry survives an epoch bump).
         """
-        stale = [k for k, e in self._entries.items() if not e.fresh()]
-        for key in stale:
-            self._drop(key)
-            self.stats.invalidations += 1
-            self._count("cache.invalidations")
-        if stale:
-            self._publish_gauges()
-        return len(stale)
+        with self._lock:
+            before = self.stats.invalidations
+            self._purge_dead()
+            stale = [k for k, e in self._entries.items() if not e.fresh()]
+            for key in stale:
+                self._drop(key)
+                self.stats.invalidations += 1
+                self._count("cache.invalidations")
+            if stale:
+                self._publish_gauges()
+            return self.stats.invalidations - before
 
     def clear(self) -> int:
         """Drop everything (counts as evictions); returns entry count."""
-        count = len(self._entries)
-        for key in list(self._entries):
-            self._drop(key)
-            self.stats.evictions += 1
-            self._count("cache.evictions")
-        self._publish_gauges()
-        return count
+        with self._lock:
+            count = len(self._entries)
+            for key in list(self._entries):
+                self._drop(key)
+                self.stats.evictions += 1
+                self._count("cache.evictions")
+            self._publish_gauges()
+            return count
 
     def _validate(self, key: tuple, entry: _SelectEntry | _JoinEntry) -> bool:
         """Freshness check; stale entries are dropped, never served."""
@@ -592,7 +711,7 @@ class QueryCache:
     ) -> tuple:
         return (
             "select",
-            id(relation),
+            relation.uid,
             column,
             theta_cache_key(theta),
             strategy,
@@ -608,7 +727,7 @@ class QueryCache:
         strategy: str,
         order: str,
     ) -> tuple:
-        return ("select", id(relation), column, theta_cache_key(theta),
+        return ("select", relation.uid, column, theta_cache_key(theta),
                 strategy, order)
 
     @staticmethod
@@ -620,7 +739,7 @@ class QueryCache:
         theta: ThetaOperator,
     ) -> bool:
         """True when a symmetric join should be stored S-first."""
-        return theta.symmetric and (id(rel_s), column_s) < (id(rel_r), column_r)
+        return theta.symmetric and (rel_s.uid, column_s) < (rel_r.uid, column_r)
 
     @classmethod
     def _join_key(
@@ -638,9 +757,9 @@ class QueryCache:
             column_r, column_s = column_s, column_r
         key = (
             "join",
-            id(rel_r),
+            rel_r.uid,
             column_r,
-            id(rel_s),
+            rel_s.uid,
             column_s,
             theta_cache_key(theta),
             strategy,
@@ -659,7 +778,7 @@ class QueryCache:
         if cls._join_orientation(rel_r, column_r, rel_s, column_s, theta):
             rel_r, rel_s = rel_s, rel_r
             column_r, column_s = column_s, column_r
-        return ("join", id(rel_r), column_r, id(rel_s), column_s,
+        return ("join", rel_r.uid, column_r, rel_s.uid, column_s,
                 theta_cache_key(theta))
 
     # ------------------------------------------------------------------

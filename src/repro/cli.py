@@ -11,6 +11,8 @@ Usage::
                                             # ... under injected storage faults
     python -m repro trace --explain --drift # instrumented query + span tree
     python -m repro trace --trace-out t.jsonl --metrics
+    python -m repro serve --port 7654       # multi-session query service
+    python -m repro client --port 7654 --request '{"op":"relations"}'
 
 All output is plain text, suitable for diffing between runs.  With
 ``--fault-seed``/``--fault-rate`` the demo relations live on a
@@ -336,6 +338,70 @@ def cmd_trace(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _build_service(size: int, cache_budget: int, config=None):
+    """A QueryService over two freshly built demo relations ``r`` and ``s``."""
+    from repro.cache import QueryCache
+    from repro.server import QueryService, StateManager
+    from repro.workloads.assembly import build_indexed_relation
+
+    state = StateManager()
+    for name, seed in (("r", 1), ("s", 2)):
+        ir = build_indexed_relation(size, seed=seed)
+        ir.relation.name = name
+        state.register(ir.relation)
+    return QueryService(
+        state, cache=QueryCache(byte_budget=cache_budget), config=config
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> str:
+    """Serve the demo relations over TCP until interrupted."""
+    from repro.server import QueryServer, ServiceConfig
+
+    service = _build_service(
+        args.size, args.cache_budget,
+        ServiceConfig(
+            max_inflight=args.max_inflight,
+            session_budget=args.session_budget,
+        ),
+    )
+    server = QueryServer(service, host=args.host, port=args.port).start()
+    print(
+        f"query service on {server.host}:{server.port} "
+        f"(relations: {', '.join(service.state.names())}; "
+        f"max_inflight={args.max_inflight}) -- Ctrl-C to stop"
+    )
+    try:
+        import time
+
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    snap = service.metrics.snapshot()
+    queries = sum(
+        s["value"] for s in snap.get("server.queries", [])
+    )
+    return f"served {queries} queries; bye"
+
+
+def cmd_client(args: argparse.Namespace) -> str:
+    """Send one request line (or a ping) to a running server."""
+    import json
+
+    from repro.server import QueryClient
+
+    if args.request:
+        request = json.loads(args.request)
+    else:
+        request = {"op": "ping"}
+    with QueryClient(args.host, args.port) as client:
+        payload = client.request(**request)
+    return json.dumps(payload, indent=2, sort_keys=True, default=str)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -431,6 +497,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BYTES", help="query-cache byte budget (with --cache)",
     )
     trace.set_defaults(handler=cmd_trace)
+
+    serve = sub.add_parser(
+        "serve", help="serve demo relations over the TCP line protocol"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    serve.add_argument("--size", type=int, default=300, help="tuples per relation")
+    serve.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="admission control: max queries executing at once",
+    )
+    serve.add_argument(
+        "--session-budget", type=int, default=None,
+        help="max queries per session (default: unbounded)",
+    )
+    serve.add_argument(
+        "--cache-budget", type=int, default=8 * 1024 * 1024,
+        metavar="BYTES", help="shared query-cache byte budget",
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="send one protocol request to a running server"
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument(
+        "--request", default=None, metavar="JSON",
+        help="request object, e.g. "
+        "'{\"op\":\"select\",\"relation\":\"r\",\"column\":\"shape\","
+        "\"rect\":[0,0,100,100],\"theta\":\"overlaps\"}' (default: ping)",
+    )
+    client.set_defaults(handler=cmd_client)
 
     return parser
 

@@ -15,6 +15,7 @@ Strategy names follow the paper's numbering:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from typing import Any
@@ -44,9 +45,9 @@ from repro.storage.costs import CostMeter
 class _RegisteredIndex:
     """A join index plus the snapshot it was computed from.
 
-    The relation references keep the operands alive (so their ``id()``
-    keys cannot be recycled) and the captured modification counts detect
-    staleness: a mutated base relation invalidates the entry.
+    The relation references keep the operands alive and the captured
+    modification counts detect staleness: a mutated base relation
+    invalidates the entry.
     """
 
     rel_r: Relation
@@ -94,6 +95,14 @@ class SpatialQueryExecutor:
     operand relations' modification epochs, so a cached executor never
     serves stale answers.  Default off; with no cache the dispatch path
     is byte-identical to previous behavior.
+
+    The executor is *reentrant*: :meth:`select`, :meth:`join` and
+    :meth:`execute_join` accept per-call ``tracer``/``metrics``/``cache``
+    overrides (falling back to the instance-level handles), keep no
+    per-query mutable state on ``self``, and guard the join-index
+    registry with a lock -- one executor instance can serve many
+    concurrent sessions, each tracing into its own tracer while sharing
+    one cache and one metrics registry (see :mod:`repro.server`).
     """
 
     def __init__(
@@ -121,6 +130,15 @@ class SpatialQueryExecutor:
         self._join_indices: dict[
             tuple[int, int, str, str, str], _RegisteredIndex
         ] = {}
+        self._registry_lock = threading.Lock()
+
+    def _handles(self, tracer, metrics, cache):
+        """Resolve per-call observability/cache overrides (None = default)."""
+        return (
+            self.tracer if tracer is None else coalesce(tracer),
+            self.metrics if metrics is None else metrics,
+            self.cache if cache is None else cache,
+        )
 
     # ------------------------------------------------------------------
     # Join-index registry
@@ -136,12 +154,13 @@ class SpatialQueryExecutor:
     ) -> JoinIndex:
         """Build and register a join index for later ``join-index`` runs."""
         ji = JoinIndex.precompute(rel_r, rel_s, column_r, column_s, theta)
-        self._join_indices[self._key(rel_r, rel_s, column_r, column_s, theta)] = (
-            _RegisteredIndex(
+        with self._registry_lock:
+            self._join_indices[
+                self._key(rel_r, rel_s, column_r, column_s, theta)
+            ] = _RegisteredIndex(
                 rel_r, rel_s,
                 rel_r.modification_count, rel_s.modification_count, ji,
             )
-        )
         return ji
 
     def join_index_for(
@@ -159,21 +178,23 @@ class SpatialQueryExecutor:
         answers, which is worse than recomputing.
         """
         key = self._key(rel_r, rel_s, column_r, column_s, theta)
-        entry = self._join_indices.get(key)
-        if entry is None:
-            return None
-        if entry.is_stale():
-            del self._join_indices[key]
-            return None
-        return entry.index
+        with self._registry_lock:
+            entry = self._join_indices.get(key)
+            if entry is None:
+                return None
+            if entry.is_stale():
+                del self._join_indices[key]
+                return None
+            return entry.index
 
     @staticmethod
     def _key(rel_r: Relation, rel_s: Relation, column_r: str, column_s: str,
              theta: ThetaOperator) -> tuple[int, int, str, str, str]:
         # Relation *identity*, not name: two distinct relations may share
         # a name, and a registry keyed by name would serve one relation's
-        # index for the other's join.
-        return (id(rel_r), id(rel_s), column_r, column_s, theta.name)
+        # index for the other's join.  The never-recycled ``uid`` (not
+        # ``id()``) keeps the key unambiguous for the process lifetime.
+        return (rel_r.uid, rel_s.uid, column_r, column_s, theta.name)
 
     # ------------------------------------------------------------------
     # Selection
@@ -189,6 +210,9 @@ class SpatialQueryExecutor:
         strategy: str = "auto",
         order: str = "bfs",
         meter: CostMeter | None = None,
+        tracer=None,
+        metrics=None,
+        cache=None,
     ) -> SelectResult:
         """Spatial selection ``{t in relation : query theta t.column}``.
 
@@ -197,9 +221,16 @@ class SpatialQueryExecutor:
         ``cache=containment``) without touching storage; misses execute
         normally, collect the Theta-candidate set as a free byproduct
         of tree traversals, and are offered to the admission policy.
+        Admission pins the relation's epoch before dispatch and refuses
+        the result if the epoch moved while the query ran -- a torn
+        answer computed under a concurrent writer belongs to no epoch.
+
+        ``tracer``/``metrics``/``cache`` override the instance handles
+        for this call (per-session tracing over shared state).
         """
         from repro.gridfile.gridfile import GridFile
 
+        tracer, metrics, cache = self._handles(tracer, metrics, cache)
         if meter is None:
             meter = CostMeter()
         if strategy == "auto":
@@ -208,12 +239,12 @@ class SpatialQueryExecutor:
                 strategy = "grid" if isinstance(index, GridFile) else "tree"
             else:
                 strategy = "scan"
-        with self.tracer.span(
+        with tracer.span(
             "executor.select", meter=meter, strategy=strategy
         ) as span:
-            if self.cache is not None:
-                with self.tracer.span("cache.probe", meter=meter) as probe:
-                    tier, served = self.cache.probe_select(
+            if cache is not None:
+                with tracer.span("cache.probe", meter=meter) as probe:
+                    tier, served = cache.probe_select(
                         relation, column, query, theta,
                         strategy=strategy, order=order, meter=meter,
                     )
@@ -223,23 +254,25 @@ class SpatialQueryExecutor:
                     return served
                 span.set_tag("cache", "miss")
             candidates: list | None = None
-            if self.cache is not None and strategy == "tree":
+            if cache is not None and strategy == "tree":
                 from repro.cache.keys import window_monotone
 
                 if window_monotone(theta):
                     candidates = []
+            epoch = relation.modification_count
             cost_before = meter.total()
             result = self._dispatch_select(
                 relation, column, query, theta,
                 strategy=strategy, order=order, meter=meter,
-                candidates_out=candidates,
+                candidates_out=candidates, tracer=tracer, metrics=metrics,
             )
-            if self.cache is not None:
-                self.cache.admit_select(
+            if cache is not None:
+                cache.admit_select(
                     relation, column, query, theta,
                     strategy=strategy, order=order, result=result,
                     candidates=candidates,
                     measured_cost=meter.total() - cost_before,
+                    epoch=epoch,
                 )
             return result
 
@@ -254,9 +287,13 @@ class SpatialQueryExecutor:
         order: str,
         meter: CostMeter,
         candidates_out: list | None = None,
+        tracer=None,
+        metrics=None,
     ) -> SelectResult:
         from repro.gridfile.gridfile import GridFile
 
+        tracer = self.tracer if tracer is None else tracer
+        metrics = self.metrics if metrics is None else metrics
         if strategy == "scan":
             return nested_loop_select(
                 relation, column, query, theta,
@@ -266,9 +303,9 @@ class SpatialQueryExecutor:
             tree = relation.index_on(column)
             return spatial_select(
                 tree, query, theta,
-                accessor=self._cold_accessor(relation, meter),
+                accessor=self._cold_accessor(relation, meter, metrics),
                 meter=meter, order=order,
-                tracer=self.tracer, metrics=self.metrics,
+                tracer=tracer, metrics=metrics,
                 candidates_out=candidates_out,
             )
         if strategy == "grid":
@@ -282,13 +319,15 @@ class SpatialQueryExecutor:
             return grid_select(grid, query, theta, meter=meter)
         raise JoinError(f"unknown selection strategy {strategy!r}")
 
-    def _cold_accessor(self, relation: Relation, meter: CostMeter) -> RelationAccessor:
+    def _cold_accessor(
+        self, relation: Relation, meter: CostMeter, metrics=None
+    ) -> RelationAccessor:
         """A relation accessor over a fresh pool charging to ``meter``."""
         from repro.storage.buffer import BufferPool
 
         pool = BufferPool(relation.buffer_pool.disk, self.memory_pages, meter)
-        if self.metrics is not None:
-            pool.attach_metrics(self.metrics, pool=relation.name)
+        if metrics is not None:
+            pool.attach_metrics(metrics, pool=relation.name)
         return RelationAccessor(relation, pool)
 
     # ------------------------------------------------------------------
@@ -308,6 +347,10 @@ class SpatialQueryExecutor:
         collect_tuples: bool = False,
         order: str = "bfs",
         workers: int | None = None,
+        predicted_cost: float | None = None,
+        tracer=None,
+        metrics=None,
+        cache=None,
     ) -> JoinResult:
         """Spatial join ``rel_r join_theta rel_s`` on the given columns.
 
@@ -318,8 +361,18 @@ class SpatialQueryExecutor:
         identities and epochs, same predicate, same strategy) is served
         from the stored pair list at zero page reads; symmetric
         operators share one entry across both operand orders.  Misses
-        execute normally and are offered to the admission policy.
+        execute normally and are offered to the admission policy, which
+        records the strategy this call actually dispatched (callers in
+        the fallback chain pass the strategy that *ran*, never the one
+        originally requested) alongside ``predicted_cost`` -- the model
+        price of that same strategy, when the caller planned one.
+        Admission pins both operand epochs before dispatch; results
+        computed while either operand mutated are refused.
+
+        ``tracer``/``metrics``/``cache`` override the instance handles
+        for this call (per-session tracing over shared state).
         """
+        tracer, metrics, cache = self._handles(tracer, metrics, cache)
         if meter is None:
             meter = CostMeter()
         if workers is None:
@@ -327,12 +380,12 @@ class SpatialQueryExecutor:
         if strategy == "auto":
             strategy = self._pick_join_strategy(rel_r, column_r, rel_s, column_s, theta)
 
-        with self.tracer.span(
+        with tracer.span(
             "executor.join", meter=meter, strategy=strategy
         ) as span:
-            if self.cache is not None:
-                with self.tracer.span("cache.probe", meter=meter) as probe:
-                    tier, served = self.cache.probe_join(
+            if cache is not None:
+                with tracer.span("cache.probe", meter=meter) as probe:
+                    tier, served = cache.probe_join(
                         rel_r, column_r, rel_s, column_s, theta,
                         strategy=strategy, collect_tuples=collect_tuples,
                         meter=meter,
@@ -342,18 +395,23 @@ class SpatialQueryExecutor:
                     span.set_tag("cache", tier)
                     return served
                 span.set_tag("cache", "miss")
+            epoch_r = rel_r.modification_count
+            epoch_s = rel_s.modification_count
             cost_before = meter.total()
             result = self._dispatch_join(
                 rel_r, column_r, rel_s, column_s, theta,
                 strategy=strategy, meter=meter,
                 collect_tuples=collect_tuples, order=order, workers=workers,
+                tracer=tracer, metrics=metrics,
             )
-            if self.cache is not None:
-                self.cache.admit_join(
+            if cache is not None:
+                cache.admit_join(
                     rel_r, column_r, rel_s, column_s, theta,
                     strategy=strategy, result=result,
                     collect_tuples=collect_tuples,
                     measured_cost=meter.total() - cost_before,
+                    predicted_cost=predicted_cost,
+                    epoch_r=epoch_r, epoch_s=epoch_s,
                 )
             return result
 
@@ -370,7 +428,11 @@ class SpatialQueryExecutor:
         collect_tuples: bool,
         order: str,
         workers: int,
+        tracer=None,
+        metrics=None,
     ) -> JoinResult:
+        tracer = self.tracer if tracer is None else tracer
+        metrics = self.metrics if metrics is None else metrics
         if strategy == "scan":
             return nested_loop_join(
                 rel_r, rel_s, column_r, column_s, theta,
@@ -382,23 +444,23 @@ class SpatialQueryExecutor:
             tree_s = rel_s.index_on(column_s)
             return tree_join(
                 tree_r, tree_s, theta,
-                accessor_r=self._cold_accessor(rel_r, meter),
-                accessor_s=self._cold_accessor(rel_s, meter),
+                accessor_r=self._cold_accessor(rel_r, meter, metrics),
+                accessor_s=self._cold_accessor(rel_s, meter, metrics),
                 meter=meter, order=order, collect_tuples=collect_tuples,
-                tracer=self.tracer, metrics=self.metrics,
+                tracer=tracer, metrics=metrics,
             )
         if strategy == "index-nl":
             tree_r = rel_r.index_on(column_r)
             return index_nested_loop_join(
                 rel_s, column_s, tree_r, theta,
-                accessor_r=self._cold_accessor(rel_r, meter),
+                accessor_r=self._cold_accessor(rel_r, meter, metrics),
                 meter=meter, memory_pages=self.memory_pages, order=order,
             )
         if strategy == "index-nl-swapped":
             tree_s = rel_s.index_on(column_s)
             return index_nested_loop_join_swapped(
                 rel_r, column_r, tree_s, theta,
-                accessor_s=self._cold_accessor(rel_s, meter),
+                accessor_s=self._cold_accessor(rel_s, meter, metrics),
                 meter=meter, memory_pages=self.memory_pages, order=order,
             )
         if strategy == "join-index":
@@ -431,7 +493,7 @@ class SpatialQueryExecutor:
             return zorder_merge_join(
                 rel_r, rel_s, column_r, column_s,
                 universe=universe, meter=meter, memory_pages=self.memory_pages,
-                tracer=self.tracer,
+                tracer=tracer,
             )
         if strategy == "partition":
             if not isinstance(theta, Overlaps):
@@ -446,7 +508,7 @@ class SpatialQueryExecutor:
                 collect_tuples=collect_tuples,
                 fault_plan=self._fault_plan_for(rel_r, rel_s),
                 chunk_timeout=self.chunk_timeout,
-                tracer=self.tracer, metrics=self.metrics,
+                tracer=tracer, metrics=metrics,
             )
         raise JoinError(f"unknown join strategy {strategy!r}")
 
@@ -468,6 +530,9 @@ class SpatialQueryExecutor:
         order: str = "bfs",
         workers: int | None = None,
         plan=None,
+        tracer=None,
+        metrics=None,
+        cache=None,
     ) -> tuple[JoinResult, ExecutionReport]:
         """Join with a strategy-fallback chain and a full execution report.
 
@@ -496,7 +561,13 @@ class SpatialQueryExecutor:
         strategy which actually ran, and the resulting
         :class:`~repro.obs.drift.DriftReport` is attached to the
         execution report (``report.drift``).
+
+        With a cache attached, each attempt is admitted under the
+        strategy it actually ran (the attempt's own), priced by the
+        plan's prediction *for that strategy* -- a fallback's entry
+        never carries the requested strategy's label or cost.
         """
+        tracer, metrics, cache = self._handles(tracer, metrics, cache)
         if meter is None:
             meter = CostMeter()
         first = strategy
@@ -526,6 +597,8 @@ class SpatialQueryExecutor:
                     rel_r, column_r, rel_s, column_s, theta,
                     strategy=strat, meter=attempt_meter,
                     collect_tuples=collect_tuples, order=order, workers=workers,
+                    predicted_cost=self._planned_cost(plan, strat),
+                    tracer=tracer, metrics=metrics, cache=cache,
                 )
             except (StorageError, WorkerError) as exc:
                 meter.absorb(attempt_meter)
@@ -577,9 +650,27 @@ class SpatialQueryExecutor:
                 plan, winner.strategy, winner.stats.get("total", 0.0),
                 query=report.query,
             )
-        if self.metrics is not None:
-            self.metrics.absorb_meter(meter, strategy=report.strategy)
+        if metrics is not None:
+            metrics.absorb_meter(meter, strategy=report.strategy)
         return result, report
+
+    @staticmethod
+    def _planned_cost(plan, strategy: str) -> float | None:
+        """The plan's predicted cost for the strategy this attempt runs.
+
+        A plan prices every applicable model; the fallback chain may
+        execute a different strategy than the plan chose, so the price
+        is looked up per attempt -- admission must never see strategy A
+        labelled with strategy B's cost.
+        """
+        if plan is None:
+            return None
+        from repro.obs.drift import model_for_strategy
+
+        model = model_for_strategy(strategy, plan.predicted_costs)
+        if model is None:
+            return None
+        return plan.predicted_costs[model]
 
     def plan_and_execute_join(
         self,
@@ -601,12 +692,13 @@ class SpatialQueryExecutor:
         from repro.core.optimizer import executable_strategy, plan_join
 
         ji = self.join_index_for(rel_r, rel_s, column_r, column_s, theta)
+        cache = kwargs.get("cache") or self.cache
         plan = plan_join(
             rel_r, column_r, rel_s, column_s, theta,
             join_index_available=ji is not None,
             memory_pages=self.memory_pages,
             workers=self.workers,
-            cache=self.cache,
+            cache=cache,
         )
         return self.execute_join(
             rel_r, column_r, rel_s, column_s, theta,
@@ -668,7 +760,7 @@ class SpatialQueryExecutor:
                 f"nearest-neighbor search needs an R-tree index on "
                 f"{relation.name}.{column}"
             )
-        accessor = self._cold_accessor(relation, meter)
+        accessor = self._cold_accessor(relation, meter, self.metrics)
         found = nearest_neighbors(index, query, k=k, meter=meter)
         return [(dist, accessor.visit(tid, None)) for dist, tid in found]
 

@@ -118,6 +118,46 @@ class ExecutionError(JoinError):
         self.report = report
 
 
+class ServerError(ReproError):
+    """Base class for multi-session query-service failures."""
+
+
+class ServerBusy(ServerError):
+    """Admission control shed this query: the service is at capacity.
+
+    Raised when the in-flight query limit is reached or a session
+    exhausted its query budget.  The request was *not* executed; the
+    client may retry later.  ``retryable`` distinguishes overload (try
+    again) from an exhausted per-session budget (open a new session).
+    """
+
+    def __init__(self, message: str, *, retryable: bool = True) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+
+
+class SessionError(ServerError):
+    """Session lifecycle misuse (closed session, unknown session id)."""
+
+
+class SnapshotConflict(ServerError):
+    """A reader's pinned epoch moved and its retry budget ran out.
+
+    Epoch-pinned reads are optimistic: a concurrent writer bumping an
+    operand relation's modification epoch invalidates the attempt and
+    the reader re-executes at a fresh pin.  This error surfaces only
+    after the bounded retries were all invalidated in turn.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class ProtocolError(ServerError):
+    """Malformed request line on the server's wire protocol."""
+
+
 class CostModelError(ReproError):
     """Invalid cost-model parameterization (p out of range, n < 1, ...)."""
 

@@ -18,6 +18,7 @@ in a terminal).
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Any, Iterable, Mapping
 
@@ -39,21 +40,28 @@ def _label_key(labels: Mapping[str, Any]) -> _LabelKey:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "labels", "value")
+    Increments run under a per-metric lock: many sessions of the query
+    service publish into one shared registry, and a lost update would
+    make the soak tests' exact-count assertions flaky.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey) -> None:
         self.name = name
         self.labels = labels
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ObservabilityError(
                 f"counter {self.name!r} cannot decrease (inc {amount})"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict[str, Any]:
         return {"type": "counter", "labels": dict(self.labels), "value": self.value}
@@ -80,7 +88,7 @@ class Histogram:
     """Fixed-bucket distribution with count, sum, min and max."""
 
     __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
-                 "sum", "min", "max")
+                 "sum", "min", "max", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey,
                  buckets: tuple[float, ...]) -> None:
@@ -98,14 +106,16 @@ class Histogram:
         self.sum = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.bucket_counts[bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.sum += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
+        with self._lock:
+            self.bucket_counts[bisect_left(self.buckets, value)] += 1
+            self.count += 1
+            self.sum += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
 
     @property
     def mean(self) -> float:
@@ -135,21 +145,23 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[tuple[str, _LabelKey], Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, cls, name: str, labels: Mapping[str, Any],
                        *args) -> Any:
         key = (name, _label_key(labels))
-        existing = self._metrics.get(key)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ObservabilityError(
-                    f"metric {name!r} {dict(labels)!r} already registered "
-                    f"as {type(existing).__name__}, not {cls.__name__}"
-                )
-            return existing
-        metric = cls(name, key[1], *args)
-        self._metrics[key] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ObservabilityError(
+                        f"metric {name!r} {dict(labels)!r} already registered "
+                        f"as {type(existing).__name__}, not {cls.__name__}"
+                    )
+                return existing
+            metric = cls(name, key[1], *args)
+            self._metrics[key] = metric
+            return metric
 
     def counter(self, name: str, **labels: Any) -> Counter:
         return self._get_or_create(Counter, name, labels)

@@ -22,8 +22,12 @@ Failure handling is explicit, never silent:
   re-executed sequentially in the parent -- a crashed machine does not
   poison the data, so the re-run omits the crash injection -- and the
   recovery is recorded per chunk;
-* pool shutdown runs in ``try/finally terminate()/join()`` so an
-  interrupted run leaks no worker processes.
+* pool shutdown always runs in a ``finally`` and always joins:
+  the pool is ``close()``-d when every dispatched chunk was collected
+  (workers drain cleanly and release their IPC resources) and
+  ``terminate()``-d only when a chunk is still running past its timeout
+  -- the one case where waiting could block forever.  Either way no
+  worker process outlives the call.
 """
 
 from __future__ import annotations
@@ -198,16 +202,19 @@ def run_partitions(
 
     results: list[tuple[list[tuple[RecordId, RecordId]], CostMeter] | None] = []
     causes: list[str | None] = []
+    outstanding = 0
     try:
         dispatched = time.perf_counter()
         handles = [
             mp_pool.apply_async(_run_chunk, (chunk, grid, theta, fault_plan, i))
             for i, chunk in enumerate(chunks)
         ]
+        outstanding = len(handles)
         for i, handle in enumerate(handles):
             try:
                 results.append(handle.get(timeout=chunk_timeout))
                 causes.append(None)
+                outstanding -= 1
                 if metrics is not None:
                     _observe_chunk(metrics, time.perf_counter() - dispatched,
                                    len(chunks[i]))
@@ -217,8 +224,20 @@ def run_partitions(
             except Exception as exc:  # worker crashed: recover below
                 results.append(None)
                 causes.append(repr(exc))
+                outstanding -= 1
     finally:
-        mp_pool.terminate()
+        # A timed-out chunk is still *running* in its worker: close()
+        # would block join() behind it indefinitely, so those runs are
+        # terminated.  Every other exit -- clean collection, worker
+        # exceptions (the worker itself is idle again), or an error in
+        # this parent loop before dispatch completed -- closes the pool
+        # and joins it, letting workers drain and release their
+        # semaphores/pipes instead of being killed mid-cleanup (which
+        # leaks them and trips multiprocessing's atexit warnings).
+        if outstanding:
+            mp_pool.terminate()
+        else:
+            mp_pool.close()
         mp_pool.join()
 
     for i, (chunk, outcome, cause) in enumerate(zip(chunks, results, causes)):

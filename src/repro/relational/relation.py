@@ -9,6 +9,7 @@ index on a spatial column of exactly one relation", Section 3.1).
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import RelationError, SchemaError
@@ -31,6 +32,11 @@ class Relation:
     five tuples.
     """
 
+    #: Process-wide allocator for :attr:`uid` -- never reset, never
+    #: recycled, so a uid identifies one relation *instance* forever
+    #: (unlike ``id()``, which the allocator reuses after collection).
+    _uid_counter = itertools.count(1)
+
     def __init__(
         self,
         name: str,
@@ -43,6 +49,10 @@ class Relation:
     ) -> None:
         if not name:
             raise RelationError("relation name must be non-empty")
+        #: Stable identity for epoch-keyed consumers (query cache,
+        #: join-index registry): unique per instance for the lifetime of
+        #: the process, even after this relation is garbage-collected.
+        self.uid = next(Relation._uid_counter)
         self.name = name
         self.schema = schema
         self.buffer_pool = buffer_pool

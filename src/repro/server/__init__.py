@@ -1,0 +1,34 @@
+"""Concurrent multi-session query service with epoch-pinned snapshot reads.
+
+Layering, bottom up:
+
+* :mod:`repro.server.state` -- the :class:`StateManager` owning the
+  shared relations; per-relation write locks and the epoch-pin seqlock
+  that gives readers snapshot semantics without blocking;
+* :mod:`repro.server.service` -- :class:`QueryService` (shared executor,
+  cache, metrics, admission control) and :class:`Session` (per-client
+  front-end with its own tracer);
+* :mod:`repro.server.protocol` -- the JSON line protocol shared by every
+  transport;
+* :mod:`repro.server.net` -- TCP server (thread per session) and client.
+
+See ``docs/server.md`` for the protocol and the concurrency rules.
+"""
+
+from repro.server.net import QueryClient, QueryServer
+from repro.server.protocol import handle_request, parse_request
+from repro.server.service import QueryService, ServiceConfig, Session
+from repro.server.state import DEFAULT_READ_RETRIES, EpochPin, StateManager
+
+__all__ = [
+    "DEFAULT_READ_RETRIES",
+    "EpochPin",
+    "QueryClient",
+    "QueryServer",
+    "QueryService",
+    "ServiceConfig",
+    "Session",
+    "StateManager",
+    "handle_request",
+    "parse_request",
+]

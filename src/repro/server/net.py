@@ -1,0 +1,140 @@
+"""TCP transport for the query service: thread-per-session server, client.
+
+The server accepts connections on a listening socket and dedicates one
+thread (and one :class:`~repro.server.service.Session`) to each -- the
+session-per-thread model is what the executor's reentrancy and the
+service's admission control were built for.  Requests and replies are
+newline-delimited UTF-8 (see :mod:`repro.server.protocol`); a failed
+request never kills the connection, only surfaces as an ``ERR`` line,
+except for protocol-level garbage after which the server keeps reading.
+
+:class:`QueryClient` is the matching blocking client; it raises
+:class:`~repro.errors.ProtocolError` for any ``ERR`` reply.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from repro.errors import ProtocolError, ReproError
+from repro.server.protocol import (
+    decode_response,
+    encode_error,
+    encode_ok,
+    handle_request,
+    parse_request,
+)
+from repro.server.service import QueryService
+
+
+class QueryServer:
+    """Serve a :class:`QueryService` over TCP, one thread per connection."""
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._stop = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._conn_threads: list[threading.Thread] = []
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def start(self) -> "QueryServer":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="query-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        self._listener.close()
+        for t in self._conn_threads:
+            t.join(timeout=5.0)
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn, peer),
+                name=f"query-server-{peer}", daemon=True,
+            )
+            self._conn_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket, peer: Any) -> None:
+        session = self.service.open_session(client=f"{peer[0]}:{peer[1]}")
+        try:
+            with conn, conn.makefile("rwb") as stream:
+                for raw in stream:
+                    if self._stop.is_set():
+                        break
+                    try:
+                        request = parse_request(raw.decode("utf-8"))
+                        payload = handle_request(session, request)
+                        reply = encode_ok(payload)
+                    except (ReproError, UnicodeDecodeError) as exc:
+                        reply = encode_error(exc)
+                    stream.write(reply.encode("utf-8") + b"\n")
+                    stream.flush()
+                    if session.closed:
+                        break
+        except OSError:
+            pass  # client went away mid-write; the session still closes
+        finally:
+            session.close()
+
+
+class QueryClient:
+    """Blocking line-protocol client for :class:`QueryServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._sock.makefile("rwb")
+
+    def request(self, **request: Any) -> dict[str, Any]:
+        """Send one request dict; returns the ``OK`` payload or raises."""
+        import json
+
+        self._stream.write(
+            json.dumps(request, separators=(",", ":")).encode("utf-8") + b"\n"
+        )
+        self._stream.flush()
+        raw = self._stream.readline()
+        if not raw:
+            raise ProtocolError("server closed the connection")
+        return decode_response(raw.decode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,215 @@
+"""Line protocol of the query service: JSON requests, ``OK``/``ERR`` replies.
+
+Each request is one line of JSON with an ``op`` field; each reply is one
+line -- ``OK <json payload>`` on success, ``ERR <ExceptionType> <message>``
+on failure.  The same :func:`handle_request` dispatcher backs the TCP
+server (:mod:`repro.server.net`), the CLI client and the in-process
+tests, so the protocol is exercised identically everywhere.
+
+Supported operations (fields beyond ``op``):
+
+=============  =======================================================
+``ping``       liveness probe
+``relations``  list registered relation names
+``select``     ``relation, column, rect, theta[, strategy, order]``
+``join``       ``relation_r, column_r, relation_s, column_s, theta
+               [, strategy]``
+``insert``     ``relation, oid, rect`` (the demo OBJECT schema)
+``delete``     ``relation, oid``
+``metrics``    snapshot of the shared metrics registry
+``close``      end the session
+=============  =======================================================
+
+``rect`` is ``[xmin, ymin, xmax, ymax]``; ``theta`` is an operator name
+(``overlaps``, ``includes``, ``contained_in``, ``northwest_of``,
+``adjacent``) or ``within_distance`` with a ``distance`` field.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ProtocolError, ReproError
+from repro.geometry.rect import Rect
+from repro.predicates.theta import (
+    Adjacent,
+    ContainedIn,
+    Includes,
+    NorthwestOf,
+    Overlaps,
+    ThetaOperator,
+    WithinDistance,
+)
+
+_THETAS = {
+    "overlaps": Overlaps,
+    "includes": Includes,
+    "contained_in": ContainedIn,
+    "northwest_of": NorthwestOf,
+    "adjacent": Adjacent,
+}
+
+
+def theta_from_request(request: dict[str, Any]) -> ThetaOperator:
+    """Resolve the request's ``theta`` (and parameters) to an operator."""
+    name = request.get("theta", "overlaps")
+    if name == "within_distance":
+        distance = request.get("distance")
+        if not isinstance(distance, (int, float)):
+            raise ProtocolError(
+                "theta 'within_distance' needs a numeric 'distance' field"
+            )
+        return WithinDistance(float(distance))
+    cls = _THETAS.get(name)
+    if cls is None:
+        raise ProtocolError(
+            f"unknown theta {name!r}; supported: "
+            f"{sorted(_THETAS)} and 'within_distance'"
+        )
+    return cls()
+
+
+def rect_from_request(request: dict[str, Any], field: str = "rect") -> Rect:
+    raw = request.get(field)
+    if (
+        not isinstance(raw, (list, tuple))
+        or len(raw) != 4
+        or not all(isinstance(v, (int, float)) for v in raw)
+    ):
+        raise ProtocolError(
+            f"field {field!r} must be [xmin, ymin, xmax, ymax], got {raw!r}"
+        )
+    return Rect(*(float(v) for v in raw))
+
+
+def parse_request(line: str) -> dict[str, Any]:
+    """One wire line -> request dict, validating shape only."""
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty request line")
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(request, dict) or not isinstance(request.get("op"), str):
+        raise ProtocolError("request must be a JSON object with an 'op' string")
+    return request
+
+
+def encode_ok(payload: dict[str, Any]) -> str:
+    return "OK " + json.dumps(payload, separators=(",", ":"), default=str)
+
+
+def encode_error(exc: BaseException) -> str:
+    message = " ".join(str(exc).split()) or exc.__class__.__name__
+    return f"ERR {type(exc).__name__} {message}"
+
+
+def decode_response(line: str) -> dict[str, Any]:
+    """Client side: one reply line -> payload dict (raises on ``ERR``).
+
+    Errors are re-raised as :class:`ProtocolError` carrying the server's
+    exception type and message -- the client cannot (and should not)
+    reconstruct arbitrary server-side classes.
+    """
+    line = line.strip()
+    if line.startswith("OK "):
+        return json.loads(line[3:])
+    if line.startswith("ERR "):
+        raise ProtocolError(line[4:])
+    raise ProtocolError(f"malformed reply line: {line!r}")
+
+
+def _require_str(request: dict[str, Any], field: str) -> str:
+    value = request.get(field)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"field {field!r} must be a non-empty string")
+    return value
+
+
+def handle_request(session: Any, request: dict[str, Any]) -> dict[str, Any]:
+    """Execute one parsed request against a session; returns the payload.
+
+    Raises :class:`ProtocolError` for malformed requests and lets the
+    service's own typed errors (``ServerBusy``, ``SnapshotConflict``,
+    ``SessionError``, ...) propagate -- the transport encodes them with
+    :func:`encode_error` so clients see the type name on the wire.
+    """
+    op = request["op"]
+    if op == "ping":
+        return {"pong": True, "session": session.session_id}
+    if op == "relations":
+        return {"relations": session.service.state.names()}
+    if op == "metrics":
+        return {"metrics": session.service.metrics.snapshot()}
+    if op == "close":
+        session.close()
+        return {"closed": True}
+    if op == "select":
+        relation = _require_str(request, "relation")
+        column = _require_str(request, "column")
+        theta = theta_from_request(request)
+        window = rect_from_request(request)
+        result, epoch = session.select(
+            relation, column, window, theta,
+            strategy=request.get("strategy", "auto"),
+            order=request.get("order", "bfs"),
+        )
+        oids = _oids_of(result.matches)
+        payload: dict[str, Any] = {
+            "count": len(result.matches),
+            "epoch": epoch,
+            "strategy": result.strategy,
+        }
+        if oids is not None:
+            payload["oids"] = oids
+        return payload
+    if op == "join":
+        rel_r = _require_str(request, "relation_r")
+        rel_s = _require_str(request, "relation_s")
+        column_r = _require_str(request, "column_r")
+        column_s = _require_str(request, "column_s")
+        theta = theta_from_request(request)
+        result, (epoch_r, epoch_s) = session.join(
+            rel_r, column_r, rel_s, column_s, theta,
+            strategy=request.get("strategy", "auto"),
+        )
+        return {
+            "count": len(result.pairs),
+            "epoch_r": epoch_r,
+            "epoch_s": epoch_s,
+            "strategy": result.strategy,
+        }
+    if op == "insert":
+        relation = _require_str(request, "relation")
+        oid = request.get("oid")
+        if not isinstance(oid, int):
+            raise ProtocolError("field 'oid' must be an integer")
+        rect = rect_from_request(request)
+        epoch = session.insert(relation, [oid, rect])
+        return {"inserted": oid, "epoch": epoch}
+    if op == "delete":
+        relation = _require_str(request, "relation")
+        oid = request.get("oid")
+        if not isinstance(oid, int):
+            raise ProtocolError("field 'oid' must be an integer")
+        deleted, epoch = session.delete_where(
+            relation, lambda t: t["oid"] == oid
+        )
+        return {"deleted": deleted, "epoch": epoch}
+    raise ProtocolError(f"unknown op {op!r}")
+
+
+def _oids_of(matches: list) -> list[Any] | None:
+    """Extract ``oid`` values when every match payload carries one."""
+    oids = []
+    for _tid, payload in matches:
+        try:
+            oids.append(payload["oid"])
+        except (ReproError, KeyError, TypeError):
+            return None
+    try:
+        return sorted(oids)
+    except TypeError:
+        return sorted(oids, key=repr)

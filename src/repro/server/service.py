@@ -1,0 +1,335 @@
+"""The multi-session query service: shared engine, per-session front-ends.
+
+One :class:`QueryService` owns the shared storage stack -- the
+registered relations (behind a :class:`~repro.server.state.StateManager`),
+one reentrant :class:`~repro.core.executor.SpatialQueryExecutor`, one
+:class:`~repro.cache.QueryCache` and one
+:class:`~repro.obs.metrics.MetricsRegistry` -- and hands out
+:class:`Session` objects as the per-client execution front-end.  Each
+session carries its *own* :class:`~repro.obs.trace.Tracer` (tracers are
+deliberately not thread-safe; a session is single-threaded by contract)
+while publishing into the shared registry, so per-query spans stay
+readable per client and fleet-wide counters aggregate in one place.
+
+Reads are epoch-pinned snapshot reads (see :mod:`repro.server.state`);
+writes serialize behind per-relation write locks.  Admission control
+keeps the service honest under overload:
+
+* at most ``max_inflight`` queries execute at once -- the next one is
+  *shed* with a retryable :class:`~repro.errors.ServerBusy`;
+* a session that exhausts its ``session_budget`` gets a non-retryable
+  :class:`~repro.errors.ServerBusy` (open a new session);
+* a read invalidated more than ``snapshot_retries`` times surfaces
+  :class:`~repro.errors.SnapshotConflict`.
+
+Everything is metered: ``server.sessions_active``,
+``server.queries_inflight``, ``server.queries``, ``server.conflicts``
+(pin invalidations absorbed by retries) and ``server.shed``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.cache import QueryCache
+from repro.core.executor import SpatialQueryExecutor
+from repro.errors import ServerBusy, SessionError
+from repro.join.result import JoinResult, SelectResult
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.predicates.theta import ThetaOperator
+from repro.server.state import DEFAULT_READ_RETRIES, EpochPin, StateManager
+from repro.storage.costs import CostMeter
+
+
+@dataclass(slots=True, frozen=True)
+class ServiceConfig:
+    """Admission-control and concurrency knobs of one service instance.
+
+    ``max_inflight`` bounds simultaneously executing queries across all
+    sessions (overload shedding); ``session_budget`` bounds queries per
+    session (None = unbounded); ``snapshot_retries`` is the per-read
+    re-pin budget before a conflict surfaces.
+    """
+
+    max_inflight: int = 8
+    session_budget: int | None = None
+    snapshot_retries: int = DEFAULT_READ_RETRIES
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise SessionError(
+                f"max_inflight must be positive, got {self.max_inflight}"
+            )
+        if self.session_budget is not None and self.session_budget < 1:
+            raise SessionError(
+                f"session_budget must be positive, got {self.session_budget}"
+            )
+        if self.snapshot_retries < 0:
+            raise SessionError(
+                f"snapshot_retries must be >= 0, got {self.snapshot_retries}"
+            )
+
+
+class QueryService:
+    """Shared engine behind every session; see the module docstring."""
+
+    def __init__(
+        self,
+        state: StateManager | None = None,
+        *,
+        executor: SpatialQueryExecutor | None = None,
+        cache: QueryCache | None = None,
+        metrics: MetricsRegistry | None = None,
+        config: ServiceConfig | None = None,
+    ) -> None:
+        self.state = state if state is not None else StateManager()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = cache
+        if executor is None:
+            executor = SpatialQueryExecutor(
+                metrics=self.metrics, cache=cache
+            )
+        elif cache is None:
+            self.cache = executor.cache
+        self.executor = executor
+        if self.cache is not None:
+            self.cache.attach_metrics(self.metrics)
+        self.config = config if config is not None else ServiceConfig()
+        self._sessions: dict[int, Session] = {}
+        self._session_ids = itertools.count(1)
+        self._inflight = 0
+        self._admission = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def open_session(self, client: str = "") -> "Session":
+        with self._admission:
+            sid = next(self._session_ids)
+            session = Session(self, sid, client)
+            self._sessions[sid] = session
+            self._gauge("server.sessions_active", len(self._sessions))
+        return session
+
+    def close_session(self, session: "Session") -> None:
+        with self._admission:
+            self._sessions.pop(session.session_id, None)
+            self._gauge("server.sessions_active", len(self._sessions))
+
+    @property
+    def sessions_active(self) -> int:
+        with self._admission:
+            return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _admit(self, session: "Session", op: str):
+        """Gate one query: budget, then capacity, then inflight tracking."""
+        with self._admission:
+            if session.closed:
+                raise SessionError(
+                    f"session {session.session_id} is closed"
+                )
+            budget = self.config.session_budget
+            if budget is not None and session.queries_issued >= budget:
+                self.metrics.counter("server.shed", reason="budget").inc()
+                raise ServerBusy(
+                    f"session {session.session_id} exhausted its budget "
+                    f"of {budget} queries",
+                    retryable=False,
+                )
+            if self._inflight >= self.config.max_inflight:
+                self.metrics.counter("server.shed", reason="overload").inc()
+                raise ServerBusy(
+                    f"service at capacity ({self.config.max_inflight} "
+                    f"queries in flight)",
+                    retryable=True,
+                )
+            self._inflight += 1
+            session.queries_issued += 1
+            self._gauge("server.queries_inflight", self._inflight)
+        try:
+            self.metrics.counter("server.queries", op=op).inc()
+            yield
+        finally:
+            with self._admission:
+                self._inflight -= 1
+                self._gauge("server.queries_inflight", self._inflight)
+
+    def _gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    # ------------------------------------------------------------------
+    # Execution (called by sessions)
+    # ------------------------------------------------------------------
+
+    def run_read(
+        self,
+        session: "Session",
+        op: str,
+        relations: Sequence[Any],
+        fn: Callable[[EpochPin], Any],
+    ) -> tuple[Any, EpochPin]:
+        """One admitted, epoch-pinned, conflict-retried read."""
+
+        def count_conflict(_attempt: int) -> None:
+            self.metrics.counter("server.conflicts").inc()
+
+        with self._admit(session, op):
+            return self.state.read(
+                relations, fn,
+                retries=self.config.snapshot_retries,
+                on_conflict=count_conflict,
+            )
+
+    def run_write(
+        self,
+        session: "Session",
+        op: str,
+        relation: str,
+        fn: Callable[[Any], Any],
+        *,
+        on_commit: Callable[[int], None] | None = None,
+    ) -> tuple[Any, int]:
+        """One admitted write behind the relation's write lock."""
+        with self._admit(session, op):
+            return self.state.write(relation, fn, on_commit=on_commit)
+
+
+class Session:
+    """One client's execution front-end over the shared service.
+
+    A session is single-threaded by contract: its tracer and meter
+    accounting assume one query at a time *from this session* (queries
+    from different sessions overlap freely).  Obtain via
+    :meth:`QueryService.open_session`; usable as a context manager.
+    """
+
+    def __init__(self, service: QueryService, session_id: int, client: str) -> None:
+        self.service = service
+        self.session_id = session_id
+        self.client = client
+        self.tracer = Tracer()
+        self.queries_issued = 0
+        self.closed = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.service.close_session(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reads ----------------------------------------------------------
+
+    def select(
+        self,
+        relation: str,
+        column: str,
+        query: Any,
+        theta: ThetaOperator,
+        *,
+        strategy: str = "auto",
+        order: str = "bfs",
+        meter: CostMeter | None = None,
+    ) -> tuple[SelectResult, int]:
+        """Snapshot selection; returns ``(result, pinned epoch)``."""
+        svc = self.service
+        rel = svc.state.get(relation)
+
+        def run(pin: EpochPin) -> SelectResult:
+            return svc.executor.select(
+                rel, column, query, theta,
+                strategy=strategy, order=order, meter=meter,
+                tracer=self.tracer, metrics=svc.metrics, cache=svc.cache,
+            )
+
+        result, pin = svc.run_read(self, "select", (rel,), run)
+        return result, pin.epoch_of(rel)
+
+    def join(
+        self,
+        rel_r: str,
+        column_r: str,
+        rel_s: str,
+        column_s: str,
+        theta: ThetaOperator,
+        *,
+        strategy: str = "auto",
+        meter: CostMeter | None = None,
+        collect_tuples: bool = False,
+    ) -> tuple[JoinResult, tuple[int, int]]:
+        """Snapshot join; returns ``(result, (epoch_r, epoch_s))``."""
+        svc = self.service
+        r = svc.state.get(rel_r)
+        s = svc.state.get(rel_s)
+
+        def run(pin: EpochPin) -> JoinResult:
+            return svc.executor.join(
+                r, column_r, s, column_s, theta,
+                strategy=strategy, meter=meter,
+                collect_tuples=collect_tuples,
+                tracer=self.tracer, metrics=svc.metrics, cache=svc.cache,
+            )
+
+        result, pin = svc.run_read(self, "join", (r, s), run)
+        return result, (pin.epoch_of(r), pin.epoch_of(s))
+
+    # -- writes ---------------------------------------------------------
+
+    def insert(
+        self,
+        relation: str,
+        values: Sequence[Any],
+        *,
+        on_commit: Callable[[int], None] | None = None,
+    ) -> int:
+        """Insert one row; returns the committed epoch."""
+        _, epoch = self.service.run_write(
+            self, "insert", relation,
+            lambda rel: rel.insert(list(values)),
+            on_commit=on_commit,
+        )
+        return epoch
+
+    def delete_where(
+        self,
+        relation: str,
+        predicate: Callable[[Any], bool],
+        *,
+        limit: int | None = None,
+        on_commit: Callable[[int], None] | None = None,
+    ) -> tuple[int, int]:
+        """Delete matching tuples; returns ``(deleted count, epoch)``.
+
+        The scan-and-delete runs atomically under the write lock, so
+        the predicate sees a consistent state.
+        """
+
+        def run(rel: Any) -> int:
+            doomed = [t.tid for t in rel.scan() if predicate(t)]
+            if limit is not None:
+                doomed = doomed[:limit]
+            for tid in doomed:
+                rel.delete(tid)
+            return len(doomed)
+
+        count, epoch = self.service.run_write(
+            self, "delete", relation, run, on_commit=on_commit
+        )
+        return count, epoch

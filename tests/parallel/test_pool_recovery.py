@@ -1,5 +1,10 @@
 """Worker pool failure recovery: crashed chunks re-run sequentially."""
 
+import multiprocessing
+import time
+
+import pytest
+
 from repro.faults import FaultPlan
 from repro.parallel.join import partition_join
 from repro.parallel.partitioner import GridSpec, partition_pair
@@ -8,6 +13,22 @@ from repro.predicates.theta import Overlaps
 from repro.storage.costs import CostMeter
 
 from tests.join.conftest import make_rect_relation
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_children():
+    """Every pool path must reap its workers before returning.
+
+    ``active_children()`` also joins finished processes, so lingering
+    (but exited) workers from a previous test do not count; anything
+    still alive shortly after the test body ran is a leak.
+    """
+    multiprocessing.active_children()
+    yield
+    deadline = time.monotonic() + 5.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
 
 
 def build_tasks(n=80):
@@ -86,6 +107,39 @@ class TestParallelRecovery:
         )
         assert sorted(pairs) == sorted(clean_pairs)
         assert report.retried_chunks == len(report.recoveries) >= 1
+
+
+class TestTimeoutRecovery:
+    def test_timed_out_chunks_recovered_and_pool_reaped(self, monkeypatch):
+        """A chunk stuck past its timeout is re-run in the parent.
+
+        The stall is injected into the *workers only* (pool workers are
+        daemonic; the parent is not), so the sequential recovery pass
+        stays fast.  The ``no_leaked_children`` fixture then proves the
+        terminate path reaped the stalled workers.
+        """
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("the injected stall reaches workers via fork only")
+        tasks, spec = build_tasks(n=20)
+        clean_pairs, _, _ = run_partitions(tasks, spec, Overlaps(), workers=1)
+
+        import repro.parallel.pool as pool_mod
+
+        real_sweep = pool_mod.sweep_tile
+
+        def stalling_sweep(*args, **kwargs):
+            if multiprocessing.current_process().daemon:
+                time.sleep(60.0)
+            return real_sweep(*args, **kwargs)
+
+        monkeypatch.setattr(pool_mod, "sweep_tile", stalling_sweep)
+        pairs, _, report = run_partitions(
+            tasks, spec, Overlaps(), workers=2, chunk_timeout=0.2
+        )
+        assert sorted(pairs) == sorted(clean_pairs)
+        if not report.degraded:
+            assert report.retried_chunks >= 1
+            assert all("timeout" in r.cause for r in report.recoveries)
 
 
 class TestPartitionJoinIntegration:

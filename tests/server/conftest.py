@@ -1,0 +1,70 @@
+"""Shared fixtures for the query-service suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache import QueryCache
+from repro.geometry.rect import Rect
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, ColumnType, Schema
+from repro.server import QueryService, ServiceConfig, StateManager
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostMeter
+from repro.storage.disk import SimulatedDisk
+from repro.trees.rtree import RTree
+
+OBJECT_SCHEMA = Schema(
+    [Column("oid", ColumnType.INT), Column("shape", ColumnType.RECT)]
+)
+
+UNIVERSE = 100.0
+
+
+def seeded_rect(rng: random.Random, max_extent: float = 8.0) -> Rect:
+    x = rng.uniform(0.0, UNIVERSE - max_extent)
+    y = rng.uniform(0.0, UNIVERSE - max_extent)
+    return Rect(x, y, x + rng.uniform(0.5, max_extent),
+                y + rng.uniform(0.5, max_extent))
+
+
+def build_relation(name: str, count: int, seed: int, *, indexed: bool = True):
+    """A small indexed relation of ``(oid, rect)`` rows; returns (rel, rows)."""
+    disk = SimulatedDisk()
+    pool = BufferPool(disk, capacity=4000, meter=CostMeter())
+    rel = Relation(name, OBJECT_SCHEMA, pool)
+    if indexed:
+        rel.attach_index("shape", RTree(max_entries=8))
+    rng = random.Random(seed)
+    rows: dict[int, Rect] = {}
+    for oid in range(count):
+        rect = seeded_rect(rng)
+        rel.insert([oid, rect])
+        rows[oid] = rect
+    return rel, rows
+
+
+def build_service(
+    *,
+    count: int = 40,
+    config: ServiceConfig | None = None,
+    cache: QueryCache | None = None,
+    names: tuple[str, ...] = ("r", "s"),
+):
+    """A service over freshly built relations; returns (service, base rows)."""
+    state = StateManager()
+    rows: dict[str, dict[int, Rect]] = {}
+    for i, name in enumerate(names):
+        rel, base = build_relation(name, count, seed=10 + i)
+        state.register(rel)
+        rows[name] = base
+    service = QueryService(state, cache=cache, config=config)
+    return service, rows
+
+
+@pytest.fixture
+def service():
+    svc, _rows = build_service()
+    yield svc

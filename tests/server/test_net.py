@@ -1,0 +1,136 @@
+"""TCP transport tests: round-trips, protocol errors, concurrent clients."""
+
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.server import QueryClient, QueryServer
+from repro.server.protocol import (
+    decode_response,
+    encode_error,
+    encode_ok,
+    parse_request,
+)
+
+from tests.server.conftest import build_service
+
+
+@pytest.fixture
+def server():
+    service, _ = build_service(count=30)
+    with QueryServer(service) as srv:
+        yield srv
+
+
+class TestProtocolCodec:
+    def test_parse_rejects_non_json(self):
+        with pytest.raises(ProtocolError):
+            parse_request("this is not json")
+
+    def test_parse_rejects_missing_op(self):
+        with pytest.raises(ProtocolError):
+            parse_request('{"relation": "r"}')
+
+    def test_ok_round_trip(self):
+        line = encode_ok({"count": 3, "epoch": 7})
+        assert decode_response(line) == {"count": 3, "epoch": 7}
+
+    def test_error_line_carries_type_and_message(self):
+        line = encode_error(ProtocolError("bad\nthing"))
+        assert line == "ERR ProtocolError bad thing"
+        with pytest.raises(ProtocolError):
+            decode_response(line)
+
+
+class TestRoundTrips:
+    def test_ping_and_relations(self, server):
+        with QueryClient(*server.address) as client:
+            assert client.request(op="ping")["pong"] is True
+            assert client.request(op="relations")["relations"] == ["r", "s"]
+
+    def test_select_insert_delete_cycle(self, server):
+        with QueryClient(*server.address) as client:
+            before = client.request(
+                op="select", relation="r", column="shape",
+                rect=[0, 0, 100, 100], theta="overlaps",
+            )
+            inserted = client.request(
+                op="insert", relation="r", oid=4242, rect=[1, 1, 2, 2],
+            )
+            assert inserted["epoch"] > before["epoch"]
+            after = client.request(
+                op="select", relation="r", column="shape",
+                rect=[0, 0, 100, 100], theta="overlaps",
+            )
+            assert after["count"] == before["count"] + 1
+            assert 4242 in after["oids"]
+            deleted = client.request(op="delete", relation="r", oid=4242)
+            assert deleted["deleted"] == 1
+
+    def test_join_over_the_wire(self, server):
+        with QueryClient(*server.address) as client:
+            payload = client.request(
+                op="join", relation_r="r", column_r="shape",
+                relation_s="s", column_s="shape", theta="overlaps",
+            )
+            assert payload["count"] >= 0
+            assert payload["epoch_r"] >= 0 and payload["epoch_s"] >= 0
+
+    def test_errors_do_not_kill_the_connection(self, server):
+        with QueryClient(*server.address) as client:
+            with pytest.raises(ProtocolError):
+                client.request(op="select", relation="nope", column="shape",
+                               rect=[0, 0, 1, 1])
+            with pytest.raises(ProtocolError):
+                client.request(op="no-such-op")
+            # Still alive:
+            assert client.request(op="ping")["pong"] is True
+
+    def test_metrics_snapshot_over_the_wire(self, server):
+        with QueryClient(*server.address) as client:
+            client.request(
+                op="select", relation="r", column="shape",
+                rect=[0, 0, 10, 10], theta="overlaps",
+            )
+            payload = client.request(op="metrics")
+            assert "server.queries" in payload["metrics"]
+
+    def test_close_ends_the_session(self, server):
+        client = QueryClient(*server.address)
+        assert client.request(op="close")["closed"] is True
+        client.close()
+
+    def test_sessions_tracked_per_connection(self, server):
+        service = server.service
+        with QueryClient(*server.address) as a:
+            a.request(op="ping")
+            with QueryClient(*server.address) as b:
+                b.request(op="ping")
+                assert service.sessions_active == 2
+        deadline = threading.Event()
+        deadline.wait(0.2)  # let the server notice the disconnects
+        assert service.sessions_active == 0
+
+    def test_concurrent_clients_get_consistent_answers(self, server):
+        results = []
+        errors = []
+
+        def query():
+            try:
+                with QueryClient(*server.address) as client:
+                    payload = client.request(
+                        op="select", relation="s", column="shape",
+                        rect=[0, 0, 100, 100], theta="overlaps",
+                    )
+                    results.append(payload["count"])
+            except Exception as exc:  # pragma: no cover - diagnostic only
+                errors.append(exc)
+
+        threads = [threading.Thread(target=query) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors
+        assert len(set(results)) == 1  # nobody mutated; all agree
