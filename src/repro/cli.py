@@ -365,11 +365,15 @@ def cmd_serve(args: argparse.Namespace) -> str:
             session_budget=args.session_budget,
         ),
     )
-    server = QueryServer(service, host=args.host, port=args.port).start()
+    server = QueryServer(
+        service, host=args.host, port=args.port,
+        drain_timeout=args.drain_timeout,
+    ).start()
     print(
         f"query service on {server.host}:{server.port} "
         f"(relations: {', '.join(service.state.names())}; "
-        f"max_inflight={args.max_inflight}) -- Ctrl-C to stop"
+        f"max_inflight={args.max_inflight}; "
+        f"drain_timeout={args.drain_timeout:g}s) -- Ctrl-C to stop"
     )
     try:
         import time
@@ -377,7 +381,10 @@ def cmd_serve(args: argparse.Namespace) -> str:
         while True:
             time.sleep(1.0)
     except KeyboardInterrupt:
-        pass
+        # Graceful drain: in-flight queries get drain_timeout to finish
+        # (new requests are refused with a retryable ShuttingDown);
+        # stragglers are cancelled through their tokens.
+        print("draining ...")
     finally:
         server.stop()
     snap = service.metrics.snapshot()
@@ -391,15 +398,26 @@ def cmd_client(args: argparse.Namespace) -> str:
     """Send one request line (or a ping) to a running server."""
     import json
 
-    from repro.server import QueryClient
+    from repro.server import QueryClient, RetryPolicy
 
     if args.request:
         request = json.loads(args.request)
     else:
         request = {"op": "ping"}
-    with QueryClient(args.host, args.port) as client:
+    if args.deadline_ms is not None:
+        request.setdefault("deadline_ms", args.deadline_ms)
+    retry = None
+    if args.retries > 0:
+        retry = RetryPolicy(
+            max_attempts=args.retries + 1, seed=args.retry_seed
+        )
+    with QueryClient(args.host, args.port, retry=retry) as client:
         payload = client.request(**request)
-    return json.dumps(payload, indent=2, sort_keys=True, default=str)
+        attempts = client.last_attempts
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    if attempts > 1:
+        text += f"\n(succeeded on attempt {attempts})"
+    return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -518,6 +536,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-budget", type=int, default=8 * 1024 * 1024,
         metavar="BYTES", help="shared query-cache byte budget",
     )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="on shutdown, grace period for in-flight queries before "
+        "they are cancelled through their tokens",
+    )
     serve.set_defaults(handler=cmd_serve)
 
     client = sub.add_parser(
@@ -530,6 +553,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="request object, e.g. "
         "'{\"op\":\"select\",\"relation\":\"r\",\"column\":\"shape\","
         "\"rect\":[0,0,100,100],\"theta\":\"overlaps\"}' (default: ping)",
+    )
+    client.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="attach a deadline to the request (server cancels past it)",
+    )
+    client.add_argument(
+        "--retries", type=int, default=0,
+        help="retry retryable failures (busy/conflict/shutting-down) "
+        "up to this many times with exponential backoff",
+    )
+    client.add_argument(
+        "--retry-seed", type=int, default=0,
+        help="seed for the deterministic retry jitter",
     )
     client.set_defaults(handler=cmd_client)
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from typing import Any
 
+from repro.core.cancel import CancellationToken, check_cancel
 from repro.core.report import AttemptRecord, ExecutionReport
 from repro.errors import ExecutionError, JoinError, StorageError, WorkerError
 from repro.join.accessor import RelationAccessor
@@ -213,6 +214,7 @@ class SpatialQueryExecutor:
         tracer=None,
         metrics=None,
         cache=None,
+        cancel: CancellationToken | None = None,
     ) -> SelectResult:
         """Spatial selection ``{t in relation : query theta t.column}``.
 
@@ -227,9 +229,14 @@ class SpatialQueryExecutor:
 
         ``tracer``/``metrics``/``cache`` override the instance handles
         for this call (per-session tracing over shared state).
+        ``cancel`` (a :class:`~repro.core.cancel.CancellationToken`) is
+        checked on entry, at every tree level of the traversal, and
+        once more before admission -- a result that finished past its
+        deadline is discarded, never cached.
         """
         from repro.gridfile.gridfile import GridFile
 
+        check_cancel(cancel)
         tracer, metrics, cache = self._handles(tracer, metrics, cache)
         if meter is None:
             meter = CostMeter()
@@ -265,7 +272,9 @@ class SpatialQueryExecutor:
                 relation, column, query, theta,
                 strategy=strategy, order=order, meter=meter,
                 candidates_out=candidates, tracer=tracer, metrics=metrics,
+                cancel=cancel,
             )
+            check_cancel(cancel)  # a post-deadline result must not be cached
             if cache is not None:
                 cache.admit_select(
                     relation, column, query, theta,
@@ -289,6 +298,7 @@ class SpatialQueryExecutor:
         candidates_out: list | None = None,
         tracer=None,
         metrics=None,
+        cancel: CancellationToken | None = None,
     ) -> SelectResult:
         from repro.gridfile.gridfile import GridFile
 
@@ -307,6 +317,7 @@ class SpatialQueryExecutor:
                 meter=meter, order=order,
                 tracer=tracer, metrics=metrics,
                 candidates_out=candidates_out,
+                cancel=cancel,
             )
         if strategy == "grid":
             from repro.gridfile.join import grid_select
@@ -351,6 +362,7 @@ class SpatialQueryExecutor:
         tracer=None,
         metrics=None,
         cache=None,
+        cancel: CancellationToken | None = None,
     ) -> JoinResult:
         """Spatial join ``rel_r join_theta rel_s`` on the given columns.
 
@@ -371,7 +383,11 @@ class SpatialQueryExecutor:
 
         ``tracer``/``metrics``/``cache`` override the instance handles
         for this call (per-session tracing over shared state).
+        ``cancel`` is checked on entry, at tree-level and
+        partition-chunk boundaries inside the strategies, and once more
+        before admission (no post-deadline cache fills).
         """
+        check_cancel(cancel)
         tracer, metrics, cache = self._handles(tracer, metrics, cache)
         if meter is None:
             meter = CostMeter()
@@ -402,8 +418,9 @@ class SpatialQueryExecutor:
                 rel_r, column_r, rel_s, column_s, theta,
                 strategy=strategy, meter=meter,
                 collect_tuples=collect_tuples, order=order, workers=workers,
-                tracer=tracer, metrics=metrics,
+                tracer=tracer, metrics=metrics, cancel=cancel,
             )
+            check_cancel(cancel)  # a post-deadline result must not be cached
             if cache is not None:
                 cache.admit_join(
                     rel_r, column_r, rel_s, column_s, theta,
@@ -430,6 +447,7 @@ class SpatialQueryExecutor:
         workers: int,
         tracer=None,
         metrics=None,
+        cancel: CancellationToken | None = None,
     ) -> JoinResult:
         tracer = self.tracer if tracer is None else tracer
         metrics = self.metrics if metrics is None else metrics
@@ -447,7 +465,7 @@ class SpatialQueryExecutor:
                 accessor_r=self._cold_accessor(rel_r, meter, metrics),
                 accessor_s=self._cold_accessor(rel_s, meter, metrics),
                 meter=meter, order=order, collect_tuples=collect_tuples,
-                tracer=tracer, metrics=metrics,
+                tracer=tracer, metrics=metrics, cancel=cancel,
             )
         if strategy == "index-nl":
             tree_r = rel_r.index_on(column_r)
@@ -508,7 +526,7 @@ class SpatialQueryExecutor:
                 collect_tuples=collect_tuples,
                 fault_plan=self._fault_plan_for(rel_r, rel_s),
                 chunk_timeout=self.chunk_timeout,
-                tracer=tracer, metrics=metrics,
+                tracer=tracer, metrics=metrics, cancel=cancel,
             )
         raise JoinError(f"unknown join strategy {strategy!r}")
 
@@ -533,6 +551,7 @@ class SpatialQueryExecutor:
         tracer=None,
         metrics=None,
         cache=None,
+        cancel: CancellationToken | None = None,
     ) -> tuple[JoinResult, ExecutionReport]:
         """Join with a strategy-fallback chain and a full execution report.
 
@@ -566,6 +585,13 @@ class SpatialQueryExecutor:
         strategy it actually ran (the attempt's own), priced by the
         plan's prediction *for that strategy* -- a fallback's entry
         never carries the requested strategy's label or cost.
+
+        ``cancel`` is re-checked before every attempt of the chain, and
+        :class:`~repro.errors.QueryCancelled` /
+        :class:`~repro.errors.DeadlineExceeded` raised inside an attempt
+        are *not* fallback triggers: a cancelled partition join must not
+        burn the remaining deadline on a doomed tree join.  They unwind
+        straight out of the chain.
         """
         tracer, metrics, cache = self._handles(tracer, metrics, cache)
         if meter is None:
@@ -591,6 +617,7 @@ class SpatialQueryExecutor:
         )
         result: JoinResult | None = None
         for strat in chain:
+            check_cancel(cancel)
             attempt_meter = CostMeter(charges=meter.charges)
             try:
                 result = self.join(
@@ -599,6 +626,7 @@ class SpatialQueryExecutor:
                     collect_tuples=collect_tuples, order=order, workers=workers,
                     predicted_cost=self._planned_cost(plan, strat),
                     tracer=tracer, metrics=metrics, cache=cache,
+                    cancel=cancel,
                 )
             except (StorageError, WorkerError) as exc:
                 meter.absorb(attempt_meter)

@@ -8,7 +8,16 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` package."""
+    """Base class for all errors raised by the ``repro`` package.
+
+    ``retryable`` is the client-facing contract of every error: True
+    means the failed request was *not executed* (or is otherwise safe to
+    re-issue verbatim) and a retry may succeed.  Subclasses override the
+    class attribute or set an instance attribute where retryability is
+    per-instance (e.g. :class:`ServerBusy`).
+    """
+
+    retryable = False
 
 
 class GeometryError(ReproError):
@@ -118,6 +127,31 @@ class ExecutionError(JoinError):
         self.report = report
 
 
+class QueryCancelled(ReproError):
+    """The query's :class:`~repro.core.cancel.CancellationToken` fired.
+
+    Raised by cooperative checks at strategy-attempt, partition-chunk
+    and tree-level boundaries once the token was cancelled (by a drain,
+    an explicit client abort, or the service watchdog).  Never
+    retryable: the caller asked for the work to stop, so re-issuing the
+    identical request would be self-defeating.  Cancellation unwinds
+    through the executor's fallback chain without triggering fallbacks
+    and vetoes cache admission of any partial or post-deadline result.
+    """
+
+    retryable = False
+
+
+class DeadlineExceeded(QueryCancelled):
+    """The query outlived its deadline and was cancelled.
+
+    A :class:`QueryCancelled` whose cause is the request's own
+    ``deadline_ms`` budget.  Also not retryable -- the same request
+    would burn the same budget; callers should raise the deadline or
+    reduce the work instead.
+    """
+
+
 class ServerError(ReproError):
     """Base class for multi-session query-service failures."""
 
@@ -140,14 +174,30 @@ class SessionError(ServerError):
     """Session lifecycle misuse (closed session, unknown session id)."""
 
 
+class ShuttingDown(ServerError):
+    """The service is draining: new queries are refused, retryably.
+
+    Sent to in-flight sessions for requests that arrive after
+    :meth:`~repro.server.service.QueryService.begin_drain` -- the
+    request was *not* executed and another server (or this one, after a
+    restart) can serve it, so the error is always retryable.
+    """
+
+    retryable = True
+
+
 class SnapshotConflict(ServerError):
     """A reader's pinned epoch moved and its retry budget ran out.
 
     Epoch-pinned reads are optimistic: a concurrent writer bumping an
     operand relation's modification epoch invalidates the attempt and
     the reader re-executes at a fresh pin.  This error surfaces only
-    after the bounded retries were all invalidated in turn.
+    after the bounded retries were all invalidated in turn.  Retryable:
+    the conflicting writers have (by then) committed, so a fresh attempt
+    pins a fresh epoch and usually validates.
     """
+
+    retryable = True
 
     def __init__(self, message: str, *, attempts: int = 0) -> None:
         super().__init__(message)
@@ -155,7 +205,21 @@ class SnapshotConflict(ServerError):
 
 
 class ProtocolError(ServerError):
-    """Malformed request line on the server's wire protocol."""
+    """Malformed request/reply line, or a server-side error on the wire.
+
+    On the client, every ``ERR`` reply surfaces as a ProtocolError
+    carrying the server's exception type name (``server_type``) and its
+    retryable flag as transmitted.  A ProtocolError with
+    ``server_type=None`` is *transport-level*: a malformed or truncated
+    reply line, a broken connection -- the request's outcome is unknown
+    and only idempotent requests may be safely retried.
+    """
+
+    def __init__(self, message: str, *, retryable: bool = False,
+                 server_type: str | None = None) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+        self.server_type = server_type
 
 
 class CostModelError(ReproError):

@@ -10,7 +10,10 @@ first-class, *reproducible* input:
   whether recovery consumed it;
 * :class:`~repro.faults.disk.FaultyDisk` -- a drop-in
   :class:`~repro.storage.disk.SimulatedDisk` that executes the plan and
-  detects torn writes via per-page checksums.
+  detects torn writes via per-page checksums;
+* :class:`~repro.faults.net.ChaosProxy` -- a line-oriented TCP proxy
+  that executes the plan's *network* side (connection drops, stalls,
+  garbled and partial reply lines) between a query client and server.
 
 Recovery lives in the layers above: the buffer pool retries transient
 faults with bounded virtual-clock backoff, the worker pool re-executes
@@ -20,12 +23,16 @@ strategies -- each step recorded in an
 """
 
 from repro.faults.disk import FaultyDisk, page_checksum
-from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.net import ChaosProxy, garble_line
+from repro.faults.plan import NET_FAULT_KINDS, FaultEvent, FaultKind, FaultPlan
 
 __all__ = [
+    "ChaosProxy",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
     "FaultyDisk",
+    "NET_FAULT_KINDS",
+    "garble_line",
     "page_checksum",
 ]

@@ -1,0 +1,199 @@
+"""Seeded network chaos: a fault-injecting TCP proxy for the query wire.
+
+:class:`ChaosProxy` sits between a :class:`~repro.server.net.QueryClient`
+and a :class:`~repro.server.net.QueryServer` and executes the network
+side of a :class:`~repro.faults.plan.FaultPlan`, the same way
+:class:`~repro.faults.disk.FaultyDisk` executes its storage side.  It is
+line-oriented -- it forwards whole protocol lines, consulting the plan
+before each one -- so injected faults land at realistic protocol
+boundaries:
+
+* **drop** (``net_drop_rate``): both sides of the connection are closed;
+  the client sees EOF mid-conversation and must reconnect;
+* **stall** (``net_stall_rate``): the line is delivered late, after
+  ``net_stall_seconds`` -- exercises client timeouts without killing the
+  connection;
+* **partial** (``net_partial_rate``, server->client only): a prefix of
+  the reply line is written, then the connection dies -- the classic
+  half-written reply whose outcome the client cannot know;
+* **garble** (``net_garble_rate``, server->client only): the reply's
+  payload bytes are XOR-scrambled (the newline survives, so framing does
+  not desynchronize); the client sees a malformed reply and must treat
+  the connection as broken.
+
+Garble and partial faults target only the server->client direction by
+design: corrupting a *request* could turn it into a different but still
+valid request, a failure mode no client-side recovery can even detect.
+Requests either arrive intact or not at all.
+
+Determinism: the proxy serializes all plan consultations behind one
+lock, and the plan draws network faults from an rng stream independent
+of the disk stream.  The schedule depends on the seed, the rates, and
+the interleaving of lines -- so multi-client runs are statistically
+reproducible (same fault mix) rather than byte-identical, which is what
+the chaos soak asserts over.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from repro.faults.plan import FaultKind, FaultPlan
+
+#: XOR mask applied to garbled payload bytes.  ASCII protocol bytes
+#: (0x20..0x7e) map into 0x85..0xfb -- never ``\n`` (0x0a), so a garbled
+#: line cannot split into two lines or swallow the next one.
+GARBLE_MASK = 0xA5
+
+
+def garble_line(line: bytes) -> bytes:
+    """Scramble a protocol line's payload, preserving the terminator."""
+    body = line[:-1] if line.endswith(b"\n") else line
+    scrambled = bytes(b ^ GARBLE_MASK for b in body)
+    return scrambled + b"\n" if line.endswith(b"\n") else scrambled
+
+
+class ChaosProxy:
+    """Fault-injecting line proxy in front of a query server.
+
+    Point a client at ``proxy.address`` instead of the server's; every
+    line in either direction is subject to the plan's ``net_*`` knobs.
+    One pump thread per direction per connection; ``stop`` closes
+    everything and joins the pumps.
+    """
+
+    def __init__(self, plan: FaultPlan, upstream: tuple[str, int],
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.plan = plan
+        self.upstream = upstream
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._stop = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._threads: list[threading.Thread] = []
+        self._conns: dict[int, tuple[socket.socket, socket.socket]] = {}
+        self._conn_ids = 0
+        self._lock = threading.Lock()
+        # FaultPlan is not thread-safe; pumps serialize their draws here.
+        self._plan_lock = threading.Lock()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def start(self) -> "ChaosProxy":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        self._listener.close()
+        with self._lock:
+            pairs = list(self._conns.values())
+            threads = list(self._threads)
+        for pair in pairs:
+            for sock in pair:
+                _close(sock)
+        for t in threads:
+            t.join(timeout=5.0)
+        with self._lock:
+            self._threads = [t for t in self._threads if t.is_alive()]
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    @property
+    def live_connections(self) -> int:
+        with self._lock:
+            return len(self._conns)
+
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                self._threads = [t for t in self._threads if t.is_alive()]
+            try:
+                client_sock, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                server_sock = socket.create_connection(self.upstream,
+                                                       timeout=5.0)
+            except OSError:
+                _close(client_sock)
+                continue
+            with self._lock:
+                self._conn_ids += 1
+                conn_id = self._conn_ids
+                self._conns[conn_id] = (client_sock, server_sock)
+            for src, dst, direction in (
+                (client_sock, server_sock, "c2s"),
+                (server_sock, client_sock, "s2c"),
+            ):
+                t = threading.Thread(
+                    target=self._pump, args=(conn_id, src, dst, direction),
+                    name=f"chaos-pump-{conn_id}-{direction}", daemon=True,
+                )
+                with self._lock:
+                    self._threads.append(t)
+                t.start()
+
+    def _pump(self, conn_id: int, src: socket.socket, dst: socket.socket,
+              direction: str) -> None:
+        try:
+            with src.makefile("rb") as reader:
+                for line in reader:
+                    with self._plan_lock:
+                        event = self.plan.draw_net_fault(conn_id, direction)
+                    kind = event.kind if event is not None else None
+                    if kind is FaultKind.NET_DROP:
+                        return
+                    if kind is FaultKind.NET_PARTIAL:
+                        dst.sendall(line[: max(1, len(line) // 2)])
+                        return
+                    if kind is FaultKind.NET_STALL:
+                        # Bounded wait, abandoned on stop() so shutdown
+                        # is never held hostage by a scheduled stall.
+                        if self._stop.wait(self.plan.net_stall_seconds):
+                            return
+                    elif kind is FaultKind.NET_GARBLE:
+                        dst.sendall(garble_line(line))
+                        continue
+                    dst.sendall(line)
+                    with self._plan_lock:
+                        self.plan.note_net_success(direction)
+        except OSError:
+            pass  # the paired pump (or stop()) tore the connection down
+        finally:
+            # First pump to exit kills both sockets, which unblocks the
+            # paired pump; the second exit's close is a no-op.
+            with self._lock:
+                pair = self._conns.pop(conn_id, None)
+            if pair is not None:
+                for sock in pair:
+                    _close(sock)
+
+
+def _close(sock: socket.socket) -> None:
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -37,6 +37,20 @@ class FaultKind(str, Enum):
     PERMANENT_READ = "permanent-read"
     WORKER_CRASH = "worker-crash"
     CRASH = "crash"
+    NET_DROP = "net-drop"
+    NET_STALL = "net-stall"
+    NET_GARBLE = "net-garble"
+    NET_PARTIAL = "net-partial"
+
+
+#: Fault kinds injected on the wire (by :class:`~repro.faults.net.ChaosProxy`)
+#: rather than on the simulated disk.
+NET_FAULT_KINDS = frozenset({
+    FaultKind.NET_DROP,
+    FaultKind.NET_STALL,
+    FaultKind.NET_GARBLE,
+    FaultKind.NET_PARTIAL,
+})
 
 
 @dataclass(slots=True)
@@ -55,6 +69,8 @@ class FaultEvent:
             noun = "chunk"
         elif self.kind is FaultKind.CRASH:
             noun = "physical write"
+        elif self.kind in NET_FAULT_KINDS:
+            noun = "connection"
         else:
             noun = "page"
         return f"{self.kind.value} on {noun} {self.target} ({state})"
@@ -74,6 +90,17 @@ class FaultPlan:
     in-flight write torn), freezing the disk's durable image for
     crash-recovery testing.
 
+    The ``net_*`` knobs drive the network side
+    (:class:`~repro.faults.net.ChaosProxy`): per-line Bernoulli rates for
+    connection drops, read/write stalls of ``net_stall_seconds``, garbled
+    reply bytes and partially-written lines.  Network draws come from a
+    *separate* rng stream (derived from the same seed), so enabling wire
+    chaos does not perturb the disk fault schedule -- a test can hold its
+    storage faults fixed while dialing network chaos up and down.  Net
+    faults share ``max_burst``: after ``max_burst`` consecutive faults in
+    one direction the next line is forced through, so a retry budget
+    larger than ``max_burst`` always wins.
+
     ``enabled`` gates all injection; flip it off to verify state without
     interference (tests do this after a faulted workload).
     """
@@ -91,11 +118,24 @@ class FaultPlan:
         max_burst: int = 3,
         crash_at_write: int | None = None,
         crash_torn_tail: bool = False,
+        net_drop_rate: float = 0.0,
+        net_stall_rate: float = 0.0,
+        net_garble_rate: float = 0.0,
+        net_partial_rate: float = 0.0,
+        net_stall_seconds: float = 0.05,
     ) -> None:
         for name, rate in (("read_rate", read_rate), ("write_rate", write_rate),
-                           ("torn_rate", torn_rate)):
+                           ("torn_rate", torn_rate),
+                           ("net_drop_rate", net_drop_rate),
+                           ("net_stall_rate", net_stall_rate),
+                           ("net_garble_rate", net_garble_rate),
+                           ("net_partial_rate", net_partial_rate)):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if net_stall_seconds < 0:
+            raise ValueError(
+                f"net_stall_seconds must be >= 0, got {net_stall_seconds}"
+            )
         if max_burst < 1:
             raise ValueError(f"max_burst must be positive, got {max_burst}")
         if crash_at_write is not None and crash_at_write < 0:
@@ -116,9 +156,17 @@ class FaultPlan:
         #: in the frozen image (its last frame is garbage) instead of not
         #: landing at all -- the classic torn log tail.
         self.crash_torn_tail = crash_torn_tail
+        self.net_drop_rate = net_drop_rate
+        self.net_stall_rate = net_stall_rate
+        self.net_garble_rate = net_garble_rate
+        self.net_partial_rate = net_partial_rate
+        self.net_stall_seconds = net_stall_seconds
         self.enabled = True
         self.events: list[FaultEvent] = []
         self._rng = random.Random(seed)
+        # Independent stream for wire faults so the disk schedule is
+        # identical with or without network chaos under the same seed.
+        self._net_rng = random.Random(f"net:{seed}")
         self._op_index = 0
         # Consecutive-failure counters per (op, page), reset on success.
         self._bursts: dict[tuple[str, int], int] = {}
@@ -172,6 +220,56 @@ class FaultPlan:
             and self.crash_at_write is not None
             and write_index == self.crash_at_write
         )
+
+    def draw_net_fault(self, conn_id: int, direction: str) -> FaultEvent | None:
+        """Decide whether the next wire line on ``conn_id`` is faulted.
+
+        ``direction`` is ``"c2s"`` (client requests) or ``"s2c"`` (server
+        replies).  Drops and stalls may hit either direction; garbled and
+        partially-written lines are injected only server-to-client --
+        corrupting a *request* could mutate it into a different but valid
+        request, which no client-side recovery can detect.  Consecutive
+        faults per direction are capped at ``max_burst`` (shared across
+        reconnections), so a bounded retry loop always terminates.
+        """
+        if not self.enabled:
+            return None
+        if direction not in ("c2s", "s2c"):
+            raise ValueError(
+                f"direction must be 'c2s' or 's2c', got {direction!r}"
+            )
+        op = f"net-{direction}"
+        kinds = [
+            (self.net_drop_rate, FaultKind.NET_DROP),
+            (self.net_stall_rate, FaultKind.NET_STALL),
+        ]
+        if direction == "s2c":
+            kinds += [
+                (self.net_partial_rate, FaultKind.NET_PARTIAL),
+                (self.net_garble_rate, FaultKind.NET_GARBLE),
+            ]
+        if all(rate <= 0.0 for rate, _ in kinds):
+            return None
+        # The burst key is the *direction*, not the connection: a drop
+        # kills the connection, so per-connection counters would never
+        # cap a drop storm across reconnect attempts.
+        if self._bursts.get((op, 0), 0) >= self.max_burst:
+            return None
+        for rate, kind in kinds:
+            if rate > 0.0 and self._net_rng.random() < rate:
+                self._bursts[(op, 0)] = self._bursts.get((op, 0), 0) + 1
+                return self._log(kind, conn_id, op=op)
+        return None
+
+    def note_net_success(self, direction: str) -> None:
+        """A line was forwarded cleanly: the direction's pending net
+        faults were survived (reconnected / retried past); consume them
+        and reset the burst counter."""
+        op = f"net-{direction}"
+        self._bursts.pop((op, 0), None)
+        for key in [k for k in self._pending if k[0] == op]:
+            for ev in self._pending.pop(key):
+                ev.consumed = True
 
     def should_crash_chunk(self, chunk_index: int) -> bool:
         """Pure decision: does this parallel chunk's worker die?
@@ -262,17 +360,19 @@ class FaultPlan:
         return self._log(kind, page_id)
 
     def _log(
-        self, kind: FaultKind, target: int, *, pending: bool = True
+        self, kind: FaultKind, target: int, *, pending: bool = True,
+        op: str | None = None,
     ) -> FaultEvent:
         ev = FaultEvent(kind=kind, target=target, op_index=self._op_index)
         self._op_index += 1
         self.events.append(ev)
         if pending:
-            op = {
-                FaultKind.TRANSIENT_READ: "read",
-                FaultKind.TRANSIENT_WRITE: "write",
-                # A torn write is detected (and survived) on a *read*.
-                FaultKind.TORN_WRITE: "read",
-            }[kind]
+            if op is None:
+                op = {
+                    FaultKind.TRANSIENT_READ: "read",
+                    FaultKind.TRANSIENT_WRITE: "write",
+                    # A torn write is detected (and survived) on a *read*.
+                    FaultKind.TORN_WRITE: "read",
+                }[kind]
             self._pending.setdefault((op, target), []).append(ev)
         return ev

@@ -46,6 +46,7 @@ def spatial_select(
     tracer=None,
     metrics=None,
     candidates_out: list | None = None,
+    cancel=None,
 ) -> SelectResult:
     """Run Algorithm SELECT over a generalization tree.
 
@@ -96,7 +97,13 @@ def spatial_select(
         meter already charges; collecting them costs no extra predicate
         evaluations or page reads (the payload fetch lands on the page
         the refinement just touched).
+    cancel:
+        A :class:`~repro.core.cancel.CancellationToken` (or ``None``).
+        BFS checks it at every level boundary, DFS at every node pop --
+        the cooperative cancellation points a deadline or drain relies
+        on to stop a long traversal mid-flight.
     """
+    from repro.core.cancel import check_cancel
     if order not in ("bfs", "dfs"):
         raise JoinError(f"order must be 'bfs' or 'dfs', got {order!r}")
     if limit is not None and limit < 1:
@@ -167,6 +174,7 @@ def spatial_select(
                 qual = [root]
             level = 0
             while qual and not reached_limit():
+                check_cancel(cancel)
                 next_qual: list[Any] = []
                 with tracer.span("select.level", meter=meter, level=level) as span:
                     examined = 0
@@ -201,6 +209,7 @@ def spatial_select(
             else:
                 stack.append(root)
             while stack and not reached_limit():
+                check_cancel(cancel)
                 node = stack.pop()
                 if examine(node):
                     stack.extend(reversed(tree.children(node)))

@@ -50,6 +50,7 @@ def tree_join(
     collect_tuples: bool = False,
     tracer=None,
     metrics=None,
+    cancel=None,
 ) -> JoinResult:
     """Compute ``R join_theta S`` hierarchically over two generalization trees.
 
@@ -65,7 +66,12 @@ def tree_join(
     histogram and per-level filter/prune counters.  The SELECT passes
     inside a level stay span-free by design -- one span per qualifying
     pair would swamp the trace; their cost lands in the level's delta.
+
+    ``cancel`` (a :class:`~repro.core.cancel.CancellationToken`) is
+    checked at every QualPairs level boundary -- the join's cooperative
+    cancellation point.
     """
+    from repro.core.cancel import check_cancel
     if accessor_r is None:
         accessor_r = DirectAccessor()
     if accessor_s is None:
@@ -96,6 +102,7 @@ def tree_join(
     level = 0
 
     while qual_pairs and level <= max_level:
+        check_cancel(cancel)
         next_pairs: list[tuple[Any, Any]] = []
         with tracer.span(
             "join.level", meter=meter, level=level, qual_pairs=len(qual_pairs)

@@ -85,6 +85,7 @@ def partition_join(
     chunk_timeout: float | None = None,
     tracer=None,
     metrics=None,
+    cancel=None,
 ) -> JoinResult:
     """Partition-parallel overlap join of two relations.
 
@@ -100,6 +101,10 @@ def partition_join(
     chunk re-execution); ``chunk_timeout`` bounds each worker chunk.
     The returned stats report how the pool actually ran: effective
     worker count, degrade reason (if any), and recovered chunks.
+
+    ``cancel`` (a :class:`~repro.core.cancel.CancellationToken`) is
+    checked between the extract/scatter/sweep phases and at every
+    worker-chunk boundary inside the pool.
     """
     if workers < 1:
         raise JoinError(f"workers must be positive, got {workers}")
@@ -118,6 +123,9 @@ def partition_join(
         span.set_tag("entries_r", len(entries_r))
         span.set_tag("entries_s", len(entries_s))
 
+    from repro.core.cancel import check_cancel
+
+    check_cancel(cancel)
     with tracer.span("partition.scatter", meter=meter) as span:
         spec = _resolve_grid(grid, universe, entries_r, entries_s, workers)
         tasks = partition_pair(entries_r, entries_s, spec)
@@ -128,7 +136,7 @@ def partition_join(
         pairs, worker_meter, pool_report = run_partitions(
             tasks, spec, theta, workers=workers,
             fault_plan=fault_plan, chunk_timeout=chunk_timeout,
-            metrics=metrics,
+            metrics=metrics, cancel=cancel,
         )
         meter.absorb(worker_meter)
         span.set_tag("effective_workers", pool_report.effective_workers)

@@ -123,10 +123,14 @@ def _run_chunks_sequentially(
     fault_plan: "FaultPlan | None",
     report: PoolReport,
     metrics=None,
+    cancel=None,
 ) -> list[tuple[list[tuple[RecordId, RecordId]], CostMeter]]:
     """Run every chunk in-process, recovering injected crashes per chunk."""
+    from repro.core.cancel import check_cancel
+
     results = []
     for i, chunk in enumerate(chunks):
+        check_cancel(cancel)
         started = time.perf_counter()
         try:
             results.append(_run_chunk(chunk, grid, theta, fault_plan, i))
@@ -158,6 +162,7 @@ def run_partitions(
     fault_plan: "FaultPlan | None" = None,
     chunk_timeout: float | None = None,
     metrics=None,
+    cancel=None,
 ) -> tuple[list[tuple[RecordId, RecordId]], CostMeter, PoolReport]:
     """Sweep all tiles; returns ``(pairs, merged_meter, report)``.
 
@@ -172,18 +177,29 @@ def run_partitions(
     the partition-level timing breakdown that makes a parallel join's
     imbalance visible.  On the process-pool path a chunk's duration is
     measured from dispatch to collection, so concurrent chunks overlap.
+
+    ``cancel`` (a :class:`~repro.core.cancel.CancellationToken`) is the
+    per-chunk cooperative cancellation boundary: the sequential path
+    checks it before every chunk (a many-tile partition join can be
+    stopped mid-sweep), the process-pool path before dispatch and
+    between chunk collections.  A chunk already running in a worker
+    process finishes (or times out) before the cancellation surfaces --
+    cancellation is cooperative, never pre-emptive.
     """
+    from repro.core.cancel import check_cancel
+
     if workers < 1:
         raise JoinError(f"workers must be positive, got {workers}")
     if workers == 1 or len(tasks) <= 1:
         report = PoolReport(requested_workers=workers, effective_workers=1)
         chunk = list(tasks)
         reports = _run_chunks_sequentially([chunk] if chunk else [], grid, theta,
-                                           fault_plan, report, metrics)
+                                           fault_plan, report, metrics, cancel)
         pairs = [p for chunk_pairs, _ in reports for p in chunk_pairs]
         _publish_recoveries(metrics, report)
         return pairs, CostMeter.merge([m for _, m in reports]), report
 
+    check_cancel(cancel)
     chunks = balance_tasks(tasks, workers)
     report = PoolReport(requested_workers=workers, effective_workers=len(chunks))
     try:
@@ -195,7 +211,7 @@ def run_partitions(
         report.effective_workers = 1
         report.degrade_reason = f"{type(exc).__name__}: {exc}"
         reports = _run_chunks_sequentially(chunks, grid, theta, fault_plan,
-                                           report, metrics)
+                                           report, metrics, cancel)
         pairs = [p for chunk_pairs, _ in reports for p in chunk_pairs]
         _publish_recoveries(metrics, report)
         return pairs, CostMeter.merge([m for _, m in reports]), report
@@ -211,6 +227,9 @@ def run_partitions(
         ]
         outstanding = len(handles)
         for i, handle in enumerate(handles):
+            # A cancel here leaves ``outstanding`` > 0, so the finally
+            # terminates (not drains) the pool -- no orphaned workers.
+            check_cancel(cancel)
             try:
                 results.append(handle.get(timeout=chunk_timeout))
                 causes.append(None)
@@ -243,6 +262,7 @@ def run_partitions(
     for i, (chunk, outcome, cause) in enumerate(zip(chunks, results, causes)):
         if outcome is not None:
             continue
+        check_cancel(cancel)
         started = time.perf_counter()
         results[i] = _run_chunk(chunk, grid, theta)
         report.recoveries.append(

@@ -10,22 +10,35 @@ Layering, bottom up:
   front-end with its own tracer);
 * :mod:`repro.server.protocol` -- the JSON line protocol shared by every
   transport;
-* :mod:`repro.server.net` -- TCP server (thread per session) and client.
+* :mod:`repro.server.net` -- TCP server (thread per session) with
+  graceful drain, and a client with retry/backoff
+  (:class:`~repro.server.net.RetryPolicy`).
 
-See ``docs/server.md`` for the protocol and the concurrency rules.
+See ``docs/server.md`` for the protocol and the concurrency rules, and
+``docs/robustness.md`` for the resilience layer (deadlines, cooperative
+cancellation, drain, retries, network chaos).
 """
 
-from repro.server.net import QueryClient, QueryServer
+from repro.core.cancel import CancellationToken
+from repro.server.net import (
+    IDEMPOTENT_OPS,
+    QueryClient,
+    QueryServer,
+    RetryPolicy,
+)
 from repro.server.protocol import handle_request, parse_request
 from repro.server.service import QueryService, ServiceConfig, Session
 from repro.server.state import DEFAULT_READ_RETRIES, EpochPin, StateManager
 
 __all__ = [
     "DEFAULT_READ_RETRIES",
+    "IDEMPOTENT_OPS",
+    "CancellationToken",
     "EpochPin",
     "QueryClient",
     "QueryServer",
     "QueryService",
+    "RetryPolicy",
     "ServiceConfig",
     "Session",
     "StateManager",

@@ -10,10 +10,12 @@ Supported operations (fields beyond ``op``):
 
 =============  =======================================================
 ``ping``       liveness probe
+``health``     readiness probe: status, inflight/shed/conflict counters
 ``relations``  list registered relation names
-``select``     ``relation, column, rect, theta[, strategy, order]``
+``select``     ``relation, column, rect, theta[, strategy, order,
+               deadline_ms]``
 ``join``       ``relation_r, column_r, relation_s, column_s, theta
-               [, strategy]``
+               [, strategy, deadline_ms]``
 ``insert``     ``relation, oid, rect`` (the demo OBJECT schema)
 ``delete``     ``relation, oid``
 ``metrics``    snapshot of the shared metrics registry
@@ -23,6 +25,14 @@ Supported operations (fields beyond ``op``):
 ``rect`` is ``[xmin, ymin, xmax, ymax]``; ``theta`` is an operator name
 (``overlaps``, ``includes``, ``contained_in``, ``northwest_of``,
 ``adjacent``) or ``within_distance`` with a ``distance`` field.
+``deadline_ms`` bounds the query in wall-clock milliseconds; past it
+the server replies ``ERR DeadlineExceeded ...``.
+
+Error replies carry the server exception's *retryable* flag on the
+wire: a retryable error's type name is suffixed with ``!``
+(``ERR ServerBusy! service at capacity ...``), which
+:func:`decode_response` turns back into ``ProtocolError.retryable`` --
+the bit the client's :class:`~repro.server.net.RetryPolicy` keys on.
 """
 
 from __future__ import annotations
@@ -103,22 +113,51 @@ def encode_ok(payload: dict[str, Any]) -> str:
 
 def encode_error(exc: BaseException) -> str:
     message = " ".join(str(exc).split()) or exc.__class__.__name__
-    return f"ERR {type(exc).__name__} {message}"
+    name = type(exc).__name__
+    if getattr(exc, "retryable", False):
+        name += "!"
+    return f"ERR {name} {message}"
 
 
 def decode_response(line: str) -> dict[str, Any]:
     """Client side: one reply line -> payload dict (raises on ``ERR``).
 
     Errors are re-raised as :class:`ProtocolError` carrying the server's
-    exception type and message -- the client cannot (and should not)
-    reconstruct arbitrary server-side classes.
+    exception type (``server_type``), message and retryable flag -- the
+    client cannot (and should not) reconstruct arbitrary server-side
+    classes.  A line that is neither ``OK`` nor ``ERR`` raises a
+    ProtocolError with ``server_type=None``: transport-level corruption
+    whose request outcome is unknown.
     """
     line = line.strip()
     if line.startswith("OK "):
-        return json.loads(line[3:])
+        try:
+            return json.loads(line[3:])
+        except json.JSONDecodeError:
+            raise ProtocolError(
+                f"garbled OK payload: {line[3:100]!r}"
+            ) from None
     if line.startswith("ERR "):
-        raise ProtocolError(line[4:])
-    raise ProtocolError(f"malformed reply line: {line!r}")
+        name, _, message = line[4:].partition(" ")
+        retryable = name.endswith("!")
+        name = name.rstrip("!")
+        raise ProtocolError(
+            f"{name} {message}".strip(),
+            retryable=retryable, server_type=name or None,
+        )
+    raise ProtocolError(f"malformed reply line: {line[:100]!r}")
+
+
+def _deadline_from_request(request: dict[str, Any]) -> float | None:
+    value = request.get("deadline_ms")
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or value < 0:
+        raise ProtocolError(
+            f"field 'deadline_ms' must be a non-negative number, got {value!r}"
+        )
+    return float(value)
 
 
 def _require_str(request: dict[str, Any], field: str) -> str:
@@ -139,6 +178,8 @@ def handle_request(session: Any, request: dict[str, Any]) -> dict[str, Any]:
     op = request["op"]
     if op == "ping":
         return {"pong": True, "session": session.session_id}
+    if op == "health":
+        return session.service.health()
     if op == "relations":
         return {"relations": session.service.state.names()}
     if op == "metrics":
@@ -155,6 +196,7 @@ def handle_request(session: Any, request: dict[str, Any]) -> dict[str, Any]:
             relation, column, window, theta,
             strategy=request.get("strategy", "auto"),
             order=request.get("order", "bfs"),
+            deadline_ms=_deadline_from_request(request),
         )
         oids = _oids_of(result.matches)
         payload: dict[str, Any] = {
@@ -174,6 +216,7 @@ def handle_request(session: Any, request: dict[str, Any]) -> dict[str, Any]:
         result, (epoch_r, epoch_s) = session.join(
             rel_r, column_r, rel_s, column_s, theta,
             strategy=request.get("strategy", "auto"),
+            deadline_ms=_deadline_from_request(request),
         )
         return {
             "count": len(result.pairs),

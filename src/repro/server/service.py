@@ -20,11 +20,23 @@ keeps the service honest under overload:
 * a session that exhausts its ``session_budget`` gets a non-retryable
   :class:`~repro.errors.ServerBusy` (open a new session);
 * a read invalidated more than ``snapshot_retries`` times surfaces
-  :class:`~repro.errors.SnapshotConflict`.
+  :class:`~repro.errors.SnapshotConflict`;
+* after :meth:`QueryService.begin_drain` every new query is refused
+  with a retryable :class:`~repro.errors.ShuttingDown`.
+
+Resilience: every admitted read carries a
+:class:`~repro.core.cancel.CancellationToken` (with a deadline when the
+request specified ``deadline_ms``).  The token is checked cooperatively
+inside the executor; a *watchdog* thread additionally cancels tokens
+that outlive their deadline, so a read stalled between checkpoints is
+reaped at the next boundary it crosses.  Draining cancels every
+in-flight token once the ``drain_timeout`` grace expires.
 
 Everything is metered: ``server.sessions_active``,
 ``server.queries_inflight``, ``server.queries``, ``server.conflicts``
-(pin invalidations absorbed by retries) and ``server.shed``.
+(pin invalidations absorbed by retries), ``server.shed`` and
+``server.deadline_exceeded`` (exactly once per expired query, whoever
+notices first).
 """
 
 from __future__ import annotations
@@ -36,8 +48,15 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.cache import QueryCache
+from repro.core.cancel import CancellationToken
 from repro.core.executor import SpatialQueryExecutor
-from repro.errors import ServerBusy, SessionError
+from repro.errors import (
+    DeadlineExceeded,
+    QueryCancelled,
+    ServerBusy,
+    SessionError,
+    ShuttingDown,
+)
 from repro.join.result import JoinResult, SelectResult
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
@@ -53,12 +72,16 @@ class ServiceConfig:
     ``max_inflight`` bounds simultaneously executing queries across all
     sessions (overload shedding); ``session_budget`` bounds queries per
     session (None = unbounded); ``snapshot_retries`` is the per-read
-    re-pin budget before a conflict surfaces.
+    re-pin budget before a conflict surfaces.  ``watchdog_interval`` is
+    how often (seconds) the deadline watchdog sweeps in-flight tokens;
+    it bounds how *late* a stalled query's deadline can fire, not how
+    precise deadlines are (the query's own boundary checks are exact).
     """
 
     max_inflight: int = 8
     session_budget: int | None = None
     snapshot_retries: int = DEFAULT_READ_RETRIES
+    watchdog_interval: float = 0.02
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -72,6 +95,11 @@ class ServiceConfig:
         if self.snapshot_retries < 0:
             raise SessionError(
                 f"snapshot_retries must be >= 0, got {self.snapshot_retries}"
+            )
+        if self.watchdog_interval <= 0:
+            raise SessionError(
+                f"watchdog_interval must be positive, "
+                f"got {self.watchdog_interval}"
             )
 
 
@@ -104,6 +132,16 @@ class QueryService:
         self._session_ids = itertools.count(1)
         self._inflight = 0
         self._admission = threading.Lock()
+        #: Signalled whenever ``_inflight`` returns to zero -- what
+        #: :meth:`wait_idle` (and thus a draining server) blocks on.
+        self._idle = threading.Condition(self._admission)
+        self._draining = False
+        self._query_ids = itertools.count(1)
+        #: Tokens of currently admitted queries, keyed by query id --
+        #: the watchdog's sweep set and the drain's cancellation set.
+        self._inflight_tokens: dict[int, CancellationToken] = {}
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_stop = threading.Event()
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -132,9 +170,23 @@ class QueryService:
     # ------------------------------------------------------------------
 
     @contextmanager
-    def _admit(self, session: "Session", op: str):
-        """Gate one query: budget, then capacity, then inflight tracking."""
+    def _admit(self, session: "Session", op: str,
+               cancel: CancellationToken | None = None):
+        """Gate one query: drain, budget, capacity, inflight tracking.
+
+        ``cancel`` (when the query carries a token) is registered for
+        the lifetime of the admission so the watchdog can expire it and
+        a drain can cancel it; it is always unregistered on the way
+        out, which is what guarantees ``server.queries_inflight``
+        returns to zero even for queries that died on their deadline.
+        """
         with self._admission:
+            if self._draining:
+                self.metrics.counter("server.shed", reason="shutdown").inc()
+                raise ShuttingDown(
+                    "SHUTTING_DOWN: the service is draining; retry against "
+                    "a live server"
+                )
             if session.closed:
                 raise SessionError(
                     f"session {session.session_id} is closed"
@@ -157,16 +209,144 @@ class QueryService:
             self._inflight += 1
             session.queries_issued += 1
             self._gauge("server.queries_inflight", self._inflight)
+            query_id = next(self._query_ids)
+            if cancel is not None:
+                self._inflight_tokens[query_id] = cancel
+                if cancel.deadline is not None:
+                    self._ensure_watchdog()
         try:
             self.metrics.counter("server.queries", op=op).inc()
             yield
         finally:
             with self._admission:
+                self._inflight_tokens.pop(query_id, None)
                 self._inflight -= 1
                 self._gauge("server.queries_inflight", self._inflight)
+                if self._inflight == 0:
+                    self._idle.notify_all()
 
     def _gauge(self, name: str, value: float) -> None:
         self.metrics.gauge(name).set(value)
+
+    # ------------------------------------------------------------------
+    # Deadlines & the watchdog
+    # ------------------------------------------------------------------
+
+    def token_for(
+        self, deadline_ms: float | None = None
+    ) -> CancellationToken:
+        """One query's cancellation token, metered on deadline expiry.
+
+        ``deadline_ms`` is a relative budget in milliseconds (None =
+        no deadline; the token is still created so a drain can cancel
+        the query).  ``server.deadline_exceeded`` counts each expired
+        token exactly once -- the token's single cancel transition is
+        the metering point, whether the watchdog or the query's own
+        boundary check noticed first.
+        """
+
+        def metered(error: QueryCancelled) -> None:
+            if isinstance(error, DeadlineExceeded):
+                self.metrics.counter("server.deadline_exceeded").inc()
+
+        if deadline_ms is None:
+            return CancellationToken(on_cancel=metered)
+        if deadline_ms < 0:
+            raise SessionError(
+                f"deadline_ms must be >= 0, got {deadline_ms}"
+            )
+        return CancellationToken.with_timeout(
+            deadline_ms / 1000.0, on_cancel=metered
+        )
+
+    def _ensure_watchdog(self) -> None:
+        # Called under self._admission; starts the sweeper lazily so
+        # deadline-free services never pay a thread.
+        if self._watchdog is None or not self._watchdog.is_alive():
+            self._watchdog_stop = threading.Event()
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop,
+                name="query-service-watchdog", daemon=True,
+            )
+            self._watchdog.start()
+
+    def _watchdog_loop(self) -> None:
+        stop = self._watchdog_stop
+        while not stop.wait(self.config.watchdog_interval):
+            with self._admission:
+                tokens = list(self._inflight_tokens.values())
+            for token in tokens:
+                if token.expired() and not token.cancelled:
+                    token.cancel(DeadlineExceeded(
+                        "query exceeded its deadline "
+                        "(cancelled by the service watchdog)"
+                    ))
+
+    # ------------------------------------------------------------------
+    # Drain & shutdown
+    # ------------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        with self._admission:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting queries; already-admitted ones keep running."""
+        with self._admission:
+            self._draining = True
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no query is in flight; True when that was reached."""
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self._inflight == 0, timeout
+            )
+
+    def cancel_inflight(self, message: str = "query cancelled") -> int:
+        """Cancel every in-flight query's token; returns how many fired.
+
+        The cancellation is cooperative -- each query unwinds at its
+        next boundary check -- so callers that need the slots actually
+        released should :meth:`wait_idle` afterwards.
+        """
+        with self._admission:
+            tokens = list(self._inflight_tokens.values())
+        return sum(1 for t in tokens if t.cancel(QueryCancelled(message)))
+
+    def close(self) -> None:
+        """Stop the watchdog thread.  Idempotent; the service stays
+        usable for in-process callers (a new deadline restarts it)."""
+        self._watchdog_stop.set()
+        watchdog = self._watchdog
+        if watchdog is not None:
+            watchdog.join(timeout=2.0)
+            self._watchdog = None
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Readiness snapshot: status plus the admission counters."""
+        with self._admission:
+            inflight = self._inflight
+            sessions = len(self._sessions)
+            draining = self._draining
+        return {
+            "status": "draining" if draining else "ok",
+            "inflight": inflight,
+            "sessions_active": sessions,
+            "shed": self._counter_total("server.shed"),
+            "conflicts": self._counter_total("server.conflicts"),
+            "deadline_exceeded": self._counter_total(
+                "server.deadline_exceeded"
+            ),
+            "queries": self._counter_total("server.queries"),
+        }
+
+    def _counter_total(self, name: str) -> int:
+        return sum(s.value for s in self.metrics.series(name))
 
     # ------------------------------------------------------------------
     # Execution (called by sessions)
@@ -178,13 +358,20 @@ class QueryService:
         op: str,
         relations: Sequence[Any],
         fn: Callable[[EpochPin], Any],
+        *,
+        cancel: CancellationToken | None = None,
     ) -> tuple[Any, EpochPin]:
-        """One admitted, epoch-pinned, conflict-retried read."""
+        """One admitted, epoch-pinned, conflict-retried read.
+
+        ``cancel`` registers the query's token for the watchdog/drain;
+        ``fn`` is expected to thread the same token into the executor
+        so the cancellation actually has checkpoints to fire at.
+        """
 
         def count_conflict(_attempt: int) -> None:
             self.metrics.counter("server.conflicts").inc()
 
-        with self._admit(session, op):
+        with self._admit(session, op, cancel=cancel):
             return self.state.read(
                 relations, fn,
                 retries=self.config.snapshot_retries,
@@ -247,19 +434,29 @@ class Session:
         strategy: str = "auto",
         order: str = "bfs",
         meter: CostMeter | None = None,
+        deadline_ms: float | None = None,
+        cancel: CancellationToken | None = None,
     ) -> tuple[SelectResult, int]:
-        """Snapshot selection; returns ``(result, pinned epoch)``."""
+        """Snapshot selection; returns ``(result, pinned epoch)``.
+
+        ``deadline_ms`` bounds the query in wall-clock milliseconds
+        (:class:`~repro.errors.DeadlineExceeded` past it); ``cancel``
+        supplies a caller-owned token instead (mutually exclusive with
+        a deadline only in the sense that a supplied token wins).
+        """
         svc = self.service
         rel = svc.state.get(relation)
+        token = cancel if cancel is not None else svc.token_for(deadline_ms)
 
         def run(pin: EpochPin) -> SelectResult:
             return svc.executor.select(
                 rel, column, query, theta,
                 strategy=strategy, order=order, meter=meter,
                 tracer=self.tracer, metrics=svc.metrics, cache=svc.cache,
+                cancel=token,
             )
 
-        result, pin = svc.run_read(self, "select", (rel,), run)
+        result, pin = svc.run_read(self, "select", (rel,), run, cancel=token)
         return result, pin.epoch_of(rel)
 
     def join(
@@ -273,11 +470,17 @@ class Session:
         strategy: str = "auto",
         meter: CostMeter | None = None,
         collect_tuples: bool = False,
+        deadline_ms: float | None = None,
+        cancel: CancellationToken | None = None,
     ) -> tuple[JoinResult, tuple[int, int]]:
-        """Snapshot join; returns ``(result, (epoch_r, epoch_s))``."""
+        """Snapshot join; returns ``(result, (epoch_r, epoch_s))``.
+
+        ``deadline_ms``/``cancel`` as in :meth:`select`.
+        """
         svc = self.service
         r = svc.state.get(rel_r)
         s = svc.state.get(rel_s)
+        token = cancel if cancel is not None else svc.token_for(deadline_ms)
 
         def run(pin: EpochPin) -> JoinResult:
             return svc.executor.join(
@@ -285,9 +488,10 @@ class Session:
                 strategy=strategy, meter=meter,
                 collect_tuples=collect_tuples,
                 tracer=self.tracer, metrics=svc.metrics, cache=svc.cache,
+                cancel=token,
             )
 
-        result, pin = svc.run_read(self, "join", (r, s), run)
+        result, pin = svc.run_read(self, "join", (r, s), run, cancel=token)
         return result, (pin.epoch_of(r), pin.epoch_of(s))
 
     # -- writes ---------------------------------------------------------

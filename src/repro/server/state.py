@@ -30,7 +30,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.errors import SessionError, SnapshotConflict
+from repro.errors import QueryCancelled, SessionError, SnapshotConflict
 from repro.relational.relation import Relation
 
 #: Default number of fresh pins a read attempts after its first
@@ -177,8 +177,12 @@ class StateManager:
         raised while the pin moved is attributed to the conflict -- torn
         intermediate state can break a traversal in arbitrary ways --
         and retried; an exception under a still-valid pin is the query's
-        own and propagates.  ``on_conflict`` observes each invalidated
-        attempt (1-based).  Returns ``(result, validated pin)``.
+        own and propagates.  :class:`~repro.errors.QueryCancelled` (and
+        its :class:`~repro.errors.DeadlineExceeded` subclass) always
+        propagates, pin moved or not -- re-pinning a cancelled query
+        would re-run work the caller explicitly asked to stop.
+        ``on_conflict`` observes each invalidated attempt (1-based).
+        Returns ``(result, validated pin)``.
         """
         rels = tuple(
             self.get(r) if isinstance(r, str) else r for r in relations
@@ -193,6 +197,8 @@ class StateManager:
                 continue
             try:
                 result = fn(pin)
+            except QueryCancelled:
+                raise
             except Exception:
                 if not pin.moved():
                     raise

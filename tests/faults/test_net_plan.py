@@ -1,0 +1,144 @@
+"""Network fault plan: seeded determinism, direction rules, burst caps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, garble_line
+from repro.faults.plan import NET_FAULT_KINDS
+
+
+def drain_kinds(plan: FaultPlan, direction: str, n: int = 50,
+                conn_id: int = 1) -> list[FaultKind | None]:
+    out = []
+    for _ in range(n):
+        ev = plan.draw_net_fault(conn_id, direction)
+        out.append(ev.kind if ev is not None else None)
+        if ev is None:
+            plan.note_net_success(direction)
+    return out
+
+
+class TestValidation:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(net_drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(net_garble_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(net_stall_seconds=-1.0)
+
+    def test_direction_validated(self):
+        plan = FaultPlan(net_drop_rate=0.5)
+        with pytest.raises(ValueError):
+            plan.draw_net_fault(1, "sideways")
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        mk = lambda: FaultPlan(
+            seed=42, net_drop_rate=0.2, net_stall_rate=0.2,
+            net_garble_rate=0.2, net_partial_rate=0.1,
+        )
+        assert drain_kinds(mk(), "s2c") == drain_kinds(mk(), "s2c")
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, net_drop_rate=0.3, net_garble_rate=0.3)
+        b = FaultPlan(seed=2, net_drop_rate=0.3, net_garble_rate=0.3)
+        assert drain_kinds(a, "s2c") != drain_kinds(b, "s2c")
+
+    def test_net_stream_does_not_perturb_disk_stream(self):
+        quiet = FaultPlan(seed=9, read_rate=0.3)
+        chaotic = FaultPlan(seed=9, read_rate=0.3, net_drop_rate=0.5,
+                            net_garble_rate=0.5)
+        disk_a, disk_b = [], []
+        for page in range(60):
+            # Interleave net draws into one plan only: the disk schedule
+            # must be identical anyway (independent rng streams).
+            chaotic.draw_net_fault(1, "s2c")
+            ev_a = quiet.draw_read_fault(page)
+            ev_b = chaotic.draw_read_fault(page)
+            disk_a.append(ev_a.kind if ev_a else None)
+            disk_b.append(ev_b.kind if ev_b else None)
+            quiet.note_success("read", page)
+            chaotic.note_success("read", page)
+        assert disk_a == disk_b
+
+
+class TestDirectionRules:
+    def test_requests_are_never_garbled_or_truncated(self):
+        plan = FaultPlan(seed=3, net_garble_rate=1.0, net_partial_rate=1.0)
+        # c2s is only eligible for drops and stalls, both at rate 0 here.
+        assert drain_kinds(plan, "c2s", n=30) == [None] * 30
+
+    def test_replies_can_be_garbled(self):
+        plan = FaultPlan(seed=3, net_garble_rate=1.0, max_burst=100)
+        kinds = [k for k in drain_kinds(plan, "s2c", n=10) if k]
+        assert kinds and all(k is FaultKind.NET_GARBLE for k in kinds)
+
+
+class TestBurstCap:
+    def test_consecutive_faults_capped_per_direction(self):
+        plan = FaultPlan(seed=5, net_drop_rate=1.0, max_burst=3)
+        kinds = []
+        for conn in range(6):  # each drop kills a conn; client reconnects
+            ev = plan.draw_net_fault(conn, "s2c")
+            kinds.append(ev.kind if ev else None)
+        # After max_burst consecutive drops the line is forced through,
+        # even across reconnections.
+        assert kinds[:3] == [FaultKind.NET_DROP] * 3
+        assert kinds[3:] == [None] * 3
+
+    def test_success_resets_the_burst(self):
+        plan = FaultPlan(seed=5, net_drop_rate=1.0, max_burst=2)
+        assert plan.draw_net_fault(1, "s2c") is not None
+        assert plan.draw_net_fault(1, "s2c") is not None
+        assert plan.draw_net_fault(1, "s2c") is None
+        plan.note_net_success("s2c")
+        assert plan.draw_net_fault(2, "s2c") is not None
+
+    def test_disabled_plan_injects_nothing(self):
+        plan = FaultPlan(seed=5, net_drop_rate=1.0)
+        plan.enabled = False
+        assert drain_kinds(plan, "s2c", n=20) == [None] * 20
+
+
+class TestAudit:
+    def test_events_pend_until_a_clean_line_flows(self):
+        plan = FaultPlan(seed=11, net_drop_rate=1.0, max_burst=2)
+        plan.draw_net_fault(1, "s2c")
+        plan.draw_net_fault(2, "s2c")
+        assert plan.summary() == {
+            "injected": 2, "consumed": 0, "outstanding": 2,
+        }
+        plan.note_net_success("s2c")
+        assert plan.summary() == {
+            "injected": 2, "consumed": 2, "outstanding": 0,
+        }
+
+    def test_net_events_describe_their_connection(self):
+        plan = FaultPlan(seed=11, net_stall_rate=1.0)
+        ev = plan.draw_net_fault(7, "c2s")
+        assert ev is not None and ev.kind in NET_FAULT_KINDS
+        assert "connection 7" in ev.describe()
+
+
+class TestGarble:
+    def test_garble_preserves_framing(self):
+        line = b'OK {"count": 3}\n'
+        scrambled = garble_line(line)
+        assert scrambled.endswith(b"\n")
+        assert b"\n" not in scrambled[:-1]
+        assert scrambled != line
+
+    def test_garble_is_an_involution(self):
+        line = b'ERR ServerBusy! at capacity\n'
+        assert garble_line(garble_line(line)) == line
+
+    def test_garbled_reply_is_detectably_malformed(self):
+        from repro.errors import ProtocolError
+        from repro.server.protocol import decode_response
+        scrambled = garble_line(b'OK {"count": 3}\n')
+        with pytest.raises(ProtocolError) as exc_info:
+            decode_response(scrambled.decode("utf-8", errors="replace"))
+        assert exc_info.value.server_type is None

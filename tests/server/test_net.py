@@ -1,10 +1,11 @@
 """TCP transport tests: round-trips, protocol errors, concurrent clients."""
 
+import socket
 import threading
 
 import pytest
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ServerBusy
 from repro.server import QueryClient, QueryServer
 from repro.server.protocol import (
     decode_response,
@@ -41,6 +42,30 @@ class TestProtocolCodec:
         assert line == "ERR ProtocolError bad thing"
         with pytest.raises(ProtocolError):
             decode_response(line)
+
+    def test_retryable_errors_carry_the_wire_flag(self):
+        line = encode_error(ServerBusy("at capacity"))
+        assert line == "ERR ServerBusy! at capacity"
+        with pytest.raises(ProtocolError) as exc_info:
+            decode_response(line)
+        assert exc_info.value.retryable is True
+        assert exc_info.value.server_type == "ServerBusy"
+
+    def test_non_retryable_errors_have_no_flag(self):
+        with pytest.raises(ProtocolError) as exc_info:
+            decode_response(encode_error(ServerBusy("budget",
+                                                    retryable=False)))
+        assert exc_info.value.retryable is False
+
+    def test_garbled_ok_payload_is_transport_level(self):
+        with pytest.raises(ProtocolError) as exc_info:
+            decode_response("OK {not json")
+        assert exc_info.value.server_type is None
+
+    def test_malformed_reply_line_is_transport_level(self):
+        with pytest.raises(ProtocolError) as exc_info:
+            decode_response("\x85\xdb\xc0 garbage")
+        assert exc_info.value.server_type is None
 
 
 class TestRoundTrips:
@@ -134,3 +159,96 @@ class TestRoundTrips:
             t.join(timeout=30.0)
         assert not errors
         assert len(set(results)) == 1  # nobody mutated; all agree
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = threading.Event()
+    waited = 0.0
+    while not predicate() and waited < timeout:
+        deadline.wait(0.02)
+        waited += 0.02
+    return predicate()
+
+
+class TestConnectionEdges:
+    """Half-written lines, mid-request disconnects, accept failures.
+
+    The invariant under every rude-client scenario: the session closes,
+    ``server.sessions_active`` returns to zero (no gauge leak), and the
+    server keeps serving well-behaved clients.
+    """
+
+    def test_mid_request_disconnect_releases_the_session(self, server):
+        service = server.service
+        raw = socket.create_connection(server.address, timeout=5.0)
+        # Half a request, no newline -- then vanish.
+        raw.sendall(b'{"op": "sel')
+        assert _wait_for(lambda: service.sessions_active == 1)
+        raw.close()
+        assert _wait_for(lambda: service.sessions_active == 0), \
+            "session leaked after mid-request disconnect"
+        gauge = service.metrics.gauge("server.sessions_active")
+        assert gauge.value == 0
+        with QueryClient(*server.address) as client:
+            assert client.request(op="ping")["pong"] is True
+
+    def test_half_written_line_then_eof_gets_an_error_not_a_hang(self, server):
+        service = server.service
+        raw = socket.create_connection(server.address, timeout=5.0)
+        # A complete garbage line: the server must answer ERR and keep
+        # the connection; then EOF must close the session.
+        raw.sendall(b"this is not json\n")
+        reply = raw.makefile("rb").readline()
+        assert reply.startswith(b"ERR ProtocolError")
+        raw.shutdown(socket.SHUT_WR)  # half-close: writes done
+        assert _wait_for(lambda: service.sessions_active == 0)
+        raw.close()
+
+    def test_binary_garbage_request_is_survivable(self, server):
+        raw = socket.create_connection(server.address, timeout=5.0)
+        raw.sendall(bytes(range(128, 256)) + b"\n")
+        reply = raw.makefile("rb").readline()
+        assert reply.startswith(b"ERR ")
+        raw.close()
+        with QueryClient(*server.address) as client:
+            assert client.request(op="ping")["pong"] is True
+
+    def test_connection_threads_are_reaped(self, server):
+        for _ in range(5):
+            with QueryClient(*server.address) as client:
+                client.request(op="ping")
+        assert _wait_for(lambda: server.service.sessions_active == 0)
+        # Dead connection threads must not accumulate: the next accept
+        # (or an explicit reap) drops them from the tracking list.
+        assert _wait_for(lambda: len(server._reap_conn_threads()) == 0), \
+            "finished connection threads were never reaped"
+
+    def test_accept_errors_are_metered_not_fatal(self, server):
+        service = server.service
+        listener = server._listener
+        failures = {"left": 2}
+        real_accept = listener.accept
+
+        class FlakyListener:
+            def __getattr__(self, name):
+                return getattr(listener, name)
+
+            def accept(self):
+                if failures["left"] > 0:
+                    failures["left"] -= 1
+                    raise OSError("injected accept failure")
+                return real_accept()
+
+        server._listener = FlakyListener()
+        try:
+            assert _wait_for(lambda: failures["left"] == 0), \
+                "accept loop stopped polling after an accept error"
+            # The loop survived: a new client still gets served.
+            with QueryClient(*server.address) as client:
+                assert client.request(op="ping")["pong"] is True
+            errors = sum(
+                s.value for s in service.metrics.series("server.accept_errors")
+            )
+            assert errors == 2
+        finally:
+            server._listener = listener
