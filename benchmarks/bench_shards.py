@@ -1,0 +1,159 @@
+"""Shard runtime: distributed join throughput and restart latency.
+
+Two questions about the supervised shard fleet:
+
+1. *Scale-out* -- how the wall-clock of the same distributed join moves
+   from 1 shard to N shards (inline transports, so the delta is pure
+   partitioning/replication overhead vs. smaller per-shard sweeps, not
+   process scheduling noise).  Every configuration must return results
+   identical to the unsharded oracle.
+2. *Restart latency* -- how long a WAL-backed restart takes (kill the
+   worker, replay the durable half, rebuild the volatile entry lists)
+   as the shard's row count grows; also measured through a live join
+   with a seeded mid-query kill, so failover cost is visible end to end.
+
+``BENCH_SHARDS_SIZE`` overrides the per-relation row count (the smoke
+suite sets it tiny; the full run defaults to 1,200 rows per relation).
+"""
+
+import os
+import time
+
+from benchmarks.artifacts import emit_bench_artifact
+from repro.faults.plan import FaultPlan
+from repro.geometry.rect import Rect
+from repro.predicates.theta import Overlaps
+from repro.shard import ShardRuntime
+
+from tests.join.conftest import make_rect_relation
+
+SIZE = int(os.environ.get("BENCH_SHARDS_SIZE", "1200"))
+UNIVERSE = Rect(0.0, 0.0, 120.0, 120.0)
+FLEETS = (1, 2, 4, 8)
+
+
+def build_pair(size):
+    return (
+        make_rect_relation("r", size, seed=31),
+        make_rect_relation("s", size, seed=32),
+    )
+
+
+def loaded_runtime(rel_r, rel_s, n_shards, fault_plan=None):
+    runtime = ShardRuntime(UNIVERSE, n_shards, fault_plan=fault_plan)
+    runtime.load_relation(rel_r, "shape")
+    runtime.load_relation(rel_s, "shape")
+    return runtime
+
+
+def timed_join(runtime):
+    start = time.perf_counter()
+    result = runtime.router.join("r", "s", Overlaps())
+    return result, time.perf_counter() - start
+
+
+def test_join_throughput_1_vs_n_shards(benchmark):
+    rel_r, rel_s = build_pair(SIZE)
+    rows = []
+    oracle_pairs = None
+    for n_shards in FLEETS:
+        with loaded_runtime(rel_r, rel_s, n_shards) as runtime:
+            result, elapsed = timed_join(runtime)
+            replicas = sum(
+                s.describe()["rows"] for s in runtime.shards
+            )
+        if oracle_pairs is None:
+            oracle_pairs = result.pairs
+        assert result.pairs == oracle_pairs, (
+            f"{n_shards}-shard join diverged from the 1-shard result"
+        )
+        rows.append((n_shards, len(result.pairs), replicas, elapsed))
+
+    with loaded_runtime(rel_r, rel_s, max(FLEETS)) as runtime:
+        benchmark.pedantic(
+            timed_join, args=(runtime,), rounds=1, iterations=1
+        )
+
+    print(f"\n{'shards':>8}{'pairs':>8}{'replicas':>10}{'seconds':>10}")
+    for n_shards, pairs, replicas, elapsed in rows:
+        print(f"{n_shards:>8}{pairs:>8}{replicas:>10}{elapsed:>10.4f}")
+    emit_bench_artifact("bench_shards", "join_throughput_1_vs_n", {
+        "size": SIZE,
+        "rows": [
+            {
+                "shards": n, "pairs": p,
+                "replicated_rows": rep, "seconds": s,
+            }
+            for n, p, rep, s in rows
+        ],
+    })
+    assert len({r[1] for r in rows}) == 1  # identical result cardinality
+
+
+def test_restart_latency(benchmark):
+    sweep = sorted({max(10, SIZE // 4), max(10, SIZE // 2), SIZE})
+    rows = []
+    for size in sweep:
+        rel_r, rel_s = build_pair(size)
+        with loaded_runtime(rel_r, rel_s, 3) as runtime:
+            shard = runtime.shards[1]
+            shard_rows = shard.describe()["rows"]
+            runtime.kill_shard(1)
+            start = time.perf_counter()
+            runtime.supervisor.restart(shard)
+            elapsed = time.perf_counter() - start
+            assert shard.generation == 1
+        rows.append((size, shard_rows, elapsed))
+
+    rel_r, rel_s = build_pair(SIZE)
+    with loaded_runtime(rel_r, rel_s, 3) as runtime:
+        shard = runtime.shards[1]
+
+        def kill_and_restart():
+            runtime.kill_shard(1)
+            runtime.supervisor.restart(shard)
+
+        benchmark.pedantic(kill_and_restart, rounds=1, iterations=1)
+
+    print(f"\n{'size':>8}{'shard rows':>12}{'restart s':>12}")
+    for size, shard_rows, elapsed in rows:
+        print(f"{size:>8}{shard_rows:>12}{elapsed:>12.4f}")
+    emit_bench_artifact("bench_shards", "restart_latency", {
+        "rows": [
+            {"size": sz, "shard_rows": sr, "seconds": s}
+            for sz, sr, s in rows
+        ],
+    })
+
+
+def test_failover_overhead_mid_join(benchmark):
+    """A seeded kill during the join: the query still matches the clean
+    run, and the artifact records what the failover cost on top."""
+    rel_r, rel_s = build_pair(SIZE)
+    with loaded_runtime(rel_r, rel_s, 3) as runtime:
+        clean, clean_s = timed_join(runtime)
+
+    # Kill whichever shard receives the first join dispatch: table
+    # loading consumes the earlier indices, so probe a clean run first.
+    with loaded_runtime(rel_r, rel_s, 3) as runtime:
+        first_join_index = runtime.status()["dispatches"]
+    plan = FaultPlan(seed=7, kill_shard_at={first_join_index: -1})
+    with loaded_runtime(rel_r, rel_s, 3, fault_plan=plan) as runtime:
+        (result, chaos_s) = benchmark.pedantic(
+            timed_join, args=(runtime,), rounds=1, iterations=1
+        )
+        restarts = sum(s.restarts for s in runtime.shards)
+
+    assert result.pairs == clean.pairs
+    assert restarts == 1
+    assert plan.summary()["consumed"] == 1
+    print(
+        f"\nclean join {clean_s:.4f}s; with mid-join kill+failover "
+        f"{chaos_s:.4f}s ({restarts} restart)"
+    )
+    emit_bench_artifact("bench_shards", "failover_overhead", {
+        "size": SIZE,
+        "seconds_clean": clean_s,
+        "seconds_with_failover": chaos_s,
+        "restarts": restarts,
+    })

@@ -420,6 +420,99 @@ def cmd_client(args: argparse.Namespace) -> str:
     return text
 
 
+def cmd_shards(args: argparse.Namespace) -> str:
+    """Shard-runtime demo: distributed join vs. the unsharded oracle.
+
+    Loads the demo relations into a standing shard fleet, optionally
+    schedules seeded shard kills at exact dispatch boundaries, runs a
+    distributed join and select, and verifies both against the
+    single-process engine -- then prints the fleet status and the fault
+    audit, so a kill that was absorbed is visibly consumed.
+    """
+    from repro.core.executor import SpatialQueryExecutor
+    from repro.faults.plan import FaultPlan
+    from repro.geometry.rect import Rect
+    from repro.predicates.theta import Overlaps
+    from repro.shard import ShardRuntime
+    from repro.workloads.assembly import build_indexed_relation
+
+    plan = None
+    if args.kill_at:
+        schedule = {}
+        for spec in args.kill_at:
+            index, _, shard = spec.partition(":")
+            schedule[int(index)] = int(shard) if shard else -1
+        plan = FaultPlan(args.fault_seed, kill_shard_at=schedule)
+
+    relations = {}
+    for name, seed in (("r", 1), ("s", 2)):
+        ir = build_indexed_relation(args.size, seed=seed)
+        ir.relation.name = name
+        relations[name] = ir
+    universe = relations["r"].universe
+    theta = Overlaps()
+    window = Rect(100.0, 100.0, 400.0, 400.0)
+
+    executor = SpatialQueryExecutor()
+    oracle_join = sorted(executor.join(
+        relations["r"].relation, "shape",
+        relations["s"].relation, "shape", theta, strategy="scan",
+    ).pairs)
+    oracle_select = sorted(executor.select(
+        relations["r"].relation, "shape", window, theta,
+        strategy="scan",
+    ).tids)
+
+    lines = []
+    with ShardRuntime(
+        universe, args.shards, bits=args.bits,
+        processes=args.processes, fault_plan=plan,
+    ) as runtime:
+        for name, ir in relations.items():
+            runtime.load_relation(ir.relation, "shape")
+        join_result = runtime.router.join("r", "s", theta)
+        select_result = runtime.router.select(
+            "r", window, theta, with_payloads=False
+        )
+        status = runtime.status()
+
+    join_ok = join_result.pairs == oracle_join
+    select_ok = [t for t, _ in select_result.matches] == oracle_select
+    lines.append(
+        f"shard fleet: {status['n_shards']} shards over "
+        f"{1 << status['bits']}x{1 << status['bits']} z-cells "
+        f"({'processes' if status['processes'] else 'inline'}"
+        f"{', degraded: ' + status['degrade_reason'] if status['degrade_reason'] else ''})"
+    )
+    lines.append(
+        f"{'shard':>5} {'z-range':>13} {'gen':>4} {'restarts':>8} "
+        f"{'dispatches':>10} {'rows':>6} {'mode':>8} {'alive':>5}"
+    )
+    for s in status["shards"]:
+        lo, hi = s["zrange"]
+        lines.append(
+            f"{s['shard']:>5} {f'[{lo},{hi}]':>13} {s['generation']:>4} "
+            f"{s['restarts']:>8} {s['dispatches']:>10} {s['rows']:>6} "
+            f"{s['mode']:>8} {str(s['alive']):>5}"
+        )
+    lines.append(
+        f"join: {len(join_result.pairs)} pairs via {join_result.strategy} "
+        f"-- {'identical to unsharded oracle' if join_ok else 'MISMATCH'}"
+    )
+    lines.append(
+        f"select: {len(select_result.matches)} matches via "
+        f"{select_result.strategy} -- "
+        f"{'identical to unsharded oracle' if select_ok else 'MISMATCH'}"
+    )
+    if plan is not None:
+        lines.append(
+            f"fault audit: {plan.summary()['injected']} injected, "
+            f"{plan.summary()['consumed']} consumed"
+        )
+        lines.extend(f"  {event}" for event in plan.describe_events())
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -568,6 +661,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the deterministic retry jitter",
     )
     client.set_defaults(handler=cmd_client)
+
+    shards = sub.add_parser(
+        "shards", help="supervised shard fleet demo with optional chaos"
+    )
+    shards.add_argument(
+        "--shards", type=int, default=4, dest="shards",
+        help="number of standing shard workers",
+    )
+    shards.add_argument(
+        "--size", type=int, default=200, help="tuples per relation"
+    )
+    shards.add_argument(
+        "--bits", type=int, default=4,
+        help="z-order resolution bits per axis for the key space",
+    )
+    shards.add_argument(
+        "--processes", action="store_true",
+        help="run shards as real worker processes (default: inline)",
+    )
+    shards.add_argument(
+        "--kill-at", action="append", default=None, metavar="INDEX[:SHARD]",
+        help="kill a shard at this dispatch index (repeatable); "
+        "omit :SHARD to kill whichever shard is being dispatched to",
+    )
+    shards.add_argument(
+        "--fault-seed", type=int, default=7,
+        help="seed for the deterministic fault plan (with --kill-at)",
+    )
+    shards.set_defaults(handler=cmd_shards)
 
     return parser
 

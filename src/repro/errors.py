@@ -222,6 +222,41 @@ class ProtocolError(ServerError):
         self.server_type = server_type
 
 
+class ShardError(ReproError):
+    """Base class for shard-runtime failures."""
+
+
+class ShardCrashed(ShardError):
+    """One shard *incarnation* died mid-request (exit, hang, poisoned IPC).
+
+    Transport-level: the supervisor restarts the shard from its WAL and
+    the router re-dispatches, so this error is normally absorbed by
+    failover and never reaches callers.  Retryable by definition -- the
+    request was not answered and the restarted incarnation can serve it.
+    """
+
+    retryable = True
+
+
+class ShardUnavailable(ShardError):
+    """A shard stayed down past the router's failover budget.
+
+    The degraded-result contract of the shard runtime: a distributed
+    query either transparently survives shard crashes (restart +
+    re-dispatch) or raises this typed error -- it never returns a silent
+    partial answer.  Retryable: the supervisor keeps restarting the
+    shard, so a later attempt may find it healthy again.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, *, shard_id: int = -1,
+                 attempts: int = 0) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.attempts = attempts
+
+
 class CostModelError(ReproError):
     """Invalid cost-model parameterization (p out of range, n < 1, ...)."""
 

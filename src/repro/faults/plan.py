@@ -41,6 +41,8 @@ class FaultKind(str, Enum):
     NET_STALL = "net-stall"
     NET_GARBLE = "net-garble"
     NET_PARTIAL = "net-partial"
+    SHARD_KILL = "shard-kill"
+    HEARTBEAT_DROP = "heartbeat-drop"
 
 
 #: Fault kinds injected on the wire (by :class:`~repro.faults.net.ChaosProxy`)
@@ -71,6 +73,8 @@ class FaultEvent:
             noun = "physical write"
         elif self.kind in NET_FAULT_KINDS:
             noun = "connection"
+        elif self.kind in (FaultKind.SHARD_KILL, FaultKind.HEARTBEAT_DROP):
+            noun = "shard"
         else:
             noun = "page"
         return f"{self.kind.value} on {noun} {self.target} ({state})"
@@ -101,6 +105,14 @@ class FaultPlan:
     one direction the next line is forced through, so a retry budget
     larger than ``max_burst`` always wins.
 
+    The shard knobs drive the supervised shard runtime
+    (:mod:`repro.shard`): ``kill_shard_at`` schedules process kills at
+    exact global dispatch indices (shard id ``-1`` = whichever shard the
+    dispatch targets), each consumed exactly once, and
+    ``heartbeat_drop_rate`` loses supervisor heartbeat probes with a
+    per-shard ``max_burst`` cap.  Shard draws come from their own rng
+    stream, independent of both the disk and the net streams.
+
     ``enabled`` gates all injection; flip it off to verify state without
     interference (tests do this after a faulted workload).
     """
@@ -123,13 +135,16 @@ class FaultPlan:
         net_garble_rate: float = 0.0,
         net_partial_rate: float = 0.0,
         net_stall_seconds: float = 0.05,
+        kill_shard_at: dict[int, int] | None = None,
+        heartbeat_drop_rate: float = 0.0,
     ) -> None:
         for name, rate in (("read_rate", read_rate), ("write_rate", write_rate),
                            ("torn_rate", torn_rate),
                            ("net_drop_rate", net_drop_rate),
                            ("net_stall_rate", net_stall_rate),
                            ("net_garble_rate", net_garble_rate),
-                           ("net_partial_rate", net_partial_rate)):
+                           ("net_partial_rate", net_partial_rate),
+                           ("heartbeat_drop_rate", heartbeat_drop_rate)):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
         if net_stall_seconds < 0:
@@ -161,12 +176,26 @@ class FaultPlan:
         self.net_garble_rate = net_garble_rate
         self.net_partial_rate = net_partial_rate
         self.net_stall_seconds = net_stall_seconds
+        #: Shard-kill schedule: global dispatch index -> shard id to kill
+        #: *before* that dispatch goes out.  Shard id ``-1`` means "the
+        #: shard currently being dispatched to" -- the exhaustive oracle
+        #: uses it to kill at every boundary without knowing routing.
+        self.kill_shard_at = dict(kill_shard_at or {})
+        for idx in self.kill_shard_at:
+            if idx < 0:
+                raise ValueError(
+                    f"kill_shard_at indices must be >= 0, got {idx}"
+                )
+        self.heartbeat_drop_rate = heartbeat_drop_rate
         self.enabled = True
         self.events: list[FaultEvent] = []
         self._rng = random.Random(seed)
         # Independent stream for wire faults so the disk schedule is
         # identical with or without network chaos under the same seed.
         self._net_rng = random.Random(f"net:{seed}")
+        # Independent stream for shard faults, for the same reason.
+        self._shard_rng = random.Random(f"shard:{seed}")
+        self._shard_kills_taken: set[int] = set()
         self._op_index = 0
         # Consecutive-failure counters per (op, page), reset on success.
         self._bursts: dict[tuple[str, int], int] = {}
@@ -270,6 +299,57 @@ class FaultPlan:
         for key in [k for k in self._pending if k[0] == op]:
             for ev in self._pending.pop(key):
                 ev.consumed = True
+
+    def take_shard_kill(
+        self, dispatch_index: int, current_shard: int
+    ) -> int | None:
+        """Shard id to kill before dispatch ``dispatch_index``, or None.
+
+        Each scheduled kill fires exactly once (the dispatch counter is
+        global and monotonic, so re-dispatches after failover get fresh
+        indices and do not re-trigger a consumed kill).  A scheduled
+        shard id of ``-1`` resolves to ``current_shard``.  The event is
+        logged pending; the supervisor consumes it via
+        :meth:`note_shard_restart` once recovery brought the shard back.
+        """
+        if not self.enabled or dispatch_index in self._shard_kills_taken:
+            return None
+        target = self.kill_shard_at.get(dispatch_index)
+        if target is None:
+            return None
+        self._shard_kills_taken.add(dispatch_index)
+        shard_id = current_shard if target == -1 else target
+        self._log(FaultKind.SHARD_KILL, shard_id, op="shard")
+        return shard_id
+
+    def note_shard_restart(self, shard_id: int) -> None:
+        """The supervisor restarted ``shard_id``: consume its pending
+        kill events and reset its heartbeat burst counter."""
+        self.note_success("shard", shard_id)
+        self._bursts.pop(("heartbeat", shard_id), None)
+
+    def draw_heartbeat_drop(self, shard_id: int) -> FaultEvent | None:
+        """Decide whether this heartbeat probe of ``shard_id`` is lost.
+
+        Burst-capped per shard at ``max_burst`` so a supervisor whose
+        miss threshold exceeds the cap never declares a healthy shard
+        dead from drops alone.  Consumed via :meth:`note_heartbeat_ok`
+        when a later probe of the same shard gets through.
+        """
+        if not self.enabled or self.heartbeat_drop_rate <= 0.0:
+            return None
+        key = ("heartbeat", shard_id)
+        if self._bursts.get(key, 0) >= self.max_burst:
+            return None
+        if self._shard_rng.random() >= self.heartbeat_drop_rate:
+            return None
+        self._bursts[key] = self._bursts.get(key, 0) + 1
+        return self._log(FaultKind.HEARTBEAT_DROP, shard_id, op="heartbeat")
+
+    def note_heartbeat_ok(self, shard_id: int) -> None:
+        """A heartbeat of ``shard_id`` succeeded: its earlier drops were
+        survived; consume them and reset the burst counter."""
+        self.note_success("heartbeat", shard_id)
 
     def should_crash_chunk(self, chunk_index: int) -> bool:
         """Pure decision: does this parallel chunk's worker die?

@@ -1,19 +1,25 @@
-"""Forward plane sweep over one grid tile.
+"""Forward plane sweep over one partition (grid tile or shard range).
 
 The kernel of the partition-parallel join: both entry lists arrive sorted
 by ``mbr.xmin``; a single merge pass walks the lists in x order and, for
 each entry, scans forward in the *other* list while the x intervals still
 overlap.  Candidates that also overlap in y are MBR matches; each is
 charged one Theta-filter evaluation.  Surviving candidates pass through
-the reference-point ownership test (duplicate avoidance across tiles,
-free of charge -- it is bookkeeping, not a predicate) and are then
-refined with the exact theta-operator, which dispatches over the stored
-geometries via :mod:`repro.predicates.dispatch`.
+the reference-point ownership test (duplicate avoidance across
+partitions, free of charge -- it is bookkeeping, not a predicate) and are
+then refined with the exact theta-operator, which dispatches over the
+stored geometries via :mod:`repro.predicates.dispatch`.
+
+:func:`sweep_sorted` is the generalized kernel: ownership is an
+arbitrary predicate over the reference point, so the same pass serves
+grid tiles (:func:`sweep_tile`) and z-order range shards
+(:mod:`repro.shard.worker`), which partition the universe differently
+but deduplicate identically.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.parallel.partitioner import Entry, GridSpec, reference_point
 from repro.predicates.theta import ThetaOperator
@@ -21,24 +27,23 @@ from repro.storage.costs import CostMeter
 from repro.storage.record import RecordId
 
 
-def sweep_tile(
-    grid: GridSpec,
-    ix: int,
-    iy: int,
+def sweep_sorted(
     entries_r: Sequence[Entry],
     entries_s: Sequence[Entry],
     theta: ThetaOperator,
     meter: CostMeter,
+    owns: Callable[[float, float], bool],
 ) -> list[tuple[RecordId, RecordId]]:
-    """All matching (tid_r, tid_s) pairs owned by tile ``(ix, iy)``.
+    """All matching (tid_r, tid_s) pairs whose reference point this
+    partition ``owns``.
 
-    Emits each qualifying pair exactly once across the whole grid: pairs
-    whose reference point falls in another tile are skipped here and
-    reported there.
+    ``owns(x, y)`` is the reference-point no-dedup rule: with entries
+    replicated into every partition their MBR intersects and exactly one
+    partition owning any point, each qualifying pair is emitted exactly
+    once across the whole partitioning -- pairs owned elsewhere are
+    skipped here and reported there.
     """
     pairs: list[tuple[RecordId, RecordId]] = []
-    cell = (ix, iy)
-    owner = grid.owner_cell
     i = j = 0
     n_r, n_s = len(entries_r), len(entries_s)
     while i < n_r and j < n_s:
@@ -56,7 +61,7 @@ def sweep_tile(
                 meter.record_filter_eval()
                 if s_mbr.ymin > r_mbr.ymax or r_mbr.ymin > s_mbr.ymax:
                     continue
-                if owner(*reference_point(r_mbr, s_mbr)) != cell:
+                if not owns(*reference_point(r_mbr, s_mbr)):
                     continue
                 meter.record_exact_eval()
                 if theta(r_geom, s_geom):
@@ -72,10 +77,34 @@ def sweep_tile(
                 meter.record_filter_eval()
                 if r_mbr.ymin > s_mbr.ymax or s_mbr.ymin > r_mbr.ymax:
                     continue
-                if owner(*reference_point(r_mbr, s_mbr)) != cell:
+                if not owns(*reference_point(r_mbr, s_mbr)):
                     continue
                 meter.record_exact_eval()
                 if theta(r_geom, s_geom):
                     pairs.append((r_tid, s_tid))
             j += 1
     return pairs
+
+
+def sweep_tile(
+    grid: GridSpec,
+    ix: int,
+    iy: int,
+    entries_r: Sequence[Entry],
+    entries_s: Sequence[Entry],
+    theta: ThetaOperator,
+    meter: CostMeter,
+) -> list[tuple[RecordId, RecordId]]:
+    """All matching (tid_r, tid_s) pairs owned by tile ``(ix, iy)``.
+
+    Emits each qualifying pair exactly once across the whole grid: pairs
+    whose reference point falls in another tile are skipped here and
+    reported there.
+    """
+    cell = (ix, iy)
+    owner = grid.owner_cell
+
+    def owns(x: float, y: float) -> bool:
+        return owner(x, y) == cell
+
+    return sweep_sorted(entries_r, entries_s, theta, meter, owns)

@@ -135,6 +135,10 @@ def _run_chunks_sequentially(
         try:
             results.append(_run_chunk(chunk, grid, theta, fault_plan, i))
         except WorkerError as exc:
+            # A deadline may have expired while the crashed attempt ran;
+            # recovery is new work, so it honours the token too -- an
+            # expired query must not finish the recovery pass.
+            check_cancel(cancel)
             results.append(_run_chunk(chunk, grid, theta))
             report.recoveries.append(
                 ChunkRecovery(chunk=i, tiles=len(chunk), cause=repr(exc))

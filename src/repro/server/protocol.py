@@ -19,8 +19,16 @@ Supported operations (fields beyond ``op``):
 ``insert``     ``relation, oid, rect`` (the demo OBJECT schema)
 ``delete``     ``relation, oid``
 ``metrics``    snapshot of the shared metrics registry
+``shards``     status of the attached shard fleet (generations,
+               restarts, per-shard liveness)
 ``close``      end the session
 =============  =======================================================
+
+``select`` and ``join`` additionally accept ``"sharded": true``, which
+routes them to the attached shard runtime (tables loaded there, not the
+shared relations); a crashed shard is either absorbed by failover or
+surfaces as ``ERR ShardUnavailable!`` -- retryable, because the
+supervisor keeps restarting the shard.
 
 ``rect`` is ``[xmin, ymin, xmax, ymax]``; ``theta`` is an operator name
 (``overlaps``, ``includes``, ``contained_in``, ``northwest_of``,
@@ -184,10 +192,28 @@ def handle_request(session: Any, request: dict[str, Any]) -> dict[str, Any]:
         return {"relations": session.service.state.names()}
     if op == "metrics":
         return {"metrics": session.service.metrics.snapshot()}
+    if op == "shards":
+        return session.service.require_shards().status()
     if op == "close":
         session.close()
         return {"closed": True}
     if op == "select":
+        if request.get("sharded"):
+            table = _require_str(request, "relation")
+            theta = theta_from_request(request)
+            window = rect_from_request(request)
+            result = session.shard_select(
+                table, window, theta,
+                deadline_ms=_deadline_from_request(request),
+            )
+            oids = _oids_of(result.matches)
+            payload = {
+                "count": len(result.matches),
+                "strategy": result.strategy,
+            }
+            if oids is not None:
+                payload["oids"] = oids
+            return payload
         relation = _require_str(request, "relation")
         column = _require_str(request, "column")
         theta = theta_from_request(request)
@@ -208,6 +234,17 @@ def handle_request(session: Any, request: dict[str, Any]) -> dict[str, Any]:
             payload["oids"] = oids
         return payload
     if op == "join":
+        if request.get("sharded"):
+            result = session.shard_join(
+                _require_str(request, "relation_r"),
+                _require_str(request, "relation_s"),
+                theta_from_request(request),
+                deadline_ms=_deadline_from_request(request),
+            )
+            return {
+                "count": len(result.pairs),
+                "strategy": result.strategy,
+            }
         rel_r = _require_str(request, "relation_r")
         rel_s = _require_str(request, "relation_s")
         column_r = _require_str(request, "column_r")

@@ -114,9 +114,17 @@ class QueryService:
         cache: QueryCache | None = None,
         metrics: MetricsRegistry | None = None,
         config: ServiceConfig | None = None,
+        shards: Any = None,
     ) -> None:
         self.state = state if state is not None else StateManager()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Optional :class:`~repro.shard.ShardRuntime` serving sharded
+        #: reads next to the shared-relation engine.  Attached here or
+        #: later via :meth:`attach_shards`; sessions reach it through
+        #: :meth:`Session.shard_select` / :meth:`Session.shard_join`.
+        self.shards = shards
+        if shards is not None and shards.metrics is None:
+            shards.metrics = self.metrics
         self.cache = cache
         if executor is None:
             executor = SpatialQueryExecutor(
@@ -328,12 +336,21 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def health(self) -> dict[str, Any]:
-        """Readiness snapshot: status plus the admission counters."""
+        """Readiness snapshot: status, admission counters, storage state.
+
+        The ``storage`` section is what drain/restart decisions key on
+        without any other probe: the WAL high-water mark and checkpoint
+        watermark (how much log a restart would replay), the records
+        appended since the last checkpoint, and the buffer pools' dirty
+        page count (the writes a clean shutdown still owes).  With a
+        shard runtime attached, a ``shards`` section summarizes fleet
+        health (restarts, generations, live workers).
+        """
         with self._admission:
             inflight = self._inflight
             sessions = len(self._sessions)
             draining = self._draining
-        return {
+        payload = {
             "status": "draining" if draining else "ok",
             "inflight": inflight,
             "sessions_active": sessions,
@@ -343,6 +360,46 @@ class QueryService:
                 "server.deadline_exceeded"
             ),
             "queries": self._counter_total("server.queries"),
+            "storage": self._storage_health(),
+        }
+        if self.shards is not None:
+            status = self.shards.status()
+            payload["shards"] = {
+                "n_shards": status["n_shards"],
+                "restarts": status["restarts"],
+                "generations": [
+                    s["generation"] for s in status["shards"]
+                ],
+                "alive": sum(1 for s in status["shards"] if s["alive"]),
+            }
+        return payload
+
+    def _storage_health(self) -> dict[str, int]:
+        """Aggregate WAL/buffer state over every registered relation.
+
+        Relations may share a WAL or a pool (one per service in the
+        usual wiring, one per shard in the sharded one), so aggregation
+        deduplicates by object identity: each log/pool counts once.
+        """
+        wals: dict[int, Any] = {}
+        pools: dict[int, Any] = {}
+        for name in self.state.names():
+            rel = self.state.get(name)
+            if rel.wal is not None:
+                wals[id(rel.wal)] = rel.wal
+            pools[id(rel.buffer_pool)] = rel.buffer_pool
+        checkpoints = [
+            (w.checkpoint_meta or {}).get("lsn", 0) for w in wals.values()
+        ]
+        return {
+            "wal_last_lsn": max(
+                (w.last_lsn for w in wals.values()), default=0
+            ),
+            "wal_checkpoint_lsn": max(checkpoints, default=0),
+            "wal_records_since_checkpoint": sum(
+                w.records_since_checkpoint for w in wals.values()
+            ),
+            "dirty_pages": sum(p.dirty_count for p in pools.values()),
         }
 
     def _counter_total(self, name: str) -> int:
@@ -390,6 +447,47 @@ class QueryService:
         """One admitted write behind the relation's write lock."""
         with self._admit(session, op):
             return self.state.write(relation, fn, on_commit=on_commit)
+
+    # ------------------------------------------------------------------
+    # Sharded execution
+    # ------------------------------------------------------------------
+
+    def attach_shards(self, shards: Any) -> None:
+        """Attach a :class:`~repro.shard.ShardRuntime` to the service.
+
+        The runtime adopts the service's metrics registry when it has
+        none of its own, so ``shard.*`` series land next to the
+        ``server.*`` ones.
+        """
+        self.shards = shards
+        if shards is not None and shards.metrics is None:
+            shards.metrics = self.metrics
+
+    def require_shards(self) -> Any:
+        if self.shards is None:
+            raise SessionError(
+                "no shard runtime attached to this service"
+            )
+        return self.shards
+
+    def run_shard(
+        self,
+        session: "Session",
+        op: str,
+        fn: Callable[[], Any],
+        *,
+        cancel: CancellationToken | None = None,
+    ) -> Any:
+        """One admitted sharded read.
+
+        No epoch pin: the shard runtime owns its storage (per-shard
+        WALs), and its generation protocol -- not the seqlock -- is what
+        protects these reads from stale state.  Admission control and
+        cancellation apply exactly as for shared-relation reads.
+        """
+        self.require_shards()
+        with self._admit(session, op, cancel=cancel):
+            return fn()
 
 
 class Session:
@@ -493,6 +591,52 @@ class Session:
 
         result, pin = svc.run_read(self, "join", (r, s), run, cancel=token)
         return result, (pin.epoch_of(r), pin.epoch_of(s))
+
+    # -- sharded reads --------------------------------------------------
+
+    def shard_select(
+        self,
+        table: str,
+        window: Any,
+        theta: ThetaOperator,
+        *,
+        deadline_ms: float | None = None,
+        cancel: CancellationToken | None = None,
+    ) -> SelectResult:
+        """Distributed selection against the attached shard fleet.
+
+        Admitted like any read; survives shard crashes via the router's
+        failover or raises a typed
+        :class:`~repro.errors.ShardUnavailable` -- never a partial
+        answer.
+        """
+        svc = self.service
+        shards = svc.require_shards()
+        token = cancel if cancel is not None else svc.token_for(deadline_ms)
+        return svc.run_shard(
+            self, "shard_select",
+            lambda: shards.router.select(table, window, theta, cancel=token),
+            cancel=token,
+        )
+
+    def shard_join(
+        self,
+        table_r: str,
+        table_s: str,
+        theta: ThetaOperator,
+        *,
+        deadline_ms: float | None = None,
+        cancel: CancellationToken | None = None,
+    ) -> JoinResult:
+        """Distributed join against the attached shard fleet."""
+        svc = self.service
+        shards = svc.require_shards()
+        token = cancel if cancel is not None else svc.token_for(deadline_ms)
+        return svc.run_shard(
+            self, "shard_join",
+            lambda: shards.router.join(table_r, table_s, theta, cancel=token),
+            cancel=token,
+        )
 
     # -- writes ---------------------------------------------------------
 

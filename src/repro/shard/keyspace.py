@@ -1,0 +1,147 @@
+"""Z-order keyspace partitioning for the shard runtime.
+
+A :class:`ShardMap` divides the universe into ``2^bits x 2^bits`` grid
+cells, orders the cells along the Peano/z-order curve (Figure 1 of the
+paper), and cuts the curve into contiguous intervals -- one standing
+shard per interval.  Every shard therefore owns a compact set of cells,
+and routing a point is two integer operations: quantize to a cell,
+bisect the cut points.
+
+Replication and deduplication mirror :class:`~repro.parallel.partitioner.
+GridSpec` exactly: an MBR is replicated to every shard whose cell region
+it touches (closed-set corner semantics, clamped at the universe border)
+and a candidate pair is owned by the single shard owning its reference
+point.  Because cell assignment is the same clamped floor in both
+directions, the owner cell of a reference point always lies inside the
+corner ranges of both MBRs -- so the owning shard is guaranteed to hold
+both entries, and each qualifying pair is reported exactly once across
+the shard fleet with no dedup pass.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.errors import ShardError
+from repro.geometry.rect import Rect
+from repro.geometry.zorder import interleave
+
+
+@dataclass(frozen=True, slots=True)
+class ShardMap:
+    """An immutable cut of the z-order curve into shard key ranges.
+
+    ``boundaries`` are the strictly increasing interior cut points: shard
+    ``i`` owns the z-value interval ``[boundaries[i-1], boundaries[i])``
+    (with 0 and ``4^bits`` as the outer limits).  Immutable so the map
+    can be shipped to worker processes once and shared by reference.
+    """
+
+    universe: Rect
+    bits: int
+    boundaries: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ShardError(f"bits must be >= 1, got {self.bits}")
+        if self.universe.width <= 0 or self.universe.height <= 0:
+            raise ShardError(
+                f"shard universe must have positive area, got {self.universe}"
+            )
+        total = 1 << (2 * self.bits)
+        previous = 0
+        for b in self.boundaries:
+            if not previous < b < total:
+                raise ShardError(
+                    f"boundaries must be strictly increasing in (0, {total}), "
+                    f"got {self.boundaries}"
+                )
+            previous = b
+
+    @classmethod
+    def split_uniform(
+        cls, universe: Rect, n_shards: int, *, bits: int = 4
+    ) -> "ShardMap":
+        """Cut the curve into ``n_shards`` equal-length cell intervals."""
+        if n_shards < 1:
+            raise ShardError(f"n_shards must be >= 1, got {n_shards}")
+        total = 1 << (2 * bits)
+        if n_shards > total:
+            raise ShardError(
+                f"cannot split {total} z-cells into {n_shards} shards; "
+                f"raise bits"
+            )
+        boundaries = tuple(
+            (i * total) // n_shards for i in range(1, n_shards)
+        )
+        return cls(universe=universe, bits=bits, boundaries=boundaries)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.boundaries) + 1
+
+    @property
+    def cells_per_axis(self) -> int:
+        return 1 << self.bits
+
+    def cell_of(self, x: float, y: float) -> tuple[int, int]:
+        """Grid cell owning point ``(x, y)``; clamped at the border so
+        protruding geometries still have an owner (GridSpec semantics)."""
+        n = self.cells_per_axis
+        u = self.universe
+        gx = min(n - 1, max(0, int((x - u.xmin) / u.width * n)))
+        gy = min(n - 1, max(0, int((y - u.ymin) / u.height * n)))
+        return gx, gy
+
+    def z_of(self, x: float, y: float) -> int:
+        gx, gy = self.cell_of(x, y)
+        return interleave(gx, gy, self.bits)
+
+    def owner_shard(self, x: float, y: float) -> int:
+        """The unique shard owning point ``(x, y)``."""
+        return bisect_right(self.boundaries, self.z_of(x, y))
+
+    def zrange(self, shard_id: int) -> tuple[int, int]:
+        """Closed z-value interval ``[lo, hi]`` owned by ``shard_id``."""
+        if not 0 <= shard_id < self.n_shards:
+            raise ShardError(
+                f"shard id {shard_id} out of range for {self.n_shards} shards"
+            )
+        lo = 0 if shard_id == 0 else self.boundaries[shard_id - 1]
+        total = 1 << (2 * self.bits)
+        hi = (
+            total - 1
+            if shard_id == self.n_shards - 1
+            else self.boundaries[shard_id] - 1
+        )
+        return lo, hi
+
+    def covering_shards(self, mbr: Rect) -> list[int]:
+        """Sorted shard ids whose cell region intersects ``mbr``.
+
+        Closed-set corner semantics, exactly like
+        :meth:`GridSpec.covering_cells`: an MBR on a cell seam is
+        replicated to both neighbours, so the owner of any reference
+        point on the seam holds both entries of the pair.
+        """
+        gx0, gy0 = self.cell_of(mbr.xmin, mbr.ymin)
+        gx1, gy1 = self.cell_of(mbr.xmax, mbr.ymax)
+        shards: set[int] = set()
+        for gy in range(gy0, gy1 + 1):
+            for gx in range(gx0, gx1 + 1):
+                z = interleave(gx, gy, self.bits)
+                shards.add(bisect_right(self.boundaries, z))
+        return sorted(shards)
+
+    def describe(self) -> str:
+        ranges = ", ".join(
+            f"s{i}=[{lo},{hi}]"
+            for i, (lo, hi) in (
+                (i, self.zrange(i)) for i in range(self.n_shards)
+            )
+        )
+        return (
+            f"ShardMap({self.n_shards} shards over "
+            f"{self.cells_per_axis}x{self.cells_per_axis} z-cells: {ranges})"
+        )

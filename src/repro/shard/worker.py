@@ -1,0 +1,169 @@
+"""The shard worker: the compute half of one standing shard.
+
+A worker holds the *volatile* copy of its shard's data -- per-table entry
+lists ``(tid, mbr, geometry)`` replicated from the durable, parent-side
+heap/WAL -- and evaluates selections and shard-local partition joins
+against it.  Killing the worker process loses nothing durable: the
+supervisor replays the shard's WAL into a fresh relation image and
+reloads a new worker from it.
+
+The same :class:`ShardWorkerState` drives both transports: the process
+transport runs it behind a pipe in :func:`shard_worker_main`, the inline
+transport calls it directly.  Replies are ``(status, generation,
+payload)`` triples; the worker echoes the generation it was spawned with
+so a router can discard stale replies from a pre-crash incarnation.
+
+Join evaluation reuses the generalized plane-sweep kernel
+(:func:`~repro.parallel.plane_sweep.sweep_sorted`) with shard ownership
+of the reference point as the dedup predicate: each qualifying pair is
+reported by exactly one shard of the fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from repro.errors import ShardError
+from repro.parallel.partitioner import Entry
+from repro.parallel.plane_sweep import sweep_sorted
+from repro.predicates.theta import Overlaps
+from repro.shard.keyspace import ShardMap
+from repro.storage.costs import CostMeter
+
+
+class ShardWorkerState:
+    """Volatile per-shard state plus the op dispatch table."""
+
+    def __init__(self, shard_id: int, shard_map: ShardMap) -> None:
+        self.shard_id = shard_id
+        self.shard_map = shard_map
+        self.tables: dict[str, list[Entry]] = {}
+
+    def _table(self, name: str) -> list[Entry]:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise ShardError(
+                f"shard {self.shard_id} has no table {name!r}"
+            ) from None
+
+    def apply(self, op: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Execute one op; raises for unknown ops / missing tables."""
+        if op == "ping":
+            return {"pong": True, "shard": self.shard_id}
+        if op == "create":
+            self.tables.setdefault(payload["table"], [])
+            return {"created": payload["table"]}
+        if op == "load":
+            entries = self.tables.setdefault(payload["table"], [])
+            entries.extend(payload["entries"])
+            return {"loaded": len(payload["entries"])}
+        if op == "insert":
+            self._table(payload["table"]).append(payload["entry"])
+            return {"inserted": True}
+        if op == "delete":
+            entries = self._table(payload["table"])
+            tid = payload["tid"]
+            kept = [e for e in entries if e[0] != tid]
+            removed = len(entries) - len(kept)
+            self.tables[payload["table"]] = kept
+            return {"deleted": removed}
+        if op == "select":
+            return self._select(payload)
+        if op == "join":
+            return self._join(payload)
+        if op == "stall":
+            # Only meaningful on the process transport, where the parent's
+            # poll timeout expires while this sleep holds the reply back.
+            time.sleep(payload.get("seconds", 0.0))
+            return {"stalled": payload.get("seconds", 0.0)}
+        if op == "exit":
+            return {"bye": True}
+        raise ShardError(f"shard {self.shard_id}: unknown op {op!r}")
+
+    def _select(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """``{t : theta(window, t.geom)}`` over this shard's replicas.
+
+        The router deduplicates across shards by tid, so replicated
+        entries may match on several shards.  ``overlaps`` gets an MBR
+        prefilter (a necessary condition); other operators evaluate
+        exactly on every entry -- their truth is not implied by MBR
+        intersection.
+        """
+        window = payload["window"]
+        theta = payload["theta"]
+        meter = CostMeter()
+        tids = []
+        prefilter = isinstance(theta, Overlaps)
+        for tid, mbr, geom in self._table(payload["table"]):
+            if prefilter:
+                meter.record_filter_eval()
+                if (
+                    mbr.xmin > window.xmax or window.xmin > mbr.xmax
+                    or mbr.ymin > window.ymax or window.ymin > mbr.ymax
+                ):
+                    continue
+            meter.record_exact_eval()
+            if theta(window, geom):
+                tids.append(tid)
+        return {"tids": tids, "meter": meter}
+
+    def _join(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Shard-local partition join: sweep the x-sorted replica lists,
+        keeping only pairs whose reference point this shard owns."""
+        theta = payload["theta"]
+        entries_r = sorted(
+            self._table(payload["table_r"]), key=lambda e: e[1].xmin
+        )
+        entries_s = sorted(
+            self._table(payload["table_s"]), key=lambda e: e[1].xmin
+        )
+        meter = CostMeter()
+        owner = self.shard_map.owner_shard
+        me = self.shard_id
+
+        def owns(x: float, y: float) -> bool:
+            return owner(x, y) == me
+
+        pairs = sweep_sorted(entries_r, entries_s, theta, meter, owns)
+        return {"pairs": pairs, "meter": meter}
+
+
+def shard_worker_main(
+    conn: Any, shard_id: int, generation: int, shard_map: ShardMap
+) -> None:
+    """Process entrypoint: serve ops off the pipe until exit/crash/EOF.
+
+    ``crash`` dies via ``os._exit`` *without replying* -- the poisoned-
+    IPC case the parent detects as an EOF/timeout.  Worker-side errors
+    are replied as ``("err", generation, {...})`` and keep the loop
+    alive: a bad request must not look like a crashed shard.
+    """
+    state = ShardWorkerState(shard_id, shard_map)
+    while True:
+        try:
+            op, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if op == "crash":
+            os._exit(1)
+        try:
+            result = state.apply(op, payload)
+        except Exception as exc:  # reply, don't die: not a crash
+            try:
+                conn.send(
+                    ("err", generation,
+                     {"type": type(exc).__name__, "message": str(exc)})
+                )
+            except (BrokenPipeError, OSError):
+                break
+            continue
+        try:
+            conn.send(("ok", generation, result))
+        except (BrokenPipeError, OSError):
+            break
+        if op == "exit":
+            break
+    conn.close()

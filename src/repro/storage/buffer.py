@@ -202,6 +202,16 @@ class BufferPool:
     def pinned_count(self) -> int:
         return len(self._pin_counts)
 
+    @property
+    def dirty_count(self) -> int:
+        """Resident pages with unflushed modifications.
+
+        The restart-cost signal health probes report: every dirty page
+        is one physical write a clean shutdown (or the WAL, after a
+        crash) still owes the disk.
+        """
+        return len(self._dirty)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -190,3 +190,54 @@ class TestPartitionJoinIntegration:
         # Degrade, if it happened, must carry a reason.
         if res.stats["workers"] == 1:
             assert "degrade_reason" in res.stats
+
+
+class TestRecoveryCancellation:
+    """The recovery pass honours the cancellation token (regression).
+
+    A worker crash used to jump straight into the sequential re-run even
+    when the query's deadline had expired while the crashed attempt ran
+    -- an expired query must not finish the recovery pass.
+    """
+
+    def _expiring_token(self):
+        """Deterministic token: alive on its first check, expired on the
+        second.  Each clock call advances virtual time by 1.5s against a
+        2.0s deadline, so no wall-clock sleeping or racing is involved."""
+        from repro.core.cancel import CancellationToken
+
+        state = {"now": 0.0}
+
+        def clock() -> float:
+            state["now"] += 1.5
+            return state["now"]
+
+        return CancellationToken(deadline=2.0, clock=clock)
+
+    def test_expired_token_stops_the_recovery_pass(self):
+        from repro.errors import QueryCancelled
+
+        tasks, spec = build_tasks()
+        plan = FaultPlan(seed=0, worker_crashes={0})
+        token = self._expiring_token()
+        with pytest.raises(QueryCancelled):
+            run_partitions(
+                tasks, spec, Overlaps(), workers=1,
+                fault_plan=plan, cancel=token,
+            )
+        # The crash was injected, but its recovery must not have been
+        # recorded as completed work.
+        assert token.cancelled
+
+    def test_live_token_lets_recovery_complete(self):
+        from repro.core.cancel import CancellationToken
+
+        tasks, spec = build_tasks()
+        clean_pairs, _, _ = run_partitions(tasks, spec, Overlaps(), workers=1)
+        plan = FaultPlan(seed=0, worker_crashes={0})
+        pairs, _, report = run_partitions(
+            tasks, spec, Overlaps(), workers=1,
+            fault_plan=plan, cancel=CancellationToken(),
+        )
+        assert sorted(pairs) == sorted(clean_pairs)
+        assert report.retried_chunks == 1

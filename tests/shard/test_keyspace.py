@@ -1,0 +1,94 @@
+"""Key-space invariants: every point owned once, replication covers pairs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ShardError
+from repro.geometry.rect import Rect
+from repro.parallel.partitioner import reference_point
+from repro.shard import ShardMap
+
+UNIVERSE = Rect(0.0, 0.0, 100.0, 100.0)
+
+coords = st.floats(
+    min_value=-50.0, max_value=150.0,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+def rects(draw_x, draw_y):
+    return st.builds(
+        lambda x, y, w, h: Rect(x, y, x + w, y + h),
+        draw_x, draw_y,
+        st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+    )
+
+
+class TestConstruction:
+    def test_split_uniform_partitions_the_z_space(self):
+        smap = ShardMap.split_uniform(UNIVERSE, 4, bits=3)
+        assert smap.n_shards == 4
+        ranges = [smap.zrange(i) for i in range(4)]
+        # Contiguous, non-overlapping, covering [0, 4^bits - 1].
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 4**3 - 1
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert lo == hi + 1
+
+    def test_single_shard_owns_everything(self):
+        smap = ShardMap.split_uniform(UNIVERSE, 1, bits=2)
+        assert smap.boundaries == ()
+        assert smap.owner_shard(0.0, 0.0) == 0
+        assert smap.owner_shard(99.9, 99.9) == 0
+
+    def test_rejects_more_shards_than_cells(self):
+        with pytest.raises(ShardError):
+            ShardMap.split_uniform(UNIVERSE, 50, bits=2)
+
+    def test_rejects_non_increasing_boundaries(self):
+        with pytest.raises(ShardError):
+            ShardMap(UNIVERSE, 2, (5, 5))
+
+
+class TestOwnership:
+    @given(x=coords, y=coords)
+    def test_every_point_owned_by_exactly_one_shard(self, x, y):
+        smap = ShardMap.split_uniform(UNIVERSE, 5, bits=4)
+        owner = smap.owner_shard(x, y)
+        assert 0 <= owner < smap.n_shards
+        lo, hi = smap.zrange(owner)
+        assert lo <= smap.z_of(x, y) <= hi
+
+    @given(x=coords, y=coords)
+    def test_out_of_universe_points_clamp_to_edge_cells(self, x, y):
+        # Ownership must stay total even for geometry straying outside
+        # the declared universe -- clamped, never an error.
+        smap = ShardMap.split_uniform(UNIVERSE, 3, bits=4)
+        cx, cy = smap.cell_of(x, y)
+        assert 0 <= cx < smap.cells_per_axis
+        assert 0 <= cy < smap.cells_per_axis
+
+    @given(mbr=rects(coords, coords))
+    def test_covering_shards_includes_every_corner_owner(self, mbr):
+        smap = ShardMap.split_uniform(UNIVERSE, 5, bits=4)
+        covering = set(smap.covering_shards(mbr))
+        for x in (mbr.xmin, mbr.xmax):
+            for y in (mbr.ymin, mbr.ymax):
+                assert smap.owner_shard(x, y) in covering
+
+    @given(mbr_a=rects(coords, coords), mbr_b=rects(coords, coords))
+    def test_reference_point_owner_covers_both_operands(self, mbr_a, mbr_b):
+        """The no-dedup rule's soundness: whichever shard owns the pair's
+        reference point holds a replica of *both* MBRs, so exactly one
+        shard reports each intersecting pair and none is lost."""
+        if not mbr_a.intersects(mbr_b):
+            return
+        smap = ShardMap.split_uniform(UNIVERSE, 5, bits=4)
+        rx, ry = reference_point(mbr_a, mbr_b)
+        owner = smap.owner_shard(rx, ry)
+        assert owner in smap.covering_shards(mbr_a)
+        assert owner in smap.covering_shards(mbr_b)

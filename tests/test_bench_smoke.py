@@ -116,3 +116,30 @@ def test_recovery_bench_runs_tiny():
         cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300,
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.smoke
+def test_shards_bench_runs_tiny(tmp_path):
+    """Shard fleet bench end to end at a tiny size, artifact included."""
+    import json
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["BENCH_SHARDS_SIZE"] = "60"
+    env["BENCH_ARTIFACT_DIR"] = str(tmp_path)
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "pytest",
+            "benchmarks/bench_shards.py", "-q",
+        ],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    artifact = tmp_path / "BENCH_bench_shards.json"
+    assert artifact.exists(), sorted(p.name for p in tmp_path.iterdir())
+    payload = json.loads(artifact.read_text())
+    assert payload["exit_status"] == 0
+    assert set(payload["payloads"]) >= {
+        "join_throughput_1_vs_n", "restart_latency", "failover_overhead",
+    }
+    assert payload["payloads"]["failover_overhead"]["restarts"] == 1
