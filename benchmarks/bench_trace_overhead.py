@@ -19,8 +19,19 @@ The analytic bound is what's asserted because it is robust on noisy
 single-core CI containers; the direct enabled-vs-disabled A/B timing is
 measured and reported (and shipped in the JSON artifact) but not gated.
 
+The distributed extension applies the same discipline across the
+process boundary: on an 8-shard join, remote span records are O(shards)
+-- a few per worker dispatch, never per tuple -- and the graft that
+merges them into the session tree costs ``remote_records x
+per_record_graft_cost``, asserted below 3% of the untraced kernel.  The
+untraced dispatch path ships no spans at all, so its budget stays the
+single-process 2%.
+
 ``BENCH_TRACE_COUNT`` overrides the per-relation cardinality,
-``BENCH_TRACE_TOLERANCE`` the asserted overhead fraction (default 0.02).
+``BENCH_TRACE_TOLERANCE`` the asserted overhead fraction (default 0.02);
+``BENCH_DIST_SHARDS``, ``BENCH_DIST_COUNT`` and
+``BENCH_DIST_TRACE_TOLERANCE`` (default 0.03) parameterize the
+distributed variant.
 """
 
 import os
@@ -32,16 +43,21 @@ from benchmarks.artifacts import emit_bench_artifact
 from repro.geometry import Rect
 from repro.join.sync_join import sync_tree_join
 from repro.join.zorder_merge import zorder_merge_join
-from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
+from repro.obs import NULL_TRACER, MetricsRegistry, TraceContext, Tracer
 from repro.predicates.theta import Overlaps
+from repro.shard import ShardRuntime
 from repro.storage.costs import CostMeter
 from repro.workloads.assembly import build_indexed_relation
 
 UNIVERSE = Rect(0, 0, 1024, 1024)
 COUNT = int(os.environ.get("BENCH_TRACE_COUNT", "1200"))
 TOLERANCE = float(os.environ.get("BENCH_TRACE_TOLERANCE", "0.02"))
+DIST_SHARDS = int(os.environ.get("BENCH_DIST_SHARDS", "8"))
+DIST_COUNT = int(os.environ.get("BENCH_DIST_COUNT", "4000"))
+DIST_TOLERANCE = float(os.environ.get("BENCH_DIST_TRACE_TOLERANCE", "0.03"))
 REPEATS = 5
 NULL_SPAN_SAMPLES = 20_000
+GRAFT_SAMPLES = 200
 
 
 @pytest.fixture(scope="module")
@@ -155,3 +171,109 @@ def test_metrics_snapshot_artifact(relations):
     snapshot = metrics.snapshot()
     assert "join.filter_evals" in snapshot
     emit_bench_artifact("bench_trace_overhead", "metrics_snapshot", snapshot)
+
+
+@pytest.fixture(scope="module")
+def shard_fleet():
+    """An inline 8-shard fleet with both relations loaded."""
+    ir_r = build_indexed_relation(
+        DIST_COUNT, universe=UNIVERSE, seed=811, max_extent=8
+    )
+    ir_s = build_indexed_relation(
+        DIST_COUNT, universe=UNIVERSE, seed=812, max_extent=8
+    )
+    ir_r.relation.name = "r"
+    ir_s.relation.name = "s"
+    runtime = ShardRuntime(UNIVERSE, DIST_SHARDS)
+    runtime.load_relation(ir_r.relation, "shape")
+    runtime.load_relation(ir_s.relation, "shape")
+    try:
+        yield runtime
+    finally:
+        runtime.close()
+
+
+def per_record_graft_cost(records) -> float:
+    """Seconds to graft one exported remote span record (amortized)."""
+    start = time.perf_counter()
+    for _ in range(GRAFT_SAMPLES):
+        Tracer(process="sink").graft(records)
+    return (time.perf_counter() - start) / (GRAFT_SAMPLES * len(records))
+
+
+def real_span_cost() -> float:
+    """Seconds per *recording* span entry/exit (the worker-side price)."""
+    tracer = Tracer(process="probe")
+    meter = CostMeter()
+    start = time.perf_counter()
+    for _ in range(NULL_SPAN_SAMPLES):
+        with tracer.span("x", meter=meter, level=0):
+            pass
+    return (time.perf_counter() - start) / NULL_SPAN_SAMPLES
+
+
+@pytest.mark.smoke
+def test_distributed_tracing_overhead_is_bounded(shard_fleet):
+    """Remote spans are O(shards); graft + record cost stays under 3%."""
+    runtime = shard_fleet
+    theta = Overlaps()
+
+    # One traced run: count what actually crosses the wire.
+    tracer = Tracer(process="bench")
+    meter = CostMeter()
+    ctx = TraceContext("bench-dist", 1)
+    with tracer.span("session.shard_join", meter=meter) as span:
+        result = runtime.router.join(
+            "r", "s", theta,
+            trace=ctx.for_span(tracer.uid_of(span)),
+            meter=meter, tracer=tracer,
+        )
+    records = tracer.to_records()
+    remote = [r for r in records if r["process"] != "bench"]
+    assert remote, "a traced sharded join must ship remote spans"
+    per_shard: dict[int, int] = {}
+    for r in remote:
+        shard = int(r["process"].split("g")[0].removeprefix("shard"))
+        per_shard[shard] = per_shard.get(shard, 0) + 1
+    # O(shards), never per tuple: a handful of spans per dispatch.
+    assert len(per_shard) == DIST_SHARDS
+    assert max(per_shard.values()) <= 4, per_shard
+    assert len(remote) <= 4 * DIST_SHARDS
+
+    # The untraced dispatch path ships nothing at all -- the worker
+    # never builds a tracer, so its kernel is byte-for-byte the same.
+    silent = Tracer(process="bench")
+    runtime.router.join("r", "s", theta, meter=CostMeter(), tracer=silent)
+    assert silent.to_records() == []
+
+    # Analytic budget: worker-side span recording plus router-side
+    # grafting, both amortized per record, against the untraced kernel.
+    untraced = min_wall(
+        lambda: runtime.router.join("r", "s", theta, meter=CostMeter())
+    )
+    wire = [dict(r) for r in remote]
+    per_graft = per_record_graft_cost(wire)
+    per_span = real_span_cost()
+    overhead = len(remote) * (per_graft + per_span)
+    fraction = overhead / untraced
+
+    print(
+        f"\ndistributed: {DIST_SHARDS} shards, {len(remote)} remote spans, "
+        f"untraced {untraced * 1e3:.2f}ms, graft "
+        f"{per_graft * 1e9:.0f}ns/record, span {per_span * 1e9:.0f}ns/site, "
+        f"overhead {fraction * 100:.4f}% (budget {DIST_TOLERANCE * 100:.1f}%)"
+    )
+    emit_bench_artifact("bench_trace_overhead", "distributed", {
+        "shards": DIST_SHARDS,
+        "remote_spans": len(remote),
+        "pairs": len(result.pairs),
+        "untraced_seconds": untraced,
+        "graft_seconds_per_record": per_graft,
+        "span_seconds_per_site": per_span,
+        "overhead_fraction": fraction,
+        "tolerance": DIST_TOLERANCE,
+    })
+    assert fraction < DIST_TOLERANCE, (
+        f"distributed-tracing overhead {fraction:.4%} exceeds "
+        f"{DIST_TOLERANCE:.0%}"
+    )

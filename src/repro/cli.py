@@ -13,6 +13,8 @@ Usage::
     python -m repro trace --trace-out t.jsonl --metrics
     python -m repro serve --port 7654       # multi-session query service
     python -m repro client --port 7654 --request '{"op":"relations"}'
+    python -m repro shards --kill-at 3      # supervised fleet under chaos
+    python -m repro obs --kill-at 2         # distributed-tracing dashboard
 
 All output is plain text, suitable for diffing between runs.  With
 ``--fault-seed``/``--fault-rate`` the demo relations live on a
@@ -513,6 +515,182 @@ def cmd_shards(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def cmd_obs(args: argparse.Namespace) -> str:
+    """End-to-end observability dashboard over a sharded query service.
+
+    Builds a query service fronting a standing shard fleet, runs traced
+    distributed reads through a session (optionally killing shards at
+    exact dispatch boundaries), and renders what the observability stack
+    saw: the hottest spans of the grafted distributed trace, the per-op
+    SLO latency table, the flight recorder's incident tail, the
+    model-drift verdict for the sharded join, and the cross-process
+    cost-conservation footer (exclusive span deltas vs. the roots'
+    inclusive totals).
+    """
+    from repro.core.executor import SpatialQueryExecutor
+    from repro.core.optimizer import plan_join
+    from repro.faults.plan import FaultPlan
+    from repro.geometry.rect import Rect
+    from repro.obs import sum_cost_self
+    from repro.obs.drift import drift_from_plan
+    from repro.predicates.theta import Overlaps
+    from repro.server import QueryService
+    from repro.shard import ShardRuntime
+    from repro.workloads.assembly import build_indexed_relation
+
+    plan = None
+    if args.kill_at:
+        schedule = {}
+        for spec in args.kill_at:
+            index, _, shard = spec.partition(":")
+            schedule[int(index)] = int(shard) if shard else -1
+        plan = FaultPlan(args.fault_seed, kill_shard_at=schedule)
+
+    relations = {}
+    for name, seed in (("r", 1), ("s", 2)):
+        ir = build_indexed_relation(args.size, seed=seed)
+        ir.relation.name = name
+        relations[name] = ir
+    universe = relations["r"].universe
+    theta = Overlaps()
+    window = Rect(100.0, 100.0, 400.0, 400.0)
+
+    oracle_pairs = sorted(SpatialQueryExecutor().join(
+        relations["r"].relation, "shape",
+        relations["s"].relation, "shape", theta, strategy="scan",
+    ).pairs)
+    # The Section-4 prediction for the sharded join: D_PAR at one worker
+    # per shard (the reference-point rule keeps total work invariant
+    # under the split, so the formula prices the merged meter).
+    join_plan = plan_join(
+        relations["r"].relation, "shape",
+        relations["s"].relation, "shape", theta, workers=args.shards,
+    )
+
+    service = QueryService()
+    lines = []
+    try:
+        with ShardRuntime(
+            universe, args.shards, bits=args.bits, fault_plan=plan,
+        ) as runtime:
+            service.attach_shards(runtime)
+            for ir in relations.values():
+                runtime.load_relation(ir.relation, "shape")
+            with service.open_session("obs") as session:
+                join_result = session.shard_join("r", "s", theta)
+                select_result = session.shard_select("r", window, theta)
+                records = session.tracer.to_records()
+            stats = service.stats()
+            status = runtime.status()
+    finally:
+        service.close()
+
+    join_ok = join_result.pairs == oracle_pairs
+    lines.append(
+        f"observability dashboard: {status['n_shards']} shards, "
+        f"{args.size} tuples/relation"
+        + (f", {len(plan.kill_shard_at)} scheduled kill(s)"
+           if plan is not None else "")
+    )
+    lines.append(
+        f"join: {len(join_result.pairs)} pairs via {join_result.strategy} "
+        f"-- {'identical to unsharded oracle' if join_ok else 'MISMATCH'}"
+    )
+    lines.append(
+        f"select: {len(select_result.matches)} matches via "
+        f"{select_result.strategy}"
+    )
+
+    lines.append("")
+    lines.append(f"top spans by exclusive cost (of {len(records)} total):")
+    ranked = sorted(
+        records,
+        key=lambda r: r["cost_self"].get("total", 0.0),
+        reverse=True,
+    )[:args.top]
+    for r in ranked:
+        lines.append(
+            f"  {r['uid']:>12}  {r['name']:<22} "
+            f"cost_self={r['cost_self'].get('total', 0.0):>10.0f}  "
+            f"cost={r['cost'].get('total', 0.0):>10.0f}"
+        )
+
+    lines.append("")
+    lines.append("SLO: server.latency_seconds percentiles per (op, outcome)")
+    lines.append(
+        f"  {'op':<14} {'outcome':<10} {'count':>5} "
+        f"{'p50':>10} {'p95':>10} {'p99':>10}"
+    )
+
+    def _ms(value) -> str:
+        return f"{value * 1e3:8.2f}ms" if value is not None else f"{'-':>10}"
+
+    for row in stats["slo"]:
+        lines.append(
+            f"  {row['op']:<14} {row['outcome']:<10} {row['count']:>5} "
+            f"{_ms(row['p50'])} {_ms(row['p95'])} {_ms(row['p99'])}"
+        )
+
+    lines.append("")
+    flight = stats["flight"]
+    lines.append(
+        f"flight recorder: {flight['recorded']} recorded, "
+        f"{flight['dropped']} dropped"
+    )
+    if flight["events"]:
+        for event in flight["events"]:
+            fields = " ".join(
+                f"{k}={v}" for k, v in sorted(event["fields"].items())
+            )
+            lines.append(
+                f"  #{event['id']} {event['kind']}"
+                + (f" {fields}" if fields else "")
+            )
+    else:
+        lines.append("  (no incidents)")
+
+    measured = next(
+        (r["cost"].get("total", 0.0) for r in records
+         if r["name"] == "session.shard_join"),
+        0.0,
+    )
+    lines.append("")
+    lines.append(drift_from_plan(
+        join_plan, join_result.strategy, measured,
+        query=f"sharded join r x s ({join_result.strategy})",
+    ).format())
+
+    # Cross-process conservation: every exclusive span delta -- session
+    # spans and grafted worker spans alike -- must sum back to the root
+    # spans' inclusive totals.  Nothing leaks, nothing double-counts.
+    total_self = sum_cost_self(records)["total"]
+    root_total = sum(
+        r["cost"].get("total", 0.0)
+        for r in records if r["parent_id"] is None
+    )
+    lines.append("")
+    if abs(total_self - root_total) > 1e-6:  # pragma: no cover - pinned
+        lines.append(
+            f"WARNING: conservation violated "
+            f"(self={total_self:.0f} != roots={root_total:.0f})"
+        )
+    else:
+        lines.append(
+            f"conservation: {total_self:.0f} exclusive cost units across "
+            f"{len(records)} spans == the grafted trees' inclusive totals"
+        )
+    if args.trace_out:
+        import json
+
+        with open(args.trace_out, "w", encoding="utf-8") as out:
+            count = 0
+            for record in records:
+                out.write(json.dumps(record, sort_keys=True) + "\n")
+                count += 1
+        lines.append(f"wrote {count} spans to {args.trace_out}")
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -690,6 +868,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the deterministic fault plan (with --kill-at)",
     )
     shards.set_defaults(handler=cmd_shards)
+
+    obs = sub.add_parser(
+        "obs", help="distributed-observability dashboard over a shard fleet"
+    )
+    obs.add_argument(
+        "--shards", type=int, default=4,
+        help="number of standing shard workers",
+    )
+    obs.add_argument(
+        "--size", type=int, default=200, help="tuples per relation"
+    )
+    obs.add_argument(
+        "--bits", type=int, default=4,
+        help="z-order resolution bits per axis for the key space",
+    )
+    obs.add_argument(
+        "--top", type=int, default=8,
+        help="how many spans to show in the hot-span table",
+    )
+    obs.add_argument(
+        "--kill-at", action="append", default=None, metavar="INDEX[:SHARD]",
+        help="kill a shard at this dispatch index (repeatable); "
+        "omit :SHARD to kill whichever shard is being dispatched to",
+    )
+    obs.add_argument(
+        "--fault-seed", type=int, default=7,
+        help="seed for the deterministic fault plan (with --kill-at)",
+    )
+    obs.add_argument(
+        "--trace-out", default=None, metavar="FILE.jsonl",
+        help="write the grafted distributed trace as JSON Lines",
+    )
+    obs.set_defaults(handler=cmd_obs)
 
     return parser
 

@@ -1,0 +1,70 @@
+"""Request-scoped trace context: the id triple that crosses processes.
+
+The PR 4 tracer assumed one query lives in one process: spans nest on a
+thread-local stack and the conservation law is checked against one
+meter.  Since the shard runtime, a query's work happens in worker
+processes that reply with bare cost meters -- invisible to the trace.
+A :class:`TraceContext` is the minimal Dapper-style span context that
+restores the link: the service mints one per request (``trace_id`` plus
+a monotonically increasing request ``seq``), the router carries it in
+every dispatch payload, and workers stamp the remote spans they record
+with it, so the grafted tree is attributable to exactly one request.
+
+The context is deliberately a plain value object with a dict wire form:
+it must survive JSON protocol lines *and* multiprocessing pickling
+without either transport knowing about tracers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ObservabilityError
+
+
+@dataclass(slots=True, frozen=True)
+class TraceContext:
+    """One request's identity as it crosses session/shard boundaries.
+
+    ``trace_id`` names the request tree; ``seq`` is the service-level
+    request sequence number (total order over everything the service
+    admitted); ``span_uid`` is the process-qualified uid of the
+    session-side span that remote spans should graft under -- purely
+    informational on the worker side, but it makes a remote span record
+    self-describing even when inspected in isolation.
+    """
+
+    trace_id: str
+    seq: int
+    span_uid: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.trace_id:
+            raise ObservabilityError("trace_id must be non-empty")
+        if self.seq < 0:
+            raise ObservabilityError(f"seq must be >= 0, got {self.seq}")
+
+    def for_span(self, span_uid: str) -> "TraceContext":
+        """The same request context re-anchored under ``span_uid``."""
+        return TraceContext(self.trace_id, self.seq, span_uid)
+
+    def to_wire(self) -> dict[str, Any]:
+        """Plain-dict form carried inside dispatch payloads."""
+        return {
+            "trace_id": self.trace_id,
+            "seq": self.seq,
+            "span_uid": self.span_uid,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "TraceContext":
+        """Rebuild from :meth:`to_wire` output; validates shape."""
+        trace_id = payload.get("trace_id")
+        seq = payload.get("seq")
+        if not isinstance(trace_id, str) or not isinstance(seq, int) \
+                or isinstance(seq, bool):
+            raise ObservabilityError(
+                f"malformed trace context payload: {dict(payload)!r}"
+            )
+        return cls(trace_id, seq, str(payload.get("span_uid", "")))

@@ -42,6 +42,11 @@ _MODELS_FOR_STRATEGY: dict[str, tuple[str, ...]] = {
     "tree": ("D_IIb", "D_IIa"),
     "join-index": ("D_III",),
     "partition": ("D_PAR",),
+    # A sharded join is the same grid-partition sweep with the grid
+    # spread across workers; the Section-4 partition formula prices the
+    # *fleet-merged* meter (the router concatenates shard-local work),
+    # not any single shard's share.
+    "shard-partition": ("D_PAR",),
 }
 
 
@@ -53,8 +58,16 @@ def log_error(predicted: float, measured: float) -> float:
 
 
 def model_for_strategy(strategy: str, predicted_costs: dict[str, float]) -> str | None:
-    """The model formula in ``predicted_costs`` that prices ``strategy``."""
-    for model in _MODELS_FOR_STRATEGY.get(strategy, ()):
+    """The model formula in ``predicted_costs`` that prices ``strategy``.
+
+    Parameterised strategy names (``"partition[8]"``,
+    ``"shard-partition[3]"`` -- the bracket suffix carries the worker or
+    shard count) normalise to their base name: the formula prices the
+    total work, which the reference-point rule keeps invariant under the
+    split.
+    """
+    base = strategy.split("[", 1)[0]
+    for model in _MODELS_FOR_STRATEGY.get(base, ()):
         if model in predicted_costs:
             return model
     return None

@@ -11,9 +11,26 @@ most a ``None`` check.
 Metrics are keyed by ``(name, labels)`` -- labels are sorted key/value
 pairs, so ``counter("join.filter_evals", level=2)`` names one series per
 tree level.  Histograms use *fixed* upper-bound buckets declared at
-first creation (Prometheus-style cumulative counting is left to
-consumers; bucket counts here are per-interval, which is easier to read
-in a terminal).
+first creation.  Bucket counts are **per interval**: ``snapshot()``
+reads them as-is, and ``snapshot(reset=True)`` additionally zeroes the
+interval state so a long-running service soak reads disjoint intervals
+instead of silently conflating them.  Lifetime totals
+(``total_count``/``total_sum``) survive resets, and every snapshot also
+carries a Prometheus-style ``cumulative`` view derived from the
+interval counts.
+
+Fleet aggregation: a registry can :meth:`~MetricsRegistry.absorb_snapshot`
+another registry's snapshot under extra labels (``shard="2"``), which is
+how per-shard registries merge into the service registry.  The merge is
+*idempotent* -- counters take the max of their value and the incoming
+one, gauges and histograms adopt the incoming state -- so re-absorbing
+the same fleet never double-counts.
+
+Label cardinality is capped per metric name
+(:class:`MetricsRegistry`'s ``max_series_per_name``); blowing the cap
+raises :class:`~repro.errors.ObservabilityError` instead of silently
+eating memory, because an unbounded label (a session id, a tuple id)
+is a bug in the publisher, not load to absorb.
 """
 
 from __future__ import annotations
@@ -63,6 +80,20 @@ class Counter:
         with self._lock:
             self.value += amount
 
+    def merge_from(self, value: int) -> None:
+        """Adopt an external counter reading: keep the max.
+
+        Fleet merges re-absorb the same shard snapshot on every
+        ``stats`` call; max-merge makes that idempotent while still
+        tracking the (monotone) source counter.
+        """
+        if value < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot merge negative value {value}"
+            )
+        with self._lock:
+            self.value = max(self.value, int(value))
+
     def snapshot(self) -> dict[str, Any]:
         return {"type": "counter", "labels": dict(self.labels), "value": self.value}
 
@@ -85,10 +116,19 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket distribution with count, sum, min and max."""
+    """Fixed-bucket distribution with count, sum, min and max.
+
+    Bucket counts are **per interval**: :meth:`snapshot` with
+    ``reset=True`` zeroes them (and count/sum/min/max) after reading, so
+    repeated scrapes see disjoint windows.  ``total_count`` /
+    ``total_sum`` accumulate over the histogram's lifetime and survive
+    resets.  Quantiles (:meth:`quantile`) interpolate linearly inside
+    the fixed buckets -- a coarse but monotone estimator, exact at
+    bucket boundaries, which is all an SLO table needs.
+    """
 
     __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
-                 "sum", "min", "max", "_lock")
+                 "sum", "min", "max", "total_count", "total_sum", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey,
                  buckets: tuple[float, ...]) -> None:
@@ -106,6 +146,8 @@ class Histogram:
         self.sum = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self.total_count = 0
+        self.total_sum = 0.0
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -116,35 +158,142 @@ class Histogram:
             self.sum += value
             self.min = value if self.min is None else min(self.min, value)
             self.max = value if self.max is None else max(self.max, value)
+            self.total_count += 1
+            self.total_sum += value
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def snapshot(self) -> dict[str, Any]:
-        return {
-            "type": "histogram",
-            "labels": dict(self.labels),
-            "count": self.count,
-            "sum": self.sum,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
-            "buckets": {
-                **{
-                    f"le_{bound:g}": n
-                    for bound, n in zip(self.buckets, self.bucket_counts)
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile of the current interval.
+
+        Linear interpolation within the bucket containing the target
+        rank, clamped to the observed ``min``/``max``.  Returns ``None``
+        on an empty interval.  The overflow bucket has no upper bound,
+        so ranks landing there estimate as ``max``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(
+                f"quantile must be in [0, 1], got {q}"
+            )
+        with self._lock:
+            if not self.count:
+                return None
+            rank = q * self.count
+            seen = 0.0
+            for i, n in enumerate(self.bucket_counts):
+                if not n:
+                    continue
+                if seen + n >= rank:
+                    if i >= len(self.buckets):
+                        return self.max
+                    hi = self.buckets[i]
+                    lo = self.buckets[i - 1] if i > 0 else min(self.min or 0.0, hi)
+                    frac = (rank - seen) / n
+                    est = lo + (hi - lo) * frac
+                    est = max(est, self.min if self.min is not None else est)
+                    est = min(est, self.max if self.max is not None else est)
+                    return est
+                seen += n
+            return self.max  # pragma: no cover - rank beyond all counts
+
+    def snapshot(self, reset: bool = False) -> dict[str, Any]:
+        """JSON-safe view; ``reset=True`` zeroes the interval after reading.
+
+        ``buckets`` holds the per-interval counts (the historical,
+        pinned shape); ``cumulative`` is the derived Prometheus-style
+        view where each bound's count includes everything below it;
+        ``bounds`` lists the upper bounds so a snapshot is
+        self-describing (and mergeable -- see
+        :meth:`MetricsRegistry.absorb_snapshot`).
+        """
+        with self._lock:
+            running = 0
+            cumulative: dict[str, int] = {}
+            for bound, n in zip(self.buckets, self.bucket_counts):
+                running += n
+                cumulative[f"le_{bound:g}"] = running
+            cumulative["overflow"] = running + self.bucket_counts[-1]
+            snap = {
+                "type": "histogram",
+                "labels": dict(self.labels),
+                "count": self.count,
+                "sum": self.sum,
+                "mean": self.mean,
+                "min": self.min,
+                "max": self.max,
+                "buckets": {
+                    **{
+                        f"le_{bound:g}": n
+                        for bound, n in zip(self.buckets, self.bucket_counts)
+                    },
+                    "overflow": self.bucket_counts[-1],
                 },
-                "overflow": self.bucket_counts[-1],
-            },
-        }
+                "cumulative": cumulative,
+                "bounds": list(self.buckets),
+                "total_count": self.total_count,
+                "total_sum": self.total_sum,
+            }
+            if reset:
+                self.bucket_counts = [0] * (len(self.buckets) + 1)
+                self.count = 0
+                self.sum = 0.0
+                self.min = None
+                self.max = None
+            return snap
+
+    def load_snapshot(self, snap: Mapping[str, Any]) -> None:
+        """Adopt the state of a :meth:`snapshot` dict (fleet merge).
+
+        The source series is authoritative for its own labels, so this
+        *replaces* interval and lifetime state -- re-loading the same
+        snapshot is a no-op, which keeps fleet aggregation idempotent.
+        """
+        bounds = tuple(float(b) for b in snap.get("bounds", self.buckets))
+        if bounds != self.buckets:
+            raise ObservabilityError(
+                f"histogram {self.name!r} cannot load snapshot with "
+                f"bounds {bounds!r} (has {self.buckets!r})"
+            )
+        buckets = snap.get("buckets", {})
+        with self._lock:
+            self.bucket_counts = [
+                int(buckets.get(f"le_{bound:g}", 0)) for bound in self.buckets
+            ] + [int(buckets.get("overflow", 0))]
+            self.count = int(snap.get("count", 0))
+            self.sum = float(snap.get("sum", 0.0))
+            self.min = snap.get("min")
+            self.max = snap.get("max")
+            self.total_count = int(snap.get("total_count", self.count))
+            self.total_sum = float(snap.get("total_sum", self.sum))
+
+
+#: Default per-name series cap: generous for legitimate label sets
+#: (levels, shards, ops x outcomes) while catching unbounded labels.
+DEFAULT_MAX_SERIES_PER_NAME = 64
 
 
 class MetricsRegistry:
-    """Get-or-create home for every published metric series."""
+    """Get-or-create home for every published metric series.
 
-    def __init__(self) -> None:
+    ``max_series_per_name`` bounds label cardinality per metric name:
+    creating one series beyond the cap raises
+    :class:`~repro.errors.ObservabilityError` naming the metric, which
+    turns an unbounded label (session ids, tuple ids) into a loud bug
+    instead of a slow leak.
+    """
+
+    def __init__(
+        self, max_series_per_name: int = DEFAULT_MAX_SERIES_PER_NAME,
+    ) -> None:
+        if max_series_per_name < 1:
+            raise ObservabilityError(
+                f"max_series_per_name must be >= 1, got {max_series_per_name}"
+            )
+        self.max_series_per_name = max_series_per_name
         self._metrics: dict[tuple[str, _LabelKey], Counter | Gauge | Histogram] = {}
+        self._series_per_name: dict[str, int] = {}
         self._lock = threading.Lock()
 
     def _get_or_create(self, cls, name: str, labels: Mapping[str, Any],
@@ -159,8 +308,17 @@ class MetricsRegistry:
                         f"as {type(existing).__name__}, not {cls.__name__}"
                     )
                 return existing
+            n_series = self._series_per_name.get(name, 0)
+            if n_series >= self.max_series_per_name:
+                raise ObservabilityError(
+                    f"metric {name!r} exceeds the label-cardinality cap "
+                    f"({self.max_series_per_name} series); refusing "
+                    f"{dict(labels)!r} -- an unbounded label is a bug in "
+                    "the publisher"
+                )
             metric = cls(name, key[1], *args)
             self._metrics[key] = metric
+            self._series_per_name[name] = n_series + 1
             return metric
 
     def counter(self, name: str, **labels: Any) -> Counter:
@@ -187,6 +345,48 @@ class MetricsRegistry:
                 self.gauge(f"{prefix}.total", **labels).set(value)
             else:
                 self.counter(f"{prefix}.{key}", **labels).inc(int(value))
+
+    def absorb_snapshot(
+        self, snapshot: Mapping[str, list[dict[str, Any]]], **labels: Any,
+    ) -> None:
+        """Merge another registry's :meth:`snapshot` under extra labels.
+
+        This is the fleet-aggregation primitive: each shard's registry
+        snapshot merges into the service registry with a ``shard=<id>``
+        label.  The merge is idempotent -- counters max-merge
+        (:meth:`Counter.merge_from`), gauges and histograms adopt the
+        incoming state -- so absorbing the same fleet on every ``stats``
+        call never double-counts.  Extra labels must not collide with
+        the source series' own labels.
+        """
+        for name, series_list in snapshot.items():
+            for snap in series_list:
+                source_labels = snap.get("labels", {})
+                clash = set(source_labels) & set(labels)
+                if clash:
+                    raise ObservabilityError(
+                        f"absorb_snapshot label(s) {sorted(clash)} collide "
+                        f"with source labels of metric {name!r}"
+                    )
+                merged = {**source_labels, **labels}
+                kind = snap.get("type")
+                if kind == "counter":
+                    self.counter(name, **merged).merge_from(int(snap["value"]))
+                elif kind == "gauge":
+                    self.gauge(name, **merged).set(float(snap["value"]))
+                elif kind == "histogram":
+                    bounds = snap.get("bounds")
+                    hist = self.histogram(
+                        name,
+                        buckets=tuple(bounds) if bounds else None,
+                        **merged,
+                    )
+                    hist.load_snapshot(snap)
+                else:
+                    raise ObservabilityError(
+                        f"cannot absorb metric {name!r} of unknown "
+                        f"type {kind!r}"
+                    )
 
     # ------------------------------------------------------------------
     # Read-out

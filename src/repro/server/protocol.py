@@ -21,6 +21,8 @@ Supported operations (fields beyond ``op``):
 ``metrics``    snapshot of the shared metrics registry
 ``shards``     status of the attached shard fleet (generations,
                restarts, per-shard liveness)
+``stats``      health + per-op SLO latency percentiles + the flight
+               recorder's recent events + fleet-merged shard metrics
 ``close``      end the session
 =============  =======================================================
 
@@ -41,6 +43,10 @@ wire: a retryable error's type name is suffixed with ``!``
 (``ERR ServerBusy! service at capacity ...``), which
 :func:`decode_response` turns back into ``ProtocolError.retryable`` --
 the bit the client's :class:`~repro.server.net.RetryPolicy` keys on.
+Exceptions decorated with a flight-recorder tail (``flight_events`` on
+``ServerBusy``/``ShuttingDown``/``ShardUnavailable``) additionally
+append a compact ``[flight: shed#4 failover#5 ...]`` suffix, so the
+incident context survives the one-line wire format.
 """
 
 from __future__ import annotations
@@ -124,6 +130,12 @@ def encode_error(exc: BaseException) -> str:
     name = type(exc).__name__
     if getattr(exc, "retryable", False):
         name += "!"
+    events = getattr(exc, "flight_events", None)
+    if events:
+        tail = " ".join(
+            f"{e.get('kind', '?')}#{e.get('id', '?')}" for e in events
+        )
+        message += f" [flight: {tail}]"
     return f"ERR {name} {message}"
 
 
@@ -194,6 +206,8 @@ def handle_request(session: Any, request: dict[str, Any]) -> dict[str, Any]:
         return {"metrics": session.service.metrics.snapshot()}
     if op == "shards":
         return session.service.require_shards().status()
+    if op == "stats":
+        return session.service.stats()
     if op == "close":
         session.close()
         return {"closed": True}

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
@@ -58,7 +59,9 @@ from repro.errors import (
     ShuttingDown,
 )
 from repro.join.result import JoinResult, SelectResult
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.context import TraceContext
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import DURATION_BUCKETS, MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.predicates.theta import ThetaOperator
 from repro.server.state import DEFAULT_READ_RETRIES, EpochPin, StateManager
@@ -118,13 +121,20 @@ class QueryService:
     ) -> None:
         self.state = state if state is not None else StateManager()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: The service incident log: sheds, drains, deadline hits,
+        #: snapshot conflicts -- plus (via ``attach_shards``) the
+        #: fleet's kills, WAL recoveries, restarts and failovers.
+        self.flight = FlightRecorder()
+        #: Service-wide request sequence feeding :meth:`mint_trace` --
+        #: a total order over every traced request the service admitted.
+        self._trace_seq = itertools.count(1)
         #: Optional :class:`~repro.shard.ShardRuntime` serving sharded
         #: reads next to the shared-relation engine.  Attached here or
         #: later via :meth:`attach_shards`; sessions reach it through
         #: :meth:`Session.shard_select` / :meth:`Session.shard_join`.
-        self.shards = shards
-        if shards is not None and shards.metrics is None:
-            shards.metrics = self.metrics
+        self.shards = None
+        if shards is not None:
+            self.attach_shards(shards)
         self.cache = cache
         if executor is None:
             executor = SpatialQueryExecutor(
@@ -191,9 +201,12 @@ class QueryService:
         with self._admission:
             if self._draining:
                 self.metrics.counter("server.shed", reason="shutdown").inc()
-                raise ShuttingDown(
-                    "SHUTTING_DOWN: the service is draining; retry against "
-                    "a live server"
+                raise self._shed(
+                    ShuttingDown(
+                        "SHUTTING_DOWN: the service is draining; retry "
+                        "against a live server"
+                    ),
+                    "shutdown", session, op,
                 )
             if session.closed:
                 raise SessionError(
@@ -202,17 +215,23 @@ class QueryService:
             budget = self.config.session_budget
             if budget is not None and session.queries_issued >= budget:
                 self.metrics.counter("server.shed", reason="budget").inc()
-                raise ServerBusy(
-                    f"session {session.session_id} exhausted its budget "
-                    f"of {budget} queries",
-                    retryable=False,
+                raise self._shed(
+                    ServerBusy(
+                        f"session {session.session_id} exhausted its budget "
+                        f"of {budget} queries",
+                        retryable=False,
+                    ),
+                    "budget", session, op,
                 )
             if self._inflight >= self.config.max_inflight:
                 self.metrics.counter("server.shed", reason="overload").inc()
-                raise ServerBusy(
-                    f"service at capacity ({self.config.max_inflight} "
-                    f"queries in flight)",
-                    retryable=True,
+                raise self._shed(
+                    ServerBusy(
+                        f"service at capacity ({self.config.max_inflight} "
+                        f"queries in flight)",
+                        retryable=True,
+                    ),
+                    "overload", session, op,
                 )
             self._inflight += 1
             session.queries_issued += 1
@@ -222,16 +241,43 @@ class QueryService:
                 self._inflight_tokens[query_id] = cancel
                 if cancel.deadline is not None:
                     self._ensure_watchdog()
+        started = time.perf_counter()
+        outcome = "ok"
         try:
             self.metrics.counter("server.queries", op=op).inc()
             yield
+        except BaseException as exc:
+            outcome = type(exc).__name__
+            raise
         finally:
+            # Per-op SLO accounting: one observation per admitted query,
+            # labelled by how it ended (the exception class name, "ok"
+            # otherwise) so tail latencies of failures and successes
+            # never blur together.
+            self.metrics.histogram(
+                "server.latency_seconds", buckets=DURATION_BUCKETS,
+                op=op, outcome=outcome,
+            ).observe(time.perf_counter() - started)
             with self._admission:
                 self._inflight_tokens.pop(query_id, None)
                 self._inflight -= 1
                 self._gauge("server.queries_inflight", self._inflight)
                 if self._inflight == 0:
                     self._idle.notify_all()
+
+    def _shed(self, exc: Exception, reason: str, session: "Session",
+              op: str) -> Exception:
+        """Record one admission refusal and decorate its exception.
+
+        The flight recorder gets a ``shed`` event and the exception gets
+        the recent tail (``flight_events``) -- so a client refused at
+        3am sees, inside the error payload, what the service was doing.
+        """
+        self.flight.record(
+            "shed", reason=reason, session=session.session_id, op=op
+        )
+        exc.flight_events = self.flight.tail(6)
+        return exc
 
     def _gauge(self, name: str, value: float) -> None:
         self.metrics.gauge(name).set(value)
@@ -256,6 +302,7 @@ class QueryService:
         def metered(error: QueryCancelled) -> None:
             if isinstance(error, DeadlineExceeded):
                 self.metrics.counter("server.deadline_exceeded").inc()
+                self.flight.record("deadline_exceeded")
 
         if deadline_ms is None:
             return CancellationToken(on_cancel=metered)
@@ -302,7 +349,10 @@ class QueryService:
     def begin_drain(self) -> None:
         """Stop admitting queries; already-admitted ones keep running."""
         with self._admission:
+            already = self._draining
             self._draining = True
+        if not already:
+            self.flight.record("drain_begin")
 
     def wait_idle(self, timeout: float | None = None) -> bool:
         """Block until no query is in flight; True when that was reached."""
@@ -362,6 +412,7 @@ class QueryService:
             "queries": self._counter_total("server.queries"),
             "storage": self._storage_health(),
         }
+        payload["slo"] = self._slo_table()
         if self.shards is not None:
             status = self.shards.status()
             payload["shards"] = {
@@ -372,6 +423,44 @@ class QueryService:
                 ],
                 "alive": sum(1 for s in status["shards"] if s["alive"]),
             }
+        return payload
+
+    def _slo_table(self) -> list[dict[str, Any]]:
+        """Per-op latency percentiles from ``server.latency_seconds``.
+
+        One row per (op, outcome) series; percentiles are the
+        histogram's interpolated estimates over the current interval.
+        """
+        rows = []
+        for series in self.metrics.series("server.latency_seconds"):
+            labels = dict(series.labels)
+            rows.append({
+                "op": labels.get("op", "?"),
+                "outcome": labels.get("outcome", "?"),
+                "count": series.count,
+                "p50": series.quantile(0.50),
+                "p95": series.quantile(0.95),
+                "p99": series.quantile(0.99),
+                "max": series.max,
+            })
+        return rows
+
+    def stats(self, *, flight_limit: int = 12) -> dict[str, Any]:
+        """Everything :meth:`health` knows, plus the flight recorder's
+        recent tail and (with shards attached) the fleet-merged metrics.
+
+        This is the payload behind the ``stats`` protocol op and the
+        ``repro obs`` dashboard.  Fleet aggregation is idempotent, so
+        polling stats never distorts the numbers it reports.
+        """
+        payload = self.health()
+        payload["flight"] = {
+            "recorded": self.flight.recorded,
+            "dropped": self.flight.dropped,
+            "events": self.flight.snapshot(limit=flight_limit),
+        }
+        if self.shards is not None:
+            payload["fleet"] = self.shards.fleet_metrics().snapshot()
         return payload
 
     def _storage_health(self) -> dict[str, int]:
@@ -425,8 +514,9 @@ class QueryService:
         so the cancellation actually has checkpoints to fire at.
         """
 
-        def count_conflict(_attempt: int) -> None:
+        def count_conflict(attempt: int) -> None:
             self.metrics.counter("server.conflicts").inc()
+            self.flight.record("snapshot_conflict", op=op, attempt=attempt)
 
         with self._admit(session, op, cancel=cancel):
             return self.state.read(
@@ -455,13 +545,29 @@ class QueryService:
     def attach_shards(self, shards: Any) -> None:
         """Attach a :class:`~repro.shard.ShardRuntime` to the service.
 
-        The runtime adopts the service's metrics registry when it has
-        none of its own, so ``shard.*`` series land next to the
-        ``server.*`` ones.
+        The runtime adopts the service's metrics registry and flight
+        recorder when it has none of its own, so ``shard.*`` series land
+        next to the ``server.*`` ones and fleet incidents (kills,
+        recoveries, failovers) interleave with service incidents in one
+        ordered log.
         """
         self.shards = shards
-        if shards is not None and shards.metrics is None:
-            shards.metrics = self.metrics
+        if shards is not None:
+            if shards.metrics is None:
+                shards.metrics = self.metrics
+            if getattr(shards, "flight", None) is None:
+                shards.flight = self.flight
+
+    def mint_trace(self, session: "Session", op: str) -> TraceContext:
+        """A fresh request-scoped trace context for one sharded read.
+
+        ``trace_id`` names the session and the service-wide request
+        sequence number; ``seq`` totally orders traced requests across
+        every session, so two concurrent sessions can never mint the
+        same identity.
+        """
+        seq = next(self._trace_seq)
+        return TraceContext(f"t{session.session_id}-{op}-{seq}", seq)
 
     def require_shards(self) -> Any:
         if self.shards is None:
@@ -503,7 +609,9 @@ class Session:
         self.service = service
         self.session_id = session_id
         self.client = client
-        self.tracer = Tracer()
+        # Each session's spans export under its own process label, so
+        # traces from different sessions can be pooled without colliding.
+        self.tracer = Tracer(process=f"s{session_id}")
         self.queries_issued = 0
         self.closed = False
 
@@ -609,15 +717,32 @@ class Session:
         failover or raises a typed
         :class:`~repro.errors.ShardUnavailable` -- never a partial
         answer.
+
+        The read is traced end to end: a ``session.shard_select`` span
+        opens over a per-query meter, the minted
+        :class:`~repro.obs.context.TraceContext` rides every dispatch,
+        and the workers' remote spans graft back under the session span
+        -- so the whole distributed read is one tree obeying the cost
+        conservation law.
         """
         svc = self.service
         shards = svc.require_shards()
         token = cancel if cancel is not None else svc.token_for(deadline_ms)
-        return svc.run_shard(
-            self, "shard_select",
-            lambda: shards.router.select(table, window, theta, cancel=token),
-            cancel=token,
-        )
+        ctx = svc.mint_trace(self, "shard_select")
+        meter = CostMeter()
+
+        def run() -> SelectResult:
+            with self.tracer.span(
+                "session.shard_select", meter=meter,
+                table=table, trace_id=ctx.trace_id, seq=ctx.seq,
+            ) as span:
+                return shards.router.select(
+                    table, window, theta, cancel=token,
+                    trace=ctx.for_span(self.tracer.uid_of(span)),
+                    meter=meter, tracer=self.tracer,
+                )
+
+        return svc.run_shard(self, "shard_select", run, cancel=token)
 
     def shard_join(
         self,
@@ -628,15 +753,31 @@ class Session:
         deadline_ms: float | None = None,
         cancel: CancellationToken | None = None,
     ) -> JoinResult:
-        """Distributed join against the attached shard fleet."""
+        """Distributed join against the attached shard fleet.
+
+        Traced end to end exactly like :meth:`shard_select`: one
+        ``session.shard_join`` span, one minted context, remote spans
+        grafted back -- one conserving tree per request.
+        """
         svc = self.service
         shards = svc.require_shards()
         token = cancel if cancel is not None else svc.token_for(deadline_ms)
-        return svc.run_shard(
-            self, "shard_join",
-            lambda: shards.router.join(table_r, table_s, theta, cancel=token),
-            cancel=token,
-        )
+        ctx = svc.mint_trace(self, "shard_join")
+        meter = CostMeter()
+
+        def run() -> JoinResult:
+            with self.tracer.span(
+                "session.shard_join", meter=meter,
+                table_r=table_r, table_s=table_s,
+                trace_id=ctx.trace_id, seq=ctx.seq,
+            ) as span:
+                return shards.router.join(
+                    table_r, table_s, theta, cancel=token,
+                    trace=ctx.for_span(self.tracer.uid_of(span)),
+                    meter=meter, tracer=self.tracer,
+                )
+
+        return svc.run_shard(self, "shard_join", run, cancel=token)
 
     # -- writes ---------------------------------------------------------
 

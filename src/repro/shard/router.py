@@ -21,6 +21,15 @@ answer is ever returned, silently or otherwise.
 Cancellation (PR 7 tokens) is checked before every dispatch *and* every
 failover attempt: a deadline-expired query stops failing over instead of
 burning its remaining budget on restarts.
+
+Tracing: when the caller hands ``select``/``join`` a
+:class:`~repro.obs.context.TraceContext`, the router carries its wire
+form in every dispatch payload and **grafts** the remote span records
+each reply ships back into the caller's tracer -- so a sharded query
+renders (and conserves cost) as one tree.  Killed dispatches return no
+spans and no meter delta; the re-dispatch after failover returns exactly
+one of each, which is why the conservation law survives mid-query
+crashes.
 """
 
 from __future__ import annotations
@@ -31,10 +40,13 @@ from repro.core.cancel import CancellationToken, check_cancel
 from repro.errors import JoinError, ShardCrashed, ShardUnavailable
 from repro.geometry.rect import Rect
 from repro.join.result import JoinResult, SelectResult
+from repro.obs.context import TraceContext
 from repro.predicates.theta import Overlaps, ThetaOperator
+from repro.storage.costs import CostMeter
 from repro.storage.record import RecordId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.obs.trace import NullTracer, Tracer
     from repro.shard.runtime import ShardHandle, ShardRuntime
 
 
@@ -51,12 +63,33 @@ class ShardRouter:
     # Failover core
     # ------------------------------------------------------------------
 
+    def _unavailable(
+        self, shard: "ShardHandle", message: str, attempts: int,
+        cause: BaseException,
+    ) -> ShardUnavailable:
+        """A typed unavailability error carrying the flight-recorder tail.
+
+        The last few incident events ride on the exception
+        (``flight_events``), so the error a client eventually sees
+        already names the kills/restarts that caused it.
+        """
+        exc = ShardUnavailable(
+            message, shard_id=shard.shard_id, attempts=attempts
+        )
+        if self.runtime.flight is not None:
+            exc.flight_events = self.runtime.flight.tail(6)
+        exc.__cause__ = cause
+        return exc
+
     def _call(
         self,
         shard: "ShardHandle",
         op: str,
         payload: dict[str, Any],
         cancel: CancellationToken | None,
+        *,
+        meter: CostMeter | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> dict[str, Any]:
         """One op against one shard, with restart + re-dispatch on crash.
 
@@ -64,35 +97,52 @@ class ShardRouter:
         the shard is healthy, failing over would re-ask the same wrong
         question.  Only transport-level :class:`ShardCrashed` triggers
         the failover path.
+
+        ``meter`` collects the worker's reply delta (see
+        :meth:`ShardRuntime.dispatch`); ``tracer`` receives the reply's
+        remote spans as a graft under its active span.
         """
         runtime = self.runtime
         attempts = 0
         while True:
             check_cancel(cancel)
             try:
-                return runtime.dispatch(shard, op, payload, cancel=cancel)
+                result = runtime.dispatch(
+                    shard, op, payload, cancel=cancel, meter=meter
+                )
+                if tracer is not None and "spans" in result:
+                    tracer.graft(result.pop("spans"))
+                return result
             except ShardCrashed as exc:
                 attempts += 1
                 if attempts > self.retries:
-                    raise ShardUnavailable(
+                    raise self._unavailable(
+                        shard,
                         f"shard {shard.shard_id} unavailable after "
                         f"{attempts} attempt(s): {exc}",
-                        shard_id=shard.shard_id,
-                        attempts=attempts,
+                        attempts, exc,
                     ) from exc
                 if runtime.metrics is not None:
                     runtime.metrics.counter(
                         "shard.failovers", shard=str(shard.shard_id)
                     ).inc()
+                if runtime.flight is not None:
+                    runtime.flight.record(
+                        "failover",
+                        shard=shard.shard_id,
+                        op=op,
+                        attempt=attempts,
+                        generation=shard.generation,
+                    )
                 check_cancel(cancel)
                 try:
                     runtime.supervisor.restart(shard)
                 except ShardCrashed as restart_exc:
-                    raise ShardUnavailable(
+                    raise self._unavailable(
+                        shard,
                         f"shard {shard.shard_id} failed to restart: "
                         f"{restart_exc}",
-                        shard_id=shard.shard_id,
-                        attempts=attempts,
+                        attempts, restart_exc,
                     ) from restart_exc
 
     # ------------------------------------------------------------------
@@ -107,6 +157,9 @@ class ShardRouter:
         *,
         cancel: CancellationToken | None = None,
         with_payloads: bool = True,
+        trace: TraceContext | None = None,
+        meter: CostMeter | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> SelectResult:
         """``{t : theta(window, t.column)}`` across the fleet.
 
@@ -122,12 +175,16 @@ class ShardRouter:
             shard_ids = runtime.shard_map.covering_shards(window.mbr())
         else:
             shard_ids = list(range(len(runtime.shards)))
+        payload: dict[str, Any] = {
+            "table": table, "window": window, "theta": theta,
+        }
+        if trace is not None:
+            payload["trace"] = trace.to_wire()
         tids: set[RecordId] = set()
         for shard_id in shard_ids:
             result = self._call(
-                runtime.shards[shard_id], "select",
-                {"table": table, "window": window, "theta": theta},
-                cancel,
+                runtime.shards[shard_id], "select", payload, cancel,
+                meter=meter, tracer=tracer,
             )
             tids.update(result["tids"])
         ordered = sorted(tids)
@@ -148,6 +205,9 @@ class ShardRouter:
         theta: ThetaOperator,
         *,
         cancel: CancellationToken | None = None,
+        trace: TraceContext | None = None,
+        meter: CostMeter | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> JoinResult:
         """Distributed join: shard-local sweeps, reference-point dedup.
 
@@ -163,12 +223,16 @@ class ShardRouter:
                 "sharded join supports only the 'overlaps' operator "
                 "(reference-point deduplication requires MBR intersection)"
             )
+        payload: dict[str, Any] = {
+            "table_r": table_r, "table_s": table_s, "theta": theta,
+        }
+        if trace is not None:
+            payload["trace"] = trace.to_wire()
         pairs: list[tuple[RecordId, RecordId]] = []
         for shard in runtime.shards:
             result = self._call(
-                shard, "join",
-                {"table_r": table_r, "table_s": table_s, "theta": theta},
-                cancel,
+                shard, "join", payload, cancel,
+                meter=meter, tracer=tracer,
             )
             pairs.extend(result["pairs"])
         pairs.sort()

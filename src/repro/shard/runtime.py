@@ -36,6 +36,8 @@ from typing import Any, Iterable
 from repro.core.cancel import CancellationToken, check_cancel
 from repro.errors import ShardCrashed, ShardError, ShardUnavailable
 from repro.geometry.rect import Rect
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.partitioner import Entry
 from repro.relational.relation import Relation
 from repro.relational.schema import Column, ColumnType, Schema
@@ -69,7 +71,7 @@ class InlineTransport:
     ) -> None:
         self.shard_id = shard_id
         self.generation = generation
-        self.state = ShardWorkerState(shard_id, shard_map)
+        self.state = ShardWorkerState(shard_id, shard_map, generation)
         self._dead_reason: str | None = None
 
     def request(
@@ -192,7 +194,13 @@ class ProcessTransport:
 
 
 class ShardHandle:
-    """One shard: durable substrate + the current worker incarnation."""
+    """One shard: durable substrate + the current worker incarnation.
+
+    ``metrics`` is the shard's *own* registry -- the fleet-aggregation
+    source.  :meth:`ShardRuntime.fleet_metrics` merges every shard's
+    snapshot into one registry under ``shard=<id>`` labels, which is how
+    per-shard counters surface in the service's ``stats``.
+    """
 
     def __init__(
         self,
@@ -207,6 +215,7 @@ class ShardHandle:
         self.restarts = 0
         self.dispatches = 0
         self.meter = CostMeter()
+        self.metrics = MetricsRegistry()
         self.disk = SimulatedDisk()
         self.pool = BufferPool(self.disk, memory_pages, self.meter)
         self.wal = WriteAheadLog(self.disk, self.meter)
@@ -251,6 +260,7 @@ class ShardRuntime:
         processes: bool = False,
         fault_plan: Any = None,
         metrics: Any = None,
+        flight: FlightRecorder | None = None,
         request_timeout: float = 5.0,
         memory_pages: int = 512,
     ) -> None:
@@ -258,6 +268,9 @@ class ShardRuntime:
         self.processes = processes
         self.plan = fault_plan
         self.metrics = metrics
+        #: Optional incident log; the query service hands its own in via
+        #: ``attach_shards`` so fleet events land next to service events.
+        self.flight = flight
         self.request_timeout = request_timeout
         self.memory_pages = memory_pages
         self.degrade_reason: str | None = None
@@ -305,6 +318,10 @@ class ShardRuntime:
         shard = self.shards[shard_id]
         if shard.transport is not None:
             shard.transport.kill()
+        if self.flight is not None:
+            self.flight.record(
+                "shard_kill", shard=shard_id, generation=shard.generation
+            )
 
     def close(self) -> None:
         """Stop every worker; idempotent; leaves no child processes."""
@@ -333,6 +350,7 @@ class ShardRuntime:
         *,
         cancel: CancellationToken | None = None,
         timeout: float | None = None,
+        meter: CostMeter | None = None,
     ) -> dict[str, Any]:
         """Send one op to one shard; the only path routed requests take.
 
@@ -343,6 +361,13 @@ class ShardRuntime:
         :class:`ShardCrashed` for transport-level death and
         :class:`ShardError` for worker-side errors (which do *not* mean
         the shard is down).
+
+        ``meter`` is the per-query meter of the request that caused this
+        dispatch: the worker's reply meter (its per-request delta) is
+        absorbed into it *and* into the shard's cumulative meter, which
+        is what extends the trace conservation law across the process
+        boundary -- a killed dispatch yields no reply, hence no delta,
+        and its re-dispatch yields exactly one.
         """
         if self._closed:
             raise ShardError("shard runtime is closed")
@@ -352,6 +377,7 @@ class ShardRuntime:
         shard.dispatches += 1
         if self.metrics is not None:
             self.metrics.counter("shard.dispatches", op=op).inc()
+        shard.metrics.counter("shard.ops", op=op).inc()
         if self.plan is not None:
             victim = self.plan.take_shard_kill(index, shard.shard_id)
             if victim is not None:
@@ -372,9 +398,15 @@ class ShardRuntime:
                 f"shard {shard.shard_id}: {result.get('type')}: "
                 f"{result.get('message')}"
             )
-        meter = result.pop("meter", None)
-        if meter is not None:
-            shard.meter.absorb(meter)
+        delta = result.pop("meter", None)
+        if delta is not None:
+            shard.meter.absorb(delta)
+            if meter is not None:
+                meter.absorb(delta)
+            for key, value in delta.snapshot().items():
+                if key != "total" and value:
+                    shard.metrics.counter(f"shard.cost.{key}").inc(int(value))
+            shard.metrics.gauge("shard.cost.total").set(shard.meter.total())
         return result
 
     def _mutate(
@@ -559,3 +591,18 @@ class ShardRuntime:
 
     def meter_snapshot(self) -> dict[str, float]:
         return CostMeter.merge([s.meter for s in self.shards]).snapshot()
+
+    def fleet_metrics(self, into: MetricsRegistry | None = None) -> MetricsRegistry:
+        """Merge every shard's registry into one, labelled ``shard=<id>``.
+
+        Counters max-merge and gauges/histograms adopt the shard's
+        state (see :meth:`MetricsRegistry.absorb_snapshot`), so calling
+        this on every ``stats`` request is safe -- re-absorbing the same
+        fleet never double-counts.
+        """
+        registry = into if into is not None else MetricsRegistry()
+        for shard in self.shards:
+            registry.absorb_snapshot(
+                shard.metrics.snapshot(), shard=str(shard.shard_id)
+            )
+        return registry

@@ -158,11 +158,25 @@ class ShardSupervisor:
         }
         shard.generation += 1
         shard.restarts += 1
+        if runtime.flight is not None:
+            runtime.flight.record(
+                "wal_recovery",
+                shard=shard.shard_id,
+                replayed=report.records_replayed,
+                last_lsn=report.last_lsn,
+            )
         shard.transport = runtime._spawn_transport(
             shard.shard_id, shard.generation
         )
         self._reload_worker(shard)
         self._misses[shard.shard_id] = 0
+        if runtime.flight is not None:
+            runtime.flight.record(
+                "shard_restart",
+                shard=shard.shard_id,
+                generation=shard.generation,
+                restarts=shard.restarts,
+            )
         if runtime.plan is not None:
             runtime.plan.note_shard_restart(shard.shard_id)
         if runtime.metrics is not None:

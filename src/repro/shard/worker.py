@@ -17,6 +17,14 @@ Join evaluation reuses the generalized plane-sweep kernel
 (:func:`~repro.parallel.plane_sweep.sweep_sorted`) with shard ownership
 of the reference point as the dedup predicate: each qualifying pair is
 reported by exactly one shard of the fleet.
+
+Tracing: when a dispatch payload carries a ``"trace"`` context (see
+:class:`~repro.obs.context.TraceContext`), select/join ops record their
+work as spans on a throwaway per-request :class:`~repro.obs.Tracer`
+whose process label is this incarnation's ``shard<id>g<gen>``, and the
+reply carries ``"spans"`` -- exported records the router grafts into
+the session's trace tree.  Requests without a context pay nothing: no
+tracer is created.
 """
 
 from __future__ import annotations
@@ -26,6 +34,8 @@ import time
 from typing import Any
 
 from repro.errors import ShardError
+from repro.obs.context import TraceContext
+from repro.obs.trace import Tracer
 from repro.parallel.partitioner import Entry
 from repro.parallel.plane_sweep import sweep_sorted
 from repro.predicates.theta import Overlaps
@@ -34,12 +44,50 @@ from repro.storage.costs import CostMeter
 
 
 class ShardWorkerState:
-    """Volatile per-shard state plus the op dispatch table."""
+    """Volatile per-shard state plus the op dispatch table.
 
-    def __init__(self, shard_id: int, shard_map: ShardMap) -> None:
+    ``generation`` is this worker incarnation's number; it qualifies the
+    trace process label (``shard2g1``) so spans recorded by a pre-crash
+    incarnation can never share a uid with its successor's.
+    """
+
+    def __init__(self, shard_id: int, shard_map: ShardMap,
+                 generation: int = 0) -> None:
         self.shard_id = shard_id
         self.shard_map = shard_map
+        self.generation = generation
         self.tables: dict[str, list[Entry]] = {}
+        #: Span ids minted by this incarnation so far.  Each traced
+        #: request gets a throwaway tracer seeded here, so two requests
+        #: served by the same worker never export colliding uids.
+        self._span_seq = 0
+
+    @property
+    def process_label(self) -> str:
+        """The trace process label of this worker incarnation."""
+        return f"shard{self.shard_id}g{self.generation}"
+
+    def _request_tracer(
+        self, payload: dict[str, Any]
+    ) -> tuple[Tracer | None, TraceContext | None]:
+        """A per-request tracer when the payload carries a trace context.
+
+        The context is read with ``get`` (never popped): the inline
+        transport hands the router's own payload dict straight in, and a
+        failover re-dispatch must still see it.
+        """
+        wire = payload.get("trace")
+        if wire is None:
+            return None, None
+        ctx = wire if isinstance(wire, TraceContext) \
+            else TraceContext.from_wire(wire)
+        return Tracer(process=self.process_label,
+                      first_id=self._span_seq), ctx
+
+    def _export_spans(self, tracer: Tracer) -> list[dict[str, Any]]:
+        """Export a request tracer's spans, advancing the id sequence."""
+        self._span_seq = tracer._next_id
+        return tracer.to_records()
 
     def _table(self, name: str) -> list[Entry]:
         try:
@@ -95,40 +143,76 @@ class ShardWorkerState:
         window = payload["window"]
         theta = payload["theta"]
         meter = CostMeter()
+        tracer, ctx = self._request_tracer(payload)
         tids = []
         prefilter = isinstance(theta, Overlaps)
-        for tid, mbr, geom in self._table(payload["table"]):
-            if prefilter:
-                meter.record_filter_eval()
-                if (
-                    mbr.xmin > window.xmax or window.xmin > mbr.xmax
-                    or mbr.ymin > window.ymax or window.ymin > mbr.ymax
-                ):
-                    continue
-            meter.record_exact_eval()
-            if theta(window, geom):
-                tids.append(tid)
-        return {"tids": tids, "meter": meter}
+
+        def scan(entries: list[Entry]) -> None:
+            for tid, mbr, geom in entries:
+                if prefilter:
+                    meter.record_filter_eval()
+                    if (
+                        mbr.xmin > window.xmax or window.xmin > mbr.xmax
+                        or mbr.ymin > window.ymax or window.ymin > mbr.ymax
+                    ):
+                        continue
+                meter.record_exact_eval()
+                if theta(window, geom):
+                    tids.append(tid)
+
+        entries = self._table(payload["table"])
+        if tracer is None:
+            scan(entries)
+            return {"tids": tids, "meter": meter}
+        with tracer.span(
+            "shard.select", meter=meter,
+            shard=self.shard_id, generation=self.generation,
+            trace_id=ctx.trace_id, seq=ctx.seq, table=payload["table"],
+        ) as span:
+            scan(entries)
+            span.set_tag("matches", len(tids))
+        return {"tids": tids, "meter": meter,
+                "spans": self._export_spans(tracer)}
 
     def _join(self, payload: dict[str, Any]) -> dict[str, Any]:
         """Shard-local partition join: sweep the x-sorted replica lists,
         keeping only pairs whose reference point this shard owns."""
         theta = payload["theta"]
-        entries_r = sorted(
-            self._table(payload["table_r"]), key=lambda e: e[1].xmin
-        )
-        entries_s = sorted(
-            self._table(payload["table_s"]), key=lambda e: e[1].xmin
-        )
         meter = CostMeter()
+        tracer, ctx = self._request_tracer(payload)
         owner = self.shard_map.owner_shard
         me = self.shard_id
 
         def owns(x: float, y: float) -> bool:
             return owner(x, y) == me
 
-        pairs = sweep_sorted(entries_r, entries_s, theta, meter, owns)
-        return {"pairs": pairs, "meter": meter}
+        if tracer is None:
+            entries_r = sorted(
+                self._table(payload["table_r"]), key=lambda e: e[1].xmin
+            )
+            entries_s = sorted(
+                self._table(payload["table_s"]), key=lambda e: e[1].xmin
+            )
+            pairs = sweep_sorted(entries_r, entries_s, theta, meter, owns)
+            return {"pairs": pairs, "meter": meter}
+        with tracer.span(
+            "shard.join", meter=meter,
+            shard=self.shard_id, generation=self.generation,
+            trace_id=ctx.trace_id, seq=ctx.seq,
+        ) as span:
+            with tracer.span("shard.join.sort", meter=meter):
+                entries_r = sorted(
+                    self._table(payload["table_r"]), key=lambda e: e[1].xmin
+                )
+                entries_s = sorted(
+                    self._table(payload["table_s"]), key=lambda e: e[1].xmin
+                )
+            with tracer.span("shard.join.sweep", meter=meter) as sweep:
+                pairs = sweep_sorted(entries_r, entries_s, theta, meter, owns)
+                sweep.set_tag("pairs", len(pairs))
+            span.set_tag("pairs", len(pairs))
+        return {"pairs": pairs, "meter": meter,
+                "spans": self._export_spans(tracer)}
 
 
 def shard_worker_main(
@@ -141,7 +225,7 @@ def shard_worker_main(
     are replied as ``("err", generation, {...})`` and keep the loop
     alive: a bad request must not look like a crashed shard.
     """
-    state = ShardWorkerState(shard_id, shard_map)
+    state = ShardWorkerState(shard_id, shard_map, generation)
     while True:
         try:
             op, payload = conn.recv()

@@ -1,0 +1,66 @@
+"""TraceContext: validation, wire round-trip, span re-anchoring."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import TraceContext
+
+
+class TestValidation:
+    def test_empty_trace_id_rejected(self):
+        with pytest.raises(ObservabilityError, match="trace_id"):
+            TraceContext("", 1)
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ObservabilityError, match="seq"):
+            TraceContext("t1", -1)
+
+    def test_frozen(self):
+        ctx = TraceContext("t1", 1)
+        with pytest.raises(AttributeError):
+            ctx.seq = 2
+
+
+class TestWire:
+    def test_round_trip(self):
+        ctx = TraceContext("t1-shard_join-3", 3, "s1:0")
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_wire_form_survives_json(self):
+        ctx = TraceContext("t1", 7, "s2:4")
+        line = json.dumps(ctx.to_wire())
+        assert TraceContext.from_wire(json.loads(line)) == ctx
+
+    def test_wire_form_survives_pickle(self):
+        # The dispatch payload (not the dataclass) crosses the process
+        # transport; its wire dict must pickle cleanly.
+        wire = TraceContext("t1", 7).to_wire()
+        assert TraceContext.from_wire(pickle.loads(pickle.dumps(wire))) \
+            == TraceContext("t1", 7)
+
+    def test_missing_span_uid_defaults_empty(self):
+        ctx = TraceContext.from_wire({"trace_id": "t1", "seq": 0})
+        assert ctx.span_uid == ""
+
+    @pytest.mark.parametrize("payload", [
+        {},
+        {"trace_id": "t1"},
+        {"seq": 1},
+        {"trace_id": 7, "seq": 1},
+        {"trace_id": "t1", "seq": "1"},
+        {"trace_id": "t1", "seq": True},
+    ])
+    def test_malformed_payload_rejected(self, payload):
+        with pytest.raises(ObservabilityError, match="malformed"):
+            TraceContext.from_wire(payload)
+
+
+class TestForSpan:
+    def test_reanchors_only_the_span_uid(self):
+        ctx = TraceContext("t1", 3)
+        child = ctx.for_span("s1:5")
+        assert child == TraceContext("t1", 3, "s1:5")
+        assert ctx.span_uid == ""  # original untouched

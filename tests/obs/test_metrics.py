@@ -70,6 +70,167 @@ class TestHistogram:
         assert snap["buckets"] == {"le_1": 0, "le_2": 1, "overflow": 0}
 
 
+class TestHistogramIntervals:
+    def test_snapshot_reset_zeroes_interval_keeps_lifetime(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(3.0)
+        first = h.snapshot(reset=True)
+        assert first["count"] == 2
+        assert first["total_count"] == 2
+        # Interval state is gone; lifetime totals survive.
+        assert h.count == 0 and h.min is None and h.max is None
+        h.observe(1.5)
+        second = h.snapshot()
+        assert second["count"] == 1
+        assert second["buckets"] == {"le_1": 0, "le_2": 1, "overflow": 0}
+        assert second["total_count"] == 3
+        assert second["total_sum"] == pytest.approx(5.0)
+
+    def test_plain_snapshot_does_not_reset(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        h.snapshot()
+        assert h.count == 1
+
+    def test_cumulative_view_and_bounds(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0, 9.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["bounds"] == [1.0, 2.0, 4.0]
+        assert snap["cumulative"] == {
+            "le_1": 1, "le_2": 3, "le_4": 4, "overflow": 5,
+        }
+
+
+class TestQuantile:
+    def _hist(self):
+        reg = MetricsRegistry()
+        return reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+
+    def test_empty_returns_none(self):
+        assert self._hist().quantile(0.5) is None
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ObservabilityError, match="quantile"):
+            self._hist().quantile(1.5)
+
+    def test_interpolates_within_bucket(self):
+        h = self._hist()
+        for _ in range(10):
+            h.observe(1.5)  # all in (1, 2]
+        # Rank 5 of 10, all in one bucket spanning (1, 2].
+        est = h.quantile(0.5)
+        assert 1.0 <= est <= 2.0
+
+    def test_monotone_in_q(self):
+        h = self._hist()
+        for v in (0.5, 0.7, 1.5, 1.8, 3.0, 3.5, 9.0, 11.0):
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_overflow_rank_estimates_max(self):
+        h = self._hist()
+        h.observe(100.0)
+        assert h.quantile(0.99) == 100.0
+
+    def test_clamped_to_observed_range(self):
+        h = self._hist()
+        h.observe(1.2)
+        h.observe(1.4)
+        assert h.quantile(0.0) >= 1.2
+        assert h.quantile(1.0) <= 1.4
+
+
+class TestCardinalityCap:
+    def test_cap_raises_loudly(self):
+        reg = MetricsRegistry(max_series_per_name=3)
+        for i in range(3):
+            reg.counter("ops", session=i)
+        with pytest.raises(ObservabilityError, match="label-cardinality"):
+            reg.counter("ops", session=99)
+        # Existing series are still reachable (get, not create).
+        reg.counter("ops", session=0).inc()
+
+    def test_cap_is_per_name(self):
+        reg = MetricsRegistry(max_series_per_name=2)
+        reg.counter("a", k=1)
+        reg.counter("a", k=2)
+        reg.counter("b", k=1)  # different name, fresh budget
+        with pytest.raises(ObservabilityError):
+            reg.counter("a", k=3)
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ObservabilityError, match="max_series_per_name"):
+            MetricsRegistry(max_series_per_name=0)
+
+
+class TestFleetMerge:
+    def _shard_registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("shard.ops", op="join").inc(4)
+        reg.gauge("shard.cost.total").set(150.0)
+        h = reg.histogram("shard.lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        return reg
+
+    def test_absorb_snapshot_adds_labels(self):
+        fleet = MetricsRegistry()
+        fleet.absorb_snapshot(self._shard_registry().snapshot(), shard="2")
+        assert fleet.counter("shard.ops", op="join", shard="2").value == 4
+        assert fleet.gauge("shard.cost.total", shard="2").value == 150.0
+        h = fleet.histogram("shard.lat", buckets=(1.0, 2.0), shard="2")
+        assert h.count == 2 and h.min == 0.5
+
+    def test_merge_is_idempotent(self):
+        fleet = MetricsRegistry()
+        snap = self._shard_registry().snapshot()
+        fleet.absorb_snapshot(snap, shard="2")
+        fleet.absorb_snapshot(snap, shard="2")  # stats polled twice
+        assert fleet.counter("shard.ops", op="join", shard="2").value == 4
+        h = fleet.histogram("shard.lat", buckets=(1.0, 2.0), shard="2")
+        assert h.count == 2
+
+    def test_counter_merge_tracks_monotone_source(self):
+        shard = self._shard_registry()
+        fleet = MetricsRegistry()
+        fleet.absorb_snapshot(shard.snapshot(), shard="2")
+        shard.counter("shard.ops", op="join").inc(3)  # source advanced
+        fleet.absorb_snapshot(shard.snapshot(), shard="2")
+        assert fleet.counter("shard.ops", op="join", shard="2").value == 7
+
+    def test_label_collision_rejected(self):
+        fleet = MetricsRegistry()
+        src = MetricsRegistry()
+        src.counter("x", shard="0").inc()
+        with pytest.raises(ObservabilityError, match="collide"):
+            fleet.absorb_snapshot(src.snapshot(), shard="1")
+
+    def test_unknown_type_rejected(self):
+        fleet = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="unknown"):
+            fleet.absorb_snapshot({"x": [{"type": "mystery"}]})
+
+    def test_merge_from_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="negative"):
+            reg.counter("x").merge_from(-1)
+
+    def test_bound_mismatch_rejected(self):
+        fleet = MetricsRegistry()
+        fleet.histogram("h", buckets=(1.0,))
+        src = MetricsRegistry()
+        src.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ObservabilityError, match="bounds"):
+            fleet.absorb_snapshot(src.snapshot())
+
+
 class TestRegistry:
     def test_type_collision_raises(self):
         reg = MetricsRegistry()

@@ -6,7 +6,14 @@ import json
 import pytest
 
 from repro.errors import ObservabilityError
-from repro.obs import NULL_TRACER, NullTracer, Tracer, coalesce, sum_cost_self
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    coalesce,
+    render_records,
+    sum_cost_self,
+)
 from repro.storage.costs import COUNTER_FIELDS, CostMeter
 
 
@@ -127,9 +134,16 @@ class TestExport:
         assert [r["name"] for r in records] == ["root", "a", "b", "b.inner"]
         for r in records:
             assert set(r) == {
-                "span_id", "parent_id", "depth", "name", "tags",
-                "wall_seconds", "cost", "cost_self",
+                "span_id", "parent_id", "uid", "parent_uid", "process",
+                "depth", "name", "tags", "wall_seconds", "cost",
+                "cost_self",
             }
+        # uids are stable, process-qualified forms of the local ids.
+        assert records[0]["uid"] == "main:0"
+        assert records[0]["parent_uid"] is None
+        assert all(r["process"] == "main" for r in records)
+        by_name = {r["name"]: r for r in records}
+        assert by_name["b.inner"]["parent_uid"] == by_name["b"]["uid"]
 
     def test_render_tree_shape(self):
         t, _ = TestConservation()._traced_work()
@@ -137,6 +151,126 @@ class TestExport:
         assert "root" in text and "|-- a" in text and "`-- b" in text
         assert "`-- b.inner" in text
         assert "cost=" in text and "wall=" in text
+
+
+def _remote_records(process: str = "shard1g0", reads: int = 2):
+    """A worker-side trace: one root with a child, exported to wire form."""
+    meter = CostMeter()
+    remote = Tracer(process=process)
+    with remote.span("shard.join", meter=meter, shard=1):
+        with remote.span("shard.join.sweep", meter=meter):
+            meter.record_read(reads)
+            meter.record_filter_eval(3)
+    return remote.to_records()
+
+
+class TestGraft:
+    def test_remote_roots_attach_under_active_span(self):
+        t = Tracer()
+        with t.span("session.shard_join") as span:
+            grafted = t.graft(_remote_records())
+        root, sweep = grafted
+        assert root.parent_id == span.span_id
+        assert root.depth == span.depth + 1
+        assert sweep.parent_id == root.span_id  # remote link preserved
+        assert sweep.depth == root.depth + 1
+
+    def test_without_active_span_remote_roots_become_local_roots(self):
+        t = Tracer()
+        grafted = t.graft(_remote_records())
+        assert grafted[0].parent_id is None
+        assert grafted[0] in t.roots()
+
+    def test_uids_survive_the_graft(self):
+        t = Tracer(process="s1")
+        with t.span("session.shard_join"):
+            t.graft(_remote_records(process="shard2g1"))
+        by_name = {r["name"]: r for r in t.to_records()}
+        assert by_name["session.shard_join"]["uid"] == "s1:0"
+        assert by_name["shard.join"]["uid"] == "shard2g1:0"
+        assert by_name["shard.join.sweep"]["uid"] == "shard2g1:1"
+        assert by_name["shard.join.sweep"]["parent_uid"] == "shard2g1:0"
+        assert by_name["shard.join"]["parent_uid"] == "s1:0"
+
+    def test_grafted_costs_are_inclusive_deltas(self):
+        t = Tracer()
+        with t.span("session.shard_join", meter=CostMeter()):
+            grafted = t.graft(_remote_records(reads=5))
+        root = grafted[0]
+        assert root.cost["page_reads"] == 5
+        assert root.cost["theta_filter_evals"] == 3
+        assert root.cost["total"] == 5 * 1000 + 3
+
+    def test_conservation_extends_over_the_graft(self):
+        # Mirrors the dispatch protocol: each worker's meter delta is
+        # absorbed into the query meter (so the session span's inclusive
+        # delta covers the remote work) *and* its spans are grafted as
+        # children carrying the same delta.  The session span's
+        # exclusive cost is then zero and the exclusive sums equal the
+        # query meter's totals -- the cross-process conservation law.
+        meter = CostMeter()
+        t = Tracer()
+        with t.span("session.shard_join", meter=meter):
+            for process, reads in (("shard1g0", 5), ("shard2g0", 1)):
+                t.graft(_remote_records(process=process, reads=reads))
+                meter.record_read(reads)       # dispatch absorbs the
+                meter.record_filter_eval(3)    # worker's reply delta
+        records = t.to_records()
+        totals = sum_cost_self(records)
+        snap = meter.snapshot()
+        for key in COUNTER_FIELDS + ("total",):
+            assert totals[key] == pytest.approx(snap[key]), key
+        by_name = {r["name"]: r for r in records}
+        # The session span ate nothing itself.
+        assert by_name["session.shard_join"]["cost_self"]["total"] == 0.0
+
+    def test_two_generations_never_collide(self):
+        t = Tracer()
+        with t.span("session.shard_join"):
+            t.graft(_remote_records(process="shard1g0"))
+            t.graft(_remote_records(process="shard1g1"))
+        uids = [r["uid"] for r in t.to_records()]
+        assert len(uids) == len(set(uids))
+
+    def test_missing_process_requires_default(self):
+        records = _remote_records()
+        for r in records:
+            r["process"] = None
+        t = Tracer()
+        with pytest.raises(ObservabilityError, match="process label"):
+            t.graft(records)
+        grafted = t.graft(records, default_process="shard9g0")
+        assert t.uid_of(grafted[0]) == "shard9g0:0"
+
+    def test_null_tracer_drops_grafts(self):
+        assert NULL_TRACER.graft(_remote_records()) == []
+
+
+class TestRenderRecords:
+    def test_wire_form_render_matches_live_render(self):
+        t = Tracer(process="s1")
+        meter = CostMeter()
+        with t.span("session.shard_join", meter=meter, table="r"):
+            t.graft(_remote_records())
+            meter.record_exact_eval()
+        # Round-trip through JSONL: the renderer must not need live spans.
+        out = io.StringIO()
+        t.export_jsonl(out)
+        records = [
+            json.loads(line) for line in out.getvalue().splitlines()
+        ]
+        assert render_records(records) == t.render_tree()
+        assert "session.shard_join" in render_records(records)
+
+    def test_orphan_parent_renders_as_root(self):
+        records = _remote_records()
+        # Drop the root: the child's parent_uid now dangles.
+        child_only = [r for r in records if r["parent_uid"] is not None]
+        text = render_records(child_only)
+        assert "shard.join.sweep" in text
+
+    def test_empty(self):
+        assert render_records([]) == ""
 
 
 class TestNullTracer:

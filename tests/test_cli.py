@@ -151,8 +151,9 @@ class TestTraceCommand:
         assert records
         for record in records:
             assert set(record) == {
-                "span_id", "parent_id", "depth", "name", "tags",
-                "wall_seconds", "cost", "cost_self",
+                "span_id", "parent_id", "uid", "parent_uid", "process",
+                "depth", "name", "tags", "wall_seconds", "cost",
+                "cost_self",
             }
         # Acceptance criterion: summed exclusive costs equal the sum of
         # the root spans' inclusive totals -- nothing leaks, nothing is
@@ -167,3 +168,60 @@ class TestTraceCommand:
     def test_unknown_strategy_fails_cleanly(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace", "--strategy", "bogus"])
+
+
+class TestObsCommand:
+    def test_dashboard_sections_render(self, capsys):
+        assert main(["obs", "--size", "120", "--shards", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "observability dashboard: 3 shards, 120 tuples/relation" in out
+        assert "identical to unsharded oracle" in out
+        assert "top spans by exclusive cost" in out
+        assert "SLO: server.latency_seconds percentiles" in out
+        assert "shard_join" in out and "shard_select" in out
+        assert "flight recorder:" in out
+        assert "drift report" in out
+        assert "conservation:" in out
+        assert "WARNING" not in out
+
+    def test_kill_at_names_the_incident(self, capsys):
+        # Loading 2 relations onto 3 shards consumes dispatch indices
+        # 0..11 (create + load per shard per relation); 13 is the join's
+        # second shard call, so the kill lands mid-query and the
+        # dashboard must show the failover while keeping oracle parity.
+        assert main([
+            "obs", "--size", "120", "--shards", "3", "--kill-at", "13",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 scheduled kill(s)" in out
+        assert "identical to unsharded oracle" in out
+        assert "shard_kill" in out
+        assert "failover" in out
+        assert "wal_recovery" in out
+        assert "shard_restart" in out
+        assert "WARNING" not in out
+
+    def test_trace_out_writes_grafted_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        assert main([
+            "obs", "--size", "120", "--shards", "3",
+            "--trace-out", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"spans to {path}" in out
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records
+        # Remote spans made it into the export with their worker-side
+        # process labels; uids are unique across the merged trees.
+        processes = {r["process"] for r in records}
+        assert any(p.startswith("shard") for p in processes)
+        uids = [r["uid"] for r in records]
+        assert len(uids) == len(set(uids))
+        total_self = sum(r["cost_self"].get("total", 0.0) for r in records)
+        root_total = sum(
+            r["cost"].get("total", 0.0)
+            for r in records if r["parent_id"] is None
+        )
+        assert total_self == pytest.approx(root_total)
