@@ -238,9 +238,11 @@ def cmd_trace(args: argparse.Namespace) -> str:
     and the metrics registry (``--metrics``).  With ``--cache`` the
     SELECT and the JOIN each run twice through a query cache -- the cold
     pass misses and is admitted, the warm pass reports its hit tier --
-    and the cache summary is appended.  The footer verifies trace
-    conservation: the exclusive per-span cost deltas must sum back to
-    the query meter's totals.
+    and the cache summary is appended.  With ``--interval`` the join
+    runs with the raster-interval second tier enabled and the interval
+    counters (probes, sure hits, exact evals saved) are summarized.
+    The footer verifies trace conservation: the exclusive per-span cost
+    deltas must sum back to the query meter's totals.
     """
     from repro.core.executor import SpatialQueryExecutor
     from repro.geometry.rect import Rect
@@ -258,7 +260,10 @@ def cmd_trace(args: argparse.Namespace) -> str:
         cache = QueryCache(byte_budget=args.cache_budget)
     ir_r = build_indexed_relation(args.size, seed=args.seed)
     ir_s = build_indexed_relation(args.size, seed=args.seed + 1)
-    executor = SpatialQueryExecutor(tracer=tracer, metrics=metrics, cache=cache)
+    executor = SpatialQueryExecutor(
+        tracer=tracer, metrics=metrics, cache=cache,
+        interval=True if args.interval else None,
+    )
     theta = Overlaps()
     meter = CostMeter()
 
@@ -286,6 +291,13 @@ def cmd_trace(args: argparse.Namespace) -> str:
         f"SELECT {query} overlaps -> {len(selected.matches)} matches",
         f"JOIN ({report.strategy}) -> {len(result.pairs)} pairs",
     ]
+    if args.interval:
+        stats = meter.snapshot()
+        lines.append(
+            f"interval filter: {int(stats['interval_probes'])} probes, "
+            f"{int(stats['interval_sure_hits'])} sure hits, "
+            f"{int(stats['interval_evals_saved'])} exact evals saved"
+        )
     if cache is not None:
         warm_select = executor.select(
             ir_r.relation, "shape", query, theta, strategy="tree", meter=meter
@@ -784,6 +796,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--cache-budget", type=int, default=8 * 1024 * 1024,
         metavar="BYTES", help="query-cache byte budget (with --cache)",
+    )
+    trace.add_argument(
+        "--interval", action="store_true",
+        help="enable the raster-interval second-tier filter on the join "
+        "and report how many exact evaluations it saved",
     )
     trace.set_defaults(handler=cmd_trace)
 

@@ -23,12 +23,26 @@ from repro.join.result import JoinResult, SelectResult
 from repro.predicates.dispatch import SpatialObject
 from repro.predicates.theta import Overlaps, ThetaOperator
 from repro.relational.relation import Relation
-from repro.storage.costs import CostMeter
+from repro.storage.costs import COUNTER_FIELDS, CostMeter
+
+#: Meter counters the fixed table columns already summarize; everything
+#: else declared on :class:`CostMeter` renders as an extra column when
+#: non-zero.  Derived from the dataclass, not a hand-kept list, so a
+#: counter added to the meter can never silently vanish from the table.
+_CORE_COUNTERS = frozenset({
+    "page_reads", "page_writes", "theta_filter_evals",
+    "theta_exact_evals", "update_computations",
+})
 
 
 @dataclass(slots=True)
 class ComparisonRow:
-    """One strategy's measured costs."""
+    """One strategy's measured costs.
+
+    ``counters`` carries *every* :class:`CostMeter` counter of the run
+    (keys are the meter's declared fields); the named attributes remain
+    as convenient views of the classic columns.
+    """
 
     strategy: str
     matches: int
@@ -37,6 +51,7 @@ class ComparisonRow:
     predicate_evals: int
     update_computations: int
     total_cost: float
+    counters: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(slots=True)
@@ -64,17 +79,39 @@ class ComparisonReport:
                 return r
         raise JoinError(f"no row for strategy {strategy!r}")
 
+    def extra_counter_names(self) -> list[str]:
+        """Meter counters beyond the classic columns, in declaration
+        order, that at least one row actually incremented.
+
+        Driven by :data:`~repro.storage.costs.COUNTER_FIELDS` (itself
+        derived from the ``CostMeter`` dataclass), so counters added to
+        the meter -- io_retries, log_writes, cache_probes, the interval
+        tier's counters -- show up here without touching this module.
+        """
+        return [
+            name for name in COUNTER_FIELDS
+            if name not in _CORE_COUNTERS
+            and any(r.counters.get(name, 0) for r in self.rows)
+        ]
+
     def format_table(self) -> str:
+        extras = self.extra_counter_names()
         header = (
             f"{'strategy':<18}{'matches':>9}{'reads':>9}{'writes':>9}"
-            f"{'evals':>11}{'updates':>9}{'total':>14}"
+            f"{'evals':>11}{'updates':>9}"
+            + "".join(f"{name:>{max(9, len(name) + 2)}}" for name in extras)
+            + f"{'total':>14}"
         )
         lines = [self.query, header, "-" * len(header)]
         for r in sorted(self.rows, key=lambda r: r.total_cost):
+            extra_cells = "".join(
+                f"{r.counters.get(name, 0):>{max(9, len(name) + 2)}}"
+                for name in extras
+            )
             lines.append(
                 f"{r.strategy:<18}{r.matches:>9}{r.page_reads:>9}"
                 f"{r.page_writes:>9}{r.predicate_evals:>11}"
-                f"{r.update_computations:>9}{r.total_cost:>14.1f}"
+                f"{r.update_computations:>9}{extra_cells}{r.total_cost:>14.1f}"
             )
         if self.drift is not None:
             lines.append("")
@@ -136,6 +173,7 @@ class StrategyComparison:
         include_partition: bool = True,
         resilient: bool = False,
         check_drift: bool = False,
+        interval=None,
     ) -> ComparisonReport:
         """Run every applicable join strategy; verify agreement.
 
@@ -151,6 +189,10 @@ class StrategyComparison:
         plan can price gets a predicted-vs-measured row in
         ``report.drift`` -- the empirical table and the model's claims
         about it, side by side.
+
+        ``interval`` forwards the raster-interval second-tier setting to
+        every strategy run (see :meth:`SpatialQueryExecutor.join`); the
+        agreement check then doubles as a filter-exactness check.
         """
         report = ComparisonReport(
             query=(
@@ -163,7 +205,7 @@ class StrategyComparison:
             if resilient:
                 res, exec_report = self.executor.execute_join(
                     rel_r, column_r, rel_s, column_s, theta,
-                    strategy=strategy, meter=meter,
+                    strategy=strategy, meter=meter, interval=interval,
                 )
                 report.execution_reports[strategy] = exec_report
                 # Strategy extras (grid size, workers, ...) come from the
@@ -173,7 +215,7 @@ class StrategyComparison:
             else:
                 res = self.executor.join(
                     rel_r, column_r, rel_s, column_s, theta,
-                    strategy=strategy, meter=meter,
+                    strategy=strategy, meter=meter, interval=interval,
                 )
                 stats = res.stats
             report.rows.append(_row_from(strategy, len(res.pair_set()), stats))
@@ -237,4 +279,5 @@ def _row_from(strategy: str, matches: int, stats: dict[str, float]) -> Compariso
         ),
         update_computations=int(stats.get("update_computations", 0)),
         total_cost=float(stats.get("total", 0.0)),
+        counters={name: int(stats.get(name, 0)) for name in COUNTER_FIELDS},
     )

@@ -71,6 +71,10 @@ class _RegisteredIndex:
 #: loop.
 FALLBACK_CHAIN: tuple[str, ...] = ("partition", "tree", "zorder", "scan")
 
+#: Executor strategies that can thread the raster-interval refiner
+#: between their Theta-filter and exact refinement.
+INTERVAL_STRATEGIES: tuple[str, ...] = ("tree", "zorder", "partition")
+
 
 class SpatialQueryExecutor:
     """Executes spatial selections and joins with pluggable strategies.
@@ -97,6 +101,17 @@ class SpatialQueryExecutor:
     serves stale answers.  Default off; with no cache the dispatch path
     is byte-identical to previous behavior.
 
+    ``interval`` enables the raster-interval second tier for joins
+    (``Theta -> interval -> exact``, see :mod:`repro.intermediate`):
+    ``True`` rasterizes on a data-fitted default grid, an
+    :class:`~repro.intermediate.filter.IntervalSpec` fixes the grid,
+    ``None``/``False`` keeps the historical exact refinement.  The tier
+    applies to the ``tree``, ``zorder`` and ``partition`` strategies
+    under the ``overlaps`` operator; every other strategy/operator pair
+    ignores it.  Per-object approximations are cached in epoch-pinned
+    per-grid stores shared across queries, so a mutated relation is
+    re-rasterized and never filtered through stale intervals.
+
     The executor is *reentrant*: :meth:`select`, :meth:`join` and
     :meth:`execute_join` accept per-call ``tracer``/``metrics``/``cache``
     overrides (falling back to the instance-level handles), keep no
@@ -115,6 +130,7 @@ class SpatialQueryExecutor:
         tracer=None,
         metrics=None,
         cache=None,
+        interval=None,
     ) -> None:
         if memory_pages <= 10:
             raise JoinError(f"memory_pages must exceed 10, got {memory_pages}")
@@ -126,12 +142,18 @@ class SpatialQueryExecutor:
         self.tracer = coalesce(tracer)
         self.metrics = metrics
         self.cache = cache
+        self.interval = interval
         if cache is not None and metrics is not None:
             cache.attach_metrics(metrics)
         self._join_indices: dict[
             tuple[int, int, str, str, str], _RegisteredIndex
         ] = {}
         self._registry_lock = threading.Lock()
+        #: Per-grid approximation stores (IntervalSpec -> store), shared
+        #: across queries so relation rasterization happens once per
+        #: epoch, guarded like the join-index registry.
+        self._interval_stores: dict[Any, Any] = {}
+        self._interval_lock = threading.Lock()
 
     def _handles(self, tracer, metrics, cache):
         """Resolve per-call observability/cache overrides (None = default)."""
@@ -363,11 +385,19 @@ class SpatialQueryExecutor:
         metrics=None,
         cache=None,
         cancel: CancellationToken | None = None,
+        interval=None,
     ) -> JoinResult:
         """Spatial join ``rel_r join_theta rel_s`` on the given columns.
 
         ``workers`` overrides the executor-wide worker count for the
         ``partition`` strategy; other strategies ignore it.
+
+        ``interval`` overrides the executor-wide second-tier setting for
+        this call (``None`` = instance default, ``False`` = force exact,
+        ``True`` = data-fitted grid, an ``IntervalSpec`` = that grid).
+        The filter changes which pairs reach the exact predicate, never
+        which pairs are reported -- strategy labels and cache keys are
+        identical with and without it.
 
         With a cache attached, an exact repeat of a join (same operand
         identities and epochs, same predicate, same strategy) is served
@@ -393,6 +423,8 @@ class SpatialQueryExecutor:
             meter = CostMeter()
         if workers is None:
             workers = self.workers
+        if interval is None:
+            interval = self.interval
         if strategy == "auto":
             strategy = self._pick_join_strategy(rel_r, column_r, rel_s, column_s, theta)
 
@@ -411,6 +443,11 @@ class SpatialQueryExecutor:
                     span.set_tag("cache", tier)
                     return served
                 span.set_tag("cache", "miss")
+            interval_filter = self._resolve_interval(
+                interval, strategy, rel_r, column_r, rel_s, column_s, theta
+            )
+            if interval_filter is not None:
+                span.set_tag("interval", interval_filter.spec.level)
             epoch_r = rel_r.modification_count
             epoch_s = rel_s.modification_count
             cost_before = meter.total()
@@ -419,6 +456,7 @@ class SpatialQueryExecutor:
                 strategy=strategy, meter=meter,
                 collect_tuples=collect_tuples, order=order, workers=workers,
                 tracer=tracer, metrics=metrics, cancel=cancel,
+                interval_filter=interval_filter,
             )
             check_cancel(cancel)  # a post-deadline result must not be cached
             if cache is not None:
@@ -448,6 +486,7 @@ class SpatialQueryExecutor:
         tracer=None,
         metrics=None,
         cancel: CancellationToken | None = None,
+        interval_filter=None,
     ) -> JoinResult:
         tracer = self.tracer if tracer is None else tracer
         metrics = self.metrics if metrics is None else metrics
@@ -466,6 +505,7 @@ class SpatialQueryExecutor:
                 accessor_s=self._cold_accessor(rel_s, meter, metrics),
                 meter=meter, order=order, collect_tuples=collect_tuples,
                 tracer=tracer, metrics=metrics, cancel=cancel,
+                refiner=interval_filter,
             )
         if strategy == "index-nl":
             tree_r = rel_r.index_on(column_r)
@@ -511,7 +551,7 @@ class SpatialQueryExecutor:
             return zorder_merge_join(
                 rel_r, rel_s, column_r, column_s,
                 universe=universe, meter=meter, memory_pages=self.memory_pages,
-                tracer=tracer,
+                tracer=tracer, refiner=interval_filter,
             )
         if strategy == "partition":
             if not isinstance(theta, Overlaps):
@@ -527,6 +567,7 @@ class SpatialQueryExecutor:
                 fault_plan=self._fault_plan_for(rel_r, rel_s),
                 chunk_timeout=self.chunk_timeout,
                 tracer=tracer, metrics=metrics, cancel=cancel,
+                refiner=interval_filter,
             )
         raise JoinError(f"unknown join strategy {strategy!r}")
 
@@ -552,6 +593,7 @@ class SpatialQueryExecutor:
         metrics=None,
         cache=None,
         cancel: CancellationToken | None = None,
+        interval=None,
     ) -> tuple[JoinResult, ExecutionReport]:
         """Join with a strategy-fallback chain and a full execution report.
 
@@ -592,10 +634,18 @@ class SpatialQueryExecutor:
         are *not* fallback triggers: a cancelled partition join must not
         burn the remaining deadline on a doomed tree join.  They unwind
         straight out of the chain.
+
+        ``interval`` forwards the second-tier setting to every attempt
+        (see :meth:`join`).  When the winning attempt actually ran the
+        filter, drift detection and admission pricing look up the plan's
+        ``<model>+INT`` prediction -- the model is held to the cost of
+        the path that executed, not the unfiltered one.
         """
         tracer, metrics, cache = self._handles(tracer, metrics, cache)
         if meter is None:
             meter = CostMeter()
+        if interval is None:
+            interval = self.interval
         first = strategy
         if first == "auto":
             first = self._pick_join_strategy(rel_r, column_r, rel_s, column_s, theta)
@@ -619,14 +669,18 @@ class SpatialQueryExecutor:
         for strat in chain:
             check_cancel(cancel)
             attempt_meter = CostMeter(charges=meter.charges)
+            attempt_label = (
+                strat + "+interval"
+                if self._interval_active(interval, strat, theta) else strat
+            )
             try:
                 result = self.join(
                     rel_r, column_r, rel_s, column_s, theta,
                     strategy=strat, meter=attempt_meter,
                     collect_tuples=collect_tuples, order=order, workers=workers,
-                    predicted_cost=self._planned_cost(plan, strat),
+                    predicted_cost=self._planned_cost(plan, attempt_label),
                     tracer=tracer, metrics=metrics, cache=cache,
-                    cancel=cancel,
+                    cancel=cancel, interval=interval,
                 )
             except (StorageError, WorkerError) as exc:
                 meter.absorb(attempt_meter)
@@ -674,8 +728,13 @@ class SpatialQueryExecutor:
             from repro.obs.drift import drift_from_plan
 
             winner = next(a for a in report.attempts if a.ok)
+            winner_label = (
+                winner.strategy + "+interval"
+                if self._interval_active(interval, winner.strategy, theta)
+                else winner.strategy
+            )
             report.drift = drift_from_plan(
-                plan, winner.strategy, winner.stats.get("total", 0.0),
+                plan, winner_label, winner.stats.get("total", 0.0),
                 query=report.query,
             )
         if metrics is not None:
@@ -716,18 +775,30 @@ class SpatialQueryExecutor:
         the plan's strategy through :meth:`execute_join`, and returns the
         result with a drift-annotated report.  Extra keyword arguments
         are forwarded to :meth:`execute_join`.
+
+        When the executor (or the call) enables the interval tier, the
+        planner weighs its probe/build/save delta per query
+        (``interval=...`` to :func:`~repro.core.optimizer.plan_join`) and
+        the *plan's* verdict decides whether the filter actually runs --
+        ``plan.use_interval`` wins over the blanket setting.
         """
         from repro.core.optimizer import executable_strategy, plan_join
 
         ji = self.join_index_for(rel_r, rel_s, column_r, column_s, theta)
         cache = kwargs.get("cache") or self.cache
+        interval = kwargs.pop("interval", None)
+        if interval is None:
+            interval = self.interval
         plan = plan_join(
             rel_r, column_r, rel_s, column_s, theta,
             join_index_available=ji is not None,
             memory_pages=self.memory_pages,
             workers=self.workers,
             cache=cache,
+            interval=interval or None,
         )
+        if interval:
+            kwargs["interval"] = plan.interval_spec if plan.use_interval else False
         return self.execute_join(
             rel_r, column_r, rel_s, column_s, theta,
             strategy=executable_strategy(plan), plan=plan, **kwargs,
@@ -833,6 +904,59 @@ class SpatialQueryExecutor:
     def _fits_in_memory(self, rel_r: Relation, rel_s: Relation) -> bool:
         """True when both operands fit the usable ``M - 10`` page budget."""
         return rel_r.num_pages + rel_s.num_pages <= self.memory_pages - RESERVED_PAGES
+
+    @staticmethod
+    def _interval_active(interval, strategy: str, theta: ThetaOperator) -> bool:
+        """Would the second tier run for this (setting, strategy, theta)?"""
+        return (
+            bool(interval)
+            and strategy in INTERVAL_STRATEGIES
+            and isinstance(theta, Overlaps)
+        )
+
+    def _resolve_interval(
+        self,
+        interval,
+        strategy: str,
+        rel_r: Relation,
+        column_r: str,
+        rel_s: Relation,
+        column_s: str,
+        theta: ThetaOperator,
+    ):
+        """The :class:`~repro.intermediate.filter.IntervalFilter` for this
+        call, or ``None`` for the exact path.
+
+        The filter's memo is seeded from the executor's per-grid
+        :class:`~repro.intermediate.store.ApproximationStore`, which pins
+        each relation's ``modification_count`` at build time -- a mutated
+        operand re-rasterizes instead of reusing stale intervals.  The
+        filter itself is a throwaway per-call object (its on-demand memo
+        may absorb tree node regions that the shared store must not
+        retain across epochs).
+        """
+        if not self._interval_active(interval, strategy, theta):
+            return None
+        from repro.intermediate import (
+            ApproximationStore,
+            IntervalFilter,
+            IntervalSpec,
+        )
+
+        if isinstance(interval, IntervalSpec):
+            spec = interval
+        else:
+            spec = IntervalSpec(
+                universe=self._common_universe(rel_r, column_r, rel_s, column_s)
+            )
+        with self._interval_lock:
+            store = self._interval_stores.get(spec)
+            if store is None:
+                store = ApproximationStore(spec)
+                self._interval_stores[spec] = store
+            tables = dict(store.table_for(rel_r, column_r))
+            tables.update(store.table_for(rel_s, column_s))
+        return IntervalFilter(theta, spec, tables)
 
     def _common_universe(self, rel_r: Relation, column_r: str,
                          rel_s: Relation, column_s: str):

@@ -20,7 +20,9 @@ from dataclasses import dataclass, field
 from repro.errors import JoinError
 from repro.costmodel.distributions import make_distribution
 from repro.costmodel.estimation import (
+    IntervalResolutionEstimate,
     SelectivityEstimate,
+    estimate_interval_resolution,
     estimate_join_selectivity,
 )
 from repro.costmodel.join_costs import (
@@ -29,6 +31,7 @@ from repro.costmodel.join_costs import (
     d_partition,
     d_tree_clustered,
     d_tree_unclustered,
+    with_interval_filter,
 )
 from repro.costmodel.parameters import ModelParameters
 from repro.predicates.theta import Overlaps, ThetaOperator
@@ -50,6 +53,13 @@ class JoinPlan:
     #: stays raw so drift detection compares model vs. an actual
     #: *execution*, never a cache serve.
     discounted_costs: dict[str, float] = field(default_factory=dict)
+    #: Whether the raster-interval second tier is predicted to pay for
+    #: the chosen strategy (its ``<model>+INT`` entry beats the base).
+    use_interval: bool = False
+    #: The sampled resolution estimate the decision was based on.
+    interval_resolution: IntervalResolutionEstimate | None = None
+    #: The grid the filter would rasterize on (an ``IntervalSpec``).
+    interval_spec: object | None = None
 
     def format_explain(self) -> str:
         lines = [
@@ -63,6 +73,13 @@ class JoinPlan:
         for name, cost in sorted(self.predicted_costs.items(), key=lambda kv: kv[1]):
             marker = "  -> " if name == self.strategy else "     "
             lines.append(f"{marker}{name:12s} {cost:16.1f}")
+        if self.interval_resolution is not None:
+            res = self.interval_resolution
+            lines.append(
+                f"interval filter: {'on' if self.use_interval else 'off'} "
+                f"(resolves {res.resolve_fraction:.0%} of "
+                f"{res.candidates} sampled candidates)"
+            )
         if self.hit_probability > 0.0:
             best = self.discounted_costs.get(
                 self.strategy, self.predicted_costs.get(self.strategy, 0.0)
@@ -133,6 +150,8 @@ def plan_join(
     distribution: str = "uniform",
     workers: int = 1,
     cache=None,
+    interval=None,
+    interval_sample_pairs: int = 200,
 ) -> JoinPlan:
     """Estimate, predict, rank -- and return the full decision record.
 
@@ -149,6 +168,18 @@ def plan_join(
     serves the answer regardless of which strategy would have computed
     it -- so the *ranking* is unchanged; what changes is the expected
     cost a caller should budget for.
+
+    ``interval`` asks the planner to also weigh the raster-interval
+    second tier: pass an
+    :class:`~repro.intermediate.filter.IntervalSpec` (or ``True`` for a
+    data-fitted default grid).  The planner samples how many candidate
+    pairs the intervals resolve outright
+    (:func:`~repro.costmodel.estimation.estimate_interval_resolution`),
+    adds a ``<model>+INT`` predicted cost per filter-capable strategy
+    (:func:`~repro.costmodel.join_costs.with_interval_filter`) and sets
+    ``plan.use_interval`` when the chosen strategy's filtered variant is
+    cheaper.  The base ranking -- and thus ``plan.strategy`` -- is
+    computed exactly as without ``interval``.
     """
     estimate = estimate_join_selectivity(
         rel_r, column_r, rel_s, column_s, theta,
@@ -172,6 +203,30 @@ def plan_join(
     if not costs:
         raise JoinError("no executable strategy to rank")
     best = min(costs, key=lambda name: costs[name])
+
+    use_interval = False
+    resolution: IntervalResolutionEstimate | None = None
+    spec = None
+    if interval and isinstance(theta, Overlaps):
+        spec = _resolve_interval_spec(interval, rel_r, column_r, rel_s, column_s)
+        resolution = estimate_interval_resolution(
+            rel_r, column_r, rel_s, column_s, spec,
+            sample_pairs=interval_sample_pairs, seed=seed,
+        )
+        candidates = (
+            resolution.mbr_fraction * float(len(rel_r)) * float(len(rel_s))
+        )
+        build_objects = float(len(rel_r) + len(rel_s))
+        for name in [n for n in costs if n in _INTERVAL_CAPABLE]:
+            costs[name + "+INT"] = with_interval_filter(
+                costs[name], params,
+                candidates=candidates,
+                resolve_fraction=resolution.resolve_fraction,
+                build_objects=build_objects,
+            )
+        filtered = costs.get(best + "+INT")
+        use_interval = filtered is not None and filtered < costs[best]
+
     hit_p = 0.0
     if cache is not None:
         hit_p = cache.join_hit_probability(rel_r, column_r, rel_s, column_s, theta)
@@ -184,7 +239,34 @@ def plan_join(
         discounted_costs={
             name: cost * (1.0 - hit_p) for name, cost in costs.items()
         },
+        use_interval=use_interval,
+        interval_resolution=resolution,
+        interval_spec=spec,
     )
+
+
+#: Model strategies whose executor counterpart can thread the interval
+#: refiner (tree traversals and the partition sweep; the blocked scan
+#: and the join index have no refine site to replace).
+_INTERVAL_CAPABLE = frozenset({"D_PAR", "D_IIa", "D_IIb"})
+
+
+def _resolve_interval_spec(interval, rel_r, column_r, rel_s, column_s):
+    """An ``IntervalSpec``: the caller's, or a data-fitted default grid."""
+    from repro.geometry.rect import Rect
+    from repro.intermediate.filter import IntervalSpec
+
+    if isinstance(interval, IntervalSpec):
+        return interval
+    mbrs = [t[column_r].mbr() for t in rel_r.scan()]
+    mbrs += [t[column_s].mbr() for t in rel_s.scan()]
+    universe = Rect.union_of(mbrs) if mbrs else Rect(0.0, 0.0, 1.0, 1.0)
+    pad_x = 1.0 if universe.width == 0 else 0.0
+    pad_y = 1.0 if universe.height == 0 else 0.0
+    if pad_x or pad_y:
+        universe = Rect(universe.xmin, universe.ymin,
+                        universe.xmax + pad_x, universe.ymax + pad_y)
+    return IntervalSpec(universe=universe)
 
 
 def executable_strategy(plan: JoinPlan) -> str:

@@ -82,6 +82,90 @@ def estimate_join_selectivity(
     return SelectivityEstimate(p=p, sample_pairs=sample_pairs, matches=matches)
 
 
+@dataclass(frozen=True, slots=True)
+class IntervalResolutionEstimate:
+    """Sampled effectiveness of the raster-interval second tier.
+
+    ``mbr_fraction`` is the share of sampled pairs surviving the
+    Theta-filter (MBR intersection) -- the candidates the interval tier
+    would probe; ``resolve_fraction`` is the share of *those* the cell
+    intervals decide outright (sure hit or sure miss), i.e. the exact
+    evaluations the filter saves.  Pairs with an unapproximable operand
+    (MBR outside the grid universe) count as unresolved.
+    """
+
+    mbr_fraction: float
+    resolve_fraction: float
+    sample_pairs: int
+    candidates: int
+    resolved: int
+
+
+def estimate_interval_resolution(
+    rel_r: Relation,
+    column_r: str,
+    rel_s: Relation,
+    column_s: str,
+    spec,
+    *,
+    sample_pairs: int = 200,
+    seed: int = 0,
+) -> IntervalResolutionEstimate:
+    """Estimate how many candidate pairs the interval filter resolves.
+
+    Draws random tuple pairs (with replacement, like the selectivity
+    estimator), keeps the MBR-intersecting ones as Theta-candidates and
+    classifies each on ``spec``'s grid
+    (:func:`~repro.intermediate.approx.classify`).  The resolve fraction
+    feeds :func:`~repro.costmodel.join_costs.interval_filter_delta`,
+    letting ``plan_join`` decide per query whether the second tier pays.
+    """
+    from repro.intermediate.approx import AMBIGUOUS, classify
+    from repro.intermediate.raster import rasterize
+
+    if sample_pairs < 1:
+        raise CostModelError(f"sample_pairs must be positive, got {sample_pairs}")
+    tuples_r = list(rel_r.scan())
+    tuples_s = list(rel_s.scan())
+    if not tuples_r or not tuples_s:
+        return IntervalResolutionEstimate(
+            mbr_fraction=0.0, resolve_fraction=0.0,
+            sample_pairs=0, candidates=0, resolved=0,
+        )
+
+    approx_cache: dict = {}
+
+    def approx_of(geom):
+        if geom not in approx_cache:
+            approx_cache[geom] = rasterize(geom, spec.universe, spec.level)
+        return approx_cache[geom]
+
+    rng = random.Random(seed)
+    candidates = 0
+    resolved = 0
+    for _ in range(sample_pairs):
+        r_geom = rng.choice(tuples_r)[column_r]
+        s_geom = rng.choice(tuples_s)[column_s]
+        r_mbr, s_mbr = r_geom.mbr(), s_geom.mbr()
+        if (r_mbr.xmin > s_mbr.xmax or s_mbr.xmin > r_mbr.xmax
+                or r_mbr.ymin > s_mbr.ymax or s_mbr.ymin > r_mbr.ymax):
+            continue
+        candidates += 1
+        apx_r = approx_of(r_geom)
+        apx_s = approx_of(s_geom)
+        if apx_r is None or apx_s is None:
+            continue
+        if classify(apx_r, apx_s) != AMBIGUOUS:
+            resolved += 1
+    return IntervalResolutionEstimate(
+        mbr_fraction=candidates / sample_pairs,
+        resolve_fraction=(resolved / candidates) if candidates else 0.0,
+        sample_pairs=sample_pairs,
+        candidates=candidates,
+        resolved=resolved,
+    )
+
+
 def estimate_selection_selectivity(
     relation: Relation,
     column: str,

@@ -29,7 +29,9 @@ class ModelParameters:
     System dependent: ``s`` (page size), ``z`` (join-index entries per
     page), ``big_m`` (main-memory pages ``M``).
 
-    System performance dependent: ``c_theta``, ``c_io``, ``c_update``.
+    System performance dependent: ``c_theta``, ``c_io``, ``c_update``,
+    and ``c_interval`` (beyond the paper: the cost of one raster-interval
+    probe of the second-tier filter, a fraction of ``c_theta``).
     """
 
     n: int = 6
@@ -45,8 +47,13 @@ class ModelParameters:
     c_theta: float = 1.0
     c_io: float = 1000.0
     c_update: float = 1.0
+    c_interval: float = 0.25
 
     def __post_init__(self) -> None:
+        if self.c_interval < 0:
+            raise CostModelError(
+                f"c_interval must be non-negative, got {self.c_interval}"
+            )
         if self.n < 1:
             raise CostModelError(f"tree height n must be >= 1, got {self.n}")
         if self.k < 2:
@@ -102,7 +109,7 @@ class ModelParameters:
             n=self.n, k=self.k, p=p, v=self.v, l=self.l, h=self.h,
             t_relations=self.t_relations, s=self.s, z=self.z,
             big_m=self.big_m, c_theta=self.c_theta, c_io=self.c_io,
-            c_update=self.c_update,
+            c_update=self.c_update, c_interval=self.c_interval,
         )
 
 

@@ -267,3 +267,8 @@ class ObservabilityError(ReproError):
 
 class WorkloadError(ReproError):
     """Synthetic workload generation failure (inconsistent parameters)."""
+
+
+class IntermediateError(ReproError):
+    """Raster-interval approximation misuse (mismatched universes,
+    malformed interval sets, corrupt serialized approximations)."""

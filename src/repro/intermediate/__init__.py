@@ -1,0 +1,43 @@
+"""Raster-interval second-tier filtering (``Theta -> interval -> exact``).
+
+The package provides the intermediate approximation layer between the
+Theta-filter (MBR tests) and exact geometric refinement: per-object
+FULL/PARTIAL z-order cell intervals (:mod:`~repro.intermediate.raster`,
+:mod:`~repro.intermediate.approx`), the merge-style pair classification
+kernel (:func:`~repro.intermediate.approx.classify`), the refiner
+objects join strategies thread through their refine sites
+(:mod:`~repro.intermediate.filter`), and epoch-invalidated per-relation
+approximation tables with sidecar persistence
+(:mod:`~repro.intermediate.store`).
+"""
+
+from repro.intermediate.approx import (
+    AMBIGUOUS,
+    SURE_HIT,
+    SURE_MISS,
+    IntervalApprox,
+    classify,
+)
+from repro.intermediate.filter import (
+    DEFAULT_INTERVAL_LEVEL,
+    ExactRefiner,
+    IntervalFilter,
+    IntervalSpec,
+)
+from repro.intermediate.raster import rasterize
+from repro.intermediate.store import ApproximationStore, sidecar_path
+
+__all__ = [
+    "AMBIGUOUS",
+    "SURE_HIT",
+    "SURE_MISS",
+    "IntervalApprox",
+    "classify",
+    "DEFAULT_INTERVAL_LEVEL",
+    "ExactRefiner",
+    "IntervalFilter",
+    "IntervalSpec",
+    "rasterize",
+    "ApproximationStore",
+    "sidecar_path",
+]

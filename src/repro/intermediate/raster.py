@@ -1,0 +1,108 @@
+"""Rasterizer: geometry -> FULL/PARTIAL z-order cell intervals.
+
+Builds the :class:`~repro.intermediate.approx.IntervalApprox` of one
+geometry by refining the minimal quadtree decomposition of its MBR (the
+same curve machinery the z-order merge join uses, ``closed=True`` seam
+semantics included):
+
+* a cell entirely inside the geometry (closed containment via
+  :func:`~repro.predicates.dispatch.exact_contains`) is emitted whole as
+  a FULL interval -- no descent below it;
+* a cell that merely intersects the geometry is split until
+  ``max_level``, where it is emitted PARTIAL;
+* a cell not intersecting the geometry at all is dropped, and with it
+  its entire subtree (cell extents nest exactly, so a miss at a coarse
+  cell is a miss for every descendant).
+
+The invariants the test battery pins:
+
+* every FULL cell is contained in the geometry;
+* every closed cell intersecting the geometry is in the cover
+  (``FULL union PARTIAL``) -- hence the geometry is contained in its
+  cover, which is what makes the sure-miss verdict sound.
+
+A geometry whose MBR pokes outside the universe cannot be approximated
+soundly (clipping would break the containment-in-cover guarantee); the
+rasterizer returns ``None`` and the filter treats the pair as ambiguous.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GeometryError
+from repro.geometry.rect import Rect
+from repro.geometry.zorder import ZCell, decompose_rect
+from repro.intermediate.approx import MAX_LEVEL, IntervalApprox
+from repro.predicates.dispatch import (
+    SpatialObject,
+    exact_contains,
+    exact_overlaps,
+)
+
+
+def _coalesce(
+    raw: list[tuple[int, int, bool]]
+) -> tuple[tuple[int, int, bool], ...]:
+    """Merge z-adjacent intervals carrying the same flag.
+
+    Input arrives sorted by ``lo`` and pairwise disjoint (distinct
+    quadtree cells have disjoint z-ranges); only adjacency can be
+    merged.
+    """
+    out: list[tuple[int, int, bool]] = []
+    for lo, hi, full in raw:
+        if out and out[-1][2] == full and out[-1][1] + 1 == lo:
+            out[-1] = (out[-1][0], hi, full)
+        else:
+            out.append((lo, hi, full))
+    return tuple(out)
+
+
+def rasterize(
+    geom: SpatialObject, universe: Rect, max_level: int
+) -> IntervalApprox | None:
+    """The interval approximation of ``geom``, or ``None`` if unusable.
+
+    ``None`` means the geometry cannot be soundly approximated on this
+    grid: its MBR is not contained in ``universe`` (or the universe is
+    degenerate).  Callers must then fall through to the exact predicate.
+    """
+    if not 0 <= max_level <= MAX_LEVEL:
+        raise GeometryError(
+            f"max_level must be in [0, {MAX_LEVEL}], got {max_level}"
+        )
+    if universe.width <= 0 or universe.height <= 0:
+        return None
+    mbr = geom.mbr()
+    if not universe.contains_rect(mbr):
+        return None
+
+    raw: list[tuple[int, int, bool]] = []
+    # The minimal closed-seam decomposition of the MBR is the candidate
+    # cell set; refine each candidate against the geometry itself.
+    # Cells are visited in z-interval order (decompose_rect sorts, and
+    # children recurse in z-order), so ``raw`` comes out sorted.
+    stack: list[ZCell]
+    for cell in decompose_rect(mbr, universe, max_level, closed=True):
+        stack = [cell]
+        pending: list[tuple[int, int, bool]] = []
+        while stack:
+            cur = stack.pop()
+            extent = cur.extent(universe)
+            if exact_contains(geom, extent):
+                pending.append((*cur.interval(max_level), True))
+                continue
+            if not exact_overlaps(geom, extent):
+                continue
+            if cur.level >= max_level:
+                pending.append((*cur.interval(max_level), False))
+            else:
+                # LIFO stack: push children reversed so they pop in
+                # ascending z-order.
+                stack.extend(reversed(list(cur.children())))
+        raw.extend(pending)
+
+    return IntervalApprox(
+        level=max_level,
+        universe=universe.as_tuple(),
+        intervals=_coalesce(raw),
+    )

@@ -47,6 +47,7 @@ def spatial_select(
     metrics=None,
     candidates_out: list | None = None,
     cancel=None,
+    refiner=None,
 ) -> SelectResult:
     """Run Algorithm SELECT over a generalization tree.
 
@@ -102,6 +103,11 @@ def spatial_select(
         BFS checks it at every level boundary, DFS at every node pop --
         the cooperative cancellation points a deadline or drain relies
         on to stop a long traversal mid-flight.
+    refiner:
+        A refiner object (see :mod:`repro.intermediate.filter`) that
+        resolves filter survivors; ``None`` keeps the historical exact
+        refinement.  ``reverse`` swaps the operand order handed to it
+        exactly as it swaps the exact predicate's.
     """
     from repro.core.cancel import check_cancel
     if order not in ("bfs", "dfs"):
@@ -114,6 +120,10 @@ def spatial_select(
         meter = CostMeter()
     if big_theta is None:
         big_theta = theta.filter_operator()
+    if refiner is None:
+        from repro.intermediate.filter import ExactRefiner
+
+        refiner = ExactRefiner(theta)
     tracer = coalesce(tracer)
 
     result = SelectResult(strategy=f"select-{order}{'-reversed' if reverse else ''}")
@@ -145,13 +155,19 @@ def spatial_select(
                 # I/O pattern of the plain path is preserved.
                 payload = accessor.visit(tid, node)
                 candidates_out.append((tid, region, payload))
-                meter.record_exact_eval()
-                exact = theta(region, query) if reverse else theta(query, region)
+                exact = (
+                    refiner.matches(region, query, meter)
+                    if reverse
+                    else refiner.matches(query, region, meter)
+                )
                 if exact:
                     result.matches.append((tid, payload))
             else:
-                meter.record_exact_eval()
-                exact = theta(region, query) if reverse else theta(query, region)
+                exact = (
+                    refiner.matches(region, query, meter)
+                    if reverse
+                    else refiner.matches(query, region, meter)
+                )
                 if exact:
                     result.matches.append((tid, accessor.visit(tid, node)))
         return True
@@ -230,6 +246,7 @@ def select_pass_with_children(
     reverse: bool,
     big_theta: BigThetaOperator,
     order: str = "bfs",
+    refiner=None,
 ) -> tuple[SelectResult, list[Any]]:
     """One JOIN4 SELECT pass: matches below ``start`` plus the qualifying
     direct children of ``start``.
@@ -249,6 +266,7 @@ def select_pass_with_children(
         skip_start=True,
         reverse=reverse,
         big_theta=big_theta,
+        refiner=refiner,
     )
     qualifying_children = []
     for child in tree.children(start):

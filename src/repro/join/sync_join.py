@@ -38,6 +38,7 @@ def sync_tree_join(
     meter: CostMeter | None = None,
     big_theta: BigThetaOperator | None = None,
     tracer=None,
+    refiner=None,
 ) -> JoinResult:
     """Join two generalization trees by synchronized descent.
 
@@ -49,6 +50,10 @@ def sync_tree_join(
     The depth-first worklist interleaves tree levels, so a ``tracer``
     gets one enclosing ``sync-join`` span (pairs filtered, pruned,
     emitted) rather than the per-level spans of Algorithm JOIN.
+
+    ``refiner`` (see :mod:`repro.intermediate.filter`) replaces the
+    exact refinement of qualifying application-object pairs; ``None``
+    keeps the historical exact path.
     """
     if accessor_r is None:
         accessor_r = DirectAccessor()
@@ -58,6 +63,10 @@ def sync_tree_join(
         meter = CostMeter()
     if big_theta is None:
         big_theta = theta.filter_operator()
+    if refiner is None:
+        from repro.intermediate.filter import ExactRefiner
+
+        refiner = ExactRefiner(theta)
     tracer = coalesce(tracer)
 
     result = JoinResult(strategy="sync-tree-join")
@@ -102,8 +111,7 @@ def sync_tree_join(
                 continue
 
             if tid_a is not None and tid_b is not None:
-                meter.record_exact_eval()
-                if theta(region_a, region_b):
+                if refiner.matches(region_a, region_b, meter):
                     result.pairs.append((tid_a, tid_b))
 
             children_a = [] if pinned_a else tree_r.children(a)

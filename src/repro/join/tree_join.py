@@ -51,6 +51,7 @@ def tree_join(
     tracer=None,
     metrics=None,
     cancel=None,
+    refiner=None,
 ) -> JoinResult:
     """Compute ``R join_theta S`` hierarchically over two generalization trees.
 
@@ -70,6 +71,10 @@ def tree_join(
     ``cancel`` (a :class:`~repro.core.cancel.CancellationToken`) is
     checked at every QualPairs level boundary -- the join's cooperative
     cancellation point.
+
+    ``refiner`` (see :mod:`repro.intermediate.filter`) replaces exact
+    refinement at JOIN3 and inside the SELECT passes; ``None`` keeps the
+    historical exact path.
     """
     from repro.core.cancel import check_cancel
     if accessor_r is None:
@@ -80,6 +85,10 @@ def tree_join(
         meter = CostMeter()
     if big_theta is None:
         big_theta = theta.filter_operator()
+    if refiner is None:
+        from repro.intermediate.filter import ExactRefiner
+
+        refiner = ExactRefiner(theta)
     tracer = coalesce(tracer)
 
     result = JoinResult(strategy="tree-join")
@@ -127,8 +136,7 @@ def tree_join(
 
                 # JOIN3: exact check on the pair itself.
                 if (tid_a is not None) and (tid_b is not None):
-                    meter.record_exact_eval()
-                    if theta(region_a, region_b):
+                    if refiner.matches(region_a, region_b, meter):
                         emit(tid_a, tid_b, a, b)
 
                 # JOIN4 / pass 1: a against strict descendants of b.  When a
@@ -147,6 +155,7 @@ def tree_join(
                         reverse=False,
                         big_theta=big_theta,
                         order=order,
+                        refiner=refiner,
                     )
                     for tid_b2, payload_b in pass1.matches:
                         if tid_b2 is not None:
@@ -178,6 +187,7 @@ def tree_join(
                         reverse=True,
                         big_theta=big_theta,
                         order=order,
+                        refiner=refiner,
                     )
                     for tid_a2, payload_a in pass2.matches:
                         if tid_a2 is not None:

@@ -68,6 +68,7 @@ def zorder_merge_join(
     memory_pages: int = 4000,
     refine: bool = True,
     tracer=None,
+    refiner=None,
 ) -> JoinResult:
     """Overlap join via z-order decomposition and a merge sweep.
 
@@ -83,6 +84,10 @@ def zorder_merge_join(
     (candidates, including Orenstein's duplicates) and ``zorder.refine``
     (unique candidates, surviving pairs) -- each carrying the meter
     delta that phase caused.
+
+    ``refiner`` (see :mod:`repro.intermediate.filter`) replaces the
+    exact verification of deduplicated candidates; ``None`` keeps the
+    historical exact path.
     """
     if max_level < 0:
         raise JoinError(f"max_level must be non-negative, got {max_level}")
@@ -143,7 +148,12 @@ def zorder_merge_join(
         result.stats = meter.snapshot()
         return result
 
-    # Deduplicate, then refine with the exact geometric test.
+    # Deduplicate, then refine with the exact geometric test (or the
+    # interval second tier, when a refiner was supplied).
+    if refiner is None:
+        from repro.intermediate.filter import ExactRefiner
+
+        refiner = ExactRefiner(exact_overlaps)
     with tracer.span("zorder.refine", meter=meter) as span:
         unique = sorted(set(candidates))
         for r_tid, s_tid in unique:
@@ -151,8 +161,7 @@ def zorder_merge_join(
             s_page = pool_s.fetch(s_tid.page_id)
             r_record = r_page.get(r_tid.slot)
             s_record = s_page.get(s_tid.slot)
-            meter.record_exact_eval()
-            if exact_overlaps(r_record[column_r], s_record[column_s]):
+            if refiner.matches(r_record[column_r], s_record[column_s], meter):
                 result.pairs.append((r_tid, s_tid))
         span.set_tag("unique", len(unique))
         span.set_tag("pairs", len(result.pairs))

@@ -65,9 +65,18 @@ def model_for_strategy(strategy: str, predicted_costs: dict[str, float]) -> str 
     shard count) normalise to their base name: the formula prices the
     total work, which the reference-point rule keeps invariant under the
     split.
+
+    A ``"+interval"`` suffix (the executor's drift label for a run with
+    the raster-interval tier enabled) prefers the matching ``<model>+INT``
+    entry -- the plan's prediction *with* the filter's probe/build/save
+    delta -- and falls back to the base formula when the plan never
+    priced the filter.
     """
-    base = strategy.split("[", 1)[0]
+    base, _, flag = strategy.partition("+")
+    base = base.split("[", 1)[0]
     for model in _MODELS_FOR_STRATEGY.get(base, ()):
+        if flag == "interval" and model + "+INT" in predicted_costs:
+            return model + "+INT"
         if model in predicted_costs:
             return model
     return None

@@ -86,6 +86,7 @@ def partition_join(
     tracer=None,
     metrics=None,
     cancel=None,
+    refiner=None,
 ) -> JoinResult:
     """Partition-parallel overlap join of two relations.
 
@@ -105,6 +106,10 @@ def partition_join(
     ``cancel`` (a :class:`~repro.core.cancel.CancellationToken`) is
     checked between the extract/scatter/sweep phases and at every
     worker-chunk boundary inside the pool.
+
+    ``refiner`` (see :mod:`repro.intermediate.filter`) replaces the
+    exact refinement step inside every tile sweep; ``None`` keeps the
+    historical exact path.
     """
     if workers < 1:
         raise JoinError(f"workers must be positive, got {workers}")
@@ -136,7 +141,7 @@ def partition_join(
         pairs, worker_meter, pool_report = run_partitions(
             tasks, spec, theta, workers=workers,
             fault_plan=fault_plan, chunk_timeout=chunk_timeout,
-            metrics=metrics, cancel=cancel,
+            metrics=metrics, cancel=cancel, refiner=refiner,
         )
         meter.absorb(worker_meter)
         span.set_tag("effective_workers", pool_report.effective_workers)

@@ -8,7 +8,13 @@ charged one Theta-filter evaluation.  Surviving candidates pass through
 the reference-point ownership test (duplicate avoidance across
 partitions, free of charge -- it is bookkeeping, not a predicate) and are
 then refined with the exact theta-operator, which dispatches over the
-stored geometries via :mod:`repro.predicates.dispatch`.
+stored geometries via :mod:`repro.predicates.dispatch`.  An optional
+*refiner* (see :mod:`repro.intermediate.filter`) replaces that exact
+step with the raster-interval second tier: sure hits and misses are
+resolved from cell intervals and only ambiguous pairs run the exact
+predicate.  Without a refiner an
+:class:`~repro.intermediate.filter.ExactRefiner` is constructed, which
+is byte-identical to the historical behavior.
 
 :func:`sweep_sorted` is the generalized kernel: ownership is an
 arbitrary predicate over the reference point, so the same pass serves
@@ -33,6 +39,7 @@ def sweep_sorted(
     theta: ThetaOperator,
     meter: CostMeter,
     owns: Callable[[float, float], bool],
+    refiner=None,
 ) -> list[tuple[RecordId, RecordId]]:
     """All matching (tid_r, tid_s) pairs whose reference point this
     partition ``owns``.
@@ -42,7 +49,15 @@ def sweep_sorted(
     partition owning any point, each qualifying pair is emitted exactly
     once across the whole partitioning -- pairs owned elsewhere are
     skipped here and reported there.
+
+    ``refiner`` resolves owned candidates (default: exact refinement;
+    pass an :class:`~repro.intermediate.filter.IntervalFilter` for the
+    raster second tier).
     """
+    if refiner is None:
+        from repro.intermediate.filter import ExactRefiner
+
+        refiner = ExactRefiner(theta)
     pairs: list[tuple[RecordId, RecordId]] = []
     i = j = 0
     n_r, n_s = len(entries_r), len(entries_s)
@@ -63,8 +78,7 @@ def sweep_sorted(
                     continue
                 if not owns(*reference_point(r_mbr, s_mbr)):
                     continue
-                meter.record_exact_eval()
-                if theta(r_geom, s_geom):
+                if refiner.matches(r_geom, s_geom, meter):
                     pairs.append((r_tid, s_tid))
             i += 1
         else:
@@ -79,8 +93,7 @@ def sweep_sorted(
                     continue
                 if not owns(*reference_point(r_mbr, s_mbr)):
                     continue
-                meter.record_exact_eval()
-                if theta(r_geom, s_geom):
+                if refiner.matches(r_geom, s_geom, meter):
                     pairs.append((r_tid, s_tid))
             j += 1
     return pairs
@@ -94,6 +107,7 @@ def sweep_tile(
     entries_s: Sequence[Entry],
     theta: ThetaOperator,
     meter: CostMeter,
+    refiner=None,
 ) -> list[tuple[RecordId, RecordId]]:
     """All matching (tid_r, tid_s) pairs owned by tile ``(ix, iy)``.
 
@@ -107,4 +121,4 @@ def sweep_tile(
     def owns(x: float, y: float) -> bool:
         return owner(x, y) == cell
 
-    return sweep_sorted(entries_r, entries_s, theta, meter, owns)
+    return sweep_sorted(entries_r, entries_s, theta, meter, owns, refiner)

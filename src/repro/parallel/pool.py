@@ -87,8 +87,16 @@ def _run_chunk(
     theta: ThetaOperator,
     fault_plan: "FaultPlan | None" = None,
     chunk_index: int = 0,
+    refiner=None,
 ) -> tuple[list[tuple[RecordId, RecordId]], CostMeter]:
-    """One worker's share: sweep every assigned tile on a private meter."""
+    """One worker's share: sweep every assigned tile on a private meter.
+
+    ``refiner`` (an :class:`~repro.intermediate.filter.IntervalFilter`,
+    or ``None`` for exact refinement) is pickled along with the tasks on
+    the process-pool path -- workers probe their own copy of the
+    approximation memo, and the interval counters ride home on the
+    private meter like every other counter.
+    """
     if fault_plan is not None and fault_plan.should_crash_chunk(chunk_index):
         raise WorkerError(f"injected crash of worker chunk {chunk_index}")
     meter = CostMeter()
@@ -96,7 +104,7 @@ def _run_chunk(
     for task in tasks:
         pairs.extend(
             sweep_tile(grid, task.ix, task.iy, task.entries_r, task.entries_s,
-                       theta, meter)
+                       theta, meter, refiner)
         )
     return pairs, meter
 
@@ -124,6 +132,7 @@ def _run_chunks_sequentially(
     report: PoolReport,
     metrics=None,
     cancel=None,
+    refiner=None,
 ) -> list[tuple[list[tuple[RecordId, RecordId]], CostMeter]]:
     """Run every chunk in-process, recovering injected crashes per chunk."""
     from repro.core.cancel import check_cancel
@@ -133,13 +142,13 @@ def _run_chunks_sequentially(
         check_cancel(cancel)
         started = time.perf_counter()
         try:
-            results.append(_run_chunk(chunk, grid, theta, fault_plan, i))
+            results.append(_run_chunk(chunk, grid, theta, fault_plan, i, refiner))
         except WorkerError as exc:
             # A deadline may have expired while the crashed attempt ran;
             # recovery is new work, so it honours the token too -- an
             # expired query must not finish the recovery pass.
             check_cancel(cancel)
-            results.append(_run_chunk(chunk, grid, theta))
+            results.append(_run_chunk(chunk, grid, theta, refiner=refiner))
             report.recoveries.append(
                 ChunkRecovery(chunk=i, tiles=len(chunk), cause=repr(exc))
             )
@@ -167,6 +176,7 @@ def run_partitions(
     chunk_timeout: float | None = None,
     metrics=None,
     cancel=None,
+    refiner=None,
 ) -> tuple[list[tuple[RecordId, RecordId]], CostMeter, PoolReport]:
     """Sweep all tiles; returns ``(pairs, merged_meter, report)``.
 
@@ -198,7 +208,8 @@ def run_partitions(
         report = PoolReport(requested_workers=workers, effective_workers=1)
         chunk = list(tasks)
         reports = _run_chunks_sequentially([chunk] if chunk else [], grid, theta,
-                                           fault_plan, report, metrics, cancel)
+                                           fault_plan, report, metrics, cancel,
+                                           refiner)
         pairs = [p for chunk_pairs, _ in reports for p in chunk_pairs]
         _publish_recoveries(metrics, report)
         return pairs, CostMeter.merge([m for _, m in reports]), report
@@ -215,7 +226,7 @@ def run_partitions(
         report.effective_workers = 1
         report.degrade_reason = f"{type(exc).__name__}: {exc}"
         reports = _run_chunks_sequentially(chunks, grid, theta, fault_plan,
-                                           report, metrics, cancel)
+                                           report, metrics, cancel, refiner)
         pairs = [p for chunk_pairs, _ in reports for p in chunk_pairs]
         _publish_recoveries(metrics, report)
         return pairs, CostMeter.merge([m for _, m in reports]), report
@@ -226,7 +237,8 @@ def run_partitions(
     try:
         dispatched = time.perf_counter()
         handles = [
-            mp_pool.apply_async(_run_chunk, (chunk, grid, theta, fault_plan, i))
+            mp_pool.apply_async(_run_chunk,
+                                (chunk, grid, theta, fault_plan, i, refiner))
             for i, chunk in enumerate(chunks)
         ]
         outstanding = len(handles)
@@ -268,7 +280,7 @@ def run_partitions(
             continue
         check_cancel(cancel)
         started = time.perf_counter()
-        results[i] = _run_chunk(chunk, grid, theta)
+        results[i] = _run_chunk(chunk, grid, theta, refiner=refiner)
         report.recoveries.append(
             ChunkRecovery(chunk=i, tiles=len(chunk), cause=cause or "unknown")
         )

@@ -57,6 +57,11 @@ class ShardWorkerState:
         self.shard_map = shard_map
         self.generation = generation
         self.tables: dict[str, list[Entry]] = {}
+        #: Interval filters by spec: a join payload carrying an
+        #: ``IntervalSpec`` reuses (or builds) this incarnation's filter
+        #: for that grid, so replica geometries are rasterized once per
+        #: worker lifetime, not once per request.
+        self._interval_filters: dict[Any, Any] = {}
         #: Span ids minted by this incarnation so far.  Each traced
         #: request gets a throwaway tracer seeded here, so two requests
         #: served by the same worker never export colliding uids.
@@ -174,12 +179,33 @@ class ShardWorkerState:
         return {"tids": tids, "meter": meter,
                 "spans": self._export_spans(tracer)}
 
+    def _interval_refiner(self, payload: dict[str, Any], theta: Any) -> Any:
+        """This incarnation's interval filter for the payload's spec.
+
+        Payloads without an ``"interval"`` key keep the exact path
+        (``None`` refiner).  The spec travels over the wire, not the
+        filter: each worker builds and memoizes its own approximations,
+        so a restarted incarnation rasterizes afresh rather than
+        trusting pre-crash state.
+        """
+        spec = payload.get("interval")
+        if spec is None:
+            return None
+        flt = self._interval_filters.get(spec)
+        if flt is None:
+            from repro.intermediate.filter import IntervalFilter
+
+            flt = IntervalFilter(theta, spec)
+            self._interval_filters[spec] = flt
+        return flt
+
     def _join(self, payload: dict[str, Any]) -> dict[str, Any]:
         """Shard-local partition join: sweep the x-sorted replica lists,
         keeping only pairs whose reference point this shard owns."""
         theta = payload["theta"]
         meter = CostMeter()
         tracer, ctx = self._request_tracer(payload)
+        refiner = self._interval_refiner(payload, theta)
         owner = self.shard_map.owner_shard
         me = self.shard_id
 
@@ -193,7 +219,8 @@ class ShardWorkerState:
             entries_s = sorted(
                 self._table(payload["table_s"]), key=lambda e: e[1].xmin
             )
-            pairs = sweep_sorted(entries_r, entries_s, theta, meter, owns)
+            pairs = sweep_sorted(entries_r, entries_s, theta, meter, owns,
+                                 refiner)
             return {"pairs": pairs, "meter": meter}
         with tracer.span(
             "shard.join", meter=meter,
@@ -208,7 +235,8 @@ class ShardWorkerState:
                     self._table(payload["table_s"]), key=lambda e: e[1].xmin
                 )
             with tracer.span("shard.join.sweep", meter=meter) as sweep:
-                pairs = sweep_sorted(entries_r, entries_s, theta, meter, owns)
+                pairs = sweep_sorted(entries_r, entries_s, theta, meter, owns,
+                                     refiner)
                 sweep.set_tag("pairs", len(pairs))
             span.set_tag("pairs", len(pairs))
         return {"pairs": pairs, "meter": meter,

@@ -22,14 +22,24 @@ from repro.errors import CostModelError
 
 @dataclass(frozen=True, slots=True)
 class CostCharges:
-    """Per-event weights for the three abstract cost units."""
+    """Per-event weights for the abstract cost units.
+
+    ``c_interval`` (beyond the paper) prices one raster-interval probe of
+    the second-tier filter: a merge over two short sorted interval lists,
+    much cheaper than an exact geometric predicate, hence a fraction of
+    ``c_theta``.
+    """
 
     c_theta: float = 1.0
     c_io: float = 1000.0
     c_update: float = 1.0
+    c_interval: float = 0.25
 
     def __post_init__(self) -> None:
-        if self.c_theta < 0 or self.c_io < 0 or self.c_update < 0:
+        if (
+            self.c_theta < 0 or self.c_io < 0 or self.c_update < 0
+            or self.c_interval < 0
+        ):
             raise CostModelError(f"cost charges must be non-negative: {self}")
 
 
@@ -59,6 +69,9 @@ class CostMeter:
     checkpoint_pages: int = 0
     cache_probes: int = 0
     cache_hits: int = 0
+    interval_probes: int = 0
+    interval_sure_hits: int = 0
+    interval_evals_saved: int = 0
     charges: CostCharges = field(default_factory=CostCharges)
 
     @property
@@ -126,6 +139,24 @@ class CostMeter:
         """One query answered from the cache (any tier)."""
         self.cache_hits += count
 
+    def record_interval_probe(self, count: int = 1) -> None:
+        """One raster-interval classification of a candidate pair.
+
+        Priced at ``c_interval`` in :meth:`total` -- the second-tier
+        filter is cheap, but it is not free.
+        """
+        self.interval_probes += count
+
+    def record_interval_sure_hit(self, count: int = 1) -> None:
+        """One candidate pair resolved as a guaranteed hit (a FULL cell
+        of one side met a cover cell of the other)."""
+        self.interval_sure_hits += count
+
+    def record_interval_saved(self, count: int = 1) -> None:
+        """One exact refinement the interval tier made unnecessary
+        (sure hit or sure miss -- either way ``theta`` never ran)."""
+        self.interval_evals_saved += count
+
     def record_log_write(self, pages: int = 1) -> None:
         """One physical write of a WAL log/anchor page (write-through)."""
         self.log_writes += pages
@@ -167,12 +198,15 @@ class CostMeter:
         of Sections 4.2-4.4.  Durability I/Os (WAL + checkpoint writes)
         are priced at ``C_IO`` on top: a non-durable run has zero of them,
         so baseline totals are unchanged, while durable runs show the
-        crash-safety surcharge explicitly.
+        crash-safety surcharge explicitly.  Interval probes (the raster
+        second-tier filter) are priced at ``c_interval``; a run without
+        the filter has zero of them, keeping baseline totals untouched.
         """
         return (
             self.predicate_evaluations * self.charges.c_theta
             + (self.io_operations + self.durability_ios) * self.charges.c_io
             + self.update_computations * self.charges.c_update
+            + self.interval_probes * self.charges.c_interval
         )
 
     def reset(self) -> None:

@@ -1,0 +1,187 @@
+"""The interval tier's planning surface: cost delta, sampling, plan, drift."""
+
+import pytest
+
+from repro.core.executor import SpatialQueryExecutor
+from repro.core.optimizer import plan_join
+from repro.costmodel.estimation import estimate_interval_resolution
+from repro.costmodel.join_costs import interval_filter_delta, with_interval_filter
+from repro.costmodel.parameters import ModelParameters
+from repro.errors import CostModelError
+from repro.geometry.rect import Rect
+from repro.intermediate import IntervalSpec
+from repro.obs.drift import model_for_strategy
+from repro.predicates.theta import Overlaps, WithinDistance
+
+from tests.join.conftest import make_rect_relation, rtree_over
+
+SPEC = IntervalSpec(universe=Rect(0.0, 0.0, 120.0, 120.0), level=5)
+
+
+@pytest.fixture
+def indexed_pair():
+    rel_r = make_rect_relation("r", 120, seed=61)
+    rel_s = make_rect_relation("s", 120, seed=62)
+    rtree_over(rel_r, "shape")
+    rtree_over(rel_s, "shape")
+    return rel_r, rel_s
+
+
+def params(**kw):
+    return ModelParameters(**kw)
+
+
+class TestIntervalFilterDelta:
+    def test_filter_pays_when_resolution_is_high(self):
+        p = params()
+        delta = interval_filter_delta(
+            p, candidates=10_000, resolve_fraction=0.9, build_objects=200
+        )
+        assert delta < 0  # saved exact evals dwarf probe + build cost
+        base = 5000.0
+        assert with_interval_filter(
+            base, p, candidates=10_000, resolve_fraction=0.9, build_objects=200
+        ) == base + delta
+
+    def test_filter_loses_when_nothing_resolves(self):
+        delta = interval_filter_delta(
+            params(), candidates=10_000, resolve_fraction=0.0, build_objects=200
+        )
+        assert delta > 0  # pure overhead: probes and builds, no savings
+
+    def test_validation(self):
+        p = params()
+        with pytest.raises(ValueError):
+            interval_filter_delta(
+                p, candidates=10, resolve_fraction=1.5, build_objects=1
+            )
+        with pytest.raises(ValueError):
+            interval_filter_delta(
+                p, candidates=-1, resolve_fraction=0.5, build_objects=1
+            )
+
+    def test_c_interval_parameter_validated(self):
+        with pytest.raises(CostModelError):
+            ModelParameters(c_interval=-0.5)
+        assert params().with_p(0.5).c_interval == params().c_interval
+
+
+class TestResolutionEstimation:
+    def test_fractions_in_range_and_deterministic(self, indexed_pair):
+        rel_r, rel_s = indexed_pair
+        est = estimate_interval_resolution(
+            rel_r, "shape", rel_s, "shape", SPEC, sample_pairs=150, seed=4
+        )
+        assert 0.0 <= est.mbr_fraction <= 1.0
+        assert 0.0 <= est.resolve_fraction <= 1.0
+        assert est.resolved <= est.candidates <= est.sample_pairs
+        again = estimate_interval_resolution(
+            rel_r, "shape", rel_s, "shape", SPEC, sample_pairs=150, seed=4
+        )
+        assert again == est
+
+    def test_empty_relation(self, indexed_pair):
+        rel_r, _ = indexed_pair
+        empty = make_rect_relation("empty", 0, seed=1)
+        est = estimate_interval_resolution(
+            rel_r, "shape", empty, "shape", SPEC
+        )
+        assert est.candidates == 0
+        assert est.resolve_fraction == 0.0
+
+    def test_validation(self, indexed_pair):
+        rel_r, rel_s = indexed_pair
+        with pytest.raises(CostModelError):
+            estimate_interval_resolution(
+                rel_r, "shape", rel_s, "shape", SPEC, sample_pairs=0
+            )
+
+
+class TestPlanJoinInterval:
+    def test_interval_off_by_default(self, indexed_pair):
+        rel_r, rel_s = indexed_pair
+        plan = plan_join(rel_r, "shape", rel_s, "shape", Overlaps())
+        assert plan.use_interval is False
+        assert plan.interval_resolution is None
+        assert not any("+INT" in name for name in plan.predicted_costs)
+
+    def test_interval_adds_filtered_costs(self, indexed_pair):
+        rel_r, rel_s = indexed_pair
+        plan = plan_join(
+            rel_r, "shape", rel_s, "shape", Overlaps(), interval=SPEC
+        )
+        filtered = [n for n in plan.predicted_costs if n.endswith("+INT")]
+        assert filtered, "capable strategies must get a +INT price"
+        assert plan.interval_spec is SPEC
+        assert plan.interval_resolution is not None
+        # The decision is exactly the price comparison for the pick.
+        key = plan.strategy + "+INT"
+        if key in plan.predicted_costs:
+            expected = (
+                plan.predicted_costs[key]
+                < plan.predicted_costs[plan.strategy]
+            )
+            assert plan.use_interval is expected
+        else:
+            assert plan.use_interval is False
+        # The base ranking is untouched by the filter consideration.
+        base = plan_join(rel_r, "shape", rel_s, "shape", Overlaps())
+        assert plan.strategy == base.strategy
+
+    def test_interval_true_fits_grid_to_data(self, indexed_pair):
+        rel_r, rel_s = indexed_pair
+        plan = plan_join(
+            rel_r, "shape", rel_s, "shape", Overlaps(), interval=True
+        )
+        assert plan.interval_spec is not None
+        universe = plan.interval_spec.universe
+        for t in list(rel_r.scan()) + list(rel_s.scan()):
+            assert universe.contains_rect(t["shape"].mbr())
+
+    def test_non_overlaps_theta_never_considers_interval(self, indexed_pair):
+        rel_r, rel_s = indexed_pair
+        plan = plan_join(
+            rel_r, "shape", rel_s, "shape", WithinDistance(10.0), interval=SPEC
+        )
+        assert plan.use_interval is False
+        assert not any("+INT" in name for name in plan.predicted_costs)
+
+    def test_explain_mentions_the_decision(self, indexed_pair):
+        rel_r, rel_s = indexed_pair
+        plan = plan_join(
+            rel_r, "shape", rel_s, "shape", Overlaps(), interval=SPEC
+        )
+        text = plan.format_explain()
+        assert "interval filter:" in text
+        assert ("on" in text) or ("off" in text)
+
+
+class TestDriftLabels:
+    COSTS = {"D_PAR": 100.0, "D_PAR+INT": 80.0, "D_IIa": 200.0}
+
+    def test_interval_label_prefers_filtered_model(self):
+        assert model_for_strategy("partition+interval", self.COSTS) == "D_PAR+INT"
+        assert model_for_strategy("partition", self.COSTS) == "D_PAR"
+
+    def test_interval_label_falls_back_to_base(self):
+        # Plan never priced the filter: the base formula still applies.
+        assert model_for_strategy("tree+interval", self.COSTS) == "D_IIa"
+
+    def test_parameterized_and_filtered_compose(self):
+        assert (
+            model_for_strategy("shard-partition[3]+interval", self.COSTS)
+            == "D_PAR+INT"
+        )
+
+
+class TestPlanAndExecuteInterval:
+    def test_planned_interval_run_matches_plain(self, indexed_pair):
+        rel_r, rel_s = indexed_pair
+        plain, _ = SpatialQueryExecutor().plan_and_execute_join(
+            rel_r, "shape", rel_s, "shape", Overlaps()
+        )
+        result, report = SpatialQueryExecutor().plan_and_execute_join(
+            rel_r, "shape", rel_s, "shape", Overlaps(), interval=True
+        )
+        assert sorted(result.pairs) == sorted(plain.pairs)
+        assert report.succeeded

@@ -1,0 +1,139 @@
+"""ApproximationStore: epoch invalidation and sidecar persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import IntermediateError
+from repro.geometry.rect import Rect
+from repro.intermediate import ApproximationStore, IntervalSpec, sidecar_path
+
+from tests.join.conftest import make_rect_relation
+
+SPEC = IntervalSpec(universe=Rect(0.0, 0.0, 120.0, 120.0), level=4)
+
+
+def make_store():
+    return ApproximationStore(SPEC)
+
+
+def test_table_builds_once_per_epoch():
+    rel = make_rect_relation("r", 20, seed=3)
+    store = make_store()
+    table = store.table_for(rel, "shape")
+    assert len(table) == 20
+    assert all(apx is not None for apx in table.values())
+    again = store.table_for(rel, "shape")
+    assert again is table
+    assert store.builds == 1
+    assert store.fresh_hits == 1
+
+
+def test_mutation_moves_epoch_and_rebuilds():
+    rel = make_rect_relation("r", 10, seed=3)
+    store = make_store()
+    before = store.table_for(rel, "shape")
+    rel.insert([99, Rect(1.0, 1.0, 2.0, 2.0)])
+    after = store.table_for(rel, "shape")
+    assert after is not before
+    assert len(after) == len(before) + 1
+    assert store.builds == 2
+    assert store.fresh_hits == 0
+
+
+def test_invalidate_drops_cached_tables():
+    rel = make_rect_relation("r", 10, seed=3)
+    store = make_store()
+    store.table_for(rel, "shape")
+    store.invalidate(rel, "shape")
+    store.table_for(rel, "shape")
+    assert store.builds == 2
+    store.invalidate(rel)  # all columns
+    store.table_for(rel, "shape")
+    assert store.builds == 3
+
+
+def test_out_of_universe_objects_map_to_none():
+    rel = make_rect_relation("r", 5, seed=3)
+    rel.insert([99, Rect(-5.0, 0.0, 10.0, 10.0)])
+    table = make_store().table_for(rel, "shape")
+    assert sum(1 for apx in table.values() if apx is None) == 1
+
+
+# ----------------------------------------------------------------------
+# Sidecar persistence
+# ----------------------------------------------------------------------
+
+def test_sidecar_round_trip(tmp_path):
+    rel = make_rect_relation("r", 15, seed=5)
+    snapshot = tmp_path / "r.snapshot"
+    saver = make_store()
+    sidecar = saver.save_sidecar(snapshot, rel, "shape")
+    assert sidecar == sidecar_path(snapshot)
+    assert sidecar.name == "r.snapshot.intervals.json"
+    assert sidecar.exists()
+
+    loader = make_store()
+    assert loader.load_sidecar(snapshot, rel, "shape") is True
+    assert loader.table_for(rel, "shape") == saver.table_for(rel, "shape")
+    assert loader.builds == 0  # served from the sidecar, never rebuilt
+
+
+def test_missing_sidecar_returns_false(tmp_path):
+    rel = make_rect_relation("r", 5, seed=5)
+    assert make_store().load_sidecar(tmp_path / "nope", rel, "shape") is False
+
+
+def test_stale_sidecar_is_refused(tmp_path):
+    rel = make_rect_relation("r", 10, seed=5)
+    snapshot = tmp_path / "r.snapshot"
+    make_store().save_sidecar(snapshot, rel, "shape")
+    rel.insert([99, Rect(1.0, 1.0, 2.0, 2.0)])  # epoch moves
+    assert make_store().load_sidecar(snapshot, rel, "shape") is False
+
+
+def test_mismatched_spec_is_refused(tmp_path):
+    rel = make_rect_relation("r", 10, seed=5)
+    snapshot = tmp_path / "r.snapshot"
+    make_store().save_sidecar(snapshot, rel, "shape")
+    finer = ApproximationStore(
+        IntervalSpec(universe=SPEC.universe, level=SPEC.level + 1)
+    )
+    assert finer.load_sidecar(snapshot, rel, "shape") is False
+
+
+def test_mismatched_column_is_refused(tmp_path):
+    rel = make_rect_relation("r", 10, seed=5)
+    snapshot = tmp_path / "r.snapshot"
+    make_store().save_sidecar(snapshot, rel, "shape")
+    assert make_store().load_sidecar(snapshot, rel, "other") is False
+
+
+def test_unreadable_sidecar_raises(tmp_path):
+    rel = make_rect_relation("r", 5, seed=5)
+    snapshot = tmp_path / "r.snapshot"
+    sidecar_path(snapshot).write_text("{not json")
+    with pytest.raises(IntermediateError):
+        make_store().load_sidecar(snapshot, rel, "shape")
+
+
+def test_foreign_json_raises(tmp_path):
+    rel = make_rect_relation("r", 5, seed=5)
+    snapshot = tmp_path / "r.snapshot"
+    sidecar_path(snapshot).write_text(json.dumps({"format": "something-else"}))
+    with pytest.raises(IntermediateError):
+        make_store().load_sidecar(snapshot, rel, "shape")
+
+
+def test_corrupt_items_raise(tmp_path):
+    rel = make_rect_relation("r", 5, seed=5)
+    snapshot = tmp_path / "r.snapshot"
+    make_store().save_sidecar(snapshot, rel, "shape")
+    sidecar = sidecar_path(snapshot)
+    payload = json.loads(sidecar.read_text())
+    payload["items"][0]["approx"] = "definitely-not-base64!!"
+    sidecar.write_text(json.dumps(payload))
+    with pytest.raises(IntermediateError):
+        make_store().load_sidecar(snapshot, rel, "shape")

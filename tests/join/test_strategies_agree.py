@@ -8,6 +8,13 @@ The cache differential below extends the claim through the query cache:
 for every executor strategy, a cache-wrapped executor's cold run *and*
 its warm (cache-served) run must be byte-identical to the uncached
 executor's answer -- for selections and joins alike.
+
+The interval differential at the bottom extends it through the
+raster-interval second tier: for every executor strategy and seeds
+1/7/42, a filter-on run must produce the byte-identical pair list a
+filter-off run produces -- standalone, through the cache, and through
+sharded dispatch.  The filter is allowed to *save* exact evaluations,
+never to change an answer.
 """
 
 import random
@@ -221,3 +228,116 @@ def test_warm_join_hits_read_zero_pages(spec, cache_workload):
     assert warm_meter.page_reads == 0, spec
     assert warm_meter.page_writes == 0, spec
     assert warm_meter.cache_hits == 1, spec
+
+
+# ----------------------------------------------------------------------
+# Interval differential: filter-on == filter-off, byte-identical
+# ----------------------------------------------------------------------
+
+INTERVAL_SEEDS = [1, 7, 42]
+
+#: Executor strategies that thread the interval refiner; the rest must
+#: ignore the setting (and the differential verifies they still agree).
+INTERVAL_CAPABLE = {"tree", "tree-dfs", "zorder", "partition"}
+
+
+@pytest.fixture(scope="module", params=INTERVAL_SEEDS, ids=lambda s: f"seed{s}")
+def interval_workload(request):
+    from repro.workloads.assembly import build_indexed_relation
+
+    seed = request.param
+    ir_r = build_indexed_relation(120, seed=seed, max_extent=40.0)
+    ir_s = build_indexed_relation(100, seed=seed + 1, max_extent=40.0)
+    return ir_r, ir_s
+
+
+@pytest.mark.parametrize("spec", JOIN_STRATEGIES)
+def test_interval_join_matches_plain(spec, interval_workload):
+    from repro.core.executor import SpatialQueryExecutor
+    from repro.predicates.theta import Overlaps
+    from repro.storage.costs import CostMeter
+
+    ir_r, ir_s = interval_workload
+    strategy, order = _split(spec)
+    operands = (ir_r.relation, "shape", ir_s.relation, "shape", Overlaps())
+
+    plain = SpatialQueryExecutor(memory_pages=4000)
+    filtered = SpatialQueryExecutor(memory_pages=4000, interval=True)
+    if strategy == "join-index":
+        for ex in (plain, filtered):
+            ex.precompute_join_index(
+                ir_r.relation, ir_s.relation, "shape", "shape", Overlaps()
+            )
+
+    baseline = plain.join(*operands, strategy=strategy, order=order)
+    meter = CostMeter()
+    result = filtered.join(*operands, strategy=strategy, order=order, meter=meter)
+
+    assert sorted(result.pairs) == sorted(baseline.pairs), spec
+    if strategy.split("-")[0] in {"tree", "zorder", "partition"}:
+        # The filter actually engaged -- this is a differential test of
+        # the filter, not of two identical filter-off runs.
+        assert meter.interval_probes > 0, spec
+        assert (
+            meter.interval_evals_saved + meter.theta_exact_evals
+            >= meter.interval_probes
+        ), spec
+    else:
+        assert meter.interval_probes == 0, spec
+
+
+@pytest.mark.parametrize("spec", JOIN_STRATEGIES)
+def test_interval_join_matches_plain_under_cache(spec, interval_workload):
+    from repro.predicates.theta import Overlaps
+
+    ir_r, ir_s = interval_workload
+    strategy, order = _split(spec)
+    operands = (ir_r.relation, "shape", ir_s.relation, "shape", Overlaps())
+
+    plain = _make_executor(cached=False)
+    cached_exec = _make_executor(cached=True)
+    cached_exec.interval = True
+    if strategy == "join-index":
+        for ex in (plain, cached_exec):
+            ex.precompute_join_index(
+                ir_r.relation, ir_s.relation, "shape", "shape", Overlaps()
+            )
+
+    baseline = plain.join(*operands, strategy=strategy, order=order)
+    cold = cached_exec.join(*operands, strategy=strategy, order=order)
+    warm = cached_exec.join(*operands, strategy=strategy, order=order)
+
+    expected = sorted(baseline.pairs)
+    assert sorted(cold.pairs) == expected, spec
+    assert sorted(warm.pairs) == expected, spec
+    assert warm.strategy == "cached-exact", spec
+
+
+@pytest.mark.parametrize("seed", INTERVAL_SEEDS)
+def test_interval_sharded_join_matches_plain(seed):
+    from repro.intermediate import IntervalSpec
+    from repro.predicates.theta import Overlaps
+    from repro.shard import ShardRuntime
+
+    from tests.join.conftest import make_rect_relation
+    from tests.shard.conftest import UNIVERSE, oracle_join
+
+    rel_r = make_rect_relation("r", 60, seed=seed)
+    rel_s = make_rect_relation("s", 60, seed=seed + 1)
+    expected = oracle_join(rel_r, rel_s, Overlaps())
+    spec = IntervalSpec(universe=UNIVERSE)
+
+    fleet_meter = CostMeter()
+    runtime = ShardRuntime(UNIVERSE, 3)
+    with runtime:
+        runtime.load_relation(rel_r, "shape")
+        runtime.load_relation(rel_s, "shape")
+        plain = runtime.router.join("r", "s", Overlaps())
+        filtered = runtime.router.join(
+            "r", "s", Overlaps(), interval=spec, meter=fleet_meter
+        )
+
+    assert plain.pairs == expected, seed
+    assert filtered.pairs == expected, seed
+    # The fleet-merged meter must show the filter engaged on the shards.
+    assert fleet_meter.interval_probes > 0, seed

@@ -57,6 +57,7 @@ class TestMeter:
             "theta_filter_evals", "theta_exact_evals",
             "update_computations", "io_retries", "backoff_steps",
             "log_writes", "checkpoint_pages", "cache_probes", "cache_hits",
+            "interval_probes", "interval_sure_hits", "interval_evals_saved",
             "total",
         }
 
